@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures.  The rendered
+ASCII table is written to ``benchmarks/results/<name>.txt`` so the artefacts
+survive the run, and key relationships from the paper are asserted so the
+benchmarks double as regression checks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Accuracy benchmarks execute real numerical experiments (the INT8 engine and
+all baselines run on this CPU); throughput/power benchmarks evaluate the
+analytic GPU model (see DESIGN.md for the hardware-substitution rationale).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered tables of every benchmark."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save

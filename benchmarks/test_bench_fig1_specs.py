@@ -1,0 +1,23 @@
+"""Figure 1: peak TFLOPS/TOPS of AMD and NVIDIA GPUs per generation."""
+
+from __future__ import annotations
+
+from repro.harness import figure1
+
+
+def test_bench_figure1(benchmark, save_result):
+    result = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    save_result("figure1_gpu_peaks", result.render())
+
+    by_name = {row["gpu"]: row for row in result.rows}
+    # The motivating trend of the paper: every recent datacentre GPU runs
+    # INT8 an order of magnitude faster than FP64, and the gap explodes on
+    # consumer Blackwell.
+    assert by_name["V100"]["int8_over_fp64"] < by_name["A100"]["int8_over_fp64"]
+    assert by_name["V100"]["int8_over_fp64"] < by_name["H100"]["int8_over_fp64"]
+    for name in ("A100", "H100", "MI300X", "B200"):
+        assert by_name[name]["int8_over_fp64"] > 10
+    assert by_name["RTX5080"]["int8_over_fp64"] > 100
+    # Low-precision throughput grows much faster than FP64 across generations.
+    assert by_name["H100"]["int8_tops"] / by_name["V100"]["int8_tops"] > 10
+    assert by_name["H100"]["fp64_tflops"] / by_name["V100"]["fp64_tflops"] < 10

@@ -1,0 +1,60 @@
+"""Figure 3 (top): accuracy of DGEMM emulation vs number of moduli and phi.
+
+Runs the real emulation (INT8 engine on this CPU) on the paper's
+phi-lognormal workloads at reduced sizes and checks the orderings the paper
+reports: accuracy improves with N, OS II-fast-15 reaches DGEMM level at
+phi=0.5, accurate mode tolerates large phi better than fast mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import accuracy_sweep
+from repro.harness.report import format_table
+
+METHODS = (
+    "DGEMM",
+    "ozIMMU_EF-9",
+    "OS II-fast-13",
+    "OS II-fast-14",
+    "OS II-fast-15",
+    "OS II-fast-16",
+    "OS II-accu-14",
+    "OS II-accu-15",
+)
+PHIS = (0.5, 1.0, 2.0, 4.0)
+KS = (256, 1024)
+M = N = 256
+
+
+def _run():
+    return accuracy_sweep(METHODS, PHIS, KS, m=M, n=N, precision="fp64", seed=0)
+
+
+def test_bench_figure3_dgemm(benchmark, save_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(
+        "figure3_dgemm_accuracy",
+        format_table(rows, float_format=".3e", title="Figure 3 (top): DGEMM emulation accuracy"),
+    )
+
+    def err(method, phi, k):
+        return next(
+            r["max_rel_error"]
+            for r in rows
+            if r["method"] == method and r["phi"] == phi and r["k"] == k
+        )
+
+    for k in KS:
+        # Accuracy improves monotonically with the number of moduli (phi=0.5).
+        errors = [err(f"OS II-fast-{n}", 0.5, k) for n in (13, 14, 15, 16)]
+        assert errors[0] >= errors[1] >= errors[2] >= errors[3]
+        # OS II-fast-15 reaches DGEMM-level accuracy at phi = 0.5.
+        assert err("OS II-fast-15", 0.5, k) <= 10 * err("DGEMM", 0.5, k)
+        # ozIMMU_EF-9 also reaches DGEMM level (it is the prior art).
+        assert err("ozIMMU_EF-9", 0.5, k) <= 10 * err("DGEMM", 0.5, k)
+
+    # Fast mode degrades as phi grows; accurate mode is no worse than fast.
+    assert err("OS II-fast-14", 4.0, 256) >= err("OS II-fast-14", 0.5, 256)
+    assert err("OS II-accu-14", 4.0, 256) <= err("OS II-fast-14", 4.0, 256)

@@ -1,0 +1,54 @@
+"""Figure 3 (bottom): accuracy of SGEMM emulation vs number of moduli and phi."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import accuracy_sweep
+from repro.harness.report import format_table
+
+METHODS = (
+    "SGEMM",
+    "TF32GEMM",
+    "BF16x9",
+    "cuMpSGEMM",
+    "OS II-fast-5",
+    "OS II-fast-7",
+    "OS II-fast-8",
+    "OS II-accu-7",
+    "OS II-accu-8",
+)
+PHIS = (0.5, 1.0, 1.5)
+KS = (256, 1024)
+M = N = 256
+
+
+def _run():
+    return accuracy_sweep(METHODS, PHIS, KS, m=M, n=N, precision="fp32", seed=0)
+
+
+def test_bench_figure3_sgemm(benchmark, save_result):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result(
+        "figure3_sgemm_accuracy",
+        format_table(rows, float_format=".3e", title="Figure 3 (bottom): SGEMM emulation accuracy"),
+    )
+
+    def err(method, phi, k):
+        return next(
+            r["max_rel_error"]
+            for r in rows
+            if r["method"] == method and r["phi"] == phi and r["k"] == k
+        )
+
+    for phi in PHIS:
+        for k in KS:
+            # SGEMM and BF16x9 exhibit equivalent accuracy (Section 5.1).
+            assert err("BF16x9", phi, k) <= 20 * err("SGEMM", phi, k)
+            # cuMpSGEMM emulates SGEMM without accuracy loss.
+            assert err("cuMpSGEMM", phi, k) <= 20 * err("SGEMM", phi, k)
+            # TF32 is far less accurate than SGEMM.
+            assert err("TF32GEMM", phi, k) > 10 * err("SGEMM", phi, k)
+            # OS II with 7-8 moduli reaches SGEMM-level accuracy.
+            assert err("OS II-fast-8", phi, k) <= 20 * err("SGEMM", phi, k)
+            assert err("OS II-accu-8", phi, k) <= 20 * err("SGEMM", phi, k)
+            # Few moduli give intermediate (TF32-to-FP32) accuracy.
+            assert err("OS II-fast-5", phi, k) >= err("OS II-fast-8", phi, k)

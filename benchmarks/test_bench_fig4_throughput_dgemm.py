@@ -1,0 +1,38 @@
+"""Figure 4: modelled throughput of DGEMM emulation on A100 / GH200 / RTX 5080."""
+
+from __future__ import annotations
+
+from repro.harness.figures import DGEMM_PERF_METHODS, EVAL_GPUS, figure4
+from repro.harness.report import format_table
+
+
+def test_bench_figure4(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure4(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure4_dgemm_throughput",
+        format_table(result.rows, float_format=".4g", title=result.description),
+    )
+    tflops = {(r["gpu"], r["method"], r["n"]): r["tflops"] for r in result.rows}
+
+    # GH200 / A100: native DGEMM wins at n=1024, OS II wins at n=16384
+    # (the crossover of Figure 4), and OS II always beats ozIMMU.
+    for gpu in ("A100", "GH200"):
+        assert tflops[(gpu, "DGEMM", 1024)] > tflops[(gpu, "OS II-fast-15", 1024)]
+        assert tflops[(gpu, "OS II-fast-14", 16384)] > tflops[(gpu, "DGEMM", 16384)]
+        for n in (1024, 4096, 16384):
+            assert tflops[(gpu, "OS II-fast-15", n)] > tflops[(gpu, "ozIMMU_EF-9", n)]
+
+    # GH200 headline: ~1.4x over native DGEMM at n=16384.
+    ratio = tflops[("GH200", "OS II-fast-14", 16384)] / tflops[("GH200", "DGEMM", 16384)]
+    assert 1.2 < ratio < 1.8
+
+    # RTX 5080: emulation is an order of magnitude faster than native FP64.
+    assert (
+        tflops[("RTX5080", "OS II-fast-14", 8192)]
+        > 10 * tflops[("RTX5080", "DGEMM", 8192)]
+    )
+
+    # Fast mode is never slower than accurate mode (one fewer INT8 GEMM).
+    for gpu in EVAL_GPUS:
+        for n in (4096, 16384):
+            assert tflops[(gpu, "OS II-fast-15", n)] >= tflops[(gpu, "OS II-accu-15", n)]

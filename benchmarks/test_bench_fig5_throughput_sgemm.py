@@ -1,0 +1,37 @@
+"""Figure 5: modelled throughput of SGEMM emulation on A100 / GH200 / RTX 5080."""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure5
+from repro.harness.report import format_table
+
+
+def test_bench_figure5(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure5(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure5_sgemm_throughput",
+        format_table(result.rows, float_format=".4g", title=result.description),
+    )
+    tflops = {(r["gpu"], r["method"], r["n"]): r["tflops"] for r in result.rows}
+
+    # GH200: 2.3-3.0x speedup over SGEMM at n=16384 (allow a looser band),
+    # and OS II sits between SGEMM and TF32GEMM.
+    n = 16384
+    for num_moduli in (7, 8, 9):
+        ratio = tflops[("GH200", f"OS II-fast-{num_moduli}", n)] / tflops[("GH200", "SGEMM", n)]
+        assert 1.8 < ratio < 3.5
+    assert (
+        tflops[("GH200", "SGEMM", n)]
+        < tflops[("GH200", "OS II-fast-8", n)]
+        < tflops[("GH200", "TF32GEMM", n)]
+    )
+
+    # BF16x9 is comparable to SGEMM on Hopper/Ampere (no native support).
+    for gpu in ("A100", "GH200"):
+        ratio = tflops[(gpu, "BF16x9", n)] / tflops[(gpu, "SGEMM", n)]
+        assert 0.8 < ratio < 1.2
+
+    # RTX 5080: OS II-fast-7 edges out SGEMM for very large n (paper: n=12288).
+    assert tflops[("RTX5080", "OS II-fast-7", 16384)] > tflops[("RTX5080", "SGEMM", 16384)]
+    # ... but not at small n.
+    assert tflops[("RTX5080", "OS II-fast-7", 1024)] < tflops[("RTX5080", "SGEMM", 1024)]

@@ -1,0 +1,41 @@
+"""Figure 6: modelled time breakdown of DGEMM emulation (fast/accurate modes)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure6
+from repro.harness.report import format_table
+
+
+def test_bench_figure6(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure6(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure6_dgemm_breakdown",
+        format_table(result.rows, float_format=".3f", title=result.description),
+    )
+
+    def fraction(gpu, method, n, phase):
+        return next(
+            r["fraction"]
+            for r in result.rows
+            if r["gpu"] == gpu and r["method"] == method and r["n"] == n and r["phase"] == phase
+        )
+
+    # Matmul share grows with n on both GPUs (Section 5.3).
+    for gpu in ("GH200", "RTX5080"):
+        assert fraction(gpu, "OS II-fast-15", 16384, "matmul") > fraction(
+            gpu, "OS II-fast-15", 1024, "matmul"
+        )
+
+    # On GH200 the INT8 GEMMs dominate at n=16384; on RTX 5080 the weak FP64
+    # keeps the non-matmul share much larger (around half at n=8192).
+    assert fraction("GH200", "OS II-fast-15", 16384, "matmul") > 0.5
+    rtx_non_matmul = 1.0 - fraction("RTX5080", "OS II-fast-15", 8192, "matmul")
+    gh_non_matmul = 1.0 - fraction("GH200", "OS II-fast-15", 8192, "matmul")
+    assert rtx_non_matmul > gh_non_matmul
+    assert 0.25 < rtx_non_matmul < 0.75
+
+    # Accurate mode spends more of its time in the scale phase (extra GEMM).
+    for gpu in ("GH200", "RTX5080"):
+        assert fraction(gpu, "OS II-accu-15", 4096, "scale") > fraction(
+            gpu, "OS II-fast-15", 4096, "scale"
+        )

@@ -1,0 +1,43 @@
+"""Figure 7: modelled time breakdown of SGEMM emulation (fast/accurate modes)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure7
+from repro.harness.report import format_table
+
+
+def test_bench_figure7(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure7(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure7_sgemm_breakdown",
+        format_table(result.rows, float_format=".3f", title=result.description),
+    )
+
+    def fraction(gpu, method, n, phase):
+        return next(
+            r["fraction"]
+            for r in result.rows
+            if r["gpu"] == gpu and r["method"] == method and r["n"] == n and r["phase"] == phase
+        )
+
+    # Conversion phases shrink as n grows.
+    for gpu in ("GH200", "RTX5080"):
+        conv = lambda n: fraction(gpu, "OS II-fast-8", n, "convert_A") + fraction(
+            gpu, "OS II-fast-8", n, "convert_B"
+        )
+        assert conv(1024) > conv(16384)
+
+    # SGEMM emulation's conversions run in FP32; on RTX 5080 (where FP32 is
+    # strong) the non-matmul share is smaller than for DGEMM emulation at the
+    # same size (Section 5.3: conversion is "accelerated compared to that of
+    # DGEMM emulation").
+    from repro.perfmodel import phase_breakdown
+
+    sgemm_non_matmul = 1.0 - fraction("RTX5080", "OS II-fast-8", 8192, "matmul")
+    dgemm_non_matmul = 1.0 - phase_breakdown("OS II-fast-15", "RTX5080", 8192, 8192, 8192)["matmul"]
+    assert sgemm_non_matmul < dgemm_non_matmul
+
+    # Accurate mode's scale phase is heavier.
+    assert fraction("GH200", "OS II-accu-8", 4096, "scale") > fraction(
+        "GH200", "OS II-fast-8", 4096, "scale"
+    )

@@ -1,0 +1,41 @@
+"""Figure 8: modelled power efficiency of DGEMM emulation (GFLOPS/W)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure8
+from repro.harness.report import format_table
+
+
+def test_bench_figure8(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure8(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure8_dgemm_power",
+        format_table(result.rows, float_format=".4g", title=result.description),
+    )
+    eff = {(r["gpu"], r["method"], r["n"]): r["gflops_per_watt"] for r in result.rows}
+
+    n = 16384
+    # GH200: every accuracy-sufficient OS II-fast setting improves on DGEMM
+    # (paper: +20-43%); ozIMMU does not.
+    for num_moduli in (14, 15, 16):
+        gain = eff[("GH200", f"OS II-fast-{num_moduli}", n)] / eff[("GH200", "DGEMM", n)] - 1
+        assert 0.1 < gain < 1.0
+    assert eff[("GH200", "ozIMMU_EF-9", n)] < eff[("GH200", "DGEMM", n)]
+
+    # The power-efficiency ranking follows the throughput ranking at large n
+    # (Section 5.4: "trends similar to those of throughput performance").
+    assert (
+        eff[("GH200", "OS II-fast-14", n)]
+        > eff[("GH200", "OS II-accu-14", n)]
+        > eff[("GH200", "ozIMMU_EF-9", n)]
+    )
+
+    # At small n the emulation's power-efficiency deficit is smaller than its
+    # throughput deficit (Section 5.4).
+    from repro.perfmodel import modeled_tflops
+
+    thr_ratio = modeled_tflops("OS II-fast-15", "GH200", 1024, 1024, 1024) / modeled_tflops(
+        "DGEMM", "GH200", 1024, 1024, 1024
+    )
+    pow_ratio = eff[("GH200", "OS II-fast-15", 1024)] / eff[("GH200", "DGEMM", 1024)]
+    assert pow_ratio > thr_ratio

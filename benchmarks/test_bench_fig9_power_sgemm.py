@@ -1,0 +1,30 @@
+"""Figure 9: modelled power efficiency of SGEMM emulation (GFLOPS/W)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure9
+from repro.harness.report import format_table
+
+
+def test_bench_figure9(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure9(quick=False), rounds=1, iterations=1)
+    save_result(
+        "figure9_sgemm_power",
+        format_table(result.rows, float_format=".4g", title=result.description),
+    )
+    eff = {(r["gpu"], r["method"], r["n"]): r["gflops_per_watt"] for r in result.rows}
+
+    n = 16384
+    # GH200: OS II-fast-7..9 improve substantially on SGEMM (paper: +103-154%).
+    for num_moduli in (7, 8, 9):
+        gain = eff[("GH200", f"OS II-fast-{num_moduli}", n)] / eff[("GH200", "SGEMM", n)] - 1
+        assert 0.5 < gain < 3.0
+
+    # Accurate mode is slightly less power-efficient than fast mode.
+    assert eff[("GH200", "OS II-accu-8", n)] < eff[("GH200", "OS II-fast-8", n)]
+
+    # TF32GEMM remains the efficiency ceiling of the comparison.
+    assert eff[("GH200", "TF32GEMM", n)] > eff[("GH200", "OS II-fast-7", n)]
+
+    # A100 shows the same qualitative picture.
+    assert eff[("A100", "OS II-fast-8", n)] > eff[("A100", "SGEMM", n)]

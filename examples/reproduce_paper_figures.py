@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure of the paper's evaluation section.
+
+Runs the per-figure entry points of :mod:`repro.harness.figures` and prints
+their tables.  ``--full`` switches from the quick problem sizes to the
+paper's sizes (substantially slower for the accuracy figures).
+
+Usage::
+
+    python examples/reproduce_paper_figures.py [--full] [--only FIG[,FIG...]]
+
+where FIG is one of: 1, 3d, 3s, 4, 5, 6, 7, 8, 9, headline.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.harness import (
+    figure1,
+    figure3_dgemm,
+    figure3_sgemm,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    headline_claims,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper's problem sizes")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated figure ids (1, 3d, 3s, 4, 5, 6, 7, 8, 9, headline)",
+    )
+    args = parser.parse_args()
+    quick = not args.full
+
+    figures: Dict[str, Callable[[], object]] = {
+        "1": lambda: figure1(),
+        "3d": lambda: figure3_dgemm(quick=quick),
+        "3s": lambda: figure3_sgemm(quick=quick),
+        "4": lambda: figure4(quick=quick),
+        "5": lambda: figure5(quick=quick),
+        "6": lambda: figure6(quick=quick),
+        "7": lambda: figure7(quick=quick),
+        "8": lambda: figure8(quick=quick),
+        "9": lambda: figure9(quick=quick),
+        "headline": lambda: headline_claims(),
+    }
+    selected = list(figures) if args.only is None else [s.strip() for s in args.only.split(",")]
+
+    for key in selected:
+        if key not in figures:
+            raise SystemExit(f"unknown figure id {key!r}; choose from {sorted(figures)}")
+        result = figures[key]()
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — Ozaki scheme II GEMM emulation on INT8 matrix engines.
+
+Reproduction of "High-Performance and Power-Efficient Emulation of Matrix
+Multiplication using INT8 Matrix Engines" (Uchino, Ozaki, Imamura — SC'25).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import emulated_dgemm
+>>> rng = np.random.default_rng(0)
+>>> a = rng.standard_normal((256, 256))
+>>> b = rng.standard_normal((256, 256))
+>>> c = emulated_dgemm(a, b, num_moduli=15)
+>>> float(np.max(np.abs(c - a @ b)))  # doctest: +SKIP
+1e-13
+
+Main entry points
+-----------------
+* :func:`repro.emulated_dgemm`, :func:`repro.emulated_sgemm`,
+  :func:`repro.ozaki2_gemm` — the paper's contribution.
+* :mod:`repro.baselines` — Ozaki scheme I (ozIMMU), cuMpSGEMM-style FP16,
+  BF16x9, TF32 and native GEMM baselines.
+* :mod:`repro.engines` — INT8 / FP16 / BF16 / TF32 matrix-engine simulators.
+* :mod:`repro.perfmodel` — GPU throughput / power model used to regenerate
+  the paper's performance figures.
+* :mod:`repro.harness` — one function per paper figure.
+"""
+
+from .config import ComputeMode, Ozaki2Config, ResidueKernel
+from .core.blas_like import gemm
+from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm, ozaki2_gemm
+from .core.planner import choose_num_moduli
+from .errors import (
+    ConfigurationError,
+    EngineError,
+    ModuliError,
+    OverflowRiskError,
+    PerfModelError,
+    ReproError,
+    ValidationError,
+)
+from .types import BF16, FP16, FP32, FP64, INT8, TF32, Format, get_format
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ComputeMode",
+    "Ozaki2Config",
+    "ResidueKernel",
+    "Ozaki2Result",
+    "emulated_dgemm",
+    "emulated_sgemm",
+    "ozaki2_gemm",
+    "gemm",
+    "choose_num_moduli",
+    "ConfigurationError",
+    "EngineError",
+    "ModuliError",
+    "OverflowRiskError",
+    "PerfModelError",
+    "ReproError",
+    "ValidationError",
+    "BF16",
+    "FP16",
+    "FP32",
+    "FP64",
+    "INT8",
+    "TF32",
+    "Format",
+    "get_format",
+]

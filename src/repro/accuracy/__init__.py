@@ -1,0 +1,22 @@
+"""Accuracy measurement: high-precision reference GEMM and error metrics.
+
+Figure 3 of the paper plots the maximum elementwise relative error of each
+emulation method against a high-precision reference.  This subpackage
+provides that reference (a compensated double-double GEMM, ~106 bits) and
+the error metrics used by the harness.
+"""
+
+from .error_bounds import ozaki2_error_bound, required_moduli_for_bound
+from .metrics import ErrorSummary, max_relative_error, relative_errors, summarize_errors
+from .reference import exact_int_gemm, reference_gemm
+
+__all__ = [
+    "ErrorSummary",
+    "max_relative_error",
+    "relative_errors",
+    "summarize_errors",
+    "exact_int_gemm",
+    "reference_gemm",
+    "ozaki2_error_bound",
+    "required_moduli_for_bound",
+]

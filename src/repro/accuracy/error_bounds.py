@@ -1,0 +1,96 @@
+"""A-priori error bounds for Ozaki scheme II.
+
+The paper defers a rigorous error analysis to future work (end of
+Section 4.3), but an a-priori *bound* on the dominant error source — the
+truncation of ``diag(μ)·A`` and ``B·diag(ν)`` to integers — follows directly
+from the scaling construction and is useful both for the moduli planner and
+for validating the implementation.  The bound derived here is:
+
+For fast mode, with per-side budget ``α = (log2(P−1) − 1.5)/2``, the scale of
+row ``i`` satisfies ``1/μ_i ≤ 4·√(k)·2^{−α}·‖a_i‖₂`` (the budget, the floor
+in the exponent, and the ``0.51`` slack in the norm estimate each contribute
+a bounded factor), and the element-wise truncation of either operand is
+below one integer unit.  Propagating both truncations through the product
+gives the norm-wise bound
+
+.. math::
+
+    |(AB - C)_{ij}| \\;\\le\\; 16\\,(k+1)\\,2^{-α}\\,
+        (1 + ‖a_i‖₂)(1 + ‖b_j‖₂)
+        \\;+\\; u_{acc}\\,k\\,‖a_i‖₂\\,‖b_j‖₂
+
+where ``u_acc`` is the accumulation/reconstruction roundoff (``2^{-52}`` for
+DGEMM emulation, ``2^{-36}`` for SGEMM emulation, where ``P`` and the CRT
+weights are stored as single float64 values).  The bound is deliberately
+coarse (typically two to four orders of magnitude above the measured error)
+but it is a true upper bound for this library's scaling construction, which
+the test suite validates against measured errors across moduli counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..crt.constants import build_constant_table
+from ..errors import ConfigurationError
+from ..utils.validation import check_gemm_operands
+
+__all__ = ["ozaki2_error_bound", "required_moduli_for_bound"]
+
+
+def ozaki2_error_bound(
+    a: np.ndarray, b: np.ndarray, num_moduli: int, precision_bits: int = 64
+) -> np.ndarray:
+    """Element-wise a-priori bound on ``|A@B - ozaki2_gemm(A, B)|``.
+
+    The bound covers the truncation error of the integer conversion and the
+    FP64 rounding of the reconstruction; it does not attempt to be tight
+    (typically one to two orders of magnitude above the measured error) but
+    it is a true upper bound for the library's scaling construction, which
+    the property tests verify.
+    """
+    a, b = check_gemm_operands(a, b, dtype=np.float64)
+    if precision_bits not in (32, 64):
+        raise ConfigurationError("precision_bits must be 32 or 64")
+    table = build_constant_table(num_moduli, precision_bits)
+    alpha = 0.5 * (table.log2_P - 1.5)
+    k = a.shape[1]
+
+    row_norms = np.linalg.norm(a, axis=1)
+    col_norms = np.linalg.norm(b, axis=0)
+    truncation = (
+        16.0
+        * (k + 1)
+        * 2.0 ** (-alpha)
+        * np.outer(1.0 + row_norms, 1.0 + col_norms)
+    )
+    accumulation_eps = 2.0**-52 if precision_bits == 64 else 2.0**-36
+    rounding = accumulation_eps * k * np.outer(row_norms, col_norms)
+    return truncation + rounding
+
+
+def required_moduli_for_bound(
+    a: np.ndarray,
+    b: np.ndarray,
+    target_relative: float,
+    precision_bits: int = 64,
+    max_moduli: int = 20,
+) -> int:
+    """Smallest ``N`` whose a-priori bound meets a norm-wise relative target.
+
+    ``target_relative`` is interpreted against the scale
+    ``‖a_i‖₂ ‖b_j‖₂`` of each element (the natural scale for GEMM error
+    analysis).  Raises when even ``max_moduli`` moduli cannot meet it.
+    """
+    a, b = check_gemm_operands(a, b, dtype=np.float64)
+    if not (0 < target_relative < 1):
+        raise ConfigurationError("target_relative must be in (0, 1)")
+    scale = np.outer(np.linalg.norm(a, axis=1), np.linalg.norm(b, axis=0))
+    scale = np.maximum(scale, np.finfo(np.float64).tiny)
+    for n in range(2, max_moduli + 1):
+        bound = ozaki2_error_bound(a, b, n, precision_bits)
+        if np.all(bound / scale <= target_relative):
+            return n
+    raise ConfigurationError(
+        f"cannot meet relative bound {target_relative} with up to {max_moduli} moduli"
+    )

@@ -1,0 +1,76 @@
+"""Error metrics used in the accuracy experiments (Figure 3)."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["relative_errors", "max_relative_error", "ErrorSummary", "summarize_errors"]
+
+
+def relative_errors(
+    computed: np.ndarray, reference: np.ndarray, floor: float = 0.0
+) -> np.ndarray:
+    """Elementwise relative error ``|computed - reference| / |reference|``.
+
+    Elements whose reference magnitude is zero (or below ``floor``) use the
+    largest reference magnitude as the denominator instead, so that a zero
+    element produced by cancellation does not blow the metric up to
+    infinity; this matches common practice for GEMM accuracy plots.
+    """
+    computed = np.asarray(computed, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if computed.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: computed {computed.shape} vs reference {reference.shape}"
+        )
+    abs_ref = np.abs(reference)
+    denom_floor = max(float(floor), 0.0)
+    fallback = float(np.max(abs_ref)) if abs_ref.size else 1.0
+    if fallback == 0.0:
+        fallback = 1.0
+    denom = np.where(abs_ref > denom_floor, abs_ref, fallback)
+    return np.abs(computed - reference) / denom
+
+
+def max_relative_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum elementwise relative error (the paper's Figure 3 metric)."""
+    errs = relative_errors(computed, reference)
+    return float(np.max(errs)) if errs.size else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of an elementwise relative-error field."""
+
+    max: float
+    median: float
+    mean: float
+    frobenius_relative: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the summary as a plain dict (for tables and CSV)."""
+        return dataclasses.asdict(self)
+
+    @property
+    def max_log10(self) -> float:
+        """log10 of the maximum relative error (convenient for plots)."""
+        return math.log10(self.max) if self.max > 0 else -math.inf
+
+
+def summarize_errors(computed: np.ndarray, reference: np.ndarray) -> ErrorSummary:
+    """Compute :class:`ErrorSummary` for a computed/reference pair."""
+    errs = relative_errors(computed, reference)
+    ref = np.asarray(reference, dtype=np.float64)
+    diff = np.asarray(computed, dtype=np.float64) - ref
+    ref_norm = float(np.linalg.norm(ref))
+    frob = float(np.linalg.norm(diff)) / ref_norm if ref_norm > 0 else float(np.linalg.norm(diff))
+    return ErrorSummary(
+        max=float(np.max(errs)),
+        median=float(np.median(errs)),
+        mean=float(np.mean(errs)),
+        frobenius_relative=frob,
+    )

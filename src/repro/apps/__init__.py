@@ -1,0 +1,12 @@
+"""Mini-applications built on the emulated GEMM.
+
+These are library-quality versions of the workloads the paper motivates
+(Section 5.1 singles out HPL): a blocked LU factorisation whose trailing
+updates run through any GEMM method of the registry, with backward-error
+reporting.  The examples under ``examples/`` use the same algorithms in
+script form.
+"""
+
+from .lu import blocked_lu, lu_backward_error, lu_with_method
+
+__all__ = ["blocked_lu", "lu_backward_error", "lu_with_method"]

@@ -1,0 +1,38 @@
+"""Baseline GEMM-emulation methods compared against in Section 5.
+
+Every method of the paper's evaluation is available here under its paper
+name through :func:`repro.baselines.registry.get_method`:
+
+==================  ====================================================
+paper name          implementation
+==================  ====================================================
+``DGEMM``           native FP64 GEMM (:mod:`repro.baselines.native`)
+``SGEMM``           native FP32 GEMM
+``TF32GEMM``        TF32 tensor-core GEMM (:mod:`repro.baselines.tf32gemm`)
+``BF16x9``          3x3 BF16 product decomposition (:mod:`repro.baselines.bf16x9`)
+``cuMpSGEMM``       FP16 split + error correction (:mod:`repro.baselines.cumpsgemm`)
+``ozIMMU_EF-S``     Ozaki scheme I on INT8 with S slices (:mod:`repro.baselines.ozaki1`)
+``OS II-fast-N``    Ozaki scheme II, fast mode (:mod:`repro.core.gemm`)
+``OS II-accu-N``    Ozaki scheme II, accurate mode
+==================  ====================================================
+"""
+
+from .bf16x9 import bf16x9_gemm
+from .cumpsgemm import cumpsgemm_fp16tcec
+from .native import native_dgemm, native_sgemm
+from .ozaki1 import Ozaki1Config, ozimmu_gemm
+from .registry import MethodSpec, available_methods, get_method
+from .tf32gemm import tf32_gemm
+
+__all__ = [
+    "bf16x9_gemm",
+    "cumpsgemm_fp16tcec",
+    "native_dgemm",
+    "native_sgemm",
+    "Ozaki1Config",
+    "ozimmu_gemm",
+    "MethodSpec",
+    "available_methods",
+    "get_method",
+    "tf32_gemm",
+]

@@ -1,0 +1,73 @@
+"""BF16x9 SGEMM emulation (cuBLAS 12.9 ``CUBLAS_COMPUTE_32F_EMULATED_16BFX9``).
+
+Section 2 of the paper describes the scheme: each FP32 operand is split into
+three BF16 matrices::
+
+    A = A1 + 2^-8 A2 + 2^-16 A3,      B = B1 + 2^-8 B2 + 2^-16 B3
+
+(the splits capture successive 8-bit chunks of the 24-bit FP32 significand),
+and the product is assembled from all nine BF16 GEMMs::
+
+    AB = Σ_{i,j} 2^{-8(i+j-2)} A_i B_j
+
+with FP32 accumulation.  The paper's Figure 3 shows BF16x9 matching native
+SGEMM accuracy, and Figure 5 shows throughput comparable to SGEMM — both of
+which this implementation reproduces through the BF16 engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..engines.lowprec_fp import Bf16MatrixEngine
+from ..formats.lowprec import round_to_bf16
+from ..utils.validation import check_gemm_operands
+
+__all__ = ["split_bf16x3", "bf16x9_gemm"]
+
+#: Number of BF16 components per operand.
+_NUM_SPLITS = 3
+#: Bits captured per split (BF16 significand width).
+_SPLIT_SHIFT = 8
+
+
+def split_bf16x3(x: np.ndarray) -> List[np.ndarray]:
+    """Split an FP32 matrix into three BF16 components.
+
+    Returns ``[X1, X2, X3]`` (stored as float32 rounded onto the BF16 grid)
+    such that ``X ≈ X1 + 2^-8 X2 + 2^-16 X3``; the residual after three
+    splits is below the FP32 rounding level of each element.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    splits: List[np.ndarray] = []
+    residual = x.astype(np.float64)
+    for level in range(_NUM_SPLITS):
+        scale = 2.0 ** (_SPLIT_SHIFT * level)
+        component = round_to_bf16((residual * scale).astype(np.float32))
+        splits.append(component)
+        residual = residual - component.astype(np.float64) / scale
+    return splits
+
+
+def bf16x9_gemm(
+    a: np.ndarray, b: np.ndarray, engine: Bf16MatrixEngine | None = None
+) -> np.ndarray:
+    """Emulated SGEMM via nine BF16 products (the ``BF16x9`` baseline)."""
+    a, b = check_gemm_operands(a, b, dtype=np.float32)
+    engine = engine or Bf16MatrixEngine()
+    a_parts = split_bf16x3(a)
+    b_parts = split_bf16x3(b)
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.float32)
+    # Accumulate the most significant contributions last so the FP32 sum
+    # loses as little as possible of the small terms.
+    terms: List[Tuple[int, np.ndarray]] = []
+    for i, a_i in enumerate(a_parts):
+        for j, b_j in enumerate(b_parts):
+            weight_exp = -_SPLIT_SHIFT * (i + j)
+            product = engine.matmul(a_i, b_j)
+            terms.append((weight_exp, product))
+    for weight_exp, product in sorted(terms, key=lambda t: t[0]):
+        out += np.ldexp(product, weight_exp).astype(np.float32)
+    return out

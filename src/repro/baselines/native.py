@@ -1,0 +1,29 @@
+"""Native DGEMM / SGEMM baselines.
+
+These correspond to the paper's ``DGEMM`` and ``SGEMM`` reference points
+(``cublasGemmEx`` with the native compute types).  Numerically they are the
+IEEE binary64 / binary32 products delivered by NumPy's BLAS backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engines.native import Fp32MatrixEngine, Fp64MatrixEngine
+from ..utils.validation import check_gemm_operands
+
+__all__ = ["native_dgemm", "native_sgemm"]
+
+
+def native_dgemm(a: np.ndarray, b: np.ndarray, engine: Fp64MatrixEngine | None = None) -> np.ndarray:
+    """FP64 GEMM, the paper's ``DGEMM`` baseline."""
+    a, b = check_gemm_operands(a, b, dtype=np.float64)
+    engine = engine or Fp64MatrixEngine()
+    return engine.matmul(a, b)
+
+
+def native_sgemm(a: np.ndarray, b: np.ndarray, engine: Fp32MatrixEngine | None = None) -> np.ndarray:
+    """FP32 GEMM, the paper's ``SGEMM`` baseline."""
+    a, b = check_gemm_operands(a, b, dtype=np.float32)
+    engine = engine or Fp32MatrixEngine()
+    return engine.matmul(a, b)

@@ -1,0 +1,140 @@
+"""Method registry: resolve the paper's method names to callables.
+
+The evaluation harness (:mod:`repro.harness`) and the performance model
+refer to methods by the names used in Section 5 of the paper:
+``"DGEMM"``, ``"SGEMM"``, ``"TF32GEMM"``, ``"BF16x9"``, ``"cuMpSGEMM"``,
+``"ozIMMU_EF-9"``, ``"OS II-fast-14"``, ``"OS II-accu-8"``, ...
+:func:`get_method` parses such a name and returns a :class:`MethodSpec`
+bundling the callable with the metadata the harness and the cost model need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..config import ComputeMode, Ozaki2Config
+from ..core.gemm import ozaki2_gemm
+from ..errors import ConfigurationError
+from ..types import FP32, FP64, Format
+from .bf16x9 import bf16x9_gemm
+from .cumpsgemm import cumpsgemm_fp16tcec
+from .native import native_dgemm, native_sgemm
+from .ozaki1 import Ozaki1Config, ozimmu_gemm
+from .tf32gemm import tf32_gemm
+
+__all__ = ["MethodSpec", "get_method", "available_methods"]
+
+_OS2_PATTERN = re.compile(r"^OS\s*II-(fast|accu(?:rate)?)-(\d+)$", re.IGNORECASE)
+_OZIMMU_PATTERN = re.compile(r"^ozIMMU(?:_EF)?-(\d+)$", re.IGNORECASE)
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    """A resolved GEMM method.
+
+    Attributes
+    ----------
+    name:
+        Canonical paper-style name.
+    family:
+        One of ``"native"``, ``"tf32"``, ``"bf16x9"``, ``"cumpsgemm"``,
+        ``"ozimmu"``, ``"ozaki2"`` — used by the cost model.
+    target:
+        The precision the method emulates / delivers (FP64 or FP32).
+    run:
+        Callable ``run(a, b) -> C``.
+    num_moduli / num_slices / mode:
+        Family-specific parameters (None when not applicable).
+    """
+
+    name: str
+    family: str
+    target: Format
+    run: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    num_moduli: Optional[int] = None
+    num_slices: Optional[int] = None
+    mode: Optional[ComputeMode] = None
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.run(a, b)
+
+
+def _ozaki2_spec(name: str, mode_str: str, num_moduli: int, target: Format) -> MethodSpec:
+    mode = ComputeMode.parse(mode_str)
+    config = Ozaki2Config(precision=target, num_moduli=num_moduli, mode=mode)
+
+    def run(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ozaki2_gemm(a, b, config=config)
+
+    mode_label = "fast" if mode is ComputeMode.FAST else "accu"
+    canonical = f"OS II-{mode_label}-{num_moduli}"
+    return MethodSpec(
+        name=canonical,
+        family="ozaki2",
+        target=target,
+        run=run,
+        num_moduli=num_moduli,
+        mode=mode,
+    )
+
+
+def get_method(name: str, target: "Format | str" = FP64) -> MethodSpec:
+    """Resolve a paper-style method name to a :class:`MethodSpec`.
+
+    ``target`` selects the emulation target for the Ozaki scheme II entries
+    (``"OS II-fast-8"`` can emulate either DGEMM or SGEMM depending on the
+    experiment); it is ignored by methods with a fixed output precision.
+    """
+    from ..types import get_format
+
+    target_fmt = get_format(target)
+    key = str(name).strip()
+
+    if key.upper() == "DGEMM":
+        return MethodSpec("DGEMM", "native", FP64, native_dgemm)
+    if key.upper() == "SGEMM":
+        return MethodSpec("SGEMM", "native", FP32, native_sgemm)
+    if key.upper() == "TF32GEMM":
+        return MethodSpec("TF32GEMM", "tf32", FP32, tf32_gemm)
+    if key.upper() == "BF16X9":
+        return MethodSpec("BF16x9", "bf16x9", FP32, bf16x9_gemm)
+    if key.lower() in ("cumpsgemm", "cumpsgemm_fp16tcec"):
+        return MethodSpec("cuMpSGEMM", "cumpsgemm", FP32, cumpsgemm_fp16tcec)
+
+    oz1 = _OZIMMU_PATTERN.match(key)
+    if oz1:
+        num_slices = int(oz1.group(1))
+        config = Ozaki1Config(num_slices=num_slices)
+
+        def run(a: np.ndarray, b: np.ndarray, _cfg=config) -> np.ndarray:
+            return ozimmu_gemm(a, b, config=_cfg)
+
+        return MethodSpec(
+            config.method_name, "ozimmu", FP64, run, num_slices=num_slices
+        )
+
+    os2 = _OS2_PATTERN.match(key)
+    if os2:
+        return _ozaki2_spec(key, os2.group(1), int(os2.group(2)), target_fmt)
+
+    raise ConfigurationError(
+        f"unknown method name {name!r}; see repro.baselines.available_methods()"
+    )
+
+
+def available_methods() -> list[str]:
+    """Representative method names accepted by :func:`get_method`."""
+    return [
+        "DGEMM",
+        "SGEMM",
+        "TF32GEMM",
+        "BF16x9",
+        "cuMpSGEMM",
+        "ozIMMU_EF-<S>",
+        "OS II-fast-<N>",
+        "OS II-accu-<N>",
+    ]

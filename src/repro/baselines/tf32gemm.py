@@ -1,0 +1,25 @@
+"""TF32 tensor-core GEMM baseline.
+
+Corresponds to the paper's ``TF32GEMM`` method (``cublasGemmEx`` with
+``CUBLAS_COMPUTE_32F_FAST_TF32``): the inputs are rounded to TF32 (11-bit
+significand) and the products are accumulated in FP32.  It is the low end
+of the accuracy range in Figure 3 and the high end of the throughput range
+in Figure 5 — the paper positions Ozaki scheme II between TF32GEMM and
+SGEMM on both axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engines.lowprec_fp import Tf32MatrixEngine
+from ..utils.validation import check_gemm_operands
+
+__all__ = ["tf32_gemm"]
+
+
+def tf32_gemm(a: np.ndarray, b: np.ndarray, engine: Tf32MatrixEngine | None = None) -> np.ndarray:
+    """TF32 matrix product with FP32 accumulation."""
+    a, b = check_gemm_operands(a, b, dtype=np.float32)
+    engine = engine or Tf32MatrixEngine()
+    return engine.matmul(a, b)

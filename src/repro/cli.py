@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-bench`` script.
+
+Subcommands
+-----------
+``figures``
+    Regenerate one or all of the paper's figures and print the tables
+    (optionally at the paper's full problem sizes).
+``accuracy``
+    Run an accuracy sweep for arbitrary methods / phi values / sizes.
+``throughput``
+    Evaluate the modelled GPU throughput of arbitrary methods and sizes.
+``gemm``
+    Multiply two ``.npy`` matrices with a chosen method and store / check the
+    result (handy for quick experiments on real data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Ozaki scheme II GEMM-emulation reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated figure ids: 1, 3d, 3s, 4, 5, 6, 7, 8, 9, headline",
+    )
+    figures.add_argument("--full", action="store_true", help="use the paper's problem sizes")
+
+    accuracy = sub.add_parser("accuracy", help="run an accuracy sweep")
+    accuracy.add_argument("--methods", default="DGEMM,OS II-fast-15", help="comma-separated names")
+    accuracy.add_argument("--phi", default="0.5", help="comma-separated phi values")
+    accuracy.add_argument("--k", default="512", help="comma-separated inner dimensions")
+    accuracy.add_argument("--m", type=int, default=256)
+    accuracy.add_argument("--n", type=int, default=256)
+    accuracy.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
+    accuracy.add_argument("--seed", type=int, default=0)
+
+    throughput = sub.add_parser("throughput", help="modelled GPU throughput")
+    throughput.add_argument("--methods", default="DGEMM,OS II-fast-15,ozIMMU_EF-9")
+    throughput.add_argument("--gpus", default="A100,GH200,RTX5080")
+    throughput.add_argument("--sizes", default="1024,4096,16384")
+    throughput.add_argument("--target", default="fp64", choices=["fp64", "fp32"])
+
+    gemm = sub.add_parser("gemm", help="multiply two .npy matrices with a chosen method")
+    gemm.add_argument("a", help="path to A (.npy)")
+    gemm.add_argument("b", help="path to B (.npy)")
+    gemm.add_argument("--method", default="OS II-fast-15")
+    gemm.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
+    gemm.add_argument("--out", default=None, help="where to save the product (.npy)")
+    gemm.add_argument(
+        "--check", action="store_true", help="also report the error vs the high-precision reference"
+    )
+    return parser
+
+
+def _parse_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _cmd_figures(args) -> int:
+    from .harness import (
+        figure1,
+        figure3_dgemm,
+        figure3_sgemm,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        headline_claims,
+    )
+
+    quick = not args.full
+    registry = {
+        "1": lambda: figure1(),
+        "3d": lambda: figure3_dgemm(quick=quick),
+        "3s": lambda: figure3_sgemm(quick=quick),
+        "4": lambda: figure4(quick=quick),
+        "5": lambda: figure5(quick=quick),
+        "6": lambda: figure6(quick=quick),
+        "7": lambda: figure7(quick=quick),
+        "8": lambda: figure8(quick=quick),
+        "9": lambda: figure9(quick=quick),
+        "headline": lambda: headline_claims(),
+    }
+    selected = list(registry) if args.only is None else _parse_list(args.only)
+    for key in selected:
+        if key not in registry:
+            print(f"unknown figure id {key!r}; known: {sorted(registry)}", file=sys.stderr)
+            return 2
+        print(registry[key]().render())
+        print()
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from .harness import accuracy_sweep, format_table
+
+    rows = accuracy_sweep(
+        methods=_parse_list(args.methods),
+        phis=[float(x) for x in _parse_list(args.phi)],
+        ks=[int(x) for x in _parse_list(args.k)],
+        m=args.m,
+        n=args.n,
+        precision=args.precision,
+        seed=args.seed,
+    )
+    print(format_table(rows, float_format=".3e", title="accuracy sweep"))
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from .harness import format_table, throughput_sweep
+
+    rows = throughput_sweep(
+        methods=_parse_list(args.methods),
+        gpus=_parse_list(args.gpus),
+        sizes=[int(x) for x in _parse_list(args.sizes)],
+        target=args.target,
+    )
+    print(format_table(rows, float_format=".4g", title="modelled throughput (TFLOPS)"))
+    return 0
+
+
+def _cmd_gemm(args) -> int:
+    from .baselines.registry import get_method
+
+    a = np.load(args.a)
+    b = np.load(args.b)
+    spec = get_method(args.method, target=args.precision)
+    c = spec(a, b)
+    if args.out:
+        np.save(args.out, c)
+        print(f"saved {c.shape} product to {args.out}")
+    if args.check:
+        from .accuracy import max_relative_error, reference_gemm
+
+        err = max_relative_error(c, reference_gemm(a, b))
+        print(f"max relative error vs reference: {err:.3e}")
+    if not args.out and not args.check:
+        print(f"product shape {c.shape}, dtype {c.dtype}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "accuracy": _cmd_accuracy,
+        "throughput": _cmd_throughput,
+        "gemm": _cmd_gemm,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

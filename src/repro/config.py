@@ -1,0 +1,185 @@
+"""Library-wide configuration objects and enumerations.
+
+The central object is :class:`Ozaki2Config`, which captures every knob of
+Algorithm 1 in the paper: the target precision (FP64 for DGEMM emulation,
+FP32 for SGEMM emulation), the number of CRT moduli ``N``, the computing
+mode (``fast`` or ``accurate``, Section 4.2), and implementation switches
+(which residue kernel to use, whether to block over ``k``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from .errors import ConfigurationError
+from .types import FP32, FP64, Format, get_format
+
+__all__ = [
+    "ComputeMode",
+    "ResidueKernel",
+    "Ozaki2Config",
+    "MAX_MODULI",
+    "MAX_K_WITHOUT_BLOCKING",
+    "DEFAULT_MODULI_DGEMM",
+    "DEFAULT_MODULI_SGEMM",
+]
+
+#: Maximum number of moduli supported by the constant tables (Section 4.1:
+#: "To prevent the table size from becoming excessive, we assume N <= 20").
+MAX_MODULI: int = 20
+
+#: Largest inner dimension for which a single INT8->INT32 product is exact
+#: (Section 4.3: "We assume that k <= 2^17").
+MAX_K_WITHOUT_BLOCKING: int = 2**17
+
+#: Default number of moduli giving DGEMM-level accuracy for HPL-like inputs
+#: (Section 5.1: "HPL can employ emulation with 14 or 15 moduli").
+DEFAULT_MODULI_DGEMM: int = 15
+
+#: Default number of moduli giving SGEMM-level accuracy (Section 5.1).
+DEFAULT_MODULI_SGEMM: int = 8
+
+
+class ComputeMode(str, enum.Enum):
+    """Computing mode of the Ozaki scheme II conversion step (Section 4.2).
+
+    ``FAST`` determines the scale vectors from a Cauchy–Schwarz bound on the
+    rows of ``A`` / columns of ``B``; ``ACCURATE`` estimates the bound with a
+    direct ``ceil(|A|)·ceil(|B|)`` product on the INT8 engine, which costs one
+    extra INT8 GEMM but reduces the truncation error.
+    """
+
+    FAST = "fast"
+    ACCURATE = "accurate"
+
+    @classmethod
+    def parse(cls, value: "ComputeMode | str") -> "ComputeMode":
+        """Coerce a string (``"fast"``/``"accurate"``/``"accu"``) to a mode."""
+        if isinstance(value, cls):
+            return value
+        key = str(value).strip().lower()
+        if key in ("fast", "f"):
+            return cls.FAST
+        if key in ("accurate", "accu", "a"):
+            return cls.ACCURATE
+        raise ConfigurationError(f"unknown compute mode {value!r}")
+
+
+class ResidueKernel(str, enum.Enum):
+    """Which implementation computes ``rmod(X, p_i)`` in Algorithm 1.
+
+    ``EXACT`` uses IEEE-exact ``fmod``-based remainders (the mathematically
+    clean definition); ``FAST_FMA`` reproduces the paper's FMA-based kernel
+    of Section 4.2 (reciprocal multiply + FMA correction steps), which is the
+    high-throughput variant used on GPUs and is exact for the ``N`` ranges
+    stated in the paper.
+    """
+
+    EXACT = "exact"
+    FAST_FMA = "fast_fma"
+
+    @classmethod
+    def parse(cls, value: "ResidueKernel | str") -> "ResidueKernel":
+        if isinstance(value, cls):
+            return value
+        key = str(value).strip().lower()
+        for member in cls:
+            if key == member.value:
+                return member
+        raise ConfigurationError(f"unknown residue kernel {value!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Ozaki2Config:
+    """Configuration of one Ozaki scheme II emulated GEMM.
+
+    Parameters
+    ----------
+    precision:
+        Target precision: ``"fp64"`` for DGEMM emulation or ``"fp32"`` for
+        SGEMM emulation.
+    num_moduli:
+        Number ``N`` of pairwise-coprime moduli (2..20).  More moduli means
+        a larger ``P`` in condition (3) of the paper, hence smaller
+        truncation error and higher accuracy, at the cost of ``N`` INT8
+        GEMMs.
+    mode:
+        ``ComputeMode.FAST`` or ``ComputeMode.ACCURATE`` (Section 4.2).
+    residue_kernel:
+        Implementation used for ``rmod`` (see :class:`ResidueKernel`).
+    block_k:
+        If True (default), inner dimensions larger than ``2**17`` are
+        processed in blocks so the INT32 accumulator never wraps
+        (Section 4.3).  If False, such inputs raise
+        :class:`~repro.errors.OverflowRiskError`.
+    validate:
+        If True (default), public entry points validate shapes, dtypes and
+        finiteness of the inputs.
+    """
+
+    precision: Format = FP64
+    num_moduli: int = DEFAULT_MODULI_DGEMM
+    mode: ComputeMode = ComputeMode.FAST
+    residue_kernel: ResidueKernel = ResidueKernel.EXACT
+    block_k: bool = True
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        fmt = get_format(self.precision)
+        object.__setattr__(self, "precision", fmt)
+        if fmt not in (FP64, FP32):
+            raise ConfigurationError(
+                f"Ozaki scheme II emulates fp64 or fp32 GEMM, got {fmt.name}"
+            )
+        mode = ComputeMode.parse(self.mode)
+        object.__setattr__(self, "mode", mode)
+        kernel = ResidueKernel.parse(self.residue_kernel)
+        object.__setattr__(self, "residue_kernel", kernel)
+        n = int(self.num_moduli)
+        object.__setattr__(self, "num_moduli", n)
+        if not (2 <= n <= MAX_MODULI):
+            raise ConfigurationError(
+                f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
+            )
+
+    @property
+    def is_dgemm(self) -> bool:
+        """True when this configuration emulates DGEMM (FP64 target)."""
+        return self.precision == FP64
+
+    @property
+    def is_sgemm(self) -> bool:
+        """True when this configuration emulates SGEMM (FP32 target)."""
+        return self.precision == FP32
+
+    @property
+    def method_name(self) -> str:
+        """Name in the paper's nomenclature, e.g. ``"OS II-fast-14"``."""
+        mode = "fast" if self.mode is ComputeMode.FAST else "accu"
+        return f"OS II-{mode}-{self.num_moduli}"
+
+    def replace(self, **kwargs) -> "Ozaki2Config":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    @classmethod
+    def for_dgemm(
+        cls,
+        num_moduli: int = DEFAULT_MODULI_DGEMM,
+        mode: "ComputeMode | str" = ComputeMode.FAST,
+        **kwargs,
+    ) -> "Ozaki2Config":
+        """Convenience constructor for DGEMM emulation."""
+        return cls(precision=FP64, num_moduli=num_moduli, mode=mode, **kwargs)
+
+    @classmethod
+    def for_sgemm(
+        cls,
+        num_moduli: int = DEFAULT_MODULI_SGEMM,
+        mode: "ComputeMode | str" = ComputeMode.FAST,
+        **kwargs,
+    ) -> "Ozaki2Config":
+        """Convenience constructor for SGEMM emulation."""
+        return cls(precision=FP32, num_moduli=num_moduli, mode=mode, **kwargs)

@@ -1,0 +1,45 @@
+"""Ozaki scheme II: the paper's primary contribution.
+
+The public entry points are:
+
+* :func:`repro.core.gemm.ozaki2_gemm` — emulated GEMM with full control and
+  diagnostics,
+* :func:`repro.core.gemm.emulated_dgemm` / :func:`emulated_sgemm` —
+  drop-in style helpers targeting FP64 / FP32,
+* :class:`repro.config.Ozaki2Config` — the configuration object,
+* :func:`repro.core.planner.choose_num_moduli` — pick ``N`` for a target
+  accuracy.
+"""
+
+from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
+from .blocking import blocked_residue_products, k_block_ranges
+from .conversion import residue_slices, truncate_scaled
+from .gemm import (
+    Ozaki2Result,
+    PhaseTimes,
+    emulated_dgemm,
+    emulated_sgemm,
+    ozaki2_gemm,
+)
+from .planner import choose_num_moduli, estimate_retained_bits
+from .scaling import accurate_mode_scales, fast_mode_scales, scale_exponent_budget
+
+__all__ = [
+    "accumulate_residue_products",
+    "reconstruct_crt",
+    "unscale",
+    "blocked_residue_products",
+    "k_block_ranges",
+    "residue_slices",
+    "truncate_scaled",
+    "Ozaki2Result",
+    "PhaseTimes",
+    "emulated_dgemm",
+    "emulated_sgemm",
+    "ozaki2_gemm",
+    "choose_num_moduli",
+    "estimate_retained_bits",
+    "accurate_mode_scales",
+    "fast_mode_scales",
+    "scale_exponent_budget",
+]

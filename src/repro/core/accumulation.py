@@ -1,0 +1,105 @@
+"""Accumulation and CRT reconstruction (lines 7–12 of Algorithm 1).
+
+The INT32 products ``C'_i = A'_i B'_i`` are first reduced to UINT8 residue
+matrices ``U_i = mod(C'_i, p_i)``; the CRT reconstruction then becomes
+
+.. math::
+
+    C' = Σ_i w_i U_i, \\qquad C'' = C' - P\\,\\mathrm{round}(C'/P),
+
+evaluated entirely in FP64 using the split weights ``w_i ≈ s_{i1} + s_{i2}``
+of Section 4.1.  Because every ``s_{i1} U_i`` is an integer multiple of a
+common power of two and their sum stays below 2^53 times that unit, the
+first accumulation ``C'^{(1)} = Σ_i s_{i1} U_i`` is *error-free*; the second
+accumulation ``C'^{(2)} = Σ_i s_{i2} U_i`` carries the low-order bits.  The
+final combination uses FMA so the huge cancellation ``C'^{(1)} − P_1 Q`` is
+performed without forming the product ``P_1 Q`` inexactly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..crt.constants import CRTConstantTable
+from ..crt.residues import uint8_residues
+from ..utils.fma import fma
+
+__all__ = ["accumulate_residue_products", "reconstruct_crt", "unscale"]
+
+
+def accumulate_residue_products(
+    c_stack: np.ndarray,
+    table: CRTConstantTable,
+    use_mulhi: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute ``C'^{(1)} = Σ s_i1 U_i`` and ``C'^{(2)} = Σ s_i2 U_i``.
+
+    Parameters
+    ----------
+    c_stack:
+        INT32 (or integer-valued) array of shape ``(N, m, n)`` holding the
+        residue products ``C'_i``.
+    table:
+        Constant table providing moduli, split weights and reciprocals.
+    use_mulhi:
+        Use the ``__mulhi`` fast kernel for ``mod`` (Section 4.3) instead of
+        the exact integer remainder.  Both yield identical ``U_i``.
+
+    Returns
+    -------
+    (C1, C2):
+        Two float64 ``(m, n)`` matrices.  ``C1`` is exact; ``C2`` holds the
+        low-order correction (all zeros for SGEMM emulation, where
+        ``s_i2 = 0``).
+    """
+    c_stack = np.asarray(c_stack)
+    if c_stack.ndim != 3 or c_stack.shape[0] != table.num_moduli:
+        raise ValueError(
+            f"c_stack must have shape (N, m, n) with N={table.num_moduli}, "
+            f"got {c_stack.shape}"
+        )
+    m, n = c_stack.shape[1:]
+    c1 = np.zeros((m, n), dtype=np.float64)
+    c2 = np.zeros((m, n), dtype=np.float64)
+    need_c2 = bool(np.any(table.s2 != 0.0))
+    for i, p in enumerate(table.moduli):
+        pinv_prime = int(table.pinv_prime[i]) if use_mulhi else None
+        u = uint8_residues(c_stack[i], p, pinv_prime).astype(np.float64)
+        c1 += table.s1[i] * u
+        if need_c2:
+            c2 += table.s2[i] * u
+    return c1, c2
+
+
+def reconstruct_crt(
+    c1: np.ndarray, c2: np.ndarray, table: CRTConstantTable
+) -> np.ndarray:
+    """Reconstruct ``C'' = rmod(C', P)`` from the two accumulations.
+
+    Implements lines 10–11 of Algorithm 1::
+
+        Q   = round(Pinv · C'^{(1)})
+        C'' = ((C'^{(1)} − P1·Q) + C'^{(2)}) − P2·Q      (FMA form)
+
+    ``Q`` is the integer multiple of ``P`` contained in ``C'``; subtracting
+    it with the double-double ``P ≈ P1 + P2`` and FMA keeps the massive
+    cancellation exact to FP64 accuracy.
+    """
+    q = np.rint(table.Pinv * c1)
+    t = fma(np.full_like(q, -table.P1), q, c1)
+    t = t + c2
+    return fma(np.full_like(q, -table.P2), q, t)
+
+
+def unscale(c_pp: np.ndarray, mu: np.ndarray, nu: np.ndarray, out_dtype=np.float64) -> np.ndarray:
+    """Line 12 of Algorithm 1: ``C = diag(μ⁻¹)·C''·diag(ν⁻¹)``.
+
+    The scales are powers of two, so the divisions are exact; they are
+    implemented as multiplications by the exact reciprocals.
+    """
+    inv_mu = 1.0 / np.asarray(mu, dtype=np.float64)
+    inv_nu = 1.0 / np.asarray(nu, dtype=np.float64)
+    c = c_pp * inv_mu[:, None] * inv_nu[None, :]
+    return np.asarray(c, dtype=out_dtype)

@@ -1,0 +1,117 @@
+"""BLAS-style front end for the emulated GEMM.
+
+The paper's implementation (GEMMul8) exposes a ``cublasGemmEx``-compatible
+interface so existing applications can swap it in.  This module provides the
+Python equivalent: a :func:`gemm` function with the full BLAS semantics
+
+.. math::
+
+    C \\leftarrow \\alpha\\, \\mathrm{op}(A)\\,\\mathrm{op}(B) + \\beta\\, C
+
+where ``op`` is identity, transpose, or conjugate-transpose, and the product
+is evaluated by any method known to the registry (``"OS II-fast-15"``,
+``"DGEMM"``, ``"ozIMMU_EF-9"``, ...).  The α/β update is performed in the
+target precision, exactly as cuBLAS does around the emulated product.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.registry import get_method
+from ..errors import ValidationError
+from ..types import FP32, FP64, Format, get_format, result_dtype
+from ..utils.validation import ensure_2d
+
+__all__ = ["gemm"]
+
+_TRANS_CODES = {"n": "n", "t": "t", "c": "c"}
+
+
+def _apply_op(x: np.ndarray, trans: str, name: str) -> np.ndarray:
+    code = str(trans).strip().lower()[:1]
+    if code not in _TRANS_CODES:
+        raise ValidationError(f"{name}: transpose code must be 'N', 'T' or 'C', got {trans!r}")
+    if code == "n":
+        return x
+    if code == "t":
+        return x.T
+    return np.conjugate(x).T
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    c: Optional[np.ndarray] = None,
+    trans_a: str = "N",
+    trans_b: str = "N",
+    method: str = "OS II-fast-15",
+    precision: "str | Format | None" = None,
+) -> np.ndarray:
+    """General matrix multiply ``alpha*op(A)@op(B) + beta*C`` via any method.
+
+    Parameters
+    ----------
+    a, b:
+        Input matrices (real).  Complex inputs are not supported — the paper
+        targets real GEMM; a complex product can be assembled from four real
+        emulated products by the caller.
+    alpha, beta:
+        BLAS scaling factors.
+    c:
+        Matrix to update when ``beta != 0``; also defines the output buffer
+        shape.  A fresh array is returned either way (inputs are not
+        mutated).
+    trans_a, trans_b:
+        ``"N"``, ``"T"`` or ``"C"`` per operand.
+    method:
+        Any method name accepted by
+        :func:`repro.baselines.registry.get_method`.
+    precision:
+        Target precision for the emulation (``"fp64"``/``"fp32"``); defaults
+        to fp32 when both inputs are float32, else fp64.
+
+    Returns
+    -------
+    ndarray in the target precision's dtype.
+    """
+    a = ensure_2d(a, "A")
+    b = ensure_2d(b, "B")
+    if np.iscomplexobj(a) or np.iscomplexobj(b):
+        raise ValidationError("gemm emulation supports real matrices only")
+    op_a = _apply_op(a, trans_a, "A")
+    op_b = _apply_op(b, trans_b, "B")
+    if op_a.shape[1] != op_b.shape[0]:
+        raise ValidationError(
+            f"inner dimensions do not match after transposition: "
+            f"op(A) is {op_a.shape}, op(B) is {op_b.shape}"
+        )
+
+    if precision is None:
+        both_fp32 = a.dtype == np.float32 and b.dtype == np.float32
+        target = FP32 if both_fp32 else FP64
+    else:
+        target = get_format(precision)
+    out_dtype = result_dtype(target)
+
+    spec = get_method(method, target=target)
+    product = np.asarray(spec(op_a, op_b), dtype=out_dtype)
+
+    alpha = out_dtype.type(alpha)
+    beta = out_dtype.type(beta)
+    if beta != 0:
+        if c is None:
+            raise ValidationError("beta is non-zero but no C matrix was supplied")
+        c = ensure_2d(c, "C")
+        if c.shape != product.shape:
+            raise ValidationError(
+                f"C has shape {c.shape}, expected {product.shape}"
+            )
+        return (alpha * product + beta * np.asarray(c, dtype=out_dtype)).astype(out_dtype)
+    if alpha != 1:
+        return (alpha * product).astype(out_dtype)
+    return product

@@ -1,0 +1,264 @@
+"""Public emulated-GEMM API (Algorithm 1).
+
+:func:`ozaki2_gemm` runs the full pipeline of Algorithm 1 on a pair of
+matrices and returns either the result matrix or an :class:`Ozaki2Result`
+with per-phase timings, operation counts and intermediate diagnostics.  The
+convenience wrappers :func:`emulated_dgemm` / :func:`emulated_sgemm` choose
+sensible defaults for FP64 / FP32 targets.
+
+The per-phase timing keys follow the line grouping used by the paper's time
+breakdown (Figures 6 and 7):
+
+============  =============================================================
+key           Algorithm 1 lines
+============  =============================================================
+``scale``     1 (scale-vector determination; includes the extra INT8 GEMM
+              of accurate mode)
+``convert_A``  2 and 4 (truncation + residues of A)
+``convert_B``  3 and 5 (truncation + residues of B)
+``matmul``    6 (the N INT8 GEMMs)
+``accumulate`` 7–9 (mod to UINT8 and the two split accumulations)
+``reconstruct`` 10–11 (Q and the FMA combination)
+``unscale``   12 (inverse diagonal scaling)
+============  =============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config, ResidueKernel
+from ..crt.constants import CRTConstantTable, build_constant_table
+from ..engines.base import MatrixEngine, OpCounter
+from ..engines.int8 import Int8MatrixEngine
+from ..errors import OverflowRiskError
+from ..types import result_dtype
+from ..utils.validation import check_gemm_operands
+from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
+from .blocking import blocked_residue_products
+from .conversion import residue_slices, truncate_scaled
+from .scaling import accurate_mode_scales, fast_mode_scales
+
+__all__ = ["PhaseTimes", "Ozaki2Result", "ozaki2_gemm", "emulated_dgemm", "emulated_sgemm"]
+
+#: Ordered list of phase keys (matches the breakdown figures).
+PHASE_KEYS = (
+    "scale",
+    "convert_A",
+    "convert_B",
+    "matmul",
+    "accumulate",
+    "reconstruct",
+    "unscale",
+)
+
+
+@dataclasses.dataclass
+class PhaseTimes:
+    """Wall-clock seconds spent in each phase of Algorithm 1 (this CPU run)."""
+
+    seconds: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {key: 0.0 for key in PHASE_KEYS}
+    )
+
+    def add(self, key: str, dt: float) -> None:
+        """Accumulate ``dt`` seconds into phase ``key``."""
+        self.seconds[key] = self.seconds.get(key, 0.0) + float(dt)
+
+    @property
+    def total(self) -> float:
+        """Total measured seconds across all phases."""
+        return float(sum(self.seconds.values()))
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase fraction of the total time (empty phases give 0)."""
+        total = self.total
+        if total <= 0.0:
+            return {key: 0.0 for key in self.seconds}
+        return {key: value / total for key, value in self.seconds.items()}
+
+
+@dataclasses.dataclass
+class Ozaki2Result:
+    """Full result of one emulated GEMM.
+
+    Attributes
+    ----------
+    c:
+        The emulated product, in the target precision's dtype.
+    config:
+        The configuration used.
+    mu / nu:
+        The power-of-two scale vectors actually applied.
+    phase_times:
+        Wall-clock seconds per phase (this process; useful for the CPU
+        wall-clock benchmark, *not* a GPU prediction — that is the job of
+        :mod:`repro.perfmodel`).
+    int8_counter:
+        Operation ledger of the INT8 engine (GEMM calls, MACs, bytes).
+    num_k_blocks:
+        Number of inner-dimension blocks used (1 unless ``k > 2^17``).
+    """
+
+    c: np.ndarray
+    config: Ozaki2Config
+    mu: np.ndarray
+    nu: np.ndarray
+    phase_times: PhaseTimes
+    int8_counter: OpCounter
+    num_k_blocks: int
+
+    @property
+    def method_name(self) -> str:
+        """Paper-style method name (e.g. ``"OS II-fast-14"``)."""
+        return self.config.method_name
+
+
+class _PhaseTimer:
+    """Tiny context helper accumulating wall-clock time into a PhaseTimes."""
+
+    def __init__(self, times: PhaseTimes, key: str) -> None:
+        self._times = times
+        self._key = key
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._times.add(self._key, time.perf_counter() - self._start)
+
+
+def ozaki2_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: Optional[Ozaki2Config] = None,
+    engine: Optional[MatrixEngine] = None,
+    return_details: bool = False,
+    constant_table: Optional[CRTConstantTable] = None,
+):
+    """Emulated matrix product ``A @ B`` via Ozaki scheme II (Algorithm 1).
+
+    Parameters
+    ----------
+    a, b:
+        Input matrices with a matching inner dimension.
+    config:
+        :class:`~repro.config.Ozaki2Config`; defaults to DGEMM emulation
+        with 15 moduli in fast mode.
+    engine:
+        INT8 matrix engine to use; defaults to a fresh
+        :class:`~repro.engines.Int8MatrixEngine`.
+    return_details:
+        When True, return an :class:`Ozaki2Result` instead of just the
+        product matrix.
+    constant_table:
+        Precomputed constant table (otherwise built/cached from the config).
+
+    Returns
+    -------
+    ``C`` (ndarray) or :class:`Ozaki2Result`.
+    """
+    config = config or Ozaki2Config()
+    engine = engine or Int8MatrixEngine()
+    table = constant_table or build_constant_table(
+        config.num_moduli, 64 if config.is_dgemm else 32
+    )
+    out_dtype = result_dtype(config.precision)
+
+    if config.validate:
+        a, b = check_gemm_operands(a, b, dtype=np.float64)
+    else:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+
+    k = a.shape[1]
+    if k > MAX_K_WITHOUT_BLOCKING and not config.block_k:
+        raise OverflowRiskError(
+            f"k={k} exceeds 2**17 and k-blocking is disabled in the config"
+        )
+    max_block_k = MAX_K_WITHOUT_BLOCKING
+
+    times = PhaseTimes()
+
+    # Line 1: scale vectors.
+    with _PhaseTimer(times, "scale"):
+        if config.mode is ComputeMode.FAST:
+            mu, nu = fast_mode_scales(a, b, table)
+        else:
+            mu, nu, _ = accurate_mode_scales(a, b, table, engine, max_block_k)
+
+    # Lines 2 and 4: A' and its residues.
+    with _PhaseTimer(times, "convert_A"):
+        a_prime = truncate_scaled(a, mu, side="left")
+        a_slices = residue_slices(a_prime, table, config.residue_kernel)
+
+    # Lines 3 and 5: B' and its residues.
+    with _PhaseTimer(times, "convert_B"):
+        b_prime = truncate_scaled(b, nu, side="right")
+        b_slices = residue_slices(b_prime, table, config.residue_kernel)
+
+    # Line 6: the N INT8 GEMMs (blocked over k if necessary).
+    with _PhaseTimer(times, "matmul"):
+        c_stack = blocked_residue_products(engine, a_slices, b_slices, max_block_k)
+    num_k_blocks = -(-k // max_block_k)
+
+    # Lines 7-9: UINT8 residues and the split accumulations.
+    with _PhaseTimer(times, "accumulate"):
+        use_mulhi = (
+            config.residue_kernel is ResidueKernel.FAST_FMA and c_stack.dtype == np.int32
+        )
+        c1, c2 = accumulate_residue_products(c_stack, table, use_mulhi=use_mulhi)
+
+    # Lines 10-11: CRT reconstruction.
+    with _PhaseTimer(times, "reconstruct"):
+        c_pp = reconstruct_crt(c1, c2, table)
+
+    # Line 12: inverse scaling.
+    with _PhaseTimer(times, "unscale"):
+        c = unscale(c_pp, mu, nu, out_dtype=out_dtype)
+
+    if not return_details:
+        return c
+    return Ozaki2Result(
+        c=c,
+        config=config,
+        mu=mu,
+        nu=nu,
+        phase_times=times,
+        int8_counter=engine.counter,
+        num_k_blocks=num_k_blocks,
+    )
+
+
+def emulated_dgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    num_moduli: int = 15,
+    mode: "ComputeMode | str" = ComputeMode.FAST,
+    **kwargs,
+):
+    """Emulated DGEMM (FP64 target) — the paper's ``OS II-<mode>-<N>``.
+
+    Accepts the same extra keyword arguments as :func:`ozaki2_gemm`
+    (``engine``, ``return_details``, ...).
+    """
+    config = Ozaki2Config.for_dgemm(num_moduli=num_moduli, mode=mode)
+    return ozaki2_gemm(a, b, config=config, **kwargs)
+
+
+def emulated_sgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    num_moduli: int = 8,
+    mode: "ComputeMode | str" = ComputeMode.FAST,
+    **kwargs,
+):
+    """Emulated SGEMM (FP32 target) — the paper's ``OS II-<mode>-<N>``."""
+    config = Ozaki2Config.for_sgemm(num_moduli=num_moduli, mode=mode)
+    return ozaki2_gemm(a, b, config=config, **kwargs)

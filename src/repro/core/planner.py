@@ -1,0 +1,77 @@
+"""Choosing the number of moduli for a target accuracy.
+
+Section 5.1 of the paper observes that 14–15 moduli give DGEMM-level
+accuracy and 7–8 give SGEMM-level accuracy for HPL-like matrices with
+``k = 1024``.  This module turns that observation into a small model: the
+number of significand bits the emulation retains is roughly the per-side
+exponent budget minus half the inner-dimension growth, and we pick the
+smallest ``N`` whose retained bits meet the target format's precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import MAX_MODULI
+from ..crt.constants import build_constant_table
+from ..errors import ConfigurationError
+from ..types import FP32, FP64, Format, get_format
+
+__all__ = ["estimate_retained_bits", "choose_num_moduli"]
+
+
+def estimate_retained_bits(num_moduli: int, k: int, phi: float = 0.5) -> float:
+    """Estimated significand bits retained by OS II with ``num_moduli`` moduli.
+
+    The per-side scale budget is ``α = (log2(P−1) − 1.5)/2``; a row whose
+    entries share a similar magnitude keeps about ``α − 0.5·log2(k)`` bits
+    of each element after truncation (the row norm is ``≈ max|a|·sqrt(k)``).
+    A wider exponent distribution (larger ``φ`` in the paper's generator)
+    spreads element magnitudes over roughly ``φ·log2(e)·2`` extra binary
+    orders, which come straight out of the retained bits of the smaller
+    elements.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    table = build_constant_table(num_moduli, 64)
+    alpha = 0.5 * (table.log2_P - 1.5)
+    spread_penalty = 2.0 * float(phi) * math.log2(math.e)
+    return alpha - 0.5 * math.log2(k) - 1.0 - spread_penalty
+
+
+def choose_num_moduli(
+    precision: "str | Format" = FP64,
+    k: int = 1024,
+    phi: float = 0.5,
+    margin_bits: float = 0.0,
+    max_moduli: int = MAX_MODULI,
+) -> int:
+    """Smallest ``N`` whose estimated retained bits reach the target precision.
+
+    Parameters
+    ----------
+    precision:
+        ``"fp64"`` or ``"fp32"`` — the emulation target.
+    k:
+        Inner dimension of the product.
+    phi:
+        Exponent-distribution parameter of the paper's workload generator
+        (0.5 is HPL-like).
+    margin_bits:
+        Extra bits of safety margin on top of the format's precision.
+    max_moduli:
+        Upper limit on ``N`` (20 by default).
+
+    Returns the chosen ``N``; raises if even ``max_moduli`` is insufficient.
+    """
+    fmt = get_format(precision)
+    if fmt not in (FP64, FP32):
+        raise ConfigurationError("precision must be fp64 or fp32")
+    target_bits = fmt.significand_bits + float(margin_bits)
+    for n in range(2, max_moduli + 1):
+        if estimate_retained_bits(n, k, phi) >= target_bits:
+            return n
+    raise ConfigurationError(
+        f"cannot reach {target_bits} bits with up to {max_moduli} moduli "
+        f"(k={k}, phi={phi}); reduce k, phi, or the margin"
+    )

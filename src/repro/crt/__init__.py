@@ -1,0 +1,48 @@
+"""Chinese Remainder Theorem machinery for Ozaki scheme II.
+
+This subpackage provides everything Algorithm 1 needs around the CRT:
+
+* :mod:`repro.crt.moduli` — the table of pairwise-coprime INT8-compatible
+  moduli ``{256, 255, 253, 251, ...}`` and selection/validation helpers,
+* :mod:`repro.crt.inverses` — exact modular inverses ``q_i`` and the product
+  ``P`` (computed with Python integers, hence exact at any size),
+* :mod:`repro.crt.constants` — the precomputed floating-point constant table
+  of Section 4.1 (``P1``/``P2``, the split weights ``s_i1``/``s_i2`` with
+  their ``β_i`` bit budgets, reciprocal tables, ``P'_fast``/``P'_accu``),
+* :mod:`repro.crt.residues` — the residue kernels ``rmod``/``mod`` in both
+  an IEEE-exact reference form and the paper's fast FMA / ``__mulhi`` form
+  (Sections 4.2 and 4.3).
+"""
+
+from .constants import CRTConstantTable, build_constant_table
+from .inverses import crt_weights, modular_inverses, moduli_product
+from .moduli import (
+    MAX_TABLE_SIZE,
+    MODULI_TABLE,
+    select_moduli,
+    validate_moduli,
+)
+from .residues import (
+    mod_exact,
+    mod_fast_mulhi,
+    residues_to_int8,
+    rmod_exact,
+    rmod_fast_fma,
+)
+
+__all__ = [
+    "CRTConstantTable",
+    "build_constant_table",
+    "crt_weights",
+    "modular_inverses",
+    "moduli_product",
+    "MAX_TABLE_SIZE",
+    "MODULI_TABLE",
+    "select_moduli",
+    "validate_moduli",
+    "mod_exact",
+    "mod_fast_mulhi",
+    "residues_to_int8",
+    "rmod_exact",
+    "rmod_fast_fma",
+]

@@ -1,0 +1,80 @@
+"""Exact CRT arithmetic: product of moduli and modular inverses.
+
+All quantities here are computed with Python integers, so they are exact
+regardless of size (``P`` reaches about ``2**159`` for ``N = 20``).  The
+floating-point representations used inside Algorithm 1 are derived from
+these exact values in :mod:`repro.crt.constants`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import ModuliError
+from .moduli import validate_moduli
+
+__all__ = ["moduli_product", "modular_inverses", "crt_weights", "crt_reconstruct_int"]
+
+
+def moduli_product(moduli: Sequence[int]) -> int:
+    """Exact product ``P = prod(p_i)`` as a Python integer."""
+    mods = validate_moduli(moduli)
+    prod = 1
+    for p in mods:
+        prod *= p
+    return prod
+
+
+def modular_inverses(moduli: Sequence[int]) -> Tuple[int, ...]:
+    """Modular multiplicative inverses ``q_i`` of ``P/p_i`` modulo ``p_i``.
+
+    These are the CRT reconstruction coefficients of Theorem 1:
+    ``(P/p_i) * q_i ≡ 1 (mod p_i)``.
+    """
+    mods = validate_moduli(moduli)
+    total = moduli_product(mods)
+    inverses = []
+    for p in mods:
+        partial = total // p
+        try:
+            q = pow(partial, -1, p)
+        except ValueError:  # pragma: no cover - coprimality already validated
+            raise ModuliError(f"P/{p} is not invertible modulo {p}") from None
+        inverses.append(q)
+    return tuple(inverses)
+
+
+def crt_weights(moduli: Sequence[int]) -> Tuple[int, ...]:
+    """Exact CRT weights ``w_i = (P/p_i) * q_i`` as Python integers.
+
+    The reconstruction of Theorem 1 is ``x ≡ Σ_i w_i y_i (mod P)``.
+    """
+    mods = validate_moduli(moduli)
+    total = moduli_product(mods)
+    inverses = modular_inverses(mods)
+    return tuple((total // p) * q for p, q in zip(mods, inverses))
+
+
+def crt_reconstruct_int(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Exact CRT reconstruction of one integer (reference implementation).
+
+    Given residues ``y_i = x mod p_i`` (in ``[0, p_i)``), returns the unique
+    representative of ``x`` in the *centred* range ``(-P/2, P/2]``.  Used by
+    the test suite to validate the floating-point reconstruction of
+    Algorithm 1.
+    """
+    mods = validate_moduli(moduli)
+    if len(residues) != len(mods):
+        raise ModuliError(
+            f"got {len(residues)} residues for {len(mods)} moduli"
+        )
+    total = moduli_product(mods)
+    weights = crt_weights(mods)
+    acc = 0
+    for w, y, p in zip(weights, residues, mods):
+        y_int = int(y) % p
+        acc += w * y_int
+    acc %= total
+    if acc > total // 2:
+        acc -= total
+    return acc

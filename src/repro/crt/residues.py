@@ -1,0 +1,227 @@
+"""Residue kernels: ``rmod`` and ``mod`` (Sections 4.2 and 4.3).
+
+Two families of implementations are provided.
+
+Reference kernels
+    :func:`rmod_exact` and :func:`mod_exact` use IEEE-exact remainder
+    operations (``fmod`` on floats is exact; integer ``%`` is exact), so
+    they realise the mathematical definitions
+
+    .. math::
+
+        \\mathrm{rmod}(X, p) = X - p\\,\\mathrm{round}(X/p), \\qquad
+        \\mathrm{mod}(X, p)  = X - p\\,\\lfloor X/p \\rfloor
+
+    with no error.  They are the default used by the emulation.
+
+Fast kernels
+    :func:`rmod_fast_fma` reproduces the FMA/reciprocal kernel of
+    Section 4.2 (built-in ``fmod`` is slow on GPUs, so the paper multiplies
+    by a precomputed reciprocal, rounds, and corrects with up to two extra
+    FMA steps depending on ``N``), and :func:`mod_fast_mulhi` reproduces the
+    ``__mulhi``-based integer kernel of Section 4.3.  They exist both for
+    fidelity to the paper and so the test-suite can check the windows of
+    validity the paper states (``N <= 18`` for FP32 inputs, ``N <= 20`` for
+    FP64 inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..utils.fma import fma
+
+__all__ = [
+    "rmod_exact",
+    "mod_exact",
+    "rmod_fast_fma",
+    "mod_fast_mulhi",
+    "residues_to_int8",
+    "uint8_residues",
+]
+
+#: Correction-step thresholds (N1, N2) of the fast rmod kernel, per input
+#: precision (Section 4.2).
+_FAST_RMOD_THRESHOLDS = {64: (13, 19), 32: (5, 11)}
+
+
+#: Largest magnitude that is safely converted to int64 for the fast integer
+#: remainder path (one bit of headroom below 2**63).
+_INT64_SAFE_LIMIT = 2.0**62
+
+
+def _nonneg_mod_integer_valued(x: np.ndarray, p: int) -> np.ndarray:
+    """Exact ``x mod p`` in ``[0, p)`` for integer-valued float64 ``x``.
+
+    Uses int64 remainders (much faster than ``fmod``) whenever the values
+    fit; larger values — which occur for many moduli, where the scaled
+    matrices can exceed 2**62 — are split exactly into
+    ``x = hi * 2**31 + lo`` (both parts fit int64) and recombined modulo
+    ``p``.  Either way the result is exact.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    p_int = int(p)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs < _INT64_SAFE_LIMIT:
+        return np.remainder(x.astype(np.int64), p_int).astype(np.float64)
+    # Exact split: hi = floor(x / 2^31) is an integer below 2^62 for
+    # |x| < 2^93 (far above anything the scaling can produce); lo = x - hi*2^31
+    # lies in [0, 2^31).  Both steps are exact in float64.
+    hi = np.floor(np.ldexp(x, -31))
+    lo = x - np.ldexp(hi, 31)
+    hi_mod = np.remainder(hi.astype(np.int64), p_int)
+    lo_mod = np.remainder(lo.astype(np.int64), p_int)
+    shift_mod = pow(2, 31, p_int)
+    return np.remainder(hi_mod * shift_mod + lo_mod, p_int).astype(np.float64)
+
+
+def rmod_exact(x: np.ndarray, p: int) -> np.ndarray:
+    """Centred remainder ``x - p*round(x/p)`` computed exactly.
+
+    ``x`` must contain integer-valued float64 entries (as produced by the
+    truncation step of Algorithm 1).  The result lies in ``[-p/2, p/2]``;
+    for even ``p`` the boundary value ``+p/2`` is kept (the INT8 engine
+    wraps ``+128`` to ``-128``, which is congruent modulo 256).
+    """
+    p_f = float(int(p))
+    r = _nonneg_mod_integer_valued(x, p)
+    return np.where(r > p_f / 2.0, r - p_f, r)
+
+
+def mod_exact(x: np.ndarray, p: int) -> np.ndarray:
+    """Non-negative remainder ``x mod p`` in ``[0, p)`` (exact)."""
+    x = np.asarray(x)
+    if np.issubdtype(x.dtype, np.floating):
+        return _nonneg_mod_integer_valued(x, p)
+    return np.mod(x, np.asarray(p, dtype=x.dtype))
+
+
+def rmod_fast_fma(
+    x: np.ndarray,
+    p: int,
+    pinv_b: float,
+    pinv32: float,
+    num_moduli: int,
+    precision_bits: int,
+) -> np.ndarray:
+    """The paper's fast ``rmod`` kernel (Section 4.2).
+
+    Steps (with ``fma(a, b, c) = a*b + c``):
+
+    1. ``y = single(fma(round(x * pinv_b), -p, x))``
+    2. if ``N >= N1``: ``y = fma(round(y * pinv32), -p, y)``
+    3. if ``N >= N2``: ``y = fma(round(y * pinv32), -p, y)``
+
+    where ``(N1, N2) = (13, 19)`` for FP64 inputs and ``(5, 11)`` for FP32
+    inputs.  The kernel returns values congruent to ``x`` modulo ``p`` whose
+    magnitude fits INT8 for the ``N`` ranges stated in the paper; the test
+    suite verifies this window against :func:`rmod_exact`.
+    """
+    try:
+        n1, n2 = _FAST_RMOD_THRESHOLDS[int(precision_bits)]
+    except KeyError:
+        raise ConfigurationError(
+            f"precision_bits must be 32 or 64, got {precision_bits}"
+        ) from None
+    x = np.asarray(x, dtype=np.float64)
+    p_f = float(int(p))
+    y = fma(np.rint(x * float(pinv_b)), -p_f, x)
+    # The paper stores the first correction in FP32; the value is already
+    # small (order p * number-of-correction-steps), so this cast is lossless
+    # for integers below 2^24 and mirrors the GPU register usage.
+    y = np.asarray(y, dtype=np.float32).astype(np.float64)
+    if num_moduli >= n1:
+        y = fma(np.rint(y * float(pinv32)), -p_f, y)
+    if num_moduli >= n2:
+        y = fma(np.rint(y * float(pinv32)), -p_f, y)
+    return y
+
+
+def mod_fast_mulhi(c: np.ndarray, p: int, pinv_prime: int) -> np.ndarray:
+    """The paper's ``__mulhi``-based ``mod`` kernel for INT32 inputs.
+
+    Steps (Section 4.3), with ``mulhi`` the upper 32 bits of the 64-bit
+    product:
+
+    1. ``y = x - mulhi(x, pinv') * p``
+    2. ``y = y - (y >= p) * p``
+    3. ``y = y + (y < 0) * p``
+
+    Returns values in ``[0, p)`` equal to ``c mod p``.
+    """
+    c64 = np.asarray(c, dtype=np.int64)
+    t = (c64 * np.int64(int(pinv_prime))) >> np.int64(32)
+    y = c64 - t * np.int64(int(p))
+    y = y - (y >= p) * np.int64(int(p))
+    y = y + (y < 0) * np.int64(int(p))
+    return y
+
+
+def _wrap_to_int8(r: np.ndarray) -> np.ndarray:
+    """Cast centred residues to INT8, wrapping ``+128`` to ``-128``.
+
+    Values must already lie in ``[-128, 128]``; the single boundary value
+    ``+128`` (reachable only for ``p = 256``) wraps exactly as the hardware
+    cast does and is congruent modulo 256 (Section 4.1).
+    """
+    r_int = np.rint(r).astype(np.int16)
+    r_int = np.where(r_int == 128, np.int16(-128), r_int)
+    return r_int.astype(np.int8)
+
+
+def residues_to_int8(
+    x: np.ndarray,
+    moduli,
+    kernel: str = "exact",
+    pinv_b: np.ndarray | None = None,
+    pinv32: np.ndarray | None = None,
+    precision_bits: int = 64,
+) -> np.ndarray:
+    """Residues of an integer-valued matrix for every modulus, as INT8.
+
+    Returns an array of shape ``(N, *x.shape)`` holding
+    ``rmod(x, p_i)`` cast to INT8 (lines 4-5 of Algorithm 1).
+
+    Parameters
+    ----------
+    x:
+        Integer-valued float64 matrix (``A'`` or ``B'``).
+    moduli:
+        Sequence of moduli.
+    kernel:
+        ``"exact"`` (default) or ``"fast_fma"`` for the Section 4.2 kernel.
+    pinv_b, pinv32, precision_bits:
+        Reciprocal tables and input precision, required by the fast kernel.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    mods = [int(p) for p in moduli]
+    out = np.empty((len(mods),) + x.shape, dtype=np.int8)
+    for i, p in enumerate(mods):
+        if kernel == "exact":
+            r = rmod_exact(x, p)
+        elif kernel == "fast_fma":
+            if pinv_b is None or pinv32 is None:
+                raise ConfigurationError(
+                    "fast_fma kernel requires pinv_b and pinv32 tables"
+                )
+            r = rmod_fast_fma(
+                x, p, float(pinv_b[i]), float(pinv32[i]), len(mods), precision_bits
+            )
+        else:
+            raise ConfigurationError(f"unknown residue kernel {kernel!r}")
+        out[i] = _wrap_to_int8(r)
+    return out
+
+
+def uint8_residues(c_int32: np.ndarray, p: int, pinv_prime: int | None = None) -> np.ndarray:
+    """``U_i = mod(C'_i, p_i)`` as UINT8 (line 7 of Algorithm 1).
+
+    When ``pinv_prime`` is given the ``__mulhi`` fast kernel is used,
+    otherwise the exact integer remainder.
+    """
+    if pinv_prime is None:
+        u = np.mod(np.asarray(c_int32, dtype=np.int64), int(p))
+    else:
+        u = mod_fast_mulhi(c_int32, p, pinv_prime)
+    return u.astype(np.uint8)

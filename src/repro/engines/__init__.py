@@ -1,0 +1,37 @@
+"""Matrix-engine simulators.
+
+These classes reproduce the *arithmetic contract* of the hardware matrix
+engines the paper relies on, on top of NumPy:
+
+* :class:`Int8MatrixEngine` — INT8 inputs, INT32 accumulation with
+  two's-complement wraparound (NVIDIA INT8 Tensor Core contract used by both
+  Ozaki scheme I and II).
+* :class:`Fp16MatrixEngine`, :class:`Bf16MatrixEngine`,
+  :class:`Tf32MatrixEngine` — low-precision floating-point inputs with FP32
+  accumulation (used by the cuMpSGEMM, BF16x9 and TF32GEMM baselines).
+* :class:`Fp32MatrixEngine`, :class:`Fp64MatrixEngine` — native SGEMM /
+  DGEMM.
+
+Every engine keeps an :class:`OpCounter` ledger of the operations and bytes
+it performed, which the performance model (:mod:`repro.perfmodel`) consumes
+to translate work into modelled GPU time and energy.
+"""
+
+from .base import MatrixEngine, OpCounter
+from .int8 import Int8MatrixEngine
+from .lowprec_fp import Bf16MatrixEngine, Fp16MatrixEngine, Tf32MatrixEngine
+from .native import Fp32MatrixEngine, Fp64MatrixEngine
+from .registry import available_engines, get_engine
+
+__all__ = [
+    "MatrixEngine",
+    "OpCounter",
+    "Int8MatrixEngine",
+    "Fp16MatrixEngine",
+    "Bf16MatrixEngine",
+    "Tf32MatrixEngine",
+    "Fp32MatrixEngine",
+    "Fp64MatrixEngine",
+    "available_engines",
+    "get_engine",
+]

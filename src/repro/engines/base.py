@@ -1,0 +1,163 @@
+"""Matrix-engine interface and operation accounting.
+
+An engine exposes a single :meth:`MatrixEngine.matmul` operation whose
+numerical behaviour matches the corresponding hardware unit.  Engines also
+record how much work they performed in an :class:`OpCounter`; the
+performance model uses those ledgers to convert algorithmic work into
+modelled GPU time and power (the hardware itself is not available in this
+reproduction — see DESIGN.md, Section 2).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from ..errors import EngineError
+from ..types import Format
+
+__all__ = ["OpCounter", "MatrixEngine"]
+
+
+@dataclasses.dataclass
+class OpCounter:
+    """Ledger of operations and memory traffic performed by an engine.
+
+    Attributes
+    ----------
+    matmul_calls:
+        Number of GEMM invocations.
+    mac_ops:
+        Number of multiply-accumulate operations (``m*n*k`` per GEMM).  The
+        conventional "FLOPs" figure is ``2 * mac_ops``.
+    elementwise_ops:
+        Number of scalar element-wise operations (conversions, scalings).
+    bytes_read / bytes_written:
+        Modelled memory traffic in bytes, assuming each operand is read or
+        written once per invocation (no cache model).
+    """
+
+    matmul_calls: int = 0
+    mac_ops: int = 0
+    elementwise_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record_matmul(self, m: int, n: int, k: int, in_bytes: float, out_bytes: float) -> None:
+        """Record one ``m x k`` by ``k x n`` GEMM."""
+        self.matmul_calls += 1
+        self.mac_ops += int(m) * int(n) * int(k)
+        self.bytes_read += int(round((m * k + k * n) * in_bytes))
+        self.bytes_written += int(round(m * n * out_bytes))
+
+    def record_elementwise(self, count: int, in_bytes: float = 0.0, out_bytes: float = 0.0) -> None:
+        """Record ``count`` element-wise operations and their traffic."""
+        self.elementwise_ops += int(count)
+        self.bytes_read += int(round(count * in_bytes))
+        self.bytes_written += int(round(count * out_bytes))
+
+    @property
+    def flops(self) -> int:
+        """Conventional floating/integer-op count: 2 ops per MAC."""
+        return 2 * self.mac_ops
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.matmul_calls = 0
+        self.mac_ops = 0
+        self.elementwise_ops = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary (for reports/tests)."""
+        return {
+            "matmul_calls": self.matmul_calls,
+            "mac_ops": self.mac_ops,
+            "flops": self.flops,
+            "elementwise_ops": self.elementwise_ops,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Return a new counter with the sum of both ledgers."""
+        merged = OpCounter()
+        for field in dataclasses.fields(OpCounter):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+
+class MatrixEngine(abc.ABC):
+    """Abstract base class of all matrix-engine simulators.
+
+    Subclasses define :attr:`input_format` / :attr:`output_format` and
+    implement :meth:`_compute`, which receives operands already converted to
+    the engine's input representation.
+    """
+
+    #: Number format accepted as input by the engine.
+    input_format: Format
+    #: Number format of the accumulator / output.
+    output_format: Format
+    #: Human-readable engine name used by the registry and the perf model.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.counter = OpCounter()
+
+    # -- public API ---------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply ``a @ b`` with the engine's numerical behaviour.
+
+        The operands must already be representable in the engine's input
+        format (for integer engines, within the INT8 range); violations raise
+        :class:`~repro.errors.EngineError` rather than silently wrapping, so
+        that algorithm bugs surface immediately.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise EngineError(
+                f"{self.name}: operands must be 2-D, got {a.ndim}-D and {b.ndim}-D"
+            )
+        if a.shape[1] != b.shape[0]:
+            raise EngineError(
+                f"{self.name}: inner dimensions mismatch {a.shape} x {b.shape}"
+            )
+        a_in = self._prepare(a, "A")
+        b_in = self._prepare(b, "B")
+        out = self._compute(a_in, b_in)
+        m, k = a.shape
+        n = b.shape[1]
+        self.counter.record_matmul(
+            m,
+            n,
+            k,
+            in_bytes=self.input_format.bytes_per_element,
+            out_bytes=self.output_format.bytes_per_element,
+        )
+        return out
+
+    def reset_counter(self) -> None:
+        """Reset the engine's operation ledger."""
+        self.counter.reset()
+
+    # -- subclass hooks ------------------------------------------------------
+    @abc.abstractmethod
+    def _prepare(self, x: np.ndarray, which: str) -> np.ndarray:
+        """Convert/validate an operand into the engine's input representation."""
+
+    @abc.abstractmethod
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Perform the engine-accurate product of prepared operands."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,72 @@
+"""Low-precision floating-point matrix engines (FP16, BF16, TF32).
+
+These reproduce the numerical behaviour of NVIDIA's mixed-precision Tensor
+Core modes: inputs are rounded onto the respective value grid and the dot
+products are accumulated in FP32.  They back the baseline emulation methods
+compared against in Section 5 (cuMpSGEMM uses FP16, BF16x9 uses BF16,
+TF32GEMM uses TF32).
+
+The accumulation here is a float32 BLAS GEMM.  Hardware Tensor Cores
+accumulate in a fixed tree order whereas BLAS uses a different (also
+non-deterministic across libraries) order, so individual rounding errors may
+differ by a few ulps — the *statistical* accuracy behaviour, which is what
+Figure 3 measures, is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from ..formats.lowprec import round_to_bf16, round_to_fp16, round_to_tf32
+from ..types import BF16, FP16, FP32, TF32
+from .base import MatrixEngine
+
+__all__ = ["Fp16MatrixEngine", "Bf16MatrixEngine", "Tf32MatrixEngine"]
+
+
+class _LowPrecFpEngine(MatrixEngine):
+    """Shared implementation: round inputs to a grid, accumulate in FP32."""
+
+    output_format = FP32
+
+    def _round(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _prepare(self, x: np.ndarray, which: str) -> np.ndarray:
+        if not np.issubdtype(np.asarray(x).dtype, np.number):
+            raise EngineError(f"{self.name} engine: operand {which} is not numeric")
+        return self._round(np.asarray(x, dtype=np.float32))
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.matmul(a.astype(np.float32), b.astype(np.float32), dtype=np.float32)
+
+
+class Fp16MatrixEngine(_LowPrecFpEngine):
+    """FP16 Tensor Core: binary16 inputs, FP32 accumulation."""
+
+    input_format = FP16
+    name = "fp16"
+
+    def _round(self, x: np.ndarray) -> np.ndarray:
+        return round_to_fp16(x)
+
+
+class Bf16MatrixEngine(_LowPrecFpEngine):
+    """BF16 Tensor Core: bfloat16 inputs, FP32 accumulation."""
+
+    input_format = BF16
+    name = "bf16"
+
+    def _round(self, x: np.ndarray) -> np.ndarray:
+        return round_to_bf16(x)
+
+
+class Tf32MatrixEngine(_LowPrecFpEngine):
+    """TF32 Tensor Core: TF32 inputs, FP32 accumulation."""
+
+    input_format = TF32
+    name = "tf32"
+
+    def _round(self, x: np.ndarray) -> np.ndarray:
+        return round_to_tf32(x)

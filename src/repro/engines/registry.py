@@ -1,0 +1,52 @@
+"""Engine registry: look up matrix-engine simulators by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import EngineError
+from .base import MatrixEngine
+from .int8 import Int8MatrixEngine
+from .lowprec_fp import Bf16MatrixEngine, Fp16MatrixEngine, Tf32MatrixEngine
+from .native import Fp32MatrixEngine, Fp64MatrixEngine
+
+__all__ = ["available_engines", "get_engine", "register_engine"]
+
+_FACTORIES: Dict[str, Callable[[], MatrixEngine]] = {
+    "int8": Int8MatrixEngine,
+    "fp16": Fp16MatrixEngine,
+    "bf16": Bf16MatrixEngine,
+    "tf32": Tf32MatrixEngine,
+    "fp32": Fp32MatrixEngine,
+    "fp64": Fp64MatrixEngine,
+}
+
+
+def register_engine(name: str, factory: Callable[[], MatrixEngine]) -> None:
+    """Register a custom engine factory under ``name``.
+
+    Registering an existing name replaces the previous factory, which lets
+    tests substitute instrumented engines.
+    """
+    _FACTORIES[str(name).lower()] = factory
+
+
+def available_engines() -> list[str]:
+    """Names of all registered engines, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_engine(name: str, **kwargs) -> MatrixEngine:
+    """Instantiate the engine registered under ``name``.
+
+    Keyword arguments are forwarded to the engine constructor (for example
+    ``get_engine("int8", use_blas=False)``).
+    """
+    key = str(name).lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available engines: {available_engines()}"
+        ) from None
+    return factory(**kwargs)

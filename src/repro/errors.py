@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors coming from NumPy or the standard library.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "ModuliError",
+    "OverflowRiskError",
+    "EngineError",
+    "PerfModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid.
+
+    Examples include requesting an unsupported number of moduli, an unknown
+    computing mode, or an unknown precision name.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when input matrices fail shape, dtype, or finiteness checks."""
+
+
+class ModuliError(ReproError):
+    """Raised when a set of CRT moduli is inconsistent.
+
+    This covers non-coprime selections, moduli outside the INT8-compatible
+    table, or requesting more moduli than the table provides.
+    """
+
+
+class OverflowRiskError(ReproError):
+    """Raised when an operation could silently overflow its accumulator.
+
+    The INT8 engine accumulates in INT32; products with an inner dimension
+    above ``2**17`` must be blocked (see :mod:`repro.core.blocking`), and the
+    library refuses to continue rather than produce wrapped results when the
+    caller disabled blocking.
+    """
+
+
+class EngineError(ReproError):
+    """Raised when a matrix-engine simulator is misused.
+
+    Typical causes are feeding a matrix whose dtype does not match the
+    engine's input format or requesting an unknown engine from the registry.
+    """
+
+
+class PerfModelError(ReproError):
+    """Raised by the performance/power model for unknown GPUs or methods."""

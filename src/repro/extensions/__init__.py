@@ -1,0 +1,19 @@
+"""Extensions sketched in the paper's conclusion.
+
+Section 6 notes that the approach "can also be extended to matrix
+multiplication using arbitrary combinations of floating-point formats,
+including both homogeneous (e.g., double-double) and heterogeneous (e.g.,
+FP16 and FP32) types".  This subpackage provides those two extensions on top
+of the same INT8 engine substrate:
+
+* :func:`repro.extensions.ddgemm.dd_gemm` — a GEMM whose result is returned
+  as a double-double (~106-bit) pair, computed entirely from INT8 engine
+  products,
+* :func:`repro.extensions.mixed.mixed_gemm` — GEMM for operands of different
+  floating-point formats (e.g. FP32 × FP64, FP16 × FP32).
+"""
+
+from .ddgemm import dd_gemm
+from .mixed import mixed_gemm
+
+__all__ = ["dd_gemm", "mixed_gemm"]

@@ -1,0 +1,24 @@
+"""Low-precision value-grid conversions (FP16, BF16, TF32).
+
+The baseline emulation methods (cuMpSGEMM, BF16x9, TF32GEMM) feed their
+matrix engines with values rounded onto the FP16 / BF16 / TF32 grids.  The
+functions in :mod:`repro.formats.lowprec` perform exactly that rounding while
+keeping the data in float32/float64 NumPy storage, so the *numerical* effect
+of the hardware formats is reproduced bit-for-bit.
+"""
+
+from .lowprec import (
+    round_to_bf16,
+    round_to_fp16,
+    round_to_format,
+    round_to_tf32,
+    truncate_significand,
+)
+
+__all__ = [
+    "round_to_bf16",
+    "round_to_fp16",
+    "round_to_format",
+    "round_to_tf32",
+    "truncate_significand",
+]

@@ -1,0 +1,107 @@
+"""Rounding onto the FP16 / BF16 / TF32 value grids.
+
+NVIDIA's tensor-core formats BF16 and TF32 have no native NumPy dtype, but
+their value grids are simply float32 with the significand shortened to 8 and
+11 bits respectively (same 8-bit exponent as float32).  Rounding a float32
+value to such a grid with round-to-nearest-even can be done exactly through
+bit manipulation on the float32 representation; this is what
+:func:`truncate_significand` implements.  FP16 is handled by NumPy's native
+``float16`` dtype.
+
+These conversions are used by:
+
+* the FP16 / BF16 / TF32 matrix engines (:mod:`repro.engines`),
+* the cuMpSGEMM and BF16x9 baseline decompositions
+  (:mod:`repro.baselines.cumpsgemm`, :mod:`repro.baselines.bf16x9`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import BF16, FP16, FP32, TF32, Format, get_format
+
+__all__ = [
+    "truncate_significand",
+    "round_to_bf16",
+    "round_to_tf32",
+    "round_to_fp16",
+    "round_to_format",
+]
+
+
+def truncate_significand(x, keep_bits: int) -> np.ndarray:
+    """Round float32 values to ``keep_bits`` significand bits (RNE).
+
+    ``keep_bits`` counts the significand bits *including* the implicit
+    leading one, matching the convention of :class:`repro.types.Format`
+    (so FP32 itself is ``keep_bits=24``, TF32 is 11, BF16 is 8).
+
+    The rounding is performed on the integer representation of the float32
+    values with round-to-nearest-even on the discarded bits, which is exactly
+    what the hardware conversion units do.  Overflow to infinity cannot occur
+    because the exponent field is untouched; subnormal inputs are rounded on
+    the same fixed bit position, which matches the flush-free behaviour of
+    NVIDIA's conversion instructions closely enough for this library's use
+    (the workloads never produce float32 subnormals).
+    """
+    if not (1 <= keep_bits <= 24):
+        raise ConfigurationError(f"keep_bits must be in [1, 24], got {keep_bits}")
+    x32 = np.asarray(x, dtype=np.float32)
+    if keep_bits == 24:
+        return x32.copy()
+    drop = 24 - keep_bits
+    bits = x32.view(np.uint32)
+    # Round-to-nearest-even on the low `drop` bits of the 23-bit stored
+    # significand: add half-ulp-of-kept-grid, using the lowest kept bit to
+    # break ties toward even.
+    lsb = (bits >> np.uint32(drop)) & np.uint32(1)
+    round_bias = np.uint32((1 << (drop - 1)) - 1) + lsb
+    rounded = (bits + round_bias) >> np.uint32(drop) << np.uint32(drop)
+    out = rounded.view(np.float32)
+    # Preserve zeros' signs and avoid touching NaN/Inf payloads.
+    special = ~np.isfinite(x32)
+    return np.where(special, x32, out)
+
+
+def round_to_bf16(x) -> np.ndarray:
+    """Round to the bfloat16 value grid, returned as float32 storage."""
+    return truncate_significand(x, BF16.significand_bits)
+
+
+def round_to_tf32(x) -> np.ndarray:
+    """Round to the TF32 value grid, returned as float32 storage."""
+    return truncate_significand(x, TF32.significand_bits)
+
+
+def round_to_fp16(x) -> np.ndarray:
+    """Round to IEEE binary16, returned as float16 storage.
+
+    Unlike BF16/TF32, FP16 has a 5-bit exponent, so overflow (to inf) and
+    underflow (to subnormals/zero) genuinely occur; NumPy's cast reproduces
+    the hardware behaviour (the overflow warning is silenced because the
+    saturation to infinity is the intended semantics).
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float32).astype(np.float16)
+
+
+def round_to_format(x, fmt: str | Format) -> np.ndarray:
+    """Round ``x`` onto the value grid of ``fmt``.
+
+    FP64/FP32 are plain casts; FP16 uses the native dtype; BF16/TF32 use
+    significand truncation with float32 storage.
+    """
+    fmt = get_format(fmt)
+    if fmt.name == "fp64":
+        return np.asarray(x, dtype=np.float64)
+    if fmt == FP32:
+        return np.asarray(x, dtype=np.float32)
+    if fmt == FP16:
+        return round_to_fp16(x)
+    if fmt == BF16:
+        return round_to_bf16(x)
+    if fmt == TF32:
+        return round_to_tf32(x)
+    raise ConfigurationError(f"cannot round to format {fmt.name!r}")

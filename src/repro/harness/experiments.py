@@ -1,0 +1,184 @@
+"""Experiment sweeps feeding the per-figure reproductions.
+
+Each sweep returns a list of plain dictionaries (one per data point) so that
+tests can make assertions on them directly and the figures module can render
+them as tables.  Accuracy sweeps actually *run* the numerical methods on
+generated workloads; throughput / power / breakdown sweeps evaluate the
+analytic GPU model (see DESIGN.md for the hardware substitution rationale).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..accuracy import max_relative_error, reference_gemm
+from ..baselines.registry import get_method
+from ..perfmodel import modeled_tflops, phase_breakdown, power_efficiency
+from ..types import FP32, FP64, Format, get_format
+from ..workloads import phi_pair
+
+__all__ = [
+    "accuracy_sweep",
+    "throughput_sweep",
+    "power_sweep",
+    "breakdown_sweep",
+    "cpu_wallclock_sweep",
+]
+
+
+def accuracy_sweep(
+    methods: Sequence[str],
+    phis: Sequence[float],
+    ks: Sequence[int],
+    m: int = 1024,
+    n: int = 1024,
+    precision: "Format | str" = FP64,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Maximum relative error of every method over a (phi, k) grid.
+
+    This is the computation behind Figure 3: ``m = n`` fixed, ``k`` varied,
+    ``phi`` controlling the exponent spread, error measured against the
+    high-precision reference GEMM.
+    """
+    fmt = get_format(precision)
+    rows: List[Dict[str, object]] = []
+    for phi in phis:
+        for k in ks:
+            a, b = phi_pair(m, k, n, phi=phi, precision=fmt, seed=seed)
+            reference = reference_gemm(a, b)
+            for name in methods:
+                spec = get_method(name, target=fmt)
+                computed = spec(a, b)
+                rows.append(
+                    {
+                        "precision": fmt.name,
+                        "phi": float(phi),
+                        "m": m,
+                        "k": int(k),
+                        "n": n,
+                        "method": spec.name,
+                        "max_rel_error": max_relative_error(computed, reference),
+                    }
+                )
+    return rows
+
+
+def throughput_sweep(
+    methods: Sequence[str],
+    gpus: Sequence[str],
+    sizes: Sequence[int],
+    target: "Format | str" = FP64,
+) -> List[Dict[str, object]]:
+    """Modelled TFLOPS of every method over square problems (Figures 4–5)."""
+    fmt = get_format(target)
+    rows: List[Dict[str, object]] = []
+    for gpu in gpus:
+        for size in sizes:
+            for name in methods:
+                spec = get_method(name, target=fmt)
+                rows.append(
+                    {
+                        "gpu": gpu,
+                        "n": int(size),
+                        "method": spec.name,
+                        "target": fmt.name,
+                        "tflops": modeled_tflops(name, gpu, size, size, size, target=fmt),
+                    }
+                )
+    return rows
+
+
+def power_sweep(
+    methods: Sequence[str],
+    gpus: Sequence[str],
+    sizes: Sequence[int],
+    target: "Format | str" = FP64,
+) -> List[Dict[str, object]]:
+    """Modelled power efficiency (GFLOPS/W) over square problems (Figures 8–9)."""
+    fmt = get_format(target)
+    rows: List[Dict[str, object]] = []
+    for gpu in gpus:
+        for size in sizes:
+            for name in methods:
+                spec = get_method(name, target=fmt)
+                rows.append(
+                    {
+                        "gpu": gpu,
+                        "n": int(size),
+                        "method": spec.name,
+                        "target": fmt.name,
+                        "gflops_per_watt": power_efficiency(
+                            name, gpu, size, size, size, target=fmt
+                        ),
+                    }
+                )
+    return rows
+
+
+def breakdown_sweep(
+    methods: Sequence[str],
+    gpus: Sequence[str],
+    sizes: Sequence[int],
+    target: "Format | str" = FP64,
+) -> List[Dict[str, object]]:
+    """Per-phase modelled time fractions (Figures 6–7)."""
+    fmt = get_format(target)
+    rows: List[Dict[str, object]] = []
+    for gpu in gpus:
+        for size in sizes:
+            for name in methods:
+                spec = get_method(name, target=fmt)
+                fractions = phase_breakdown(name, gpu, size, size, size, target=fmt)
+                for phase, fraction in fractions.items():
+                    rows.append(
+                        {
+                            "gpu": gpu,
+                            "n": int(size),
+                            "method": spec.name,
+                            "target": fmt.name,
+                            "phase": phase,
+                            "fraction": fraction,
+                        }
+                    )
+    return rows
+
+
+def cpu_wallclock_sweep(
+    methods: Sequence[str],
+    sizes: Sequence[int],
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 1,
+) -> List[Dict[str, object]]:
+    """Measured wall-clock time of this library's implementations (CPU).
+
+    Not a figure from the paper — the paper measures GPU kernels — but a
+    useful sanity check on the implementation cost of every method in this
+    reproduction, and the basis of the pytest-benchmark CPU suite.
+    """
+    fmt = get_format(target)
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        a, b = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+        for name in methods:
+            spec = get_method(name, target=fmt)
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                spec(a, b)
+                best = min(best, time.perf_counter() - start)
+            rows.append(
+                {
+                    "n": int(size),
+                    "method": spec.name,
+                    "target": fmt.name,
+                    "seconds": best,
+                    "effective_gflops": 2.0 * size**3 / best / 1e9,
+                }
+            )
+    return rows

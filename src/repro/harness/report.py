@@ -1,0 +1,67 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv"]
+
+
+def _format_value(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table.
+
+    Columns default to the keys of the first row (in insertion order);
+    missing values render as empty cells.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_format_value(row.get(col, ""), float_format) for col in cols] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rendered:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (no external dependency, deterministic order)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    lines = [",".join(cols)]
+    for row in rows:
+        cells = []
+        for col in cols:
+            value = row.get(col, "")
+            text = _format_value(value, ".10g")
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Analytic GPU performance and power model.
+
+The paper's throughput (Figures 4, 5), time-breakdown (Figures 6, 7) and
+power-efficiency (Figures 8, 9) results were measured on NVIDIA A100, GH200
+and RTX 5080 hardware.  That hardware is not available in this
+reproduction, so this subpackage models it analytically:
+
+* :mod:`specs` — a database of public peak throughput / bandwidth / TDP
+  numbers per GPU (including the older generations shown in Figure 1),
+* :mod:`costmodel` — per-phase operation and byte counts of every method
+  (native GEMM, TF32, BF16x9, cuMpSGEMM, ozIMMU, Ozaki scheme II),
+* :mod:`roofline` — phase time = max(compute time, memory time) plus a
+  kernel-launch overhead, evaluated against the GPU's per-engine peaks,
+* :mod:`power` — a utilisation-based power model yielding GFLOPS/W,
+* :mod:`breakdown` — per-phase time fractions (Figures 6 and 7).
+
+The model is calibrated only by public peak numbers; it reproduces the
+*shape* of the paper's results (who wins, approximate factors, where the
+crossovers sit), not the absolute TFLOPS of the authors' testbed.
+"""
+
+from .breakdown import phase_breakdown
+from .costmodel import MethodCost, PhaseCost, method_cost
+from .power import power_efficiency, modeled_power
+from .roofline import modeled_time, modeled_tflops, phase_times
+from .specs import GPUS, FIGURE1_GPUS, GpuSpec, get_gpu
+
+__all__ = [
+    "phase_breakdown",
+    "MethodCost",
+    "PhaseCost",
+    "method_cost",
+    "power_efficiency",
+    "modeled_power",
+    "modeled_time",
+    "modeled_tflops",
+    "phase_times",
+    "GPUS",
+    "FIGURE1_GPUS",
+    "GpuSpec",
+    "get_gpu",
+]

@@ -1,0 +1,66 @@
+"""Per-phase time breakdowns (Figures 6 and 7).
+
+The paper's breakdown figures group the time of the emulation into the
+phases of Algorithm 1 (conversion of the inputs, the INT8 GEMMs, the
+accumulation, the reconstruction/inverse scaling).  :func:`phase_breakdown`
+produces the same grouping from the cost/roofline model, as fractions of the
+total modelled time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import PerfModelError
+from ..types import FP64, Format
+from .costmodel import method_cost
+from .roofline import phase_times
+from .specs import GpuSpec, get_gpu
+
+__all__ = ["phase_breakdown"]
+
+#: Display order of phases (phases absent from a method are omitted).
+PHASE_ORDER = (
+    "scale",
+    "convert",
+    "convert_A",
+    "convert_B",
+    "matmul",
+    "accumulate",
+    "reconstruct",
+    "unscale",
+)
+
+
+def phase_breakdown(
+    method: str,
+    gpu: "GpuSpec | str",
+    m: int,
+    k: int,
+    n: int,
+    target: "Format | str" = FP64,
+    as_fractions: bool = True,
+) -> Dict[str, float]:
+    """Per-phase modelled time of ``method`` on ``gpu``.
+
+    Returns an ordered mapping ``phase name -> seconds`` (or fraction of the
+    total when ``as_fractions`` is True, matching the stacked-bar style of
+    Figures 6 and 7).
+    """
+    gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    cost = method_cost(method, m, k, n, target=target)
+    per_phase: Dict[str, float] = {}
+    for phase, t in phase_times(cost, gpu_spec):
+        per_phase[phase.name] = per_phase.get(phase.name, 0.0) + t
+    total = sum(per_phase.values())
+    if total <= 0:
+        raise PerfModelError("modelled time is non-positive")
+    ordered = {
+        name: per_phase[name] for name in PHASE_ORDER if name in per_phase
+    }
+    # Preserve any phase names not in the canonical order (defensive).
+    for name, value in per_phase.items():
+        ordered.setdefault(name, value)
+    if as_fractions:
+        return {name: value / total for name, value in ordered.items()}
+    return ordered

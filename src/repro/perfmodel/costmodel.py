@@ -1,0 +1,211 @@
+"""Per-phase operation and byte counts of every GEMM method.
+
+For a problem of size ``m x k x n``, :func:`method_cost` decomposes a method
+into the phases the paper's time-breakdown figures use and attributes to
+each phase:
+
+* ``ops`` — the number of scalar operations (2 per multiply-accumulate for
+  GEMM phases, roughly counted for element-wise phases),
+* ``engine`` — which hardware pipeline executes them (``int8``, ``fp64``,
+  ``fp32``, ``tf32``, ``fp16``, ``bf16``),
+* ``bytes_moved`` — the device-memory traffic assuming each operand tile is
+  read/written once per kernel,
+* ``kernels`` — how many kernel launches the phase issues (feeds the fixed
+  launch-overhead term of the roofline model).
+
+The counts mirror Algorithm 1 and the baseline definitions of Section 2; the
+element-wise constants (operations per element for conversions,
+accumulations, ...) are small integers taken from the algorithm statements,
+not tuned to the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from ..baselines.registry import MethodSpec, get_method
+from ..config import ComputeMode
+from ..errors import PerfModelError
+from ..types import FP32, FP64, Format
+
+__all__ = ["PhaseCost", "MethodCost", "method_cost"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseCost:
+    """Work performed by one phase of a method."""
+
+    name: str
+    engine: str
+    ops: float
+    bytes_moved: float
+    kernels: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodCost:
+    """All phases of one method on one problem size."""
+
+    method: str
+    target: Format
+    m: int
+    k: int
+    n: int
+    phases: List[PhaseCost]
+
+    @property
+    def useful_flops(self) -> float:
+        """FLOPs credited to the method: 2·m·n·k (the emulated GEMM)."""
+        return 2.0 * self.m * self.n * self.k
+
+    def total_ops(self) -> float:
+        """Total scalar operations across all phases."""
+        return sum(p.ops for p in self.phases)
+
+    def total_bytes(self) -> float:
+        """Total modelled memory traffic (bytes)."""
+        return sum(p.bytes_moved for p in self.phases)
+
+
+def _gemm_phase(name: str, engine: str, m: int, n: int, k: int, count: int,
+                in_bytes: float, out_bytes: float) -> PhaseCost:
+    """Cost of ``count`` GEMM kernels of shape m x k x n on ``engine``."""
+    ops = 2.0 * m * n * k * count
+    traffic = count * ((m * k + k * n) * in_bytes + m * n * out_bytes)
+    return PhaseCost(name=name, engine=engine, ops=ops, bytes_moved=traffic, kernels=count)
+
+
+def _elementwise_phase(name: str, engine: str, elements: float, ops_per_element: float,
+                       read_bytes_per_element: float, write_bytes_per_element: float,
+                       kernels: int = 1) -> PhaseCost:
+    """Cost of an element-wise pass over ``elements`` values."""
+    return PhaseCost(
+        name=name,
+        engine=engine,
+        ops=elements * ops_per_element,
+        bytes_moved=elements * (read_bytes_per_element + write_bytes_per_element),
+        kernels=kernels,
+    )
+
+
+def _native_cost(spec: MethodSpec, m: int, k: int, n: int) -> List[PhaseCost]:
+    if spec.target == FP64:
+        return [_gemm_phase("matmul", "fp64", m, n, k, 1, 8, 8)]
+    return [_gemm_phase("matmul", "fp32", m, n, k, 1, 4, 4)]
+
+
+def _tf32_cost(m: int, k: int, n: int) -> List[PhaseCost]:
+    return [
+        _elementwise_phase("convert", "fp32", m * k + k * n, 1, 4, 4, kernels=2),
+        _gemm_phase("matmul", "tf32", m, n, k, 1, 4, 4),
+    ]
+
+
+def _bf16x9_cost(m: int, k: int, n: int) -> List[PhaseCost]:
+    # 3 splits per operand, 9 BF16 GEMMs, FP32 accumulation of 9 terms.
+    return [
+        _elementwise_phase("convert", "fp32", m * k + k * n, 6, 4, 3 * 2, kernels=2),
+        _gemm_phase("matmul", "bf16", m, n, k, 9, 2, 4),
+        _elementwise_phase("accumulate", "fp32", 9 * m * n, 2, 4, 4.0 / 9.0, kernels=1),
+    ]
+
+
+def _cumpsgemm_cost(m: int, k: int, n: int) -> List[PhaseCost]:
+    # 2 splits per operand, 3 FP16 GEMMs, correction accumulation.
+    return [
+        _elementwise_phase("convert", "fp32", m * k + k * n, 5, 4, 2 * 2, kernels=2),
+        _gemm_phase("matmul", "fp16", m, n, k, 3, 2, 4),
+        _elementwise_phase("accumulate", "fp32", 3 * m * n, 2, 4, 4.0 / 3.0, kernels=1),
+    ]
+
+
+def _ozimmu_cost(num_slices: int, m: int, k: int, n: int) -> List[PhaseCost]:
+    s = num_slices
+    num_gemms = s * (s + 1) // 2
+    return [
+        _elementwise_phase("convert", "fp64", (m * k + k * n), 4 * s, 8, s, kernels=2),
+        _gemm_phase("matmul", "int8", m, n, k, num_gemms, 1, 4),
+        # Each INT32 product is scaled and added into the FP64 accumulator.
+        _elementwise_phase("accumulate", "fp64", num_gemms * m * n, 2, 4, 8.0 / num_gemms,
+                           kernels=num_gemms),
+    ]
+
+
+def _ozaki2_cost(num_moduli: int, mode: ComputeMode, target: Format,
+                 m: int, k: int, n: int) -> List[PhaseCost]:
+    nmod = num_moduli
+    hp_engine = "fp64" if target == FP64 else "fp32"
+    hp_bytes = 8 if target == FP64 else 4
+    phases: List[PhaseCost] = []
+
+    # Line 1: scale vectors. Fast mode reads A and B once (row/column norms);
+    # accurate mode additionally runs one INT8 GEMM on the magnitude matrices.
+    scale_phases = [
+        _elementwise_phase("scale", hp_engine, m * k + k * n, 2, hp_bytes, 0, kernels=2),
+    ]
+    if mode is ComputeMode.ACCURATE:
+        scale_phases.append(
+            _elementwise_phase("scale", hp_engine, m * k + k * n, 2, hp_bytes, 1, kernels=2)
+        )
+        scale_phases.append(_gemm_phase("scale", "int8", m, n, k, 1, 1, 4))
+    phases.extend(scale_phases)
+
+    # Lines 2+4 / 3+5: truncation and N residues per element (about 5 flops
+    # per residue with the fast rmod kernel), writing N INT8 matrices.
+    phases.append(
+        _elementwise_phase("convert_A", hp_engine, m * k, 2 + 5 * nmod, hp_bytes, nmod, kernels=1)
+    )
+    phases.append(
+        _elementwise_phase("convert_B", hp_engine, k * n, 2 + 5 * nmod, hp_bytes, nmod, kernels=1)
+    )
+
+    # Line 6: N INT8 GEMMs.
+    phases.append(_gemm_phase("matmul", "int8", m, n, k, nmod, 1, 4))
+
+    # Lines 7-9: mod to UINT8 and the two split accumulations, fused over the
+    # N INT32 product matrices (single kernel in the paper's implementation).
+    ops_per = 3 + (4 if target == FP64 else 2)
+    phases.append(
+        _elementwise_phase("accumulate", hp_engine, nmod * m * n, ops_per, 4, 16.0 / nmod,
+                           kernels=1)
+    )
+
+    # Lines 10-11: reconstruction; line 12: inverse scaling.
+    phases.append(_elementwise_phase("reconstruct", hp_engine, m * n, 8, 16, 8, kernels=1))
+    phases.append(_elementwise_phase("unscale", hp_engine, m * n, 2, 8, hp_bytes, kernels=1))
+    return phases
+
+
+def method_cost(
+    method: "MethodSpec | str",
+    m: int,
+    k: int,
+    n: int,
+    target: "Format | str" = FP64,
+) -> MethodCost:
+    """Build the :class:`MethodCost` of ``method`` on an ``m x k x n`` problem."""
+    if isinstance(method, MethodSpec):
+        spec = method
+    else:
+        spec = get_method(method, target=target)
+    if min(m, k, n) < 1:
+        raise PerfModelError(f"invalid problem size {(m, k, n)}")
+
+    if spec.family == "native":
+        phases = _native_cost(spec, m, k, n)
+    elif spec.family == "tf32":
+        phases = _tf32_cost(m, k, n)
+    elif spec.family == "bf16x9":
+        phases = _bf16x9_cost(m, k, n)
+    elif spec.family == "cumpsgemm":
+        phases = _cumpsgemm_cost(m, k, n)
+    elif spec.family == "ozimmu":
+        phases = _ozimmu_cost(spec.num_slices, m, k, n)
+    elif spec.family == "ozaki2":
+        phases = _ozaki2_cost(spec.num_moduli, spec.mode, spec.target, m, k, n)
+    else:  # pragma: no cover - registry and cost model are kept in sync
+        raise PerfModelError(f"no cost model for method family {spec.family!r}")
+
+    return MethodCost(method=spec.name, target=spec.target, m=m, k=k, n=n, phases=phases)

@@ -1,0 +1,108 @@
+"""Power and power-efficiency model (Figures 8 and 9).
+
+The model assigns each phase a power draw between an idle floor and the
+board TDP, proportional to how well the phase utilises its compute pipeline::
+
+    utilisation = compute_time / max(compute_time, memory_time)
+    power       = idle + (TDP − idle) · utilisation
+
+A compute-bound GEMM therefore runs near TDP while a memory-bound conversion
+or a small GEMM draws much less — which is exactly the effect the paper
+points out in Section 5.4 ("the performance ratio between INT8 GEMM and
+SGEMM at n = 1024 was 5.3x, while the power efficiency ratio was as high as
+13.3x"): the INT8 engine finishes its compute so quickly that the phase is
+memory-bound and cheap in energy.
+
+Power efficiency is reported as GFLOPS/W with the paper's convention of
+crediting the emulated operation's ``2·m·n·k`` FLOPs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import PerfModelError
+from ..types import FP64, Format
+from .costmodel import MethodCost, method_cost
+from .roofline import phase_times
+from .specs import GpuSpec, get_gpu
+
+__all__ = ["modeled_energy", "modeled_power", "power_efficiency"]
+
+
+def _phase_power(phase, time_s: float, gpu: GpuSpec, cost: MethodCost) -> float:
+    """Average power draw (W) while executing ``phase``."""
+    engine = phase.engine
+    peak = gpu.peak_for(engine if engine != "bf16" or gpu.supports_bf16x9 else "fp32")
+    compute_time = phase.ops / peak if peak > 0 else 0.0
+    utilisation = 0.0 if time_s <= 0 else min(1.0, compute_time / time_s)
+    idle = gpu.idle_fraction * gpu.tdp_watts
+    return idle + (gpu.tdp_watts - idle) * utilisation
+
+
+def modeled_energy(
+    method: "str | MethodCost",
+    gpu: "GpuSpec | str",
+    m: int | None = None,
+    k: int | None = None,
+    n: int | None = None,
+    target: "Format | str" = FP64,
+) -> float:
+    """Total modelled energy (joules) of one emulated GEMM."""
+    gpu = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    if isinstance(method, MethodCost):
+        cost = method
+    else:
+        if None in (m, k, n):
+            raise PerfModelError("problem size (m, k, n) is required with a method name")
+        cost = method_cost(method, m, k, n, target=target)
+    energy = 0.0
+    for phase, t in phase_times(cost, gpu):
+        energy += _phase_power(phase, t, gpu, cost) * t
+    return energy
+
+
+def modeled_power(
+    method: "str | MethodCost",
+    gpu: "GpuSpec | str",
+    m: int | None = None,
+    k: int | None = None,
+    n: int | None = None,
+    target: "Format | str" = FP64,
+) -> float:
+    """Average modelled power draw (W) over the whole emulated GEMM."""
+    gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    if isinstance(method, MethodCost):
+        cost = method
+    else:
+        if None in (m, k, n):
+            raise PerfModelError("problem size (m, k, n) is required with a method name")
+        cost = method_cost(method, m, k, n, target=target)
+    times = phase_times(cost, gpu_spec)
+    total_time = sum(t for _, t in times)
+    if total_time <= 0:
+        raise PerfModelError("modelled time is non-positive")
+    energy = sum(_phase_power(p, t, gpu_spec, cost) * t for p, t in times)
+    return energy / total_time
+
+
+def power_efficiency(
+    method: "str | MethodCost",
+    gpu: "GpuSpec | str",
+    m: int | None = None,
+    k: int | None = None,
+    n: int | None = None,
+    target: "Format | str" = FP64,
+) -> float:
+    """Modelled power efficiency in GFLOPS/W (the metric of Figures 8–9)."""
+    gpu_spec = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    if isinstance(method, MethodCost):
+        cost = method
+    else:
+        if None in (m, k, n):
+            raise PerfModelError("problem size (m, k, n) is required with a method name")
+        cost = method_cost(method, m, k, n, target=target)
+    energy = modeled_energy(cost, gpu_spec)
+    if energy <= 0:
+        raise PerfModelError("modelled energy is non-positive")
+    return cost.useful_flops / energy / 1e9

@@ -1,0 +1,109 @@
+"""Roofline time model.
+
+Each :class:`~repro.perfmodel.costmodel.PhaseCost` is converted to a time
+estimate::
+
+    t_phase = max(ops / peak(engine), bytes / bandwidth) + kernels * overhead
+
+i.e. a classic roofline: the phase is limited by whichever of the compute
+pipeline or the memory system it saturates, plus a fixed launch/tail latency
+per kernel.  The BF16x9 special case (supported natively only on Blackwell;
+elsewhere cuBLAS falls back to the FP32 pipeline) is handled here because it
+is a property of the *GPU*, not of the method.
+
+The model deliberately has no tuned efficiency factors: its purpose is to
+reproduce the qualitative shape of Figures 4–9 (which method wins, by
+roughly what factor, and where emulation overtakes the native routine as the
+problem grows), not the absolute TFLOPS of the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import PerfModelError
+from ..types import FP64, Format
+from .costmodel import MethodCost, PhaseCost, method_cost
+from .specs import GpuSpec, get_gpu
+
+__all__ = ["phase_times", "modeled_time", "modeled_tflops"]
+
+
+def _effective_engine(engine: str, gpu: GpuSpec, method: str) -> str:
+    """Map a requested engine onto what the GPU actually provides."""
+    if engine == "bf16" and method == "BF16x9" and not gpu.supports_bf16x9:
+        # cuBLAS without the emulated-BF16x9 compute type runs the request
+        # as a plain FP32 GEMM (one kernel instead of nine is accounted for
+        # in phase_times below by scaling the op count back).
+        return "fp32"
+    return engine
+
+
+def phase_times(
+    cost: MethodCost, gpu: "GpuSpec | str"
+) -> List[Tuple[PhaseCost, float]]:
+    """Per-phase modelled execution times (seconds) on ``gpu``."""
+    gpu = gpu if isinstance(gpu, GpuSpec) else get_gpu(gpu)
+    results: List[Tuple[PhaseCost, float]] = []
+    for phase in cost.phases:
+        engine = _effective_engine(phase.engine, gpu, cost.method)
+        ops = phase.ops
+        kernels = phase.kernels
+        if engine != phase.engine and cost.method == "BF16x9" and phase.name == "matmul":
+            # Fallback path: a single FP32 GEMM replaces the nine BF16 GEMMs.
+            ops = 2.0 * cost.m * cost.n * cost.k
+            kernels = 1
+        peak = gpu.peak_for(engine)
+        compute_time = ops / peak if peak > 0 else float("inf")
+        memory_time = phase.bytes_moved / gpu.bandwidth_bytes_per_s
+        t = max(compute_time, memory_time) + kernels * gpu.kernel_overhead_s
+        results.append((phase, t))
+    return results
+
+
+def modeled_time(
+    method: "str | MethodCost",
+    gpu: "GpuSpec | str",
+    m: int | None = None,
+    k: int | None = None,
+    n: int | None = None,
+    target: "Format | str" = FP64,
+) -> float:
+    """Total modelled time (seconds) of ``method`` on ``gpu``.
+
+    ``method`` may be a prebuilt :class:`MethodCost` or a method name, in
+    which case the problem size ``(m, k, n)`` must be supplied.
+    """
+    if isinstance(method, MethodCost):
+        cost = method
+    else:
+        if None in (m, k, n):
+            raise PerfModelError("problem size (m, k, n) is required with a method name")
+        cost = method_cost(method, m, k, n, target=target)
+    return sum(t for _, t in phase_times(cost, gpu))
+
+
+def modeled_tflops(
+    method: "str | MethodCost",
+    gpu: "GpuSpec | str",
+    m: int | None = None,
+    k: int | None = None,
+    n: int | None = None,
+    target: "Format | str" = FP64,
+) -> float:
+    """Modelled effective TFLOPS: ``2·m·n·k`` divided by the modelled time.
+
+    This matches the paper's convention of crediting every method with the
+    FLOPs of the *emulated* operation, regardless of how much internal work
+    the emulation performs.
+    """
+    if isinstance(method, MethodCost):
+        cost = method
+    else:
+        if None in (m, k, n):
+            raise PerfModelError("problem size (m, k, n) is required with a method name")
+        cost = method_cost(method, m, k, n, target=target)
+    total = sum(t for _, t in phase_times(cost, gpu))
+    if total <= 0:
+        raise PerfModelError("modelled time is non-positive")
+    return cost.useful_flops / total / 1e12

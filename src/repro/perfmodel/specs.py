@@ -1,0 +1,265 @@
+"""GPU specification database.
+
+Peak throughput numbers are the publicly documented *dense* (no sparsity)
+peaks.  ``TFLOPS``/``TOPS`` values are in units of 1e12 operations per
+second; bandwidth is in GB/s; power is the board TDP in watts.
+
+The three evaluation GPUs of the paper (A100 SXM4, GH200's H100 die, RTX
+5080) are included together with the earlier generations plotted in
+Figure 1 (V100, A100, H100, B200 on the NVIDIA side; MI100, MI250X, MI300X
+on the AMD side).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..errors import PerfModelError
+
+__all__ = ["GpuSpec", "GPUS", "FIGURE1_GPUS", "get_gpu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """Peak capabilities of one GPU.
+
+    Attributes
+    ----------
+    name / vendor / year:
+        Identification (year of introduction, used by Figure 1).
+    fp64 / fp64_tc:
+        FP64 peak on the vector units and on the FP64 tensor/matrix cores
+        (TFLOPS).  cuBLAS DGEMM uses the tensor-core path when present.
+    fp32:
+        FP32 peak (TFLOPS) on the vector units (cuBLAS SGEMM).
+    tf32_tc / fp16_tc / bf16_tc:
+        Tensor-core peaks (TFLOPS) for TF32 / FP16 / BF16 inputs.
+    int8_tops:
+        INT8 tensor-core peak (TOPS).
+    bandwidth_gbps:
+        Device-memory bandwidth (GB/s).
+    tdp_watts:
+        Board power limit (W).
+    idle_fraction:
+        Fraction of TDP drawn when the chip is busy but poorly utilised
+        (memory-bound phases); used by the power model.
+    supports_bf16x9:
+        Whether cuBLAS exposes the BF16x9 emulated-FP32 compute type
+        (Blackwell only); elsewhere BF16x9 requests fall back to FP32.
+    kernel_overhead_s:
+        Fixed per-kernel launch/tail latency used by the roofline model.
+    vector_efficiency / tensor_efficiency:
+        Fraction of the datasheet peak a well-tuned GEMM library sustains on
+        the vector pipelines / the low-precision tensor engines.  These are
+        the only calibration constants of the model (large tensor-core GEMMs
+        typically sustain ~65–75% of peak, classic BLAS closer to 85–90%);
+        they are shared by every GPU and every method.
+    """
+
+    name: str
+    vendor: str
+    year: int
+    fp64: float
+    fp32: float
+    fp16_tc: float
+    int8_tops: float
+    bandwidth_gbps: float
+    tdp_watts: float
+    fp64_tc: Optional[float] = None
+    tf32_tc: Optional[float] = None
+    bf16_tc: Optional[float] = None
+    idle_fraction: float = 0.25
+    supports_bf16x9: bool = False
+    kernel_overhead_s: float = 8e-6
+    vector_efficiency: float = 0.88
+    tensor_efficiency: float = 0.68
+
+    def peak_for(self, engine: str, sustained: bool = True) -> float:
+        """Peak operations/second for an engine name.
+
+        Engines: ``fp64`` (tensor-core path if available), ``fp64_simt``,
+        ``fp32``, ``tf32``, ``fp16``, ``bf16``, ``int8``.  With
+        ``sustained=True`` (default) the datasheet peak is scaled by the
+        sustained-efficiency factor of the corresponding pipeline; pass
+        ``sustained=False`` for the raw datasheet number (Figure 1).
+        """
+        table = {
+            "fp64": ((self.fp64_tc or self.fp64) * 1e12, self.vector_efficiency),
+            "fp64_simt": (self.fp64 * 1e12, self.vector_efficiency),
+            "fp32": (self.fp32 * 1e12, self.vector_efficiency),
+            "tf32": ((self.tf32_tc or self.fp32) * 1e12, self.tensor_efficiency),
+            "fp16": (self.fp16_tc * 1e12, self.tensor_efficiency),
+            "bf16": ((self.bf16_tc or self.fp16_tc) * 1e12, self.tensor_efficiency),
+            "int8": (self.int8_tops * 1e12, self.tensor_efficiency),
+        }
+        try:
+            peak, eff = table[engine]
+        except KeyError:
+            raise PerfModelError(
+                f"unknown engine {engine!r}; known: {sorted(table)}"
+            ) from None
+        return peak * eff if sustained else peak
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Memory bandwidth in bytes/second."""
+        return self.bandwidth_gbps * 1e9
+
+
+#: The GPUs used in the paper's evaluation (Section 5) plus the Figure 1 set.
+GPUS: Dict[str, GpuSpec] = {
+    # --- evaluation GPUs -----------------------------------------------------
+    "A100": GpuSpec(
+        name="A100",
+        vendor="NVIDIA",
+        year=2020,
+        fp64=9.7,
+        fp64_tc=19.5,
+        fp32=19.5,
+        tf32_tc=156.0,
+        fp16_tc=312.0,
+        bf16_tc=312.0,
+        int8_tops=624.0,
+        bandwidth_gbps=2039.0,
+        tdp_watts=400.0,
+    ),
+    "GH200": GpuSpec(
+        # Hopper H100 die of the GH200 Grace Hopper Superchip (SXM, HBM3).
+        name="GH200",
+        vendor="NVIDIA",
+        year=2023,
+        fp64=34.0,
+        fp64_tc=67.0,
+        fp32=67.0,
+        tf32_tc=494.0,
+        fp16_tc=989.0,
+        bf16_tc=989.0,
+        int8_tops=1979.0,
+        bandwidth_gbps=4000.0,
+        tdp_watts=700.0,
+    ),
+    "RTX5080": GpuSpec(
+        # Blackwell consumer GPU: FP64 runs at 1/64 of FP32 rate.
+        name="RTX5080",
+        vendor="NVIDIA",
+        year=2025,
+        fp64=0.88,
+        fp64_tc=None,
+        fp32=56.3,
+        tf32_tc=112.0,
+        fp16_tc=225.0,
+        bf16_tc=225.0,
+        int8_tops=450.0,
+        bandwidth_gbps=960.0,
+        tdp_watts=360.0,
+        supports_bf16x9=True,
+        # Consumer Blackwell sustains a lower fraction of its FP32 peak
+        # (power/boost limited) while its INT8 tensor path is comparatively
+        # efficient; these factors reproduce the paper's observation that
+        # INT8 GEMM outruns SGEMM by ~5x and that OS II-fast-6..8 edge out
+        # SGEMM at large n on this card.
+        vector_efficiency=0.62,
+        tensor_efficiency=0.75,
+    ),
+    # --- additional Figure 1 generations ------------------------------------
+    "V100": GpuSpec(
+        name="V100",
+        vendor="NVIDIA",
+        year=2017,
+        fp64=7.8,
+        fp32=15.7,
+        fp16_tc=125.0,
+        int8_tops=62.0,
+        bandwidth_gbps=900.0,
+        tdp_watts=300.0,
+    ),
+    "H100": GpuSpec(
+        name="H100",
+        vendor="NVIDIA",
+        year=2022,
+        fp64=34.0,
+        fp64_tc=67.0,
+        fp32=67.0,
+        tf32_tc=494.0,
+        fp16_tc=989.0,
+        bf16_tc=989.0,
+        int8_tops=1979.0,
+        bandwidth_gbps=3350.0,
+        tdp_watts=700.0,
+    ),
+    "B200": GpuSpec(
+        name="B200",
+        vendor="NVIDIA",
+        year=2024,
+        fp64=37.0,
+        fp64_tc=37.0,
+        fp32=75.0,
+        tf32_tc=1100.0,
+        fp16_tc=2250.0,
+        bf16_tc=2250.0,
+        int8_tops=4500.0,
+        bandwidth_gbps=8000.0,
+        tdp_watts=1000.0,
+        supports_bf16x9=True,
+    ),
+    "MI100": GpuSpec(
+        name="MI100",
+        vendor="AMD",
+        year=2020,
+        fp64=11.5,
+        fp32=23.1,
+        fp16_tc=184.6,
+        int8_tops=184.6,
+        bandwidth_gbps=1230.0,
+        tdp_watts=300.0,
+    ),
+    "MI250X": GpuSpec(
+        name="MI250X",
+        vendor="AMD",
+        year=2021,
+        fp64=47.9,
+        fp64_tc=95.7,
+        fp32=47.9,
+        fp16_tc=383.0,
+        bf16_tc=383.0,
+        int8_tops=383.0,
+        bandwidth_gbps=3276.0,
+        tdp_watts=560.0,
+    ),
+    "MI300X": GpuSpec(
+        name="MI300X",
+        vendor="AMD",
+        year=2023,
+        fp64=81.7,
+        fp64_tc=163.4,
+        fp32=163.4,
+        tf32_tc=653.7,
+        fp16_tc=1307.4,
+        bf16_tc=1307.4,
+        int8_tops=2614.9,
+        bandwidth_gbps=5300.0,
+        tdp_watts=750.0,
+    ),
+}
+
+#: Names plotted by the Figure 1 reproduction, in chronological order.
+FIGURE1_GPUS: Tuple[str, ...] = (
+    "V100",
+    "MI100",
+    "A100",
+    "MI250X",
+    "H100",
+    "MI300X",
+    "B200",
+    "RTX5080",
+)
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by (case-insensitive) name."""
+    key = str(name).strip()
+    for candidate, spec in GPUS.items():
+        if candidate.lower() == key.lower():
+            return spec
+    raise PerfModelError(f"unknown GPU {name!r}; known GPUs: {sorted(GPUS)}")

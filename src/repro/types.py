@@ -1,0 +1,290 @@
+"""Precision and number-format descriptors used throughout the library.
+
+The paper manipulates several number formats:
+
+* IEEE binary64 (FP64) and binary32 (FP32) — the emulation targets,
+* FP16 / BF16 / TF32 — the formats used by the baseline emulation methods
+  (cuMpSGEMM, BF16x9, TF32GEMM),
+* INT8 with INT32 accumulation — the matrix-engine format used by both
+  Ozaki scheme I (ozIMMU) and Ozaki scheme II (this paper).
+
+A :class:`Format` instance is a lightweight, hashable description of such a
+format: how many significand bits it carries, its exponent range, and how it
+behaves as a matrix-engine *input* type.  The fixed instances defined at the
+bottom of this module (``FP64``, ``FP32``, ``TF32``, ``BF16``, ``FP16``,
+``INT8``) are the only ones the rest of the library uses; they are exposed in
+:data:`FORMATS` for lookup by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "Format",
+    "FP64",
+    "FP32",
+    "TF32",
+    "BF16",
+    "FP16",
+    "INT8",
+    "INT32",
+    "FORMATS",
+    "get_format",
+    "unit_roundoff",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Format:
+    """Description of a number format.
+
+    Parameters
+    ----------
+    name:
+        Canonical short name (``"fp64"``, ``"tf32"``, ...).
+    kind:
+        ``"float"`` for floating-point formats, ``"int"`` for integer formats.
+    significand_bits:
+        Number of significand bits *including* the implicit leading bit for
+        floating-point formats; the total number of value bits (including the
+        sign) for integer formats.
+    exponent_bits:
+        Number of exponent bits (0 for integer formats).
+    storage_bits:
+        Number of bits occupied in memory.  TF32 is stored as 32 bits even
+        though only 19 are significant, matching NVIDIA hardware behaviour.
+    np_dtype:
+        The NumPy dtype used to *store* values of this format in this
+        library.  Formats without a native NumPy dtype (TF32, BF16) are
+        stored in ``float32`` after rounding onto their value grid.
+    accumulate_dtype:
+        The NumPy dtype used by matrix engines to accumulate products of
+        this input format.
+    """
+
+    name: str
+    kind: str
+    significand_bits: int
+    exponent_bits: int
+    storage_bits: int
+    np_dtype: np.dtype
+    accumulate_dtype: np.dtype
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "int"):
+            raise ConfigurationError(f"unknown format kind {self.kind!r}")
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point formats."""
+        return self.kind == "float"
+
+    @property
+    def is_int(self) -> bool:
+        """True for integer formats."""
+        return self.kind == "int"
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Storage size of one element in bytes."""
+        return self.storage_bits / 8.0
+
+    @property
+    def machine_epsilon(self) -> float:
+        """Unit roundoff ``2**-significand_bits`` for float formats.
+
+        For integer formats this property raises
+        :class:`~repro.errors.ConfigurationError` because the notion of a
+        relative rounding error does not apply.
+        """
+        if not self.is_float:
+            raise ConfigurationError(f"{self.name} is not a floating-point format")
+        return 2.0 ** (-self.significand_bits)
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased binary exponent representable (float formats)."""
+        if not self.is_float:
+            raise ConfigurationError(f"{self.name} is not a floating-point format")
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def min_normal_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number (float formats)."""
+        if not self.is_float:
+            raise ConfigurationError(f"{self.name} is not a floating-point format")
+        return 2 - 2 ** (self.exponent_bits - 1)
+
+    @property
+    def int_min(self) -> int:
+        """Smallest representable integer (integer formats)."""
+        if not self.is_int:
+            raise ConfigurationError(f"{self.name} is not an integer format")
+        return -(2 ** (self.significand_bits - 1))
+
+    @property
+    def int_max(self) -> int:
+        """Largest representable integer (integer formats)."""
+        if not self.is_int:
+            raise ConfigurationError(f"{self.name} is not an integer format")
+        return 2 ** (self.significand_bits - 1) - 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP64 = Format(
+    name="fp64",
+    kind="float",
+    significand_bits=53,
+    exponent_bits=11,
+    storage_bits=64,
+    np_dtype=np.dtype(np.float64),
+    accumulate_dtype=np.dtype(np.float64),
+    description="IEEE 754 binary64 (double precision)",
+)
+
+FP32 = Format(
+    name="fp32",
+    kind="float",
+    significand_bits=24,
+    exponent_bits=8,
+    storage_bits=32,
+    np_dtype=np.dtype(np.float32),
+    accumulate_dtype=np.dtype(np.float32),
+    description="IEEE 754 binary32 (single precision)",
+)
+
+TF32 = Format(
+    name="tf32",
+    kind="float",
+    significand_bits=11,
+    exponent_bits=8,
+    storage_bits=32,
+    np_dtype=np.dtype(np.float32),
+    accumulate_dtype=np.dtype(np.float32),
+    description="NVIDIA TensorFloat-32 (19-bit value, FP32 storage)",
+)
+
+BF16 = Format(
+    name="bf16",
+    kind="float",
+    significand_bits=8,
+    exponent_bits=8,
+    storage_bits=16,
+    np_dtype=np.dtype(np.float32),
+    accumulate_dtype=np.dtype(np.float32),
+    description="bfloat16 (stored as rounded float32 in this library)",
+)
+
+FP16 = Format(
+    name="fp16",
+    kind="float",
+    significand_bits=11,
+    exponent_bits=5,
+    storage_bits=16,
+    np_dtype=np.dtype(np.float16),
+    accumulate_dtype=np.dtype(np.float32),
+    description="IEEE 754 binary16 (half precision)",
+)
+
+INT8 = Format(
+    name="int8",
+    kind="int",
+    significand_bits=8,
+    exponent_bits=0,
+    storage_bits=8,
+    np_dtype=np.dtype(np.int8),
+    accumulate_dtype=np.dtype(np.int32),
+    description="8-bit signed integer with INT32 accumulation",
+)
+
+INT32 = Format(
+    name="int32",
+    kind="int",
+    significand_bits=32,
+    exponent_bits=0,
+    storage_bits=32,
+    np_dtype=np.dtype(np.int32),
+    accumulate_dtype=np.dtype(np.int64),
+    description="32-bit signed integer",
+)
+
+#: Mapping from canonical name to :class:`Format` instance.
+FORMATS: dict[str, Format] = {
+    fmt.name: fmt for fmt in (FP64, FP32, TF32, BF16, FP16, INT8, INT32)
+}
+
+#: Aliases accepted by :func:`get_format`.
+_ALIASES: dict[str, str] = {
+    "float64": "fp64",
+    "double": "fp64",
+    "f64": "fp64",
+    "float32": "fp32",
+    "single": "fp32",
+    "f32": "fp32",
+    "half": "fp16",
+    "float16": "fp16",
+    "bfloat16": "bf16",
+    "tensorfloat32": "tf32",
+    "i8": "int8",
+    "i32": "int32",
+}
+
+
+def get_format(name: str | Format) -> Format:
+    """Return the :class:`Format` for ``name``.
+
+    Accepts canonical names, common aliases (``"double"``, ``"float32"``,
+    ...), or an existing :class:`Format` (returned unchanged).
+    """
+    if isinstance(name, Format):
+        return name
+    key = str(name).strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return FORMATS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown number format {name!r}; known formats: {sorted(FORMATS)}"
+        ) from None
+
+
+def unit_roundoff(fmt: str | Format) -> float:
+    """Unit roundoff (2**-p) of a floating-point format given by name."""
+    return get_format(fmt).machine_epsilon
+
+
+def working_dtype(precision: str | Format) -> np.dtype:
+    """NumPy dtype used for the *target* precision of an emulation.
+
+    DGEMM emulation targets FP64 and works internally in float64; SGEMM
+    emulation targets FP32 but still performs scaling and accumulation in
+    float64 as in the paper (only the final result is in float32 semantics).
+    """
+    fmt = get_format(precision)
+    if fmt not in (FP64, FP32):
+        raise ConfigurationError(
+            f"emulation targets must be fp64 or fp32, got {fmt.name}"
+        )
+    return np.dtype(np.float64)
+
+
+def result_dtype(precision: str | Format) -> np.dtype:
+    """NumPy dtype of the emulated GEMM result (float64 or float32)."""
+    fmt = get_format(precision)
+    if fmt == FP64:
+        return np.dtype(np.float64)
+    if fmt == FP32:
+        return np.dtype(np.float32)
+    raise ConfigurationError(f"emulation targets must be fp64 or fp32, got {fmt.name}")
+
+
+__all__ += ["working_dtype", "result_dtype"]

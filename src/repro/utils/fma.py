@@ -1,0 +1,116 @@
+"""Error-free transformations and a software fused multiply-add.
+
+NumPy does not expose a hardware FMA, but the paper's fast residue kernels
+(Section 4.2) and the final reconstruction step (line 11 of Algorithm 1) are
+written in terms of FMA.  This module provides the classical error-free
+building blocks:
+
+* :func:`two_sum` — Knuth's branch-free exact addition ``a + b = s + e``.
+* :func:`fast_two_sum` — Dekker's variant, exact when ``|a| >= |b|``.
+* :func:`split` — Dekker's splitting of a float64 into two 26-bit halves.
+* :func:`two_prod` — exact product ``a * b = p + e`` via Dekker splitting.
+* :func:`fma` — a faithful software ``a*b + c`` built from the above.
+
+All functions are vectorised: they accept scalars or NumPy arrays of
+``float64`` and broadcast like NumPy ufuncs.  The intermediate quantities are
+kept in ``float64``; inputs of other dtypes are up-cast.
+
+Accuracy note
+-------------
+:func:`fma` computes the exact value of ``a*b + c`` as a double-double and
+rounds it with one final addition.  This is *faithful* (error below 1 ulp)
+rather than correctly rounded in full generality, but it is exact whenever
+the true result is representable — which is the case in every place the
+library uses it (integer-valued operands within the float64 exact range, as
+in the residue kernels and the ``C'' = C' - P*Q`` reconstruction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["two_sum", "fast_two_sum", "split", "two_prod", "fma"]
+
+#: Dekker splitting constant for binary64: 2**27 + 1.
+_SPLIT_FACTOR = np.float64(134217729.0)
+
+
+def _as_f64(x) -> np.ndarray:
+    """Coerce input to a float64 array (no copy when already float64)."""
+    return np.asarray(x, dtype=np.float64)
+
+
+def two_sum(a, b):
+    """Knuth's error-free addition.
+
+    Returns ``(s, e)`` with ``s = fl(a + b)`` and ``a + b = s + e`` exactly,
+    for any ordering of magnitudes (no branch).
+    """
+    a = _as_f64(a)
+    b = _as_f64(b)
+    s = a + b
+    bb = s - a
+    e = (a - (s - bb)) + (b - bb)
+    return s, e
+
+
+def fast_two_sum(a, b):
+    """Dekker's error-free addition, valid when ``|a| >= |b|`` elementwise.
+
+    Returns ``(s, e)`` with ``s = fl(a + b)`` and ``a + b = s + e`` exactly
+    provided the magnitude condition holds.  One floating-point operation
+    cheaper than :func:`two_sum`.
+    """
+    a = _as_f64(a)
+    b = _as_f64(b)
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def split(a):
+    """Dekker's splitting of float64 values into high and low parts.
+
+    Returns ``(hi, lo)`` such that ``a = hi + lo`` exactly and both parts
+    have at most 26 significand bits, so products ``hi*hi``, ``hi*lo``,
+    ``lo*lo`` are exact in float64.
+
+    Values with magnitude above roughly ``2**996`` would overflow the
+    splitting constant; the library never produces such values (the largest
+    quantities are ``P`` for 20 moduli, around ``2**159``), so no scaling
+    branch is included.
+    """
+    a = _as_f64(a)
+    t = _SPLIT_FACTOR * a
+    hi = t - (t - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod(a, b):
+    """Error-free product via Dekker splitting.
+
+    Returns ``(p, e)`` with ``p = fl(a * b)`` and ``a * b = p + e`` exactly
+    (barring overflow/underflow of the exact product).
+    """
+    a = _as_f64(a)
+    b = _as_f64(b)
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def fma(a, b, c):
+    """Software fused multiply-add ``a*b + c`` (faithful rounding).
+
+    The product is formed exactly with :func:`two_prod`, added to ``c`` with
+    :func:`two_sum`, and the two error terms are folded back with a single
+    rounded addition.  The result differs from a hardware FMA by at most one
+    unit in the last place and is exact whenever the true value of
+    ``a*b + c`` is representable in float64.
+    """
+    p, e_p = two_prod(a, b)
+    s, e_s = two_sum(p, c)
+    return s + (e_s + e_p)

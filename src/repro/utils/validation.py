@@ -1,0 +1,55 @@
+"""Input validation shared by every public entry point.
+
+Validation failures raise :class:`~repro.errors.ValidationError`, which is a
+``ValueError`` subclass so that callers used to NumPy semantics can catch it
+with either exception type.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["ensure_2d", "require_finite", "check_gemm_operands"]
+
+
+def ensure_2d(x, name: str = "matrix") -> np.ndarray:
+    """Return ``x`` as a 2-D float array, raising on other ranks."""
+    arr = np.asarray(x)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def require_finite(x: np.ndarray, name: str = "matrix") -> None:
+    """Raise if ``x`` contains NaN or infinity."""
+    if not np.all(np.isfinite(x)):
+        raise ValidationError(f"{name} contains non-finite values (NaN or Inf)")
+
+
+def check_gemm_operands(
+    a, b, dtype=np.float64, check_finite: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce GEMM operands.
+
+    Checks that ``a`` and ``b`` are non-empty 2-D arrays with a matching
+    inner dimension, casts them to ``dtype`` and (optionally) checks
+    finiteness.  Returns the coerced pair.
+    """
+    a = ensure_2d(a, "A")
+    b = ensure_2d(b, "B")
+    if a.shape[1] != b.shape[0]:
+        raise ValidationError(
+            f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
+        )
+    a = np.ascontiguousarray(a, dtype=dtype)
+    b = np.ascontiguousarray(b, dtype=dtype)
+    if check_finite:
+        require_finite(a, "A")
+        require_finite(b, "B")
+    return a, b

@@ -1,0 +1,17 @@
+"""Workload generators used in the paper's evaluation."""
+
+from .generators import (
+    WorkloadSpec,
+    adversarial_cancellation_matrix,
+    hpl_like_pair,
+    phi_matrix,
+    phi_pair,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "adversarial_cancellation_matrix",
+    "hpl_like_pair",
+    "phi_matrix",
+    "phi_pair",
+]

@@ -1,0 +1,142 @@
+"""Test-matrix generators (Section 5).
+
+The paper generates its inputs as::
+
+    a_ij, b_ij = (rand - 0.5) * exp(phi * randn)
+
+where ``rand`` is uniform on (0, 1], ``randn`` is standard normal and
+``phi`` controls the spread of the exponent distribution.  ``phi = 0.5``
+empirically matches the exponent distribution of HPL's matrix
+multiplications; larger ``phi`` values stress the emulation's dynamic range
+(Figure 3 uses phi in {0.5, 1, 2, 4} for DGEMM and {0.5, 1, 1.5} for
+SGEMM).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import FP32, FP64, Format, get_format
+
+__all__ = [
+    "WorkloadSpec",
+    "phi_matrix",
+    "phi_pair",
+    "hpl_like_pair",
+    "adversarial_cancellation_matrix",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one (A, B) workload for the harness.
+
+    Attributes
+    ----------
+    m, k, n:
+        Problem dimensions (``A`` is ``m x k``, ``B`` is ``k x n``).
+    phi:
+        Exponent-spread parameter of the generator.
+    precision:
+        Element format of the generated matrices (FP64 or FP32).
+    seed:
+        RNG seed (fixed seeds make every experiment reproducible, as the
+        paper does with cuRAND).
+    """
+
+    m: int
+    k: int
+    n: int
+    phi: float = 0.5
+    precision: Format = FP64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        fmt = get_format(self.precision)
+        object.__setattr__(self, "precision", fmt)
+        for name in ("m", "k", "n"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ValidationError(f"{name} must be positive, got {value}")
+            object.__setattr__(self, name, value)
+
+    def generate(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate the (A, B) pair described by this spec."""
+        return phi_pair(
+            self.m, self.k, self.n, phi=self.phi, precision=self.precision, seed=self.seed
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label for tables."""
+        return f"m{self.m}k{self.k}n{self.n}_phi{self.phi:g}"
+
+
+def phi_matrix(
+    rows: int,
+    cols: int,
+    phi: float = 0.5,
+    precision: "Format | str" = FP64,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """One matrix drawn from the paper's ``(rand-0.5)*exp(phi*randn)`` law."""
+    fmt = get_format(precision)
+    if fmt not in (FP64, FP32):
+        raise ValidationError("workload precision must be fp64 or fp32")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    uniform = rng.random((rows, cols))
+    # rand in (0, 1]: the paper's generator excludes 0 so the sign factor
+    # never collapses an element to exactly -0.5 * exp(...) == 0.
+    uniform = 1.0 - uniform
+    normal = rng.standard_normal((rows, cols))
+    values = (uniform - 0.5) * np.exp(float(phi) * normal)
+    return values.astype(fmt.np_dtype if fmt == FP32 else np.float64)
+
+
+def phi_pair(
+    m: int,
+    k: int,
+    n: int,
+    phi: float = 0.5,
+    precision: "Format | str" = FP64,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The (A, B) pair used throughout Section 5."""
+    rng = np.random.default_rng(seed)
+    a = phi_matrix(m, k, phi=phi, precision=precision, rng=rng)
+    b = phi_matrix(k, n, phi=phi, precision=precision, rng=rng)
+    return a, b
+
+
+def hpl_like_pair(
+    m: int, k: int, n: int, precision: "Format | str" = FP64, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """HPL-like workload: the ``phi = 0.5`` setting singled out in Section 5.1."""
+    return phi_pair(m, k, n, phi=0.5, precision=precision, seed=seed)
+
+
+def adversarial_cancellation_matrix(
+    rows: int,
+    cols: int,
+    magnitude_ratio: float = 1e8,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Matrix mixing large and tiny entries to stress truncation error.
+
+    Half of each row is drawn near ``magnitude_ratio`` and half near 1, so
+    row norms are dominated by a few huge entries while the small entries
+    still matter for cancellation-prone products.  Used by the extended
+    accuracy tests (not part of the paper's figures).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    base = rng.standard_normal((rows, cols))
+    mask = rng.random((rows, cols)) < 0.5
+    return np.where(mask, base * float(magnitude_ratio), base)

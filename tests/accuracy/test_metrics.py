@@ -1,0 +1,68 @@
+"""Tests for the error metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accuracy.metrics import (
+    ErrorSummary,
+    max_relative_error,
+    relative_errors,
+    summarize_errors,
+)
+
+
+class TestRelativeErrors:
+    def test_basic(self):
+        computed = np.array([[1.1, 2.0]])
+        reference = np.array([[1.0, 2.0]])
+        errs = relative_errors(computed, reference)
+        np.testing.assert_allclose(errs, np.array([[0.1, 0.0]]), rtol=1e-12)
+
+    def test_zero_reference_uses_largest_magnitude(self):
+        computed = np.array([[0.5, 10.0]])
+        reference = np.array([[0.0, 10.0]])
+        errs = relative_errors(computed, reference)
+        # denominator for the zero element is max|reference| = 10.
+        assert errs[0, 0] == pytest.approx(0.05)
+
+    def test_all_zero_reference(self):
+        errs = relative_errors(np.ones((2, 2)), np.zeros((2, 2)))
+        np.testing.assert_array_equal(errs, np.ones((2, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_max_relative_error(self):
+        computed = np.array([[1.0, 2.2], [3.0, 4.0]])
+        reference = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert max_relative_error(computed, reference) == pytest.approx(0.1)
+
+
+class TestSummary:
+    def test_summary_fields(self, rng):
+        reference = rng.standard_normal((10, 10))
+        computed = reference * (1 + 1e-8 * rng.standard_normal((10, 10)))
+        summary = summarize_errors(computed, reference)
+        assert isinstance(summary, ErrorSummary)
+        assert 0 < summary.median <= summary.max
+        assert 0 < summary.mean <= summary.max
+        assert summary.frobenius_relative == pytest.approx(
+            np.linalg.norm(computed - reference) / np.linalg.norm(reference)
+        )
+        assert set(summary.as_dict()) == {"max", "median", "mean", "frobenius_relative"}
+
+    def test_max_log10(self):
+        summary = ErrorSummary(max=1e-8, median=1e-9, mean=1e-9, frobenius_relative=1e-9)
+        assert summary.max_log10 == pytest.approx(-8.0)
+        zero = ErrorSummary(max=0.0, median=0.0, mean=0.0, frobenius_relative=0.0)
+        assert zero.max_log10 == -math.inf
+
+    def test_exact_match_gives_zero(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4) + 1
+        summary = summarize_errors(x, x)
+        assert summary.max == 0.0 and summary.frobenius_relative == 0.0

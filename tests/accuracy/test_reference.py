@@ -1,0 +1,74 @@
+"""Tests for the high-precision reference GEMM."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.accuracy.reference import exact_int_gemm, reference_gemm
+from repro.errors import ConfigurationError
+from repro.workloads import phi_pair
+
+
+class TestSplitReference:
+    def test_exact_on_integer_matrices(self, rng):
+        a = np.trunc(rng.standard_normal((12, 20)) * 1000)
+        b = np.trunc(rng.standard_normal((20, 8)) * 1000)
+        ref = reference_gemm(a, b)
+        exact = exact_int_gemm(a, b)
+        for r in range(12):
+            for c in range(8):
+                assert ref[r, c] == float(int(exact[r, c]))
+
+    def test_agrees_with_doubledouble_reference(self, rng):
+        a, b = phi_pair(24, 48, 20, phi=1.5, seed=41)
+        fast = reference_gemm(a, b, algorithm="split")
+        slow = reference_gemm(a, b, algorithm="doubledouble")
+        np.testing.assert_allclose(fast, slow, rtol=1e-15, atol=0)
+
+    def test_more_accurate_than_native_dgemm_on_cancellation(self):
+        # Sum with massive cancellation: [x, -x, 1] . [1, 1, 1] == 1.
+        x = 1e17
+        a = np.array([[x, -x, 1.0]])
+        b = np.ones((3, 1))
+        assert reference_gemm(a, b)[0, 0] == 1.0
+        # Dot products evaluated left-to-right in float64 would lose the 1.
+
+    def test_exact_fraction_check_small(self, rng):
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((5, 2))
+        ref = reference_gemm(a, b)
+        for r in range(3):
+            for c in range(2):
+                exact = sum(
+                    Fraction(float(a[r, h])) * Fraction(float(b[h, c])) for h in range(5)
+                )
+                got = Fraction(float(ref[r, c]))
+                if exact != 0:
+                    assert abs(got - exact) <= abs(exact) * Fraction(1, 2**52)
+
+    def test_wide_dynamic_range(self, rng):
+        a = rng.standard_normal((8, 16)) * 10.0 ** rng.integers(-100, 100, (8, 16))
+        b = rng.standard_normal((16, 8)) * 10.0 ** rng.integers(-100, 100, (16, 8))
+        ref = reference_gemm(a, b)
+        assert np.all(np.isfinite(ref))
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            reference_gemm(np.ones((2, 2)), np.ones((2, 2)), algorithm="magic")
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ConfigurationError):
+            reference_gemm(np.ones((2, 2)), np.ones((2, 2)), num_chunks=1)
+
+
+class TestExactIntGemm:
+    def test_matches_python_ints(self):
+        a = np.array([[2**40, -3], [7, 11]], dtype=np.float64)
+        b = np.array([[1, 2**41], [5, -1]], dtype=np.float64)
+        out = exact_int_gemm(a, b)
+        assert out[0, 0] == 2**40 - 15
+        assert out[0, 1] == 2**81 + 3
+        assert out.dtype == object

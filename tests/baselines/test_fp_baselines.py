@@ -1,0 +1,99 @@
+"""Tests for the floating-point baselines: native, TF32, BF16x9, cuMpSGEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy import max_relative_error, reference_gemm, summarize_errors
+from repro.baselines.bf16x9 import bf16x9_gemm, split_bf16x3
+from repro.baselines.cumpsgemm import cumpsgemm_fp16tcec, split_fp16_with_correction
+from repro.baselines.native import native_dgemm, native_sgemm
+from repro.baselines.tf32gemm import tf32_gemm
+from repro.workloads import phi_pair
+
+
+@pytest.fixture
+def fp32_pair():
+    return phi_pair(48, 96, 40, phi=0.5, precision="fp32", seed=31)
+
+
+class TestNative:
+    def test_dgemm_equals_numpy(self, small_pair):
+        a, b = small_pair
+        np.testing.assert_array_equal(native_dgemm(a, b), a @ b)
+
+    def test_sgemm_dtype(self, fp32_pair):
+        a, b = fp32_pair
+        c = native_sgemm(a, b)
+        assert c.dtype == np.float32
+
+
+class TestTf32:
+    def test_accuracy_between_bf16_and_fp32(self, fp32_pair):
+        a, b = fp32_pair
+        ref = reference_gemm(a, b)
+        err_sgemm = max_relative_error(native_sgemm(a, b), ref)
+        err_tf32 = max_relative_error(tf32_gemm(a, b), ref)
+        # TF32 is markedly less accurate than FP32 but not catastrophically so.
+        assert err_tf32 > err_sgemm
+        assert err_tf32 < err_sgemm * 2**16
+
+
+class TestBf16x9:
+    def test_split_reconstructs_fp32(self, fp32_pair):
+        a, _ = fp32_pair
+        parts = split_bf16x3(a)
+        assert len(parts) == 3
+        recon = sum(p.astype(np.float64) * 2.0 ** (-8 * i) for i, p in enumerate(parts))
+        rel = np.abs(recon - a.astype(np.float64)) / np.maximum(np.abs(a), 1e-30)
+        # Three 8-bit chunks capture at least the 24 bits of FP32.
+        assert np.max(rel) <= 2.0**-22
+
+    def test_matches_sgemm_level_accuracy(self, fp32_pair):
+        """Section 5.1: 'SGEMM and BF16x9 exhibited equivalent accuracy'."""
+        a, b = fp32_pair
+        ref = reference_gemm(a, b)
+        err_sgemm = summarize_errors(native_sgemm(a, b), ref).median
+        err_bf16x9 = summarize_errors(bf16x9_gemm(a, b), ref).median
+        assert err_bf16x9 <= 8.0 * err_sgemm
+
+    def test_much_more_accurate_than_single_bf16_product(self, fp32_pair):
+        from repro.engines.lowprec_fp import Bf16MatrixEngine
+
+        a, b = fp32_pair
+        ref = reference_gemm(a, b)
+        single = max_relative_error(Bf16MatrixEngine().matmul(a, b), ref)
+        nine = max_relative_error(bf16x9_gemm(a, b), ref)
+        assert nine < single / 100
+
+
+class TestCuMpSgemm:
+    def test_split_with_correction_reconstructs(self, fp32_pair):
+        a, _ = fp32_pair
+        a1, a2 = split_fp16_with_correction(a)
+        recon = a1.astype(np.float64) + a2.astype(np.float64) * 2.0**-11
+        rel = np.abs(recon - a.astype(np.float64)) / np.maximum(np.abs(a), 1e-30)
+        assert np.max(rel) <= 2.0**-21
+
+    def test_sgemm_level_accuracy(self, fp32_pair):
+        """cuMpSGEMM's FP16TCEC mode emulates SGEMM 'without accuracy loss'."""
+        a, b = fp32_pair
+        ref = reference_gemm(a, b)
+        err_sgemm = summarize_errors(native_sgemm(a, b), ref).median
+        err_cump = summarize_errors(cumpsgemm_fp16tcec(a, b), ref).median
+        assert err_cump <= 8.0 * err_sgemm
+
+    def test_handles_wide_dynamic_range_via_scaling(self, rng):
+        # Values far outside FP16's exponent range must survive thanks to
+        # the per-row/column scaling.
+        a = (rng.standard_normal((16, 24)) * 1e10).astype(np.float32)
+        b = (rng.standard_normal((24, 12)) * 1e-12).astype(np.float32)
+        ref = reference_gemm(a, b)
+        err = max_relative_error(cumpsgemm_fp16tcec(a, b), ref)
+        assert err < 1e-2
+        assert np.all(np.isfinite(cumpsgemm_fp16tcec(a, b)))
+
+    def test_output_dtype(self, fp32_pair):
+        a, b = fp32_pair
+        assert cumpsgemm_fp16tcec(a, b).dtype == np.float32

@@ -1,0 +1,98 @@
+"""Tests for the paper-name method registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import MethodSpec, available_methods, get_method
+from repro.config import ComputeMode
+from repro.errors import ConfigurationError
+from repro.types import FP32, FP64
+
+
+class TestNameParsing:
+    @pytest.mark.parametrize(
+        "name, family, target",
+        [
+            ("DGEMM", "native", FP64),
+            ("SGEMM", "native", FP32),
+            ("TF32GEMM", "tf32", FP32),
+            ("BF16x9", "bf16x9", FP32),
+            ("cuMpSGEMM", "cumpsgemm", FP32),
+        ],
+    )
+    def test_fixed_names(self, name, family, target):
+        spec = get_method(name)
+        assert spec.family == family
+        assert spec.target is target
+        assert spec.name.lower() == name.lower()
+
+    def test_ozimmu_names(self):
+        spec = get_method("ozIMMU_EF-9")
+        assert spec.family == "ozimmu"
+        assert spec.num_slices == 9
+        assert spec.name == "ozIMMU_EF-9"
+        assert get_method("ozimmu-5").num_slices == 5
+
+    def test_ozaki2_names(self):
+        spec = get_method("OS II-fast-14")
+        assert spec.family == "ozaki2"
+        assert spec.num_moduli == 14
+        assert spec.mode is ComputeMode.FAST
+        assert spec.target is FP64
+
+        spec32 = get_method("OS II-accu-8", target="fp32")
+        assert spec32.mode is ComputeMode.ACCURATE
+        assert spec32.target is FP32
+        assert spec32.name == "OS II-accu-8"
+
+    def test_ozaki2_accurate_long_form(self):
+        assert get_method("OS II-accurate-7").mode is ComputeMode.ACCURATE
+
+    def test_case_insensitive_native(self):
+        assert get_method("dgemm").name == "DGEMM"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_method("FP8GEMM")
+
+    def test_available_methods_lists_templates(self):
+        names = available_methods()
+        assert "DGEMM" in names
+        assert any("OS II" in n for n in names)
+
+
+class TestSpecsAreRunnable:
+    @pytest.mark.parametrize(
+        "name, target",
+        [
+            ("DGEMM", "fp64"),
+            ("SGEMM", "fp32"),
+            ("TF32GEMM", "fp32"),
+            ("BF16x9", "fp32"),
+            ("cuMpSGEMM", "fp32"),
+            ("ozIMMU_EF-5", "fp64"),
+            ("OS II-fast-10", "fp64"),
+            ("OS II-accu-6", "fp32"),
+        ],
+    )
+    def test_callable_produces_reasonable_product(self, name, target, rng):
+        spec = get_method(name, target=target)
+        a = rng.standard_normal((24, 32))
+        b = rng.standard_normal((32, 16))
+        if target == "fp32":
+            a = a.astype(np.float32)
+            b = b.astype(np.float32)
+        c = spec(a, b)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        assert c.shape == (24, 16)
+        rel = np.abs(c.astype(np.float64) - exact) / np.linalg.norm(exact, np.inf)
+        tolerance = 1e-2 if name == "TF32GEMM" else 1e-3
+        assert np.max(rel) < tolerance
+
+    def test_spec_is_dataclass_with_call(self, rng):
+        spec = get_method("DGEMM")
+        assert isinstance(spec, MethodSpec)
+        a = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(spec(a, a), spec.run(a, a))

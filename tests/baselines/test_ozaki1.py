@@ -1,0 +1,114 @@
+"""Tests for the Ozaki scheme I (ozIMMU_EF) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy import max_relative_error, reference_gemm
+from repro.baselines.ozaki1 import (
+    Ozaki1Config,
+    ozimmu_gemm,
+    slice_width,
+    split_into_slices,
+)
+from repro.engines.int8 import Int8MatrixEngine
+from repro.errors import ConfigurationError
+from repro.workloads import phi_pair
+
+
+class TestConfig:
+    def test_gemm_count_triangular(self):
+        assert Ozaki1Config(num_slices=9).num_int8_gemms == 45
+        assert Ozaki1Config(num_slices=3).num_int8_gemms == 6
+
+    def test_gemm_count_full(self):
+        assert Ozaki1Config(num_slices=4, full_products=True).num_int8_gemms == 16
+
+    def test_method_name(self):
+        assert Ozaki1Config(num_slices=8).method_name == "ozIMMU_EF-8"
+
+    @pytest.mark.parametrize("bad", [0, 1, 17])
+    def test_slice_bounds(self, bad):
+        with pytest.raises(ConfigurationError):
+            Ozaki1Config(num_slices=bad)
+
+
+class TestSliceWidth:
+    def test_capped_at_7_for_small_k(self):
+        assert slice_width(64) == 7
+        assert slice_width(1024) == 7
+
+    def test_shrinks_for_large_k(self):
+        assert slice_width(2**17) == 7
+        assert slice_width(2**19) <= 6
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            slice_width(0)
+
+
+class TestSplitting:
+    def test_error_free_reconstruction(self, rng):
+        x = rng.uniform(-0.999, 0.999, (20, 30))
+        width = 7
+        slices = split_into_slices(x, 6, width)
+        assert all(s.dtype == np.int8 for s in slices)
+        recon = sum(s.astype(np.float64) * 2.0 ** (-width * (i + 1)) for i, s in enumerate(slices))
+        assert np.max(np.abs(recon - x)) <= 2.0 ** (-width * 6)
+
+    def test_slices_within_int8(self, rng):
+        x = rng.uniform(-0.999, 0.999, (10, 10))
+        for s in split_into_slices(x, 8, 7):
+            assert np.all(np.abs(s.astype(np.int64)) <= 127)
+
+
+class TestOzimmuGemm:
+    def test_accuracy_improves_with_slices(self, rng):
+        a, b = phi_pair(32, 64, 28, phi=0.5, seed=21)
+        ref = reference_gemm(a, b)
+        errors = [max_relative_error(ozimmu_gemm(a, b, s), ref) for s in (3, 5, 7, 9)]
+        assert errors[0] > errors[1] > errors[2] > errors[3]
+
+    def test_dgemm_level_accuracy_with_9_slices(self, rng):
+        a, b = phi_pair(40, 72, 36, phi=0.5, seed=22)
+        ref = reference_gemm(a, b)
+        native = max_relative_error(a @ b, ref)
+        emulated = max_relative_error(ozimmu_gemm(a, b, 9), ref)
+        assert emulated <= 10.0 * native
+
+    def test_int_config_and_object_config_equivalent(self, small_pair):
+        a, b = small_pair
+        c1 = ozimmu_gemm(a, b, 6)
+        c2 = ozimmu_gemm(a, b, Ozaki1Config(num_slices=6))
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_issues_expected_number_of_int8_gemms(self, small_pair):
+        a, b = small_pair
+        engine = Int8MatrixEngine()
+        ozimmu_gemm(a, b, Ozaki1Config(num_slices=7), engine=engine)
+        assert engine.counter.matmul_calls == 7 * 8 // 2
+
+    def test_zero_matrix(self):
+        c = ozimmu_gemm(np.zeros((4, 6)), np.zeros((6, 2)), 4)
+        np.testing.assert_array_equal(c, np.zeros((4, 2)))
+
+    def test_more_int8_gemms_than_ozaki2_for_same_accuracy(self, rng):
+        """The core comparison of the paper: ozIMMU needs S(S+1)/2 ~ 45 INT8
+        GEMMs for FP64-level accuracy where OS II needs ~15."""
+        from repro import emulated_dgemm
+
+        a, b = phi_pair(32, 64, 32, phi=0.5, seed=23)
+        ref = reference_gemm(a, b)
+        native = max_relative_error(a @ b, ref)
+
+        engine_oz = Int8MatrixEngine()
+        err_oz = max_relative_error(
+            ozimmu_gemm(a, b, Ozaki1Config(num_slices=9), engine=engine_oz), ref
+        )
+        engine_os2 = Int8MatrixEngine()
+        err_os2 = max_relative_error(
+            emulated_dgemm(a, b, num_moduli=15, engine=engine_os2), ref
+        )
+        assert err_oz <= 10 * native and err_os2 <= 10 * native
+        assert engine_os2.counter.matmul_calls * 2 < engine_oz.counter.matmul_calls

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. a fresh checkout without ``pip install -e .``), and provides
+small deterministic workloads used across the suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pair(rng):
+    """A small FP64 (A, B) pair with a mild exponent spread."""
+    a = (rng.random((48, 64)) - 0.5) * np.exp(0.5 * rng.standard_normal((48, 64)))
+    b = (rng.random((64, 40)) - 0.5) * np.exp(0.5 * rng.standard_normal((64, 40)))
+    return a, b
+
+
+@pytest.fixture
+def small_pair_fp32(rng):
+    """A small FP32 (A, B) pair."""
+    a = ((rng.random((40, 56)) - 0.5) * np.exp(0.5 * rng.standard_normal((40, 56)))).astype(
+        np.float32
+    )
+    b = ((rng.random((56, 32)) - 0.5) * np.exp(0.5 * rng.standard_normal((56, 32)))).astype(
+        np.float32
+    )
+    return a, b

@@ -1,0 +1,124 @@
+"""Tests for the accumulation and CRT reconstruction (Alg. 1 lines 7-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.reference import exact_int_gemm
+from repro.core.accumulation import (
+    accumulate_residue_products,
+    reconstruct_crt,
+    unscale,
+)
+from repro.core.conversion import residue_slices
+from repro.crt.constants import build_constant_table
+from repro.crt.inverses import crt_reconstruct_int
+
+
+def _residue_products(a_prime, b_prime, table):
+    """Exact residue products C'_i as int64 (small test sizes)."""
+    slices_a = residue_slices(a_prime, table)
+    slices_b = residue_slices(b_prime, table)
+    n = table.num_moduli
+    out = np.empty((n, a_prime.shape[0], b_prime.shape[1]), dtype=np.int64)
+    for i in range(n):
+        out[i] = slices_a[i].astype(np.int64) @ slices_b[i].astype(np.int64)
+    return out
+
+
+class TestAccumulate:
+    def test_shapes_and_dtypes(self, rng):
+        table = build_constant_table(6, 64)
+        c_stack = rng.integers(-(2**31), 2**31, (6, 5, 7)).astype(np.int32)
+        c1, c2 = accumulate_residue_products(c_stack, table)
+        assert c1.shape == (5, 7) and c2.shape == (5, 7)
+        assert c1.dtype == np.float64
+
+    def test_wrong_stack_shape_rejected(self):
+        table = build_constant_table(4, 64)
+        with pytest.raises(ValueError):
+            accumulate_residue_products(np.zeros((3, 2, 2), dtype=np.int32), table)
+
+    def test_c1_accumulation_is_error_free(self, rng):
+        """C'(1) must equal the exact integer sum of s1_i * U_i."""
+        table = build_constant_table(15, 64)
+        c_stack = rng.integers(-(2**31), 2**31, (15, 4, 4)).astype(np.int32)
+        c1, _ = accumulate_residue_products(c_stack, table)
+        for r in range(4):
+            for c in range(4):
+                exact = sum(
+                    int(table.s1[i]) * (int(c_stack[i, r, c]) % table.moduli[i])
+                    for i in range(15)
+                )
+                assert c1[r, c] == float(exact)
+
+    def test_mulhi_and_exact_mod_agree(self, rng):
+        table = build_constant_table(10, 64)
+        c_stack = rng.integers(-(2**31), 2**31, (10, 6, 6)).astype(np.int32)
+        c1_a, c2_a = accumulate_residue_products(c_stack, table, use_mulhi=False)
+        c1_b, c2_b = accumulate_residue_products(c_stack, table, use_mulhi=True)
+        np.testing.assert_array_equal(c1_a, c1_b)
+        np.testing.assert_array_equal(c2_a, c2_b)
+
+    def test_sgemm_table_gives_zero_c2(self, rng):
+        table = build_constant_table(8, 32)
+        c_stack = rng.integers(-(2**31), 2**31, (8, 3, 3)).astype(np.int32)
+        _, c2 = accumulate_residue_products(c_stack, table)
+        np.testing.assert_array_equal(c2, np.zeros((3, 3)))
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("num_moduli", [6, 10, 15])
+    def test_reconstruction_matches_exact_integer_product(self, rng, num_moduli):
+        """End-to-end integer path: A'B' recovered through the float CRT must
+        match the exact integer product to FP64-level accuracy *relative to
+        the scale the real algorithm operates at* (inputs filling the
+        per-side budget, so the products are comparable to P as the scaling
+        step arranges)."""
+        table = build_constant_table(num_moduli, 64)
+        k_inner = 9
+        # Fill the per-side budget like the scaling step does: entries close
+        # to 2^alpha / sqrt(k) keep condition (3) satisfied while making the
+        # products comparable to P.
+        bits = int(0.5 * (table.log2_P - 1.5) - 0.5 * np.log2(k_inner) - 1)
+        a_prime = np.trunc(rng.standard_normal((6, k_inner)) * 2.0**bits)
+        b_prime = np.trunc(rng.standard_normal((k_inner, 5)) * 2.0**bits)
+        c_stack = _residue_products(a_prime, b_prime, table)
+        c1, c2 = accumulate_residue_products(c_stack, table)
+        c_pp = reconstruct_crt(c1, c2, table)
+        exact = exact_int_gemm(a_prime, b_prime)
+        # Errors are measured against the product scale (as in the GEMM
+        # error analysis), not each individual element.
+        scale = 2.0 ** (2 * bits) * k_inner
+        for r in range(6):
+            for c in range(5):
+                expected = int(exact[r, c])
+                got = c_pp[r, c]
+                assert abs(got - expected) <= scale * 2**-48
+
+    def test_reconstruction_agrees_with_integer_crt(self, rng):
+        """Scalar cross-check against crt_reconstruct_int."""
+        table = build_constant_table(8, 64)
+        value = 123456789012345
+        residues = np.array(
+            [[[value % p for p in table.moduli]]], dtype=np.int64
+        ).reshape(8, 1, 1)
+        c1, c2 = accumulate_residue_products(residues.astype(np.int32), table)
+        c_pp = reconstruct_crt(c1, c2, table)
+        assert crt_reconstruct_int([value % p for p in table.moduli], table.moduli) == value
+        assert c_pp[0, 0] == pytest.approx(value, rel=1e-12)
+
+
+class TestUnscale:
+    def test_unscale_exact_for_powers_of_two(self, rng):
+        c = rng.standard_normal((4, 6))
+        mu = 2.0 ** rng.integers(-20, 20, 4).astype(np.float64)
+        nu = 2.0 ** rng.integers(-20, 20, 6).astype(np.float64)
+        out = unscale(c, mu, nu)
+        np.testing.assert_array_equal(out, c / mu[:, None] / nu[None, :])
+
+    def test_output_dtype(self):
+        c = np.ones((2, 2))
+        out = unscale(c, np.ones(2), np.ones(2), out_dtype=np.float32)
+        assert out.dtype == np.float32

@@ -1,0 +1,96 @@
+"""Tests for the BLAS-style gemm front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blas_like import gemm
+from repro.errors import ValidationError
+
+
+class TestBasicSemantics:
+    def test_plain_product(self, rng):
+        a = rng.standard_normal((20, 30))
+        b = rng.standard_normal((30, 10))
+        c = gemm(a, b, method="OS II-fast-15")
+        assert np.allclose(c, a @ b, rtol=1e-9)
+        assert c.dtype == np.float64
+
+    def test_alpha_scaling(self, rng):
+        a = rng.standard_normal((8, 12))
+        b = rng.standard_normal((12, 6))
+        c = gemm(a, b, alpha=-2.5, method="DGEMM")
+        np.testing.assert_allclose(c, -2.5 * (a @ b), rtol=1e-15)
+
+    def test_beta_update(self, rng):
+        a = rng.standard_normal((8, 12))
+        b = rng.standard_normal((12, 6))
+        c0 = rng.standard_normal((8, 6))
+        c = gemm(a, b, alpha=2.0, beta=3.0, c=c0, method="DGEMM")
+        np.testing.assert_allclose(c, 2.0 * (a @ b) + 3.0 * c0, rtol=1e-14)
+        # the original C is untouched
+        assert not np.shares_memory(c, c0)
+
+    def test_transpose_codes(self, rng):
+        a = rng.standard_normal((12, 8))
+        b = rng.standard_normal((12, 6))
+        c = gemm(a, b, trans_a="T", method="DGEMM")
+        np.testing.assert_allclose(c, a.T @ b, rtol=1e-14)
+        x = rng.standard_normal((5, 7))
+        y = rng.standard_normal((9, 5))
+        c2 = gemm(x, y, trans_a="T", trans_b="T", method="DGEMM")
+        np.testing.assert_allclose(c2, x.T @ y.T, rtol=1e-14)
+
+    def test_conjugate_transpose_on_real_equals_transpose(self, rng):
+        a = rng.standard_normal((6, 9))
+        b = rng.standard_normal((6, 5))
+        np.testing.assert_allclose(
+            gemm(a, b, trans_a="C", method="DGEMM"), a.T @ b, rtol=1e-14
+        )
+
+
+class TestPrecisionSelection:
+    def test_fp32_inputs_default_to_fp32_target(self, rng):
+        a = rng.standard_normal((10, 14)).astype(np.float32)
+        b = rng.standard_normal((14, 8)).astype(np.float32)
+        c = gemm(a, b, method="OS II-fast-8")
+        assert c.dtype == np.float32
+
+    def test_mixed_inputs_default_to_fp64_target(self, rng):
+        a = rng.standard_normal((10, 14)).astype(np.float32)
+        b = rng.standard_normal((14, 8))
+        assert gemm(a, b, method="OS II-fast-15").dtype == np.float64
+
+    def test_explicit_precision_override(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6))
+        c = gemm(a, b, method="OS II-fast-8", precision="fp32")
+        assert c.dtype == np.float32
+
+
+class TestErrors:
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            gemm(rng.standard_normal((4, 5)), rng.standard_normal((4, 5)))
+
+    def test_transpose_fixes_shape_mismatch(self, rng):
+        a = rng.standard_normal((4, 5))
+        b = rng.standard_normal((4, 5))
+        assert gemm(a, b, trans_a="T", method="DGEMM").shape == (5, 5)
+
+    def test_bad_transpose_code(self, rng):
+        with pytest.raises(ValidationError):
+            gemm(np.ones((2, 2)), np.ones((2, 2)), trans_a="X")
+
+    def test_beta_without_c(self):
+        with pytest.raises(ValidationError):
+            gemm(np.ones((2, 2)), np.ones((2, 2)), beta=1.0)
+
+    def test_c_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            gemm(np.ones((2, 3)), np.ones((3, 2)), beta=1.0, c=np.ones((3, 3)))
+
+    def test_complex_rejected(self):
+        with pytest.raises(ValidationError):
+            gemm(np.ones((2, 2), dtype=complex), np.ones((2, 2)))

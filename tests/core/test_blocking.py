@@ -1,0 +1,62 @@
+"""Tests for the inner-dimension blocking (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import blocked_residue_products, k_block_ranges
+from repro.engines.int8 import Int8MatrixEngine
+
+
+class TestBlockRanges:
+    def test_exact_cover(self):
+        ranges = list(k_block_ranges(10, 4))
+        assert ranges == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_block(self):
+        assert list(k_block_ranges(7, 100)) == [(0, 7)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(k_block_ranges(0, 4))
+        with pytest.raises(ValueError):
+            list(k_block_ranges(4, 0))
+
+
+class TestBlockedResidueProducts:
+    def test_no_blocking_returns_int32(self, rng):
+        engine = Int8MatrixEngine()
+        a = rng.integers(-128, 128, (3, 5, 20)).astype(np.int8)
+        b = rng.integers(-128, 128, (3, 20, 4)).astype(np.int8)
+        out = blocked_residue_products(engine, a, b, max_block_k=64)
+        assert out.dtype == np.int32
+        for i in range(3):
+            np.testing.assert_array_equal(
+                out[i], a[i].astype(np.int64) @ b[i].astype(np.int64)
+            )
+
+    def test_blocked_equals_unblocked(self, rng):
+        engine = Int8MatrixEngine()
+        a = rng.integers(-128, 128, (2, 6, 150)).astype(np.int8)
+        b = rng.integers(-128, 128, (2, 150, 7)).astype(np.int8)
+        unblocked = blocked_residue_products(engine, a, b, max_block_k=1000)
+        blocked = blocked_residue_products(engine, a, b, max_block_k=32)
+        np.testing.assert_array_equal(unblocked.astype(np.int64), blocked)
+
+    def test_blocked_output_is_int64(self, rng):
+        engine = Int8MatrixEngine()
+        a = rng.integers(-128, 128, (1, 2, 10)).astype(np.int8)
+        b = rng.integers(-128, 128, (1, 10, 2)).astype(np.int8)
+        out = blocked_residue_products(engine, a, b, max_block_k=4)
+        assert out.dtype == np.int64
+
+    def test_mismatched_stacks_rejected(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(ValueError):
+            blocked_residue_products(
+                engine,
+                np.zeros((2, 3, 4), dtype=np.int8),
+                np.zeros((3, 4, 2), dtype=np.int8),
+                max_block_k=8,
+            )

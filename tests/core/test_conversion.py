@@ -1,0 +1,68 @@
+"""Tests for truncation and residue-slice conversion (Alg. 1 lines 2-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ResidueKernel
+from repro.core.conversion import residue_slices, truncate_scaled
+from repro.crt.constants import build_constant_table
+
+
+class TestTruncateScaled:
+    def test_left_scaling_rows(self):
+        x = np.array([[1.7, -2.3], [0.4, 5.9]])
+        scale = np.array([2.0, 4.0])
+        out = truncate_scaled(x, scale, "left")
+        np.testing.assert_array_equal(out, np.array([[3.0, -4.0], [1.0, 23.0]]))
+
+    def test_right_scaling_columns(self):
+        x = np.array([[1.7, -2.3], [0.4, 5.9]])
+        scale = np.array([2.0, 4.0])
+        out = truncate_scaled(x, scale, "right")
+        np.testing.assert_array_equal(out, np.array([[3.0, -9.0], [0.0, 23.0]]))
+
+    def test_truncation_toward_zero(self):
+        x = np.array([[-1.9, 1.9]])
+        out = truncate_scaled(x, np.array([1.0]), "left")
+        np.testing.assert_array_equal(out, np.array([[-1.0, 1.0]]))
+
+    def test_results_are_integers(self, rng):
+        x = rng.standard_normal((20, 30))
+        scale = 2.0 ** rng.integers(0, 40, 20).astype(np.float64)
+        out = truncate_scaled(x, scale, "left")
+        np.testing.assert_array_equal(out, np.trunc(out))
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            truncate_scaled(np.ones((2, 2)), np.ones(2), "top")
+
+    def test_power_of_two_scaling_is_exact(self):
+        # Scaling by powers of two must not round: undoing the scale
+        # reproduces the truncated value exactly.
+        x = np.array([[1.0 + 2.0**-40]])
+        scale = np.array([2.0**45])
+        out = truncate_scaled(x, scale, "left")
+        assert out[0, 0] == 2.0**45 + 2.0**5
+
+
+class TestResidueSlices:
+    @pytest.mark.parametrize("kernel", [ResidueKernel.EXACT, ResidueKernel.FAST_FMA])
+    def test_slices_congruent_to_input(self, rng, kernel):
+        table = build_constant_table(8, 64)
+        x = np.trunc(rng.standard_normal((12, 14)) * 2.0**30)
+        slices = residue_slices(x, table, kernel)
+        assert slices.shape == (8, 12, 14)
+        assert slices.dtype == np.int8
+        for i, p in enumerate(table.moduli):
+            diff = x - slices[i].astype(np.float64)
+            np.testing.assert_array_equal(np.mod(diff, p), np.zeros_like(x))
+
+    def test_string_kernel_accepted(self, rng):
+        table = build_constant_table(4, 64)
+        x = np.trunc(rng.standard_normal((6, 6)) * 100)
+        exact = residue_slices(x, table, "exact")
+        fast = residue_slices(x, table, "fast_fma")
+        for i, p in enumerate(table.moduli):
+            assert np.all((exact[i].astype(np.int64) - fast[i].astype(np.int64)) % p == 0)

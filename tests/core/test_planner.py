@@ -1,0 +1,56 @@
+"""Tests for the moduli-count planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import choose_num_moduli, estimate_retained_bits
+from repro.errors import ConfigurationError
+
+
+class TestEstimateRetainedBits:
+    def test_monotone_in_moduli(self):
+        assert estimate_retained_bits(16, 1024) > estimate_retained_bits(8, 1024)
+
+    def test_monotone_in_k(self):
+        assert estimate_retained_bits(14, 1024) > estimate_retained_bits(14, 16384)
+
+    def test_monotone_in_phi(self):
+        assert estimate_retained_bits(14, 1024, phi=0.5) > estimate_retained_bits(14, 1024, phi=4.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            estimate_retained_bits(10, 0)
+
+
+class TestChooseNumModuli:
+    def test_matches_paper_for_hpl_dgemm(self):
+        # Section 5.1: 14-15 moduli suffice for HPL-like DGEMM at k=1024.
+        n = choose_num_moduli("fp64", k=1024, phi=0.5)
+        assert 13 <= n <= 16
+
+    def test_matches_paper_for_sgemm(self):
+        # Section 5.1: 7-8 moduli give SGEMM-level accuracy.
+        n = choose_num_moduli("fp32", k=1024, phi=0.5)
+        assert 6 <= n <= 9
+
+    def test_larger_k_needs_more_moduli(self):
+        assert choose_num_moduli("fp64", k=16384) >= choose_num_moduli("fp64", k=1024)
+
+    def test_larger_phi_needs_more_moduli(self):
+        assert choose_num_moduli("fp64", k=1024, phi=2.0) >= choose_num_moduli(
+            "fp64", k=1024, phi=0.5
+        )
+
+    def test_margin_increases_choice(self):
+        base = choose_num_moduli("fp64", k=1024)
+        padded = choose_num_moduli("fp64", k=1024, margin_bits=8)
+        assert padded >= base
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            choose_num_moduli("fp64", k=2**17, phi=8.0, max_moduli=6)
+
+    def test_rejects_non_target_precision(self):
+        with pytest.raises(ConfigurationError):
+            choose_num_moduli("fp16", k=1024)

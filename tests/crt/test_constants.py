@@ -1,0 +1,129 @@
+"""Tests for the precomputed constant tables of Section 4.1."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.crt.constants import build_constant_table, split_weight_bits
+from repro.crt.inverses import crt_weights, moduli_product
+from repro.crt.moduli import select_moduli
+from repro.errors import ConfigurationError
+
+
+class TestTableBasics:
+    @pytest.mark.parametrize("n", [2, 8, 15, 20])
+    def test_p1_p2_represent_p(self, n):
+        table = build_constant_table(n, 64)
+        assert table.P1 == float(table.P_int)
+        # P1 + P2 is a double-double representation of P.
+        assert Fraction(table.P1) + Fraction(table.P2) == Fraction(table.P_int) or abs(
+            (Fraction(table.P1) + Fraction(table.P2)) - table.P_int
+        ) <= Fraction(table.P_int, 2**104)
+
+    def test_sgemm_table_has_zero_tails(self):
+        table = build_constant_table(8, 32)
+        assert table.P2 == 0.0
+        assert np.all(table.s2 == 0.0)
+        assert table.precision_bits == 32
+
+    def test_pinv_is_correctly_rounded(self):
+        table = build_constant_table(10, 64)
+        exact = Fraction(1, table.P_int)
+        assert abs(Fraction(table.Pinv) - exact) <= abs(exact) * Fraction(1, 2**52)
+
+    def test_reciprocal_tables(self):
+        table = build_constant_table(12, 64)
+        for i, p in enumerate(table.moduli):
+            assert table.pinv64[i] == pytest.approx(1.0 / p, rel=1e-15)
+            assert table.pinv32[i] == np.float32(table.pinv64[i])
+            assert table.pinv_prime[i] == (2**32) // p - 1
+
+    def test_scale_budgets(self):
+        table = build_constant_table(15, 64)
+        log2p = math.log2(table.P_int - 1)
+        assert table.P_fast == pytest.approx(log2p - 1.5, rel=1e-6)
+        assert table.P_accu == pytest.approx(log2p - 0.5, rel=1e-6)
+        assert table.log2_P == pytest.approx(math.log2(table.P_int), rel=1e-12)
+
+    def test_tables_are_cached(self):
+        a = build_constant_table(14, 64)
+        b = build_constant_table(14, 64)
+        assert a is b
+
+    def test_arrays_are_read_only(self):
+        table = build_constant_table(6, 64)
+        with pytest.raises(ValueError):
+            table.s1[0] = 0.0
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_constant_table(8, 16)
+
+    def test_explicit_moduli_must_match_count(self):
+        with pytest.raises(ConfigurationError):
+            build_constant_table(3, 64, moduli=[256, 255])
+
+    def test_explicit_moduli_accepted(self):
+        table = build_constant_table(3, 64, moduli=[256, 255, 253])
+        assert table.moduli == (256, 255, 253)
+
+
+class TestSplitWeights:
+    @pytest.mark.parametrize("n", [2, 5, 10, 15, 20])
+    def test_s1_plus_s2_approximates_weight(self, n):
+        table = build_constant_table(n, 64)
+        import math
+
+        w_max = max(table.weights_int)
+        # s1 keeps beta_i >= 53 - 8 - ceil(log2 N) + (e_i - e_max) bits and s2
+        # the next 53 bits, so the residual error is below
+        # 2^(e_max - (53 - 8 - ceil(log2 N)) - 53) = w_max / 2^(106 - 8 - ceil(log2 N)).
+        bound = Fraction(w_max, 2 ** (106 - 8 - math.ceil(math.log2(n)) - 1))
+        for i, w in enumerate(table.weights_int):
+            approx = Fraction(table.s1[i]) + Fraction(table.s2[i])
+            assert abs(approx - w) <= bound
+
+    @pytest.mark.parametrize("n", [4, 12, 20])
+    def test_s1_has_at_most_beta_bits(self, n):
+        table = build_constant_table(n, 64)
+        for i, beta in enumerate(table.beta):
+            s1_int = int(table.s1[i])
+            assert float(s1_int) == table.s1[i]
+            # Stripping trailing zeros must leave at most beta significant bits.
+            stripped = s1_int >> (s1_int.bit_length() - beta) if s1_int.bit_length() > beta else s1_int
+            assert stripped.bit_length() <= beta
+
+    def test_beta_formula(self):
+        mods = select_moduli(16)
+        weights = crt_weights(mods)
+        betas = split_weight_bits(weights, 16)
+        exps = [w.bit_length() - 1 for w in weights]
+        e_max = max(exps)
+        for beta, e in zip(betas, exps):
+            assert beta == min(53, 53 - 8 - math.ceil(math.log2(16)) + e - e_max)
+
+    def test_error_free_accumulation_property(self):
+        """The defining property: sum_i s1_i * u_i is exact in FP64.
+
+        Verified by comparing the float64 accumulation against exact integer
+        arithmetic for random UINT8 values.
+        """
+        rng = np.random.default_rng(0)
+        for n in (5, 13, 20):
+            table = build_constant_table(n, 64)
+            for _ in range(20):
+                u = rng.integers(0, 256, n)
+                acc_float = 0.0
+                acc_exact = 0
+                for i in range(n):
+                    acc_float += table.s1[i] * float(u[i])
+                    acc_exact += int(table.s1[i]) * int(u[i])
+                assert acc_float == float(acc_exact)
+
+    def test_split_weight_bits_rejects_tiny_n(self):
+        with pytest.raises(ConfigurationError):
+            split_weight_bits([10, 20], 1)

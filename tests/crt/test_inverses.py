@@ -1,0 +1,83 @@
+"""Tests for exact CRT arithmetic (product, inverses, reconstruction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crt.inverses import (
+    crt_reconstruct_int,
+    crt_weights,
+    moduli_product,
+    modular_inverses,
+)
+from repro.crt.moduli import select_moduli
+from repro.errors import ModuliError
+
+
+class TestProductAndInverses:
+    @pytest.mark.parametrize("n", [2, 5, 10, 15, 20])
+    def test_product_matches_direct_multiplication(self, n):
+        mods = select_moduli(n)
+        expected = 1
+        for p in mods:
+            expected *= p
+        assert moduli_product(mods) == expected
+
+    @pytest.mark.parametrize("n", [2, 7, 13, 20])
+    def test_inverses_satisfy_defining_congruence(self, n):
+        mods = select_moduli(n)
+        total = moduli_product(mods)
+        for p, q in zip(mods, modular_inverses(mods)):
+            assert (total // p * q) % p == 1
+            assert 0 < q < p
+
+    @pytest.mark.parametrize("n", [2, 8, 16, 20])
+    def test_weights_are_one_mod_own_prime_zero_mod_others(self, n):
+        mods = select_moduli(n)
+        weights = crt_weights(mods)
+        for i, (p_i, w_i) in enumerate(zip(mods, weights)):
+            assert w_i % p_i == 1
+            for j, p_j in enumerate(mods):
+                if i != j:
+                    assert w_i % p_j == 0
+
+    def test_weights_sum_congruent_to_one_mod_p(self):
+        mods = select_moduli(6)
+        total = moduli_product(mods)
+        assert sum(crt_weights(mods)) % total == 1
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("n", [3, 8, 15, 20])
+    def test_roundtrip_random_integers(self, n):
+        mods = select_moduli(n)
+        total = moduli_product(mods)
+        rng = np.random.default_rng(n)
+        for _ in range(50):
+            # Draw x in the centred range (-P/2, P/2].
+            x = int(rng.integers(0, 2**63)) * int(rng.integers(0, 2**63)) % total
+            if x > total // 2:
+                x -= total
+            residues = [x % p for p in mods]
+            assert crt_reconstruct_int(residues, mods) == x
+
+    def test_negative_values_round_trip(self):
+        mods = select_moduli(5)
+        for x in (-1, -12345, -(moduli_product(mods) // 2) + 1):
+            residues = [x % p for p in mods]
+            assert crt_reconstruct_int(residues, mods) == x
+
+    def test_wrong_residue_count_rejected(self):
+        mods = select_moduli(4)
+        with pytest.raises(ModuliError):
+            crt_reconstruct_int([1, 2, 3], mods)
+
+    def test_uniqueness_boundary(self):
+        # Values beyond P/2 in magnitude alias back into the centred range:
+        # reconstruct(x + P) == reconstruct(x).
+        mods = select_moduli(3)
+        total = moduli_product(mods)
+        x = 12345
+        residues = [(x + total) % p for p in mods]
+        assert crt_reconstruct_int(residues, mods) == x

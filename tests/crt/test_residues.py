@@ -1,0 +1,178 @@
+"""Tests for the rmod/mod residue kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crt.constants import build_constant_table
+from repro.crt.residues import (
+    mod_exact,
+    mod_fast_mulhi,
+    residues_to_int8,
+    rmod_exact,
+    rmod_fast_fma,
+    uint8_residues,
+)
+from repro.errors import ConfigurationError
+
+
+def _random_integer_matrix(rng, shape, bits):
+    """Integer-valued float64 matrix with entries up to ~2**bits."""
+    mantissa = rng.integers(-(2**53 - 1), 2**53, shape).astype(np.float64)
+    scale = 2.0 ** (bits - 53)
+    return np.trunc(mantissa * scale) if bits > 53 else np.trunc(mantissa / 2.0 ** (53 - bits))
+
+
+class TestRmodExact:
+    @pytest.mark.parametrize("p", [256, 255, 253, 251, 247, 29])
+    def test_congruence_and_range_small_values(self, p):
+        x = np.arange(-1000, 1000, dtype=np.float64)
+        r = rmod_exact(x, p)
+        assert np.all(np.abs(r) <= p / 2)
+        np.testing.assert_array_equal(np.mod(r - x, p), np.zeros_like(x))
+
+    @pytest.mark.parametrize("bits", [20, 50, 61, 75, 85])
+    def test_congruence_for_large_magnitudes(self, bits):
+        rng = np.random.default_rng(bits)
+        x = _random_integer_matrix(rng, (64, 64), bits)
+        for p in (256, 251, 199):
+            r = rmod_exact(x, p)
+            assert np.all(np.abs(r) <= p / 2)
+            # check congruence with exact integer arithmetic on a sample
+            flat_x = x.ravel()
+            flat_r = r.ravel()
+            for idx in range(0, flat_x.size, 257):
+                assert (int(flat_x[idx]) - int(flat_r[idx])) % p == 0
+
+    def test_exact_at_half_modulus_boundary(self):
+        r = rmod_exact(np.array([128.0, -128.0, 384.0]), 256)
+        # +/-128 are both valid centred representatives of 128 mod 256.
+        assert set(np.abs(r)) == {128.0}
+
+    def test_zero(self):
+        assert rmod_exact(np.array([0.0]), 251)[0] == 0.0
+
+
+class TestModExact:
+    def test_float_input(self):
+        x = np.array([-300.0, -1.0, 0.0, 1.0, 255.0, 256.0, 511.0])
+        r = mod_exact(x, 256)
+        np.testing.assert_array_equal(r, np.array([212.0, 255.0, 0.0, 1.0, 255.0, 0.0, 255.0]))
+
+    def test_int_input(self):
+        x = np.array([-5, 0, 7, 250], dtype=np.int32)
+        np.testing.assert_array_equal(mod_exact(x, 251), np.array([246, 0, 7, 250]))
+
+    def test_large_float_values(self):
+        x = np.array([2.0**70 + 12.0])
+        r = mod_exact(x, 251)
+        assert (int(x[0]) - int(r[0])) % 251 == 0
+        assert 0 <= r[0] < 251
+
+
+class TestRmodFastFma:
+    @pytest.mark.parametrize("num_moduli", [2, 8, 14, 18, 20])
+    def test_matches_exact_for_dgemm_range(self, num_moduli):
+        """The fast kernel must agree (mod p) with the exact kernel over the
+        magnitude range the DGEMM scaling actually produces for this N."""
+        table = build_constant_table(num_moduli, 64)
+        # Scaled entries are bounded by 2^alpha with alpha = (log2 P - 1.5)/2.
+        alpha = 0.5 * (table.log2_P - 1.5)
+        rng = np.random.default_rng(num_moduli)
+        x = _random_integer_matrix(rng, (256,), int(alpha))
+        for i, p in enumerate(table.moduli):
+            fast = rmod_fast_fma(
+                x, p, float(table.pinv64[i]), float(table.pinv32[i]), num_moduli, 64
+            )
+            assert np.all(np.abs(fast) <= 128.5)
+            exact = rmod_exact(x, p)
+            np.testing.assert_array_equal(np.mod(fast - exact, p), np.zeros_like(x))
+
+    @pytest.mark.parametrize("num_moduli", [2, 5, 8, 10])
+    def test_matches_exact_for_sgemm_range(self, num_moduli):
+        table = build_constant_table(num_moduli, 32)
+        alpha = 0.5 * (table.log2_P - 1.5)
+        rng = np.random.default_rng(100 + num_moduli)
+        x = _random_integer_matrix(rng, (256,), int(alpha))
+        for i, p in enumerate(table.moduli):
+            fast = rmod_fast_fma(
+                x, p, float(table.pinv64[i]), float(table.pinv32[i]), num_moduli, 32
+            )
+            exact = rmod_exact(x, p)
+            np.testing.assert_array_equal(np.mod(fast - exact, p), np.zeros_like(x))
+
+    def test_invalid_precision(self):
+        with pytest.raises(ConfigurationError):
+            rmod_fast_fma(np.zeros(4), 251, 1 / 251, np.float32(1 / 251), 8, 16)
+
+
+class TestModFastMulhi:
+    @pytest.mark.parametrize("p_index", [0, 1, 5, 10, 19])
+    def test_matches_integer_mod_over_int32_range(self, p_index):
+        table = build_constant_table(20, 64)
+        p = table.moduli[p_index]
+        pinv_prime = int(table.pinv_prime[p_index])
+        rng = np.random.default_rng(p_index)
+        c = rng.integers(-(2**31), 2**31, 4096).astype(np.int32)
+        got = mod_fast_mulhi(c, p, pinv_prime)
+        want = np.mod(c.astype(np.int64), p)
+        np.testing.assert_array_equal(got, want)
+
+    def test_extreme_int32_values(self):
+        table = build_constant_table(5, 64)
+        c = np.array([-(2**31), 2**31 - 1, 0, -1, 1], dtype=np.int32)
+        for p, pinv_prime in zip(table.moduli, table.pinv_prime):
+            got = mod_fast_mulhi(c, p, int(pinv_prime))
+            want = np.mod(c.astype(np.int64), p)
+            np.testing.assert_array_equal(got, want)
+
+
+class TestResidueStacks:
+    def test_residues_to_int8_shape_and_congruence(self):
+        rng = np.random.default_rng(0)
+        table = build_constant_table(6, 64)
+        x = np.trunc(rng.standard_normal((10, 12)) * 1e6)
+        stack = residues_to_int8(x, table.moduli)
+        assert stack.shape == (6, 10, 12)
+        assert stack.dtype == np.int8
+        for i, p in enumerate(table.moduli):
+            diff = x - stack[i].astype(np.float64)
+            np.testing.assert_array_equal(np.mod(diff, p), np.zeros_like(x))
+
+    def test_fast_kernel_stack_matches_exact_stack_mod_p(self):
+        rng = np.random.default_rng(1)
+        table = build_constant_table(10, 64)
+        alpha = 0.5 * (table.log2_P - 1.5)
+        x = _random_integer_matrix(rng, (16, 16), int(alpha))
+        exact = residues_to_int8(x, table.moduli, kernel="exact")
+        fast = residues_to_int8(
+            x,
+            table.moduli,
+            kernel="fast_fma",
+            pinv_b=table.pinv64,
+            pinv32=table.pinv32,
+            precision_bits=64,
+        )
+        for i, p in enumerate(table.moduli):
+            diff = exact[i].astype(np.int64) - fast[i].astype(np.int64)
+            assert np.all(diff % p == 0)
+
+    def test_fast_kernel_requires_tables(self):
+        with pytest.raises(ConfigurationError):
+            residues_to_int8(np.zeros((2, 2)), (256, 255), kernel="fast_fma")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            residues_to_int8(np.zeros((2, 2)), (256, 255), kernel="magic")
+
+    def test_uint8_residues_with_and_without_mulhi(self):
+        table = build_constant_table(4, 64)
+        rng = np.random.default_rng(2)
+        c = rng.integers(-(2**31), 2**31, (8, 8)).astype(np.int32)
+        for i, p in enumerate(table.moduli):
+            plain = uint8_residues(c, p)
+            fast = uint8_residues(c, p, int(table.pinv_prime[i]))
+            np.testing.assert_array_equal(plain, fast)
+            assert plain.dtype == np.uint8
+            assert np.all(plain < p)

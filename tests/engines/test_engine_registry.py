@@ -1,0 +1,87 @@
+"""Tests for the engine registry and the OpCounter ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    Bf16MatrixEngine,
+    Fp16MatrixEngine,
+    Fp32MatrixEngine,
+    Fp64MatrixEngine,
+    Int8MatrixEngine,
+    OpCounter,
+    Tf32MatrixEngine,
+    available_engines,
+    get_engine,
+)
+from repro.engines.registry import register_engine
+from repro.errors import EngineError
+
+
+class TestRegistry:
+    def test_available_engines(self):
+        assert set(available_engines()) >= {"int8", "fp16", "bf16", "tf32", "fp32", "fp64"}
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("int8", Int8MatrixEngine),
+            ("fp16", Fp16MatrixEngine),
+            ("bf16", Bf16MatrixEngine),
+            ("tf32", Tf32MatrixEngine),
+            ("fp32", Fp32MatrixEngine),
+            ("fp64", Fp64MatrixEngine),
+        ],
+    )
+    def test_get_engine_types(self, name, cls):
+        assert isinstance(get_engine(name), cls)
+
+    def test_get_engine_kwargs_forwarded(self):
+        engine = get_engine("int8", use_blas=False)
+        assert engine.use_blas is False
+
+    def test_case_insensitive(self):
+        assert isinstance(get_engine("INT8"), Int8MatrixEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineError):
+            get_engine("fp8")
+
+    def test_register_custom_engine(self):
+        class Custom(Fp64MatrixEngine):
+            name = "custom"
+
+        register_engine("custom-test", Custom)
+        assert isinstance(get_engine("custom-test"), Custom)
+
+
+class TestOpCounter:
+    def test_record_and_merge(self):
+        a = OpCounter()
+        a.record_matmul(4, 5, 6, in_bytes=1, out_bytes=4)
+        a.record_elementwise(100, in_bytes=8, out_bytes=8)
+        b = OpCounter()
+        b.record_matmul(2, 2, 2, in_bytes=8, out_bytes=8)
+        merged = a.merge(b)
+        assert merged.matmul_calls == 2
+        assert merged.mac_ops == 4 * 5 * 6 + 8
+        assert merged.elementwise_ops == 100
+        assert merged.bytes_read == (4 * 6 + 6 * 5) * 1 + 100 * 8 + (2 * 2 + 2 * 2) * 8
+        # merging must not mutate the inputs
+        assert a.matmul_calls == 1 and b.matmul_calls == 1
+
+    def test_as_dict_keys(self):
+        counter = OpCounter()
+        counter.record_matmul(1, 1, 1, 1, 1)
+        d = counter.as_dict()
+        assert set(d) == {
+            "matmul_calls",
+            "mac_ops",
+            "flops",
+            "elementwise_ops",
+            "bytes_read",
+            "bytes_written",
+        }
+        assert d["flops"] == 2 * d["mac_ops"]

@@ -1,0 +1,75 @@
+"""Tests for the FP16/BF16/TF32 and native FP32/FP64 engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.lowprec_fp import Bf16MatrixEngine, Fp16MatrixEngine, Tf32MatrixEngine
+from repro.engines.native import Fp32MatrixEngine, Fp64MatrixEngine
+from repro.errors import EngineError
+
+
+class TestNativeEngines:
+    def test_fp64_matches_numpy(self, rng):
+        a = rng.standard_normal((17, 23))
+        b = rng.standard_normal((23, 11))
+        c = Fp64MatrixEngine().matmul(a, b)
+        np.testing.assert_array_equal(c, a @ b)
+        assert c.dtype == np.float64
+
+    def test_fp32_dtype_and_accuracy(self, rng):
+        a = rng.standard_normal((17, 23))
+        b = rng.standard_normal((23, 11))
+        c = Fp32MatrixEngine().matmul(a, b)
+        assert c.dtype == np.float32
+        assert np.allclose(c, a @ b, rtol=1e-5)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(EngineError):
+            Fp64MatrixEngine().matmul(np.array([["x", "y"]]), np.ones((2, 1)))
+
+
+class TestLowPrecisionEngines:
+    @pytest.mark.parametrize(
+        "engine_cls, sig_bits",
+        [(Fp16MatrixEngine, 11), (Bf16MatrixEngine, 8), (Tf32MatrixEngine, 11)],
+    )
+    def test_input_rounding_limits_accuracy(self, rng, engine_cls, sig_bits):
+        a = rng.standard_normal((30, 50)).astype(np.float32)
+        b = rng.standard_normal((50, 20)).astype(np.float32)
+        c = engine_cls().matmul(a, b)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        rel = np.abs(c - exact) / np.linalg.norm(exact, np.inf)
+        # error dominated by input rounding: bounded by a modest multiple of
+        # 2^-sig_bits, and definitely non-zero.
+        assert np.max(rel) < 50 * 2.0**-sig_bits
+        assert np.max(np.abs(c - exact)) > 0
+
+    def test_accuracy_ordering_tf32_vs_bf16(self, rng):
+        a = rng.standard_normal((40, 64)).astype(np.float32)
+        b = rng.standard_normal((64, 24)).astype(np.float32)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        err_tf32 = np.max(np.abs(Tf32MatrixEngine().matmul(a, b) - exact))
+        err_bf16 = np.max(np.abs(Bf16MatrixEngine().matmul(a, b) - exact))
+        assert err_tf32 < err_bf16
+
+    def test_output_dtype_fp32(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        for cls in (Fp16MatrixEngine, Bf16MatrixEngine, Tf32MatrixEngine):
+            assert cls().matmul(a, a).dtype == np.float32
+
+    def test_fp16_exact_on_grid_values(self):
+        # Small integers are exactly representable in FP16, so the product
+        # is exact (FP32 accumulation of exact terms).
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        b = np.arange(6, dtype=np.float32).reshape(3, 2)
+        c = Fp16MatrixEngine().matmul(a, b)
+        np.testing.assert_array_equal(c, a @ b)
+
+    def test_counter_tracks_input_byte_width(self):
+        engine = Fp16MatrixEngine()
+        engine.matmul(np.ones((4, 8), dtype=np.float32), np.ones((8, 2), dtype=np.float32))
+        # FP16 inputs occupy 2 bytes each, FP32 output 4 bytes.
+        assert engine.counter.bytes_read == (4 * 8 + 8 * 2) * 2
+        assert engine.counter.bytes_written == 4 * 2 * 4

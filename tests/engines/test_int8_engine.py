@@ -1,0 +1,119 @@
+"""Tests for the INT8 matrix-engine simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.int8 import Int8MatrixEngine
+from repro.errors import EngineError, OverflowRiskError
+
+
+class TestBasicProducts:
+    def test_small_product_exact(self):
+        engine = Int8MatrixEngine()
+        a = np.array([[1, 2], [3, -4]], dtype=np.int8)
+        b = np.array([[5, -6], [7, 8]], dtype=np.int8)
+        c = engine.matmul(a, b)
+        np.testing.assert_array_equal(c, a.astype(np.int64) @ b.astype(np.int64))
+        assert c.dtype == np.int32
+
+    def test_blas_and_integer_paths_agree(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, (37, 90)).astype(np.int8)
+        b = rng.integers(-128, 128, (90, 23)).astype(np.int8)
+        fast = Int8MatrixEngine(use_blas=True).matmul(a, b)
+        ref = Int8MatrixEngine(use_blas=False).matmul(a, b)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_float_integer_valued_input_accepted(self):
+        engine = Int8MatrixEngine()
+        a = np.array([[1.0, -2.0]])
+        b = np.array([[3.0], [4.0]])
+        assert engine.matmul(a, b)[0, 0] == -5
+
+    def test_plus_128_wraps_to_minus_128(self):
+        engine = Int8MatrixEngine()
+        a = np.array([[128.0]])
+        b = np.array([[1.0]])
+        assert engine.matmul(a, b)[0, 0] == -128
+
+
+class TestInputValidation:
+    def test_non_integer_float_rejected(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(EngineError):
+            engine.matmul(np.array([[1.5]]), np.array([[1.0]]))
+
+    def test_out_of_range_rejected(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(EngineError):
+            engine.matmul(np.array([[300.0]]), np.array([[1.0]]))
+        with pytest.raises(EngineError):
+            engine.matmul(np.array([[1.0]]), np.array([[-129.0]]))
+
+    def test_shape_mismatch_rejected(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(EngineError):
+            engine.matmul(np.ones((2, 3), dtype=np.int8), np.ones((4, 2), dtype=np.int8))
+
+    def test_non_2d_rejected(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(EngineError):
+            engine.matmul(np.ones(3, dtype=np.int8), np.ones((3, 2), dtype=np.int8))
+
+
+class TestOverflowBehaviour:
+    def test_strict_k_refuses_large_inner_dimension(self):
+        engine = Int8MatrixEngine(strict_k=True)
+        a = np.zeros((1, 2**17 + 1), dtype=np.int8)
+        b = np.zeros((2**17 + 1, 1), dtype=np.int8)
+        with pytest.raises(OverflowRiskError):
+            engine.matmul(a, b)
+
+    def test_wraparound_matches_int32_semantics(self):
+        # Construct a product that exceeds 2^31 and check both paths wrap to
+        # the same two's-complement value.
+        engine_fast = Int8MatrixEngine(use_blas=True, strict_k=False)
+        engine_ref = Int8MatrixEngine(use_blas=False, strict_k=False)
+        k = 2**17 + 8
+        a = np.full((1, k), 127, dtype=np.int8)
+        b = np.full((k, 1), 127, dtype=np.int8)
+        fast = engine_fast.matmul(a, b)
+        ref = engine_ref.matmul(a, b)
+        exact = 127 * 127 * k
+        wrapped = ((exact + 2**31) % 2**32) - 2**31
+        assert fast[0, 0] == wrapped
+        assert ref[0, 0] == wrapped
+
+    def test_boundary_2_31_wraps_to_negative(self):
+        # Exactly 2^31 (the case discussed in Section 4.3) wraps to -2^31,
+        # which is congruent to 0 modulo 256.
+        engine = Int8MatrixEngine(use_blas=True, strict_k=False)
+        k = 2**17
+        a = np.full((1, k), 128, dtype=np.float64)  # wraps to -128 on cast
+        b = np.full((k, 1), 128, dtype=np.float64)
+        c = engine.matmul(a, b)
+        assert c[0, 0] == -(2**31)
+        assert int(c[0, 0]) % 256 == 0
+
+
+class TestCounter:
+    def test_counter_records_work(self):
+        engine = Int8MatrixEngine()
+        a = np.zeros((8, 16), dtype=np.int8)
+        b = np.zeros((16, 4), dtype=np.int8)
+        engine.matmul(a, b)
+        engine.matmul(a, b)
+        assert engine.counter.matmul_calls == 2
+        assert engine.counter.mac_ops == 2 * 8 * 16 * 4
+        assert engine.counter.flops == 4 * 8 * 16 * 4
+        assert engine.counter.bytes_read == 2 * (8 * 16 + 16 * 4)
+        assert engine.counter.bytes_written == 2 * 8 * 4 * 4
+
+    def test_counter_reset(self):
+        engine = Int8MatrixEngine()
+        engine.matmul(np.zeros((2, 2), dtype=np.int8), np.zeros((2, 2), dtype=np.int8))
+        engine.reset_counter()
+        assert engine.counter.matmul_calls == 0
+        assert engine.counter.mac_ops == 0

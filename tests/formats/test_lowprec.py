@@ -1,0 +1,91 @@
+"""Tests for the FP16/BF16/TF32 value-grid conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.formats.lowprec import (
+    round_to_bf16,
+    round_to_fp16,
+    round_to_format,
+    round_to_tf32,
+    truncate_significand,
+)
+from repro.types import BF16, FP16, FP32, FP64, TF32
+
+
+class TestTruncateSignificand:
+    def test_keep_24_bits_is_identity(self):
+        x = np.array([1.1, -2.7, 3.14159], dtype=np.float32)
+        np.testing.assert_array_equal(truncate_significand(x, 24), x)
+
+    def test_values_on_grid_are_preserved(self):
+        # 1 + k*2^-7 values are exactly representable with 8 significand bits.
+        x = (1.0 + np.arange(16) * 2.0**-7).astype(np.float32)
+        np.testing.assert_array_equal(truncate_significand(x, 8), x)
+
+    def test_rounding_error_bounded_by_ulp(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(2000).astype(np.float32)
+        for bits in (8, 11, 16):
+            y = truncate_significand(x, bits)
+            rel = np.abs(y.astype(np.float64) - x.astype(np.float64)) / np.abs(x)
+            assert np.max(rel) <= 2.0 ** (-bits)
+
+    def test_round_to_nearest_even_tie(self):
+        # 1 + 2^-8 is exactly halfway between BF16 neighbours 1 and 1 + 2^-7;
+        # RNE must pick the even one (1.0).
+        x = np.array([1.0 + 2.0**-8], dtype=np.float32)
+        assert truncate_significand(x, 8)[0] == np.float32(1.0)
+        # 1 + 3*2^-8 is halfway between 1 + 2^-7 and 1 + 2^-6; even is 1 + 2^-6.
+        x = np.array([1.0 + 3 * 2.0**-8], dtype=np.float32)
+        assert truncate_significand(x, 8)[0] == np.float32(1.0 + 2.0**-6)
+
+    def test_sign_preserved(self):
+        x = np.array([-1.3, -0.0, 0.0, 2.6], dtype=np.float32)
+        y = truncate_significand(x, 8)
+        np.testing.assert_array_equal(np.signbit(y), np.signbit(x))
+
+    def test_non_finite_passthrough(self):
+        x = np.array([np.inf, -np.inf, np.nan], dtype=np.float32)
+        y = truncate_significand(x, 11)
+        assert np.isinf(y[0]) and np.isinf(y[1]) and np.isnan(y[2])
+
+    @pytest.mark.parametrize("bad", [0, 25, -3])
+    def test_invalid_bit_count(self, bad):
+        with pytest.raises(ConfigurationError):
+            truncate_significand(np.zeros(1, dtype=np.float32), bad)
+
+
+class TestNamedConversions:
+    def test_bf16_matches_manual_truncation(self):
+        x = np.array([3.14159, -1e-3, 123.456], dtype=np.float32)
+        np.testing.assert_array_equal(round_to_bf16(x), truncate_significand(x, 8))
+
+    def test_tf32_precision_between_bf16_and_fp32(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(500).astype(np.float32)
+        err_bf16 = np.max(np.abs(round_to_bf16(x) - x))
+        err_tf32 = np.max(np.abs(round_to_tf32(x) - x))
+        assert err_tf32 < err_bf16
+
+    def test_fp16_overflow_to_inf(self):
+        x = np.array([1e6], dtype=np.float32)
+        assert np.isinf(round_to_fp16(x).astype(np.float64))[0]
+
+    def test_fp16_dtype(self):
+        assert round_to_fp16(np.ones(3, dtype=np.float32)).dtype == np.float16
+
+    def test_round_to_format_dispatch(self):
+        x = np.array([1.2345678], dtype=np.float64)
+        assert round_to_format(x, FP64).dtype == np.float64
+        assert round_to_format(x, FP32).dtype == np.float32
+        assert round_to_format(x, FP16).dtype == np.float16
+        np.testing.assert_array_equal(round_to_format(x, BF16), round_to_bf16(x))
+        np.testing.assert_array_equal(round_to_format(x, TF32), round_to_tf32(x))
+
+    def test_round_to_format_rejects_int(self):
+        with pytest.raises(ConfigurationError):
+            round_to_format(np.ones(2), "int8")

@@ -1,0 +1,93 @@
+"""Unit tests for the CLI parser and assorted small behaviours not covered
+by the module-specific suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.core.gemm import PHASE_KEYS, PhaseTimes
+from repro.perfmodel.breakdown import PHASE_ORDER
+from repro.perfmodel.costmodel import method_cost
+from repro.types import FP32
+
+
+class TestCliParser:
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.command == "figures"
+        assert args.only is None
+        assert args.full is False
+
+    def test_accuracy_defaults(self):
+        args = build_parser().parse_args(["accuracy"])
+        assert args.precision == "fp64"
+        assert args.m == 256 and args.n == 256
+
+    def test_throughput_custom_args(self):
+        args = build_parser().parse_args(
+            ["throughput", "--gpus", "GH200", "--sizes", "2048", "--target", "fp32"]
+        )
+        assert args.gpus == "GH200"
+        assert args.target == "fp32"
+
+    def test_gemm_requires_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gemm"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestPhaseNamingConsistency:
+    def test_cost_model_phases_subset_of_breakdown_order(self):
+        """Every phase name the cost model emits must be known to the
+        breakdown renderer, for every method family."""
+        for method, target in (
+            ("DGEMM", "fp64"),
+            ("TF32GEMM", FP32),
+            ("BF16x9", FP32),
+            ("cuMpSGEMM", FP32),
+            ("ozIMMU_EF-8", "fp64"),
+            ("OS II-fast-12", "fp64"),
+            ("OS II-accu-8", FP32),
+        ):
+            cost = method_cost(method, 64, 64, 64, target=target)
+            for phase in cost.phases:
+                assert phase.name in PHASE_ORDER
+
+    def test_algorithm_phase_keys_match_breakdown_order(self):
+        """The wall-clock phase keys of the implementation appear in the
+        model's display order, so CPU and modelled breakdowns line up."""
+        for key in PHASE_KEYS:
+            assert key in PHASE_ORDER
+
+    def test_phase_times_accepts_unknown_key(self):
+        times = PhaseTimes()
+        times.add("custom", 1.0)
+        assert times.seconds["custom"] == 1.0
+        assert times.total == pytest.approx(sum(times.seconds.values()))
+
+
+class TestOzaki2ResultDiagnostics:
+    def test_counters_scale_linearly_with_moduli(self, rng):
+        from repro import Ozaki2Config, ozaki2_gemm
+
+        a = rng.standard_normal((24, 40))
+        b = rng.standard_normal((40, 16))
+        small = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(8), return_details=True)
+        large = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(16), return_details=True)
+        assert large.int8_counter.mac_ops == 2 * small.int8_counter.mac_ops
+        assert large.int8_counter.matmul_calls == 2 * small.int8_counter.matmul_calls
+
+    def test_mu_nu_are_powers_of_two(self, rng):
+        from repro import ozaki2_gemm
+
+        a = rng.standard_normal((12, 20)) * 1e5
+        b = rng.standard_normal((20, 8)) * 1e-5
+        result = ozaki2_gemm(a, b, return_details=True)
+        for vec in (result.mu, result.nu):
+            mantissa, _ = np.frexp(vec)
+            assert np.all(mantissa == 0.5)

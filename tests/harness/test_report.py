@@ -1,0 +1,55 @@
+"""Tests for table/CSV rendering."""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table, rows_to_csv
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        rows = [
+            {"method": "DGEMM", "tflops": 59.0},
+            {"method": "OS II-fast-14", "tflops": 85.2345},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "method" in lines[1] and "tflops" in lines[1]
+        assert "OS II-fast-14" in text
+        assert "85.23" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert text.count("\n") == 3
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_float_format(self):
+        rows = [{"x": 0.123456789}]
+        text = format_table(rows, float_format=".2e")
+        assert "1.23e-01" in text
+
+
+class TestCsv:
+    def test_basic(self):
+        rows = [{"m": "DGEMM", "v": 1.5}, {"m": "SGEMM", "v": 2.5}]
+        csv = rows_to_csv(rows)
+        lines = csv.splitlines()
+        assert lines[0] == "m,v"
+        assert lines[1] == "DGEMM,1.5"
+
+    def test_quoting(self):
+        rows = [{"name": 'has,comma "quoted"'}]
+        csv = rows_to_csv(rows)
+        assert '"has,comma ""quoted"""' in csv
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""

@@ -1,0 +1,93 @@
+"""Tests for the per-phase cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.perfmodel.costmodel import method_cost
+from repro.types import FP32, FP64
+
+
+class TestGenericProperties:
+    @pytest.mark.parametrize(
+        "method, target",
+        [
+            ("DGEMM", FP64),
+            ("SGEMM", FP32),
+            ("TF32GEMM", FP32),
+            ("BF16x9", FP32),
+            ("cuMpSGEMM", FP32),
+            ("ozIMMU_EF-9", FP64),
+            ("OS II-fast-15", FP64),
+            ("OS II-accu-15", FP64),
+            ("OS II-fast-8", FP32),
+        ],
+    )
+    def test_costs_positive_and_credit_useful_flops(self, method, target):
+        cost = method_cost(method, 512, 512, 512, target=target)
+        assert cost.useful_flops == 2 * 512**3
+        assert cost.total_ops() > 0
+        assert cost.total_bytes() > 0
+        assert all(p.ops >= 0 and p.bytes_moved >= 0 and p.kernels >= 1 for p in cost.phases)
+
+    def test_invalid_size(self):
+        with pytest.raises(PerfModelError):
+            method_cost("DGEMM", 0, 4, 4)
+
+
+class TestMethodSpecificCounts:
+    def test_native_dgemm_single_gemm(self):
+        cost = method_cost("DGEMM", 100, 200, 300)
+        assert len(cost.phases) == 1
+        assert cost.phases[0].engine == "fp64"
+        assert cost.phases[0].ops == 2 * 100 * 200 * 300
+
+    def test_ozaki2_int8_work_scales_with_moduli(self):
+        small = method_cost("OS II-fast-8", 256, 256, 256)
+        large = method_cost("OS II-fast-16", 256, 256, 256)
+        int8_ops = lambda c: sum(p.ops for p in c.phases if p.engine == "int8")
+        assert int8_ops(large) == pytest.approx(2 * int8_ops(small))
+        assert int8_ops(small) == 8 * 2 * 256**3
+
+    def test_ozaki2_accurate_has_extra_int8_gemm(self):
+        fast = method_cost("OS II-fast-10", 128, 128, 128)
+        accu = method_cost("OS II-accu-10", 128, 128, 128)
+        int8_kernels = lambda c: sum(p.kernels for p in c.phases if p.engine == "int8")
+        assert int8_kernels(accu) == int8_kernels(fast) + 1
+
+    def test_ozimmu_triangular_gemm_count(self):
+        cost = method_cost("ozIMMU_EF-9", 64, 64, 64)
+        matmul = [p for p in cost.phases if p.name == "matmul"][0]
+        assert matmul.kernels == 45
+        assert matmul.ops == 45 * 2 * 64**3
+
+    def test_bf16x9_nine_products(self):
+        cost = method_cost("BF16x9", 64, 64, 64, target=FP32)
+        matmul = [p for p in cost.phases if p.name == "matmul"][0]
+        assert matmul.kernels == 9
+        assert matmul.engine == "bf16"
+
+    def test_cumpsgemm_three_products(self):
+        cost = method_cost("cuMpSGEMM", 64, 64, 64, target=FP32)
+        matmul = [p for p in cost.phases if p.name == "matmul"][0]
+        assert matmul.kernels == 3
+        assert matmul.engine == "fp16"
+
+    def test_ozaki2_phase_names_match_breakdown_figures(self):
+        cost = method_cost("OS II-fast-12", 128, 128, 128)
+        names = {p.name for p in cost.phases}
+        assert {"scale", "convert_A", "convert_B", "matmul", "accumulate",
+                "reconstruct", "unscale"} <= names
+
+    def test_sgemm_target_uses_fp32_pipeline_for_conversions(self):
+        cost = method_cost("OS II-fast-8", 128, 128, 128, target=FP32)
+        non_gemm_engines = {p.engine for p in cost.phases if p.engine != "int8"}
+        assert non_gemm_engines == {"fp32"}
+
+    def test_gemm_dominates_asymptotically(self):
+        """For large n the INT8 GEMM work must dominate all O(n^2) phases."""
+        cost = method_cost("OS II-fast-15", 16384, 16384, 16384)
+        int8_ops = sum(p.ops for p in cost.phases if p.engine == "int8")
+        other_ops = sum(p.ops for p in cost.phases if p.engine != "int8")
+        assert int8_ops > 20 * other_ops

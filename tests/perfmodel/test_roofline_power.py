@@ -1,0 +1,138 @@
+"""Tests for the roofline time model and the power model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.perfmodel.breakdown import phase_breakdown
+from repro.perfmodel.costmodel import method_cost
+from repro.perfmodel.power import modeled_energy, modeled_power, power_efficiency
+from repro.perfmodel.roofline import modeled_tflops, modeled_time, phase_times
+from repro.perfmodel.specs import get_gpu
+
+
+class TestRoofline:
+    def test_time_positive_and_monotone_in_size(self):
+        t_small = modeled_time("DGEMM", "GH200", 1024, 1024, 1024)
+        t_large = modeled_time("DGEMM", "GH200", 8192, 8192, 8192)
+        assert 0 < t_small < t_large
+
+    def test_tflops_never_exceed_sustained_peak(self):
+        gpu = get_gpu("GH200")
+        for n in (1024, 4096, 16384):
+            assert modeled_tflops("DGEMM", gpu, n, n, n) <= gpu.peak_for("fp64") / 1e12 + 1e-9
+            assert modeled_tflops("SGEMM", gpu, n, n, n, target="fp32") <= gpu.peak_for("fp32") / 1e12 + 1e-9
+
+    def test_native_gemm_approaches_peak_for_large_n(self):
+        gpu = get_gpu("A100")
+        tflops = modeled_tflops("DGEMM", gpu, 16384, 16384, 16384)
+        assert tflops > 0.95 * gpu.peak_for("fp64") / 1e12
+
+    def test_emulation_overhead_hurts_small_sizes(self):
+        """Small problems must favour native DGEMM (the paper's crossover)."""
+        native = modeled_tflops("DGEMM", "GH200", 1024, 1024, 1024)
+        emulated = modeled_tflops("OS II-fast-15", "GH200", 1024, 1024, 1024)
+        assert emulated < native
+
+    def test_prebuilt_cost_accepted(self):
+        cost = method_cost("DGEMM", 512, 512, 512)
+        assert modeled_time(cost, "A100") == modeled_time("DGEMM", "A100", 512, 512, 512)
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(PerfModelError):
+            modeled_time("DGEMM", "A100")
+
+    def test_phase_times_cover_all_phases(self):
+        cost = method_cost("OS II-fast-12", 1024, 1024, 1024)
+        times = phase_times(cost, "GH200")
+        assert len(times) == len(cost.phases)
+        assert all(t > 0 for _, t in times)
+
+    def test_bf16x9_fallback_on_hopper(self):
+        """Without native BF16x9 support the method behaves like SGEMM."""
+        hopper = modeled_tflops("BF16x9", "GH200", 8192, 8192, 8192, target="fp32")
+        sgemm = modeled_tflops("SGEMM", "GH200", 8192, 8192, 8192, target="fp32")
+        assert hopper == pytest.approx(sgemm, rel=0.15)
+
+    def test_kernel_overhead_matters_only_for_small_problems(self):
+        gpu = get_gpu("GH200")
+        no_overhead = dataclasses.replace(gpu, kernel_overhead_s=0.0)
+        small_with = modeled_time("OS II-fast-15", gpu, 256, 256, 256)
+        small_without = modeled_time("OS II-fast-15", no_overhead, 256, 256, 256)
+        large_with = modeled_time("OS II-fast-15", gpu, 16384, 16384, 16384)
+        large_without = modeled_time("OS II-fast-15", no_overhead, 16384, 16384, 16384)
+        assert (small_with - small_without) / small_without > 0.2
+        assert (large_with - large_without) / large_without < 0.01
+
+
+class TestPower:
+    def test_energy_and_power_positive(self):
+        energy = modeled_energy("OS II-fast-15", "GH200", 4096, 4096, 4096)
+        power = modeled_power("OS II-fast-15", "GH200", 4096, 4096, 4096)
+        assert energy > 0
+        gpu = get_gpu("GH200")
+        assert gpu.idle_fraction * gpu.tdp_watts <= power <= gpu.tdp_watts
+
+    def test_power_efficiency_consistent_with_time_and_energy(self):
+        eff = power_efficiency("DGEMM", "A100", 8192, 8192, 8192)
+        time = modeled_time("DGEMM", "A100", 8192, 8192, 8192)
+        energy = modeled_energy("DGEMM", "A100", 8192, 8192, 8192)
+        flops = 2 * 8192**3
+        assert eff == pytest.approx(flops / energy / 1e9)
+        assert energy <= get_gpu("A100").tdp_watts * time * 1.0001
+
+    def test_compute_bound_gemm_runs_near_tdp(self):
+        gpu = get_gpu("GH200")
+        power = modeled_power("DGEMM", gpu, 16384, 16384, 16384)
+        assert power > 0.9 * gpu.tdp_watts
+
+    def test_memory_bound_phase_draws_less_power(self):
+        """A small INT8 GEMM is memory/overhead bound and therefore cheap in
+        power — the effect behind the paper's Section 5.4 observation."""
+        gpu = get_gpu("RTX5080")
+        small = modeled_power("OS II-fast-8", gpu, 512, 512, 512, target="fp32")
+        large = modeled_power("OS II-fast-8", gpu, 16384, 16384, 16384, target="fp32")
+        assert small < large
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(PerfModelError):
+            power_efficiency("DGEMM", "A100")
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        for gpu in ("GH200", "RTX5080"):
+            fractions = phase_breakdown("OS II-fast-15", gpu, 2048, 2048, 2048)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+            assert all(0 <= v <= 1 for v in fractions.values())
+
+    def test_seconds_mode(self):
+        seconds = phase_breakdown(
+            "OS II-fast-15", "GH200", 2048, 2048, 2048, as_fractions=False
+        )
+        assert sum(seconds.values()) == pytest.approx(
+            modeled_time("OS II-fast-15", "GH200", 2048, 2048, 2048)
+        )
+
+    def test_matmul_fraction_grows_with_problem_size(self):
+        """Figures 6-7: conversions fade as n grows; GEMM dominates."""
+        small = phase_breakdown("OS II-fast-15", "GH200", 1024, 1024, 1024)
+        large = phase_breakdown("OS II-fast-15", "GH200", 16384, 16384, 16384)
+        assert large["matmul"] > small["matmul"]
+        assert large["matmul"] > 0.5
+
+    def test_non_gemm_overhead_larger_on_rtx5080(self):
+        """Section 5.3: weak FP64 makes the conversion phases relatively more
+        expensive on RTX 5080 than on GH200."""
+        rtx = phase_breakdown("OS II-fast-15", "RTX5080", 8192, 8192, 8192)
+        gh = phase_breakdown("OS II-fast-15", "GH200", 8192, 8192, 8192)
+        non_gemm = lambda d: 1.0 - d["matmul"]
+        assert non_gemm(rtx) > non_gemm(gh)
+
+    def test_accurate_mode_scale_phase_heavier(self):
+        fast = phase_breakdown("OS II-fast-15", "GH200", 4096, 4096, 4096)
+        accu = phase_breakdown("OS II-accu-15", "GH200", 4096, 4096, 4096)
+        assert accu["scale"] > fast["scale"]

@@ -1,0 +1,74 @@
+"""Tests for the GPU specification database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.perfmodel.specs import FIGURE1_GPUS, GPUS, GpuSpec, get_gpu
+
+
+class TestDatabase:
+    def test_evaluation_gpus_present(self):
+        for name in ("A100", "GH200", "RTX5080"):
+            assert name in GPUS
+
+    def test_figure1_gpus_resolvable_and_ordered_by_year(self):
+        years = [get_gpu(name).year for name in FIGURE1_GPUS]
+        assert years == sorted(years)
+
+    def test_lookup_case_insensitive(self):
+        assert get_gpu("gh200").name == "GH200"
+
+    def test_unknown_gpu(self):
+        with pytest.raises(PerfModelError):
+            get_gpu("TPUv4")
+
+    def test_positive_specs(self):
+        for spec in GPUS.values():
+            assert spec.fp64 > 0 and spec.fp32 > 0 and spec.fp16_tc > 0
+            assert spec.int8_tops > 0
+            assert spec.bandwidth_gbps > 0 and spec.tdp_watts > 0
+            assert 0 < spec.idle_fraction < 1
+            assert 0 < spec.tensor_efficiency <= 1
+            assert 0 < spec.vector_efficiency <= 1
+
+    def test_int8_much_faster_than_fp64_on_recent_gpus(self):
+        """The premise of the paper (Figure 1): INT8 engines vastly outpace FP64."""
+        for name in ("A100", "GH200", "RTX5080"):
+            spec = get_gpu(name)
+            assert spec.int8_tops > 10 * (spec.fp64_tc or spec.fp64)
+
+    def test_rtx5080_fp64_is_weak(self):
+        """Section 5: on RTX 5080 'FP32 is 64x faster than FP64'."""
+        spec = get_gpu("RTX5080")
+        assert spec.fp32 / spec.fp64 == pytest.approx(64, rel=0.05)
+
+    def test_bf16x9_support_flags(self):
+        assert get_gpu("RTX5080").supports_bf16x9
+        assert not get_gpu("A100").supports_bf16x9
+        assert not get_gpu("GH200").supports_bf16x9
+
+
+class TestPeakLookup:
+    def test_engine_names(self):
+        spec = get_gpu("A100")
+        for engine in ("fp64", "fp64_simt", "fp32", "tf32", "fp16", "bf16", "int8"):
+            assert spec.peak_for(engine) > 0
+
+    def test_sustained_below_raw(self):
+        spec = get_gpu("GH200")
+        assert spec.peak_for("int8") < spec.peak_for("int8", sustained=False)
+        assert spec.peak_for("int8", sustained=False) == spec.int8_tops * 1e12
+
+    def test_fp64_prefers_tensor_core_path(self):
+        spec = get_gpu("A100")
+        assert spec.peak_for("fp64", sustained=False) == spec.fp64_tc * 1e12
+        assert spec.peak_for("fp64_simt", sustained=False) == spec.fp64 * 1e12
+
+    def test_unknown_engine(self):
+        with pytest.raises(PerfModelError):
+            get_gpu("A100").peak_for("int4")
+
+    def test_bandwidth_units(self):
+        assert get_gpu("A100").bandwidth_bytes_per_s == pytest.approx(2039e9)

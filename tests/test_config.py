@@ -1,0 +1,97 @@
+"""Tests for repro.config (Ozaki2Config, ComputeMode, ResidueKernel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ComputeMode,
+    DEFAULT_MODULI_DGEMM,
+    DEFAULT_MODULI_SGEMM,
+    MAX_K_WITHOUT_BLOCKING,
+    MAX_MODULI,
+    Ozaki2Config,
+    ResidueKernel,
+)
+from repro.errors import ConfigurationError
+from repro.types import FP32, FP64
+
+
+class TestComputeMode:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            ("fast", ComputeMode.FAST),
+            ("f", ComputeMode.FAST),
+            ("accurate", ComputeMode.ACCURATE),
+            ("accu", ComputeMode.ACCURATE),
+            ("a", ComputeMode.ACCURATE),
+            (ComputeMode.FAST, ComputeMode.FAST),
+        ],
+    )
+    def test_parse(self, value, expected):
+        assert ComputeMode.parse(value) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ComputeMode.parse("turbo")
+
+
+class TestResidueKernel:
+    def test_parse(self):
+        assert ResidueKernel.parse("exact") is ResidueKernel.EXACT
+        assert ResidueKernel.parse("fast_fma") is ResidueKernel.FAST_FMA
+        assert ResidueKernel.parse(ResidueKernel.EXACT) is ResidueKernel.EXACT
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ResidueKernel.parse("simd")
+
+
+class TestOzaki2Config:
+    def test_defaults(self):
+        cfg = Ozaki2Config()
+        assert cfg.precision is FP64
+        assert cfg.num_moduli == DEFAULT_MODULI_DGEMM
+        assert cfg.mode is ComputeMode.FAST
+        assert cfg.residue_kernel is ResidueKernel.EXACT
+        assert cfg.block_k is True
+        assert cfg.is_dgemm and not cfg.is_sgemm
+
+    def test_for_dgemm_and_sgemm(self):
+        d = Ozaki2Config.for_dgemm()
+        s = Ozaki2Config.for_sgemm()
+        assert d.is_dgemm and d.num_moduli == DEFAULT_MODULI_DGEMM
+        assert s.is_sgemm and s.num_moduli == DEFAULT_MODULI_SGEMM
+
+    def test_precision_coercion_from_string(self):
+        cfg = Ozaki2Config(precision="fp32", num_moduli=8)
+        assert cfg.precision is FP32
+
+    def test_mode_coercion_from_string(self):
+        cfg = Ozaki2Config(mode="accu")
+        assert cfg.mode is ComputeMode.ACCURATE
+
+    def test_method_name(self):
+        assert Ozaki2Config.for_dgemm(14).method_name == "OS II-fast-14"
+        assert Ozaki2Config.for_sgemm(7, mode="accurate").method_name == "OS II-accu-7"
+
+    @pytest.mark.parametrize("bad_n", [0, 1, MAX_MODULI + 1, 100, -3])
+    def test_num_moduli_bounds(self, bad_n):
+        with pytest.raises(ConfigurationError):
+            Ozaki2Config(num_moduli=bad_n)
+
+    def test_non_target_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ozaki2Config(precision="fp16")
+
+    def test_replace_returns_new_config(self):
+        cfg = Ozaki2Config.for_dgemm(14)
+        other = cfg.replace(num_moduli=16)
+        assert other.num_moduli == 16
+        assert cfg.num_moduli == 14
+        assert other.precision is cfg.precision
+
+    def test_constants(self):
+        assert MAX_MODULI == 20
+        assert MAX_K_WITHOUT_BLOCKING == 2**17

@@ -1,0 +1,57 @@
+"""Package-level smoke tests: public API surface and version metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts)
+
+
+def test_public_api_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ names missing attribute {name}"
+
+
+def test_top_level_emulated_dgemm_roundtrip():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((32, 24))
+    b = rng.standard_normal((24, 16))
+    c = repro.emulated_dgemm(a, b, num_moduli=14)
+    assert c.shape == (32, 16)
+    assert c.dtype == np.float64
+    assert np.allclose(c, a @ b, rtol=1e-9, atol=1e-12)
+
+
+def test_top_level_emulated_sgemm_roundtrip():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((20, 30)).astype(np.float32)
+    b = rng.standard_normal((30, 12)).astype(np.float32)
+    c = repro.emulated_sgemm(a, b, num_moduli=8)
+    assert c.dtype == np.float32
+    assert np.allclose(c.astype(np.float64), a.astype(np.float64) @ b.astype(np.float64),
+                       rtol=1e-3, atol=1e-6)
+
+
+def test_exceptions_are_exported_and_subclass_reproerror():
+    assert issubclass(repro.ConfigurationError, repro.ReproError)
+    assert issubclass(repro.ValidationError, repro.ReproError)
+    assert issubclass(repro.ValidationError, ValueError)
+    assert issubclass(repro.EngineError, repro.ReproError)
+    assert issubclass(repro.ModuliError, repro.ReproError)
+    assert issubclass(repro.OverflowRiskError, repro.ReproError)
+    assert issubclass(repro.PerfModelError, repro.ReproError)
+
+
+def test_get_format_reachable_from_top_level():
+    assert repro.get_format("double") is repro.FP64
+    assert repro.get_format("float32") is repro.FP32
+    with pytest.raises(repro.ConfigurationError):
+        repro.get_format("fp128")

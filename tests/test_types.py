@@ -1,0 +1,134 @@
+"""Tests for the number-format descriptors in repro.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import (
+    BF16,
+    FP16,
+    FP32,
+    FP64,
+    FORMATS,
+    INT8,
+    INT32,
+    TF32,
+    Format,
+    get_format,
+    result_dtype,
+    unit_roundoff,
+    working_dtype,
+)
+
+
+class TestFormatProperties:
+    def test_fp64_basic(self):
+        assert FP64.significand_bits == 53
+        assert FP64.exponent_bits == 11
+        assert FP64.machine_epsilon == 2.0**-53
+        assert FP64.bytes_per_element == 8.0
+        assert FP64.is_float and not FP64.is_int
+
+    def test_fp32_basic(self):
+        assert FP32.significand_bits == 24
+        assert FP32.machine_epsilon == 2.0**-24
+        assert FP32.np_dtype == np.dtype(np.float32)
+
+    def test_tf32_and_bf16_are_stored_as_float32(self):
+        assert TF32.np_dtype == np.dtype(np.float32)
+        assert BF16.np_dtype == np.dtype(np.float32)
+        assert TF32.significand_bits == 11
+        assert BF16.significand_bits == 8
+        # TF32 occupies 32 bits in memory even though only 19 are significant.
+        assert TF32.storage_bits == 32
+        assert BF16.storage_bits == 16
+
+    def test_fp16_range(self):
+        assert FP16.max_exponent == 15
+        assert FP16.min_normal_exponent == -14
+
+    def test_int8_range(self):
+        assert INT8.int_min == -128
+        assert INT8.int_max == 127
+        assert INT8.accumulate_dtype == np.dtype(np.int32)
+        assert INT8.is_int and not INT8.is_float
+
+    def test_int32_range(self):
+        assert INT32.int_min == -(2**31)
+        assert INT32.int_max == 2**31 - 1
+
+    def test_float_only_properties_raise_on_int(self):
+        with pytest.raises(ConfigurationError):
+            _ = INT8.machine_epsilon
+        with pytest.raises(ConfigurationError):
+            _ = INT8.max_exponent
+
+    def test_int_only_properties_raise_on_float(self):
+        with pytest.raises(ConfigurationError):
+            _ = FP64.int_min
+        with pytest.raises(ConfigurationError):
+            _ = FP32.int_max
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Format(
+                name="weird",
+                kind="fixed",
+                significand_bits=8,
+                exponent_bits=0,
+                storage_bits=8,
+                np_dtype=np.dtype(np.int8),
+                accumulate_dtype=np.dtype(np.int32),
+            )
+
+
+class TestGetFormat:
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("fp64", FP64),
+            ("double", FP64),
+            ("float64", FP64),
+            ("F64", FP64),
+            ("fp32", FP32),
+            ("single", FP32),
+            ("half", FP16),
+            ("bfloat16", BF16),
+            ("tensorfloat32", TF32),
+            ("i8", INT8),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert get_format(alias) is expected
+
+    def test_format_instance_passthrough(self):
+        assert get_format(FP64) is FP64
+
+    def test_unknown_format(self):
+        with pytest.raises(ConfigurationError):
+            get_format("fp8")
+
+    def test_formats_mapping_complete(self):
+        assert set(FORMATS) == {"fp64", "fp32", "tf32", "bf16", "fp16", "int8", "int32"}
+
+    def test_unit_roundoff(self):
+        assert unit_roundoff("fp32") == 2.0**-24
+        assert unit_roundoff(FP64) == 2.0**-53
+
+
+class TestTargetDtypes:
+    def test_working_dtype_always_float64(self):
+        assert working_dtype("fp64") == np.dtype(np.float64)
+        assert working_dtype("fp32") == np.dtype(np.float64)
+
+    def test_working_dtype_rejects_non_targets(self):
+        with pytest.raises(ConfigurationError):
+            working_dtype("fp16")
+
+    def test_result_dtype(self):
+        assert result_dtype("fp64") == np.dtype(np.float64)
+        assert result_dtype("fp32") == np.dtype(np.float32)
+        with pytest.raises(ConfigurationError):
+            result_dtype("bf16")

@@ -1,0 +1,100 @@
+"""Tests for the array double-double arithmetic."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.utils.doubledouble import (
+    dd_abs,
+    dd_add,
+    dd_add_fp,
+    dd_from_fp,
+    dd_mul,
+    dd_mul_fp,
+    dd_neg,
+    dd_sub,
+    dd_sum,
+    dd_to_fp,
+)
+
+
+def _to_fraction(dd):
+    hi, lo = dd
+    return Fraction(float(np.asarray(hi).ravel()[0])) + Fraction(float(np.asarray(lo).ravel()[0]))
+
+
+class TestConstruction:
+    def test_from_to_roundtrip(self):
+        x = np.array([1.5, -2.25, 1e300])
+        dd = dd_from_fp(x)
+        np.testing.assert_array_equal(dd_to_fp(dd), x)
+        np.testing.assert_array_equal(dd[1], np.zeros(3))
+
+    def test_neg_and_abs(self):
+        dd = dd_from_fp(np.array([-3.0, 4.0]))
+        np.testing.assert_array_equal(dd_to_fp(dd_neg(dd)), np.array([3.0, -4.0]))
+        np.testing.assert_array_equal(dd_to_fp(dd_abs(dd)), np.array([3.0, 4.0]))
+
+
+class TestAddMul:
+    def test_add_keeps_small_terms(self):
+        big = dd_from_fp(np.array([1.0]))
+        tiny = dd_from_fp(np.array([2.0**-70]))
+        total = dd_add(big, tiny)
+        assert _to_fraction(total) == Fraction(1) + Fraction(2) ** -70
+
+    def test_add_fp(self):
+        acc = dd_from_fp(np.array([1e20]))
+        acc = dd_add_fp(acc, np.array([1.0]))
+        acc = dd_add_fp(acc, np.array([-1e20]))
+        assert dd_to_fp(acc)[0] == 1.0
+
+    def test_sub(self):
+        x = dd_from_fp(np.array([5.0]))
+        y = dd_from_fp(np.array([3.0]))
+        assert dd_to_fp(dd_sub(x, y))[0] == 2.0
+
+    def test_mul_exactness_against_fractions(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.standard_normal(2)
+            product = dd_mul(dd_from_fp(np.array([a])), dd_from_fp(np.array([b])))
+            exact = Fraction(float(a)) * Fraction(float(b))
+            got = _to_fraction(product)
+            if exact == 0:
+                assert got == 0
+            else:
+                assert abs(got - exact) / abs(exact) < Fraction(1, 2**100)
+
+    def test_mul_fp(self):
+        x = dd_from_fp(np.array([1.0 + 2.0**-40]))
+        y = dd_mul_fp(x, np.array([3.0]))
+        assert _to_fraction(y) == (Fraction(1) + Fraction(2) ** -40) * 3
+
+    def test_low_part_stays_small(self):
+        rng = np.random.default_rng(1)
+        x = dd_from_fp(rng.standard_normal(100))
+        y = dd_from_fp(rng.standard_normal(100))
+        hi, lo = dd_add(x, y)
+        nonzero = hi != 0
+        assert np.all(np.abs(lo[nonzero]) <= np.abs(hi[nonzero]) * 2.0**-52)
+
+
+class TestDdSum:
+    def test_sum_exceeds_fp64_precision(self):
+        # Sum 1 + 2^-60 * ones(1000): plain float64 loses the tail entirely.
+        hi_terms = np.concatenate([[1.0], np.full(1000, 2.0**-60)])
+        lo_terms = np.zeros_like(hi_terms)
+        hi, lo = dd_sum(hi_terms, lo_terms, axis=0)
+        exact = Fraction(1) + 1000 * Fraction(2) ** -60
+        assert Fraction(float(hi)) + Fraction(float(lo)) == exact
+
+    def test_sum_along_axis(self):
+        hi_terms = np.ones((4, 3))
+        lo_terms = np.zeros((4, 3))
+        hi, lo = dd_sum(hi_terms, lo_terms, axis=0)
+        np.testing.assert_array_equal(hi, np.full(3, 4.0))
+        np.testing.assert_array_equal(lo, np.zeros(3))

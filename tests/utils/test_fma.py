@@ -1,0 +1,140 @@
+"""Tests for the error-free transformations and the software FMA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.fma import fast_two_sum, fma, split, two_prod, two_sum
+
+
+class TestTwoSum:
+    def test_exact_decomposition_scalar(self):
+        a, b = 1.0, 2.0**-60
+        s, e = two_sum(a, b)
+        assert s == 1.0
+        assert e == 2.0**-60
+
+    def test_exact_decomposition_random(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(1000) * 10.0 ** rng.integers(-20, 20, 1000)
+        b = rng.standard_normal(1000) * 10.0 ** rng.integers(-20, 20, 1000)
+        s, e = two_sum(a, b)
+        # s is the rounded sum and s + e equals a + b exactly; verify via
+        # exact rational comparison on a sample.
+        assert np.array_equal(s, a + b)
+        for i in range(0, 1000, 97):
+            from fractions import Fraction
+
+            exact = Fraction(float(a[i])) + Fraction(float(b[i]))
+            assert Fraction(float(s[i])) + Fraction(float(e[i])) == exact
+
+    def test_order_independence(self):
+        a, b = 1e16, 1.0
+        s1, e1 = two_sum(a, b)
+        s2, e2 = two_sum(b, a)
+        assert s1 == s2
+        assert e1 == e2
+
+    def test_zero_inputs(self):
+        s, e = two_sum(0.0, 0.0)
+        assert s == 0.0 and e == 0.0
+
+
+class TestFastTwoSum:
+    def test_valid_when_first_larger(self):
+        from fractions import Fraction
+
+        a, b = 1e10, 0.12345
+        s, e = fast_two_sum(a, b)
+        assert Fraction(float(s)) + Fraction(float(e)) == Fraction(a) + Fraction(b)
+
+    def test_matches_two_sum_when_ordered(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(200) * 1e8
+        b = rng.standard_normal(200)
+        s1, e1 = fast_two_sum(a, b)
+        s2, e2 = two_sum(a, b)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(e1, e2)
+
+
+class TestSplit:
+    def test_parts_recombine_exactly(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(500) * 10.0 ** rng.integers(-30, 30, 500)
+        hi, lo = split(x)
+        np.testing.assert_array_equal(hi + lo, x)
+
+    def test_parts_have_at_most_26_bits(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(200)
+        hi, lo = split(x)
+        # A 26-bit significand value multiplied by itself must be exact.
+        np.testing.assert_array_equal(hi * hi, np.array([float(v) * float(v) for v in hi]))
+
+    def test_large_values_used_by_crt_tables(self):
+        # Values up to ~2^159 (the largest CRT product) must split exactly.
+        x = np.array([2.0**159 + 2.0**120, 2.0**100, -(2.0**80)])
+        hi, lo = split(x)
+        np.testing.assert_array_equal(hi + lo, x)
+
+
+class TestTwoProd:
+    def test_exact_product(self):
+        from fractions import Fraction
+
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal(300)
+        b = rng.standard_normal(300)
+        p, e = two_prod(a, b)
+        for i in range(0, 300, 29):
+            exact = Fraction(float(a[i])) * Fraction(float(b[i]))
+            assert Fraction(float(p[i])) + Fraction(float(e[i])) == exact
+
+    def test_error_zero_for_small_integers(self):
+        a = np.array([3.0, -7.0, 11.0])
+        b = np.array([5.0, 9.0, -13.0])
+        p, e = two_prod(a, b)
+        np.testing.assert_array_equal(p, a * b)
+        np.testing.assert_array_equal(e, np.zeros(3))
+
+
+class TestFma:
+    def test_exact_when_representable(self):
+        # q * (-p) + x with integer operands: result is an exact integer.
+        q = np.array([123456789.0, 987654321.0])
+        p = 251.0
+        x = np.array([123456789.0 * 251 + 17, 987654321.0 * 251 - 42])
+        y = fma(q, -p, x)
+        np.testing.assert_array_equal(y, np.array([17.0, -42.0]))
+
+    def test_catastrophic_cancellation_preserved(self):
+        # fl(a*b) rounds; FMA must retain the difference from c.
+        a, b = 1.0 + 2.0**-30, 1.0 - 2.0**-30
+        c = -1.0
+        result = fma(a, b, c)
+        assert result == -(2.0**-60)
+
+    def test_matches_exact_rational_fma_randomised(self):
+        from fractions import Fraction
+
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal(200)
+        b = rng.standard_normal(200)
+        c = rng.standard_normal(200)
+        result = fma(a, b, c)
+        for i in range(0, 200, 17):
+            exact = Fraction(float(a[i])) * Fraction(float(b[i])) + Fraction(float(c[i]))
+            computed = Fraction(float(result[i]))
+            if exact == 0:
+                assert computed == 0
+            else:
+                rel = abs(computed - exact) / abs(exact)
+                assert rel <= Fraction(1, 2**52)
+
+    def test_broadcasting(self):
+        a = np.ones((3, 1))
+        b = np.ones((1, 4)) * 2.0
+        c = np.zeros((3, 4))
+        assert fma(a, b, c).shape == (3, 4)

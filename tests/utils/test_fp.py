@@ -1,0 +1,95 @@
+"""Tests for exponent helpers and directed-rounding reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.fp import (
+    exponent_floor,
+    next_power_of_two_exponent,
+    pow2,
+    round_up_sum_of_squares,
+    ufp,
+    upper_bound_inflation,
+)
+
+
+class TestPow2:
+    def test_exact_for_wide_exponent_range(self):
+        exps = np.array([-1000, -60, -1, 0, 1, 53, 500, 1023])
+        values = pow2(exps)
+        for e, v in zip(exps, values):
+            assert v == 2.0 ** int(e)
+
+    def test_scalar_input(self):
+        assert pow2(np.int64(10)) == 1024.0
+
+
+class TestExponentFloor:
+    @pytest.mark.parametrize(
+        "x, expected",
+        [(1.0, 0), (1.5, 0), (2.0, 1), (3.99, 1), (0.5, -1), (0.49, -2), (-8.0, 3), (2.0**-1060, -1060)],
+    )
+    def test_values(self, x, expected):
+        assert exponent_floor(np.array([x]))[0] == expected
+
+    def test_matches_log2_floor_on_random(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000) * 10.0 ** rng.integers(-250, 250, 1000)
+        x = x[x != 0]
+        got = exponent_floor(x)
+        want = np.floor(np.log2(np.abs(x)))
+        # log2-based computation can be off by one exactly at powers of two;
+        # exclude those and require equality elsewhere.
+        is_pow2 = np.abs(x) == ufp(x)
+        np.testing.assert_array_equal(got[~is_pow2], want[~is_pow2].astype(np.int64))
+
+    def test_zero_sentinel(self):
+        assert exponent_floor(np.array([0.0]))[0] == -1075
+
+
+class TestUfp:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            ufp(np.array([1.0, 1.9, 2.0, -5.0, 0.3])), np.array([1.0, 1.0, 2.0, 4.0, 0.25])
+        )
+
+    def test_zero(self):
+        assert ufp(np.array([0.0]))[0] == 0.0
+
+
+class TestNextPowerOfTwoExponent:
+    def test_values(self):
+        x = np.array([1.0, 1.0001, 2.0, 3.0, 0.25, 0.3])
+        np.testing.assert_array_equal(
+            next_power_of_two_exponent(x), np.array([0, 1, 1, 2, -2, -1])
+        )
+
+
+class TestRoundUpSumOfSquares:
+    def test_is_upper_bound(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((50, 400)) * np.exp(rng.standard_normal((50, 400)))
+        bound = round_up_sum_of_squares(x, axis=1)
+        # Compare against a higher-precision sum (math.fsum row by row).
+        import math
+
+        for i in range(50):
+            exact = math.fsum(float(v) ** 2 for v in x[i])
+            assert bound[i] >= exact
+
+    def test_axis_0(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        bound = round_up_sum_of_squares(x, axis=0)
+        assert bound.shape == (4,)
+        assert np.all(bound >= np.sum(x * x, axis=0))
+
+    def test_inflation_factor_monotone(self):
+        assert upper_bound_inflation(10) <= upper_bound_inflation(1000)
+        assert upper_bound_inflation(0) >= 1.0
+
+    def test_inflation_negative_n_rejected(self):
+        with pytest.raises(ValidationError):
+            upper_bound_inflation(-1)

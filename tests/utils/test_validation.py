@@ -1,0 +1,63 @@
+"""Tests for shared input validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_gemm_operands, ensure_2d, require_finite
+
+
+class TestEnsure2d:
+    def test_accepts_2d(self):
+        x = ensure_2d([[1.0, 2.0], [3.0, 4.0]])
+        assert x.shape == (2, 2)
+
+    @pytest.mark.parametrize("bad", [np.zeros(3), np.zeros((2, 2, 2)), 5.0])
+    def test_rejects_wrong_rank(self, bad):
+        with pytest.raises(ValidationError):
+            ensure_2d(bad)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ensure_2d(np.zeros((0, 4)))
+
+
+class TestRequireFinite:
+    def test_accepts_finite(self):
+        require_finite(np.array([[1.0, -2.0]]))
+
+    @pytest.mark.parametrize("bad_value", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite(self, bad_value):
+        with pytest.raises(ValidationError):
+            require_finite(np.array([[1.0, bad_value]]))
+
+
+class TestCheckGemmOperands:
+    def test_happy_path_casts_dtype(self):
+        a, b = check_gemm_operands(np.ones((3, 4), dtype=np.float32), np.ones((4, 5)))
+        assert a.dtype == np.float64 and b.dtype == np.float64
+        assert a.flags["C_CONTIGUOUS"] and b.flags["C_CONTIGUOUS"]
+
+    def test_inner_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_gemm_operands(np.ones((3, 4)), np.ones((5, 6)))
+
+    def test_nan_rejected_by_default(self):
+        a = np.ones((2, 2))
+        b = np.ones((2, 2))
+        b[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            check_gemm_operands(a, b)
+
+    def test_nan_allowed_when_disabled(self):
+        a = np.ones((2, 2))
+        b = np.ones((2, 2))
+        b[0, 0] = np.nan
+        _, b_out = check_gemm_operands(a, b, check_finite=False)
+        assert np.isnan(b_out[0, 0])
+
+    def test_requested_dtype_respected(self):
+        a, b = check_gemm_operands(np.ones((2, 3)), np.ones((3, 2)), dtype=np.float32)
+        assert a.dtype == np.float32

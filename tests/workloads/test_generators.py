@@ -1,0 +1,86 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.types import FP32, FP64
+from repro.workloads.generators import (
+    WorkloadSpec,
+    adversarial_cancellation_matrix,
+    hpl_like_pair,
+    phi_matrix,
+    phi_pair,
+)
+
+
+class TestPhiMatrix:
+    def test_shape_and_dtype(self):
+        x = phi_matrix(10, 20, phi=0.5, seed=0)
+        assert x.shape == (10, 20)
+        assert x.dtype == np.float64
+        x32 = phi_matrix(10, 20, phi=0.5, precision="fp32", seed=0)
+        assert x32.dtype == np.float32
+
+    def test_deterministic_with_seed(self):
+        a = phi_matrix(16, 16, phi=1.0, seed=7)
+        b = phi_matrix(16, 16, phi=1.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = phi_matrix(16, 16, phi=1.0, seed=8)
+        assert not np.array_equal(a, c)
+
+    def test_no_zeros_and_signs_mixed(self):
+        x = phi_matrix(64, 64, phi=0.5, seed=1)
+        assert np.all(x != 0.0)
+        assert np.any(x > 0) and np.any(x < 0)
+
+    def test_phi_controls_exponent_spread(self):
+        narrow = phi_matrix(64, 64, phi=0.1, seed=2)
+        wide = phi_matrix(64, 64, phi=4.0, seed=2)
+        spread = lambda m: np.std(np.log2(np.abs(m)))
+        assert spread(wide) > 2 * spread(narrow)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValidationError):
+            phi_matrix(4, 4, precision="fp16")
+
+
+class TestPairsAndSpec:
+    def test_phi_pair_shapes(self):
+        a, b = phi_pair(8, 12, 6, phi=1.0, seed=0)
+        assert a.shape == (8, 12) and b.shape == (12, 6)
+
+    def test_hpl_like_is_phi_half(self):
+        a1, b1 = hpl_like_pair(6, 8, 4, seed=3)
+        a2, b2 = phi_pair(6, 8, 4, phi=0.5, seed=3)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_workload_spec_generate(self):
+        spec = WorkloadSpec(m=6, k=10, n=4, phi=2.0, precision="fp32", seed=5)
+        a, b = spec.generate()
+        assert a.shape == (6, 10) and b.shape == (10, 4)
+        assert a.dtype == np.float32
+        assert spec.precision is FP32
+        assert "phi2" in spec.label
+
+    def test_workload_spec_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(m=0, k=4, n=4)
+
+    def test_default_precision_is_fp64(self):
+        assert WorkloadSpec(m=2, k=2, n=2).precision is FP64
+
+
+class TestAdversarialMatrix:
+    def test_contains_both_scales(self):
+        x = adversarial_cancellation_matrix(32, 32, magnitude_ratio=1e6, seed=0)
+        mags = np.abs(x[x != 0])
+        assert np.max(mags) / np.min(mags) > 1e4
+
+    def test_deterministic(self):
+        a = adversarial_cancellation_matrix(8, 8, seed=1)
+        b = adversarial_cancellation_matrix(8, 8, seed=1)
+        np.testing.assert_array_equal(a, b)
