@@ -17,8 +17,8 @@ import numpy as np
 
 from repro import emulated_dgemm
 from repro.accuracy import max_relative_error, reference_gemm
-from repro.config import Ozaki2Config, ResidueKernel
-from repro.core.accumulation import accumulate_residue_products, reconstruct_crt
+from repro.config import Ozaki2Config
+from repro.core.accumulation import accumulate_residue_products
 from repro.core.conversion import residue_slices, truncate_scaled
 from repro.core.gemm import ozaki2_gemm
 from repro.core.scaling import fast_mode_scales

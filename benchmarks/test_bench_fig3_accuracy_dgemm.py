@@ -8,7 +8,6 @@ phi=0.5, accurate mode tolerates large phi better than fast mode.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.harness.experiments import accuracy_sweep
 from repro.harness.report import format_table

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness.figures import DGEMM_PERF_METHODS, EVAL_GPUS, figure4
+from repro.harness.figures import EVAL_GPUS, figure4
 from repro.harness.report import format_table
 
 

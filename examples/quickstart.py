@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
 
 from repro import Ozaki2Config, emulated_dgemm, emulated_sgemm, ozaki2_gemm
 from repro.accuracy import max_relative_error, reference_gemm

@@ -1,0 +1,10 @@
+"""Compatibility shim; all metadata lives in pyproject.toml (PEP 621).
+
+Kept so environments whose setuptools predates PEP 660 editable wheels
+(or that lack the ``wheel`` package) can still do a legacy editable
+install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -21,6 +21,8 @@ Main entry points
 * :mod:`repro.baselines` — Ozaki scheme I (ozIMMU), cuMpSGEMM-style FP16,
   BF16x9, TF32 and native GEMM baselines.
 * :mod:`repro.engines` — INT8 / FP16 / BF16 / TF32 matrix-engine simulators.
+* :mod:`repro.runtime` — batched / parallel execution runtime
+  (:func:`repro.ozaki2_gemm_batched`, :class:`repro.Scheduler`).
 * :mod:`repro.perfmodel` — GPU throughput / power model used to regenerate
   the paper's performance figures.
 * :mod:`repro.harness` — one function per paper figure.
@@ -30,6 +32,7 @@ from .config import ComputeMode, Ozaki2Config, ResidueKernel
 from .core.blas_like import gemm
 from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm, ozaki2_gemm
 from .core.planner import choose_num_moduli
+from .runtime import ExecutionPlan, Scheduler, ozaki2_gemm_batched
 from .errors import (
     ConfigurationError,
     EngineError,
@@ -41,7 +44,7 @@ from .errors import (
 )
 from .types import BF16, FP16, FP32, FP64, INT8, TF32, Format, get_format
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -52,6 +55,9 @@ __all__ = [
     "emulated_dgemm",
     "emulated_sgemm",
     "ozaki2_gemm",
+    "ozaki2_gemm_batched",
+    "ExecutionPlan",
+    "Scheduler",
     "gemm",
     "choose_num_moduli",
     "ConfigurationError",

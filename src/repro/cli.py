@@ -1,7 +1,11 @@
-"""Command-line interface: ``python -m repro`` or the ``repro-bench`` script.
+"""Command-line interface: the ``repro`` script or ``python -m repro``.
 
 Subcommands
 -----------
+``run``
+    Run emulated GEMMs through the execution runtime — generated workloads,
+    optional batching (``--batch``) and worker-pool parallelism
+    (``--parallel``) — and print per-item timing/accuracy.
 ``figures``
     Regenerate one or all of the paper's figures and print the tables
     (optionally at the paper's full problem sizes).
@@ -12,6 +16,9 @@ Subcommands
 ``gemm``
     Multiply two ``.npy`` matrices with a chosen method and store / check the
     result (handy for quick experiments on real data).
+``selfcheck``
+    Print version/configuration and run a fast end-to-end correctness check
+    (used by CI as a post-install smoke test).
 """
 
 from __future__ import annotations
@@ -27,11 +34,42 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
-        prog="repro-bench",
+        prog="repro",
         description="Ozaki scheme II GEMM-emulation reproduction toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run emulated GEMMs through the batched/parallel runtime"
+    )
+    run.add_argument("--size", default="512", help="problem size n or m,k,n")
+    run.add_argument("--batch", type=int, default=1, help="number of GEMMs in the batch")
+    run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="worker threads for the residue GEMMs (0 = one per CPU)",
+    )
+    run.add_argument("--moduli", type=int, default=None, help="number of CRT moduli N")
+    run.add_argument("--mode", default="fast", choices=["fast", "accurate"])
+    run.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
+    run.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="cap the residue workspace; forces m/n output tiling",
+    )
+    run.add_argument("--phi", type=float, default=0.5, help="exponent spread of the workload")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--check", action="store_true", help="report error vs the high-precision reference"
+    )
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
@@ -65,11 +103,141 @@ def build_parser() -> argparse.ArgumentParser:
     gemm.add_argument(
         "--check", action="store_true", help="also report the error vs the high-precision reference"
     )
+
+    sub.add_parser(
+        "selfcheck",
+        help="print version/config and run a fast end-to-end correctness check",
+    )
     return parser
 
 
 def _parse_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_size(text: str) -> tuple:
+    """Parse ``--size``: either ``n`` (square) or ``m,k,n``."""
+    try:
+        parts = [int(p) for p in _parse_list(text)]
+    except ValueError:
+        raise SystemExit(f"--size expects integers ('n' or 'm,k,n'), got {text!r}")
+    if len(parts) == 1:
+        return parts[0], parts[0], parts[0]
+    if len(parts) == 3:
+        return tuple(parts)
+    raise SystemExit(f"--size expects 'n' or 'm,k,n', got {text!r}")
+
+
+def _cmd_run(args) -> int:
+    import time
+
+    from .config import DEFAULT_MODULI_DGEMM, DEFAULT_MODULI_SGEMM, Ozaki2Config
+    from .harness import format_table
+    from .runtime import ozaki2_gemm_batched
+    from .workloads import phi_pair
+
+    m, k, n = _parse_size(args.size)
+    if args.moduli is not None:
+        num_moduli = args.moduli
+    else:
+        num_moduli = (
+            DEFAULT_MODULI_DGEMM if args.precision == "fp64" else DEFAULT_MODULI_SGEMM
+        )
+    config = Ozaki2Config(
+        precision=args.precision,
+        num_moduli=num_moduli,
+        mode=args.mode,
+        parallelism=args.parallel,
+        memory_budget_mb=args.memory_budget_mb,
+    )
+    pairs = [
+        phi_pair(m, k, n, phi=args.phi, precision=args.precision, seed=args.seed + j)
+        for j in range(max(1, args.batch))
+    ]
+
+    start = time.perf_counter()
+    results = ozaki2_gemm_batched(
+        [a for a, _ in pairs], [b for _, b in pairs], config=config, return_details=True
+    )
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for j, result in enumerate(results):
+        row = {
+            "item": j,
+            "method": result.method_name,
+            "shape": f"{m}x{k}x{n}",
+            "k_blocks": result.num_k_blocks,
+            "int8_gemms": result.int8_counter.matmul_calls,
+            "seconds": result.phase_times.total,
+        }
+        if args.check:
+            from .accuracy import max_relative_error, reference_gemm
+
+            a, b = pairs[j]
+            row["max_rel_error"] = max_relative_error(result.c, reference_gemm(a, b))
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            float_format=".3e",
+            title=f"repro run (batch={len(results)}, parallel={config.parallelism})",
+        )
+    )
+    mnk = 2.0 * m * k * n * len(results)
+    print(f"wall time {elapsed:.3f} s  ({mnk / elapsed / 1e9:.2f} effective GFLOP/s)")
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    import platform
+
+    import numpy
+
+    from . import __version__
+    from .accuracy import max_relative_error, reference_gemm
+    from .config import Ozaki2Config
+    from .core.gemm import ozaki2_gemm
+    from .crt.constants import build_constant_table
+    from .runtime import ozaki2_gemm_batched
+    from .workloads import phi_pair
+
+    print(f"repro {__version__}")
+    print(f"python {platform.python_version()}  numpy {numpy.__version__}")
+
+    table = build_constant_table(15, 64)
+    print(f"constant table: N=15, P has {table.P_int.bit_length()} bits")
+
+    a, b = phi_pair(96, 128, 80, phi=0.5, seed=0)
+    checks = []
+    serial = ozaki2_gemm(a, b, config=Ozaki2Config(parallelism=1))
+    err = max_relative_error(serial, reference_gemm(a, b))
+    checks.append(("serial OS II-fast-15 error < 1e-12", err < 1e-12, f"{err:.3e}"))
+
+    parallel = ozaki2_gemm(a, b, config=Ozaki2Config(parallelism=2))
+    checks.append(
+        ("parallel result bit-identical", bool(np.array_equal(serial, parallel)), "")
+    )
+
+    tiled = ozaki2_gemm(a, b, config=Ozaki2Config(memory_budget_mb=0.25))
+    checks.append(("tiled result bit-identical", bool(np.array_equal(serial, tiled)), ""))
+
+    batched = ozaki2_gemm_batched([a, a], [b, b], config=Ozaki2Config(parallelism=2))
+    checks.append(
+        (
+            "batched results bit-identical",
+            all(np.array_equal(serial, c) for c in batched),
+            "",
+        )
+    )
+
+    failed = 0
+    for name, ok, detail in checks:
+        status = "ok" if ok else "FAIL"
+        suffix = f"  ({detail})" if detail else ""
+        print(f"  [{status:>4}] {name}{suffix}")
+        failed += 0 if ok else 1
+    return 1 if failed else 0
 
 
 def _cmd_figures(args) -> int:
@@ -163,12 +331,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "figures": _cmd_figures,
         "accuracy": _cmd_accuracy,
         "throughput": _cmd_throughput,
         "gemm": _cmd_gemm,
+        "selfcheck": _cmd_selfcheck,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except Exception as exc:
+        from .errors import ReproError
+
+        if isinstance(exc, ReproError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -117,6 +117,17 @@ class Ozaki2Config:
     validate:
         If True (default), public entry points validate shapes, dtypes and
         finiteness of the inputs.
+    parallelism:
+        Number of worker threads used by the execution runtime to fan the
+        ``N`` residue GEMMs / k-blocks / output tiles out
+        (:mod:`repro.runtime`).  ``1`` (default) runs strictly serially in
+        the calling thread; ``0`` means "one worker per CPU".  Results are
+        bit-identical for every setting.
+    memory_budget_mb:
+        Optional cap (in MiB) on the residue-product workspace.  When set,
+        the runtime tiles the output over m/n so that the transient
+        ``(N, m_tile, n_tile)`` stacks stay within the budget; ``None``
+        (default) computes the product in a single tile.
     """
 
     precision: Format = FP64
@@ -125,6 +136,8 @@ class Ozaki2Config:
     residue_kernel: ResidueKernel = ResidueKernel.EXACT
     block_k: bool = True
     validate: bool = True
+    parallelism: int = 1
+    memory_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         fmt = get_format(self.precision)
@@ -143,6 +156,19 @@ class Ozaki2Config:
             raise ConfigurationError(
                 f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
             )
+        workers = int(self.parallelism)
+        if workers < 0:
+            raise ConfigurationError(
+                f"parallelism must be >= 0 (0 = one worker per CPU), got {workers}"
+            )
+        object.__setattr__(self, "parallelism", workers)
+        if self.memory_budget_mb is not None:
+            budget = float(self.memory_budget_mb)
+            if not budget > 0.0:
+                raise ConfigurationError(
+                    f"memory_budget_mb must be positive, got {budget}"
+                )
+            object.__setattr__(self, "memory_budget_mb", budget)
 
     @property
     def is_dgemm(self) -> bool:

@@ -31,15 +31,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config, ResidueKernel
+from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine, OpCounter
-from ..engines.int8 import Int8MatrixEngine
-from ..errors import OverflowRiskError
 from ..types import result_dtype
 from ..utils.validation import check_gemm_operands
-from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
-from .blocking import blocked_residue_products
+from .accumulation import unscale
 from .conversion import residue_slices, truncate_scaled
 from .scaling import accurate_mode_scales, fast_mode_scales
 
@@ -101,7 +98,9 @@ class Ozaki2Result:
     int8_counter:
         Operation ledger of the INT8 engine (GEMM calls, MACs, bytes).
     num_k_blocks:
-        Number of inner-dimension blocks used (1 unless ``k > 2^17``).
+        Number of inner-dimension blocks actually used, derived from the
+        execution plan's block ranges (1 unless k-blocking was enabled and
+        required, i.e. ``k > 2^17``).
     """
 
     c: np.ndarray
@@ -141,6 +140,7 @@ def ozaki2_gemm(
     engine: Optional[MatrixEngine] = None,
     return_details: bool = False,
     constant_table: Optional[CRTConstantTable] = None,
+    scheduler=None,
 ):
     """Emulated matrix product ``A @ B`` via Ozaki scheme II (Algorithm 1).
 
@@ -150,7 +150,10 @@ def ozaki2_gemm(
         Input matrices with a matching inner dimension.
     config:
         :class:`~repro.config.Ozaki2Config`; defaults to DGEMM emulation
-        with 15 moduli in fast mode.
+        with 15 moduli in fast mode.  ``config.parallelism`` fans the
+        residue GEMMs out over worker threads and ``config.memory_budget_mb``
+        tiles the output (both via :mod:`repro.runtime`); results are
+        bit-identical for every setting.
     engine:
         INT8 matrix engine to use; defaults to a fresh
         :class:`~repro.engines.Int8MatrixEngine`.
@@ -159,13 +162,21 @@ def ozaki2_gemm(
         product matrix.
     constant_table:
         Precomputed constant table (otherwise built/cached from the config).
+    scheduler:
+        Optional :class:`~repro.runtime.scheduler.Scheduler` to reuse (e.g.
+        to keep one worker pool warm across many calls); by default one is
+        created from ``config.parallelism`` and closed before returning.
+        When given, it takes precedence over ``engine``.
 
     Returns
     -------
     ``C`` (ndarray) or :class:`Ozaki2Result`.
     """
+    # Imported lazily: repro.runtime imports this module for Ozaki2Result.
+    from ..runtime.plan import plan_for_config
+    from ..runtime.scheduler import Scheduler, execute_plan
+
     config = config or Ozaki2Config()
-    engine = engine or Int8MatrixEngine()
     table = constant_table or build_constant_table(
         config.num_moduli, 64 if config.is_dgemm else 32
     )
@@ -177,51 +188,50 @@ def ozaki2_gemm(
         a = np.asarray(a, dtype=np.float64)
         b = np.asarray(b, dtype=np.float64)
 
-    k = a.shape[1]
-    if k > MAX_K_WITHOUT_BLOCKING and not config.block_k:
-        raise OverflowRiskError(
-            f"k={k} exceeds 2**17 and k-blocking is disabled in the config"
-        )
-    max_block_k = MAX_K_WITHOUT_BLOCKING
+    m, k = a.shape
+    n = b.shape[1]
+    # Raises OverflowRiskError when k > 2**17 with blocking disabled; the
+    # number of k-blocks reported below comes from the ranges actually used.
+    # The threshold is read from this module's global so tests can shrink it.
+    plan = plan_for_config(m, k, n, config, max_block_k=MAX_K_WITHOUT_BLOCKING)
 
+    own_scheduler = scheduler is None
+    scheduler = scheduler or Scheduler(parallelism=plan.parallelism, engine=engine)
+    engine = scheduler.engine
     times = PhaseTimes()
 
-    # Line 1: scale vectors.
-    with _PhaseTimer(times, "scale"):
-        if config.mode is ComputeMode.FAST:
-            mu, nu = fast_mode_scales(a, b, table)
-        else:
-            mu, nu, _ = accurate_mode_scales(a, b, table, engine, max_block_k)
+    try:
+        # Line 1: scale vectors.
+        with _PhaseTimer(times, "scale"):
+            if config.mode is ComputeMode.FAST:
+                mu, nu = fast_mode_scales(a, b, table)
+            else:
+                mu, nu, _ = accurate_mode_scales(
+                    a, b, table, engine, MAX_K_WITHOUT_BLOCKING
+                )
 
-    # Lines 2 and 4: A' and its residues.
-    with _PhaseTimer(times, "convert_A"):
-        a_prime = truncate_scaled(a, mu, side="left")
-        a_slices = residue_slices(a_prime, table, config.residue_kernel)
+        # Lines 2 and 4: A' and its residues.
+        with _PhaseTimer(times, "convert_A"):
+            a_prime = truncate_scaled(a, mu, side="left")
+            a_slices = residue_slices(a_prime, table, config.residue_kernel)
 
-    # Lines 3 and 5: B' and its residues.
-    with _PhaseTimer(times, "convert_B"):
-        b_prime = truncate_scaled(b, nu, side="right")
-        b_slices = residue_slices(b_prime, table, config.residue_kernel)
+        # Lines 3 and 5: B' and its residues.
+        with _PhaseTimer(times, "convert_B"):
+            b_prime = truncate_scaled(b, nu, side="right")
+            b_slices = residue_slices(b_prime, table, config.residue_kernel)
 
-    # Line 6: the N INT8 GEMMs (blocked over k if necessary).
-    with _PhaseTimer(times, "matmul"):
-        c_stack = blocked_residue_products(engine, a_slices, b_slices, max_block_k)
-    num_k_blocks = -(-k // max_block_k)
+        # Lines 6-11: the N INT8 GEMMs (fanned out over the scheduler's
+        # workers, blocked over k and tiled over m/n per the plan) and the
+        # CRT reconstruction.  Fills the matmul/accumulate/reconstruct
+        # phases of ``times``.
+        c_pp = execute_plan(scheduler, plan, a_slices, b_slices, table, config, times)
 
-    # Lines 7-9: UINT8 residues and the split accumulations.
-    with _PhaseTimer(times, "accumulate"):
-        use_mulhi = (
-            config.residue_kernel is ResidueKernel.FAST_FMA and c_stack.dtype == np.int32
-        )
-        c1, c2 = accumulate_residue_products(c_stack, table, use_mulhi=use_mulhi)
-
-    # Lines 10-11: CRT reconstruction.
-    with _PhaseTimer(times, "reconstruct"):
-        c_pp = reconstruct_crt(c1, c2, table)
-
-    # Line 12: inverse scaling.
-    with _PhaseTimer(times, "unscale"):
-        c = unscale(c_pp, mu, nu, out_dtype=out_dtype)
+        # Line 12: inverse scaling.
+        with _PhaseTimer(times, "unscale"):
+            c = unscale(c_pp, mu, nu, out_dtype=out_dtype)
+    finally:
+        if own_scheduler:
+            scheduler.close()
 
     if not return_details:
         return c
@@ -232,7 +242,7 @@ def ozaki2_gemm(
         nu=nu,
         phase_times=times,
         int8_counter=engine.counter,
-        num_k_blocks=num_k_blocks,
+        num_k_blocks=plan.num_k_blocks,
     )
 
 

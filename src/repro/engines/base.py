@@ -11,6 +11,7 @@ reproduction — see DESIGN.md, Section 2).
 from __future__ import annotations
 
 import abc
+import copy
 import dataclasses
 from typing import Dict
 
@@ -94,6 +95,30 @@ class OpCounter:
             )
         return merged
 
+    def absorb(self, other: "OpCounter") -> None:
+        """Add ``other``'s ledger into this counter in place."""
+        for field in dataclasses.fields(OpCounter):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+
+    def copy(self) -> "OpCounter":
+        """Return an independent snapshot of this ledger."""
+        return dataclasses.replace(self)
+
+    def difference(self, earlier: "OpCounter") -> "OpCounter":
+        """Return the per-field delta ``self - earlier`` as a new counter."""
+        delta = OpCounter()
+        for field in dataclasses.fields(OpCounter):
+            setattr(
+                delta,
+                field.name,
+                getattr(self, field.name) - getattr(earlier, field.name),
+            )
+        return delta
+
 
 class MatrixEngine(abc.ABC):
     """Abstract base class of all matrix-engine simulators.
@@ -149,6 +174,20 @@ class MatrixEngine(abc.ABC):
     def reset_counter(self) -> None:
         """Reset the engine's operation ledger."""
         self.counter.reset()
+
+    def clone(self) -> "MatrixEngine":
+        """Return an engine with identical settings and a fresh ledger.
+
+        Engines are cheap value objects whose only mutable state is the
+        :class:`OpCounter`; a shallow copy with its own counter is therefore
+        an independent, pool-safe instance.  The runtime scheduler gives one
+        clone to each worker thread so that concurrent ``matmul`` calls never
+        race on a shared ledger, and merges the clone ledgers back afterwards
+        (see :mod:`repro.runtime.scheduler`).
+        """
+        dup = copy.copy(self)
+        dup.counter = OpCounter()
+        return dup
 
     # -- subclass hooks ------------------------------------------------------
     @abc.abstractmethod

@@ -8,9 +8,11 @@ are plain dictionaries (easy to assert on in tests or dump to CSV) and whose
 
 from .experiments import (
     accuracy_sweep,
+    batched_speedup_sweep,
     breakdown_sweep,
     cpu_wallclock_sweep,
     power_sweep,
+    runtime_scaling_sweep,
     throughput_sweep,
 )
 from .figures import (
@@ -30,9 +32,11 @@ from .report import format_table, rows_to_csv
 
 __all__ = [
     "accuracy_sweep",
+    "batched_speedup_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
     "power_sweep",
+    "runtime_scaling_sweep",
     "throughput_sweep",
     "FigureResult",
     "figure1",

@@ -10,7 +10,7 @@ analytic GPU model (see DESIGN.md for the hardware substitution rationale).
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +26,8 @@ __all__ = [
     "power_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
+    "runtime_scaling_sweep",
+    "batched_speedup_sweep",
 ]
 
 
@@ -182,3 +184,126 @@ def cpu_wallclock_sweep(
                 }
             )
     return rows
+
+
+def runtime_scaling_sweep(
+    sizes: Sequence[int],
+    workers: Sequence[int] = (1, 4),
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 1,
+) -> List[Dict[str, object]]:
+    """Serial-vs-parallel wall clock of the execution runtime (this CPU).
+
+    For every size, the same emulated GEMM runs once per worker count of
+    ``workers`` (1 = strictly serial; a serial baseline run is injected,
+    and reported, if ``workers`` does not start with 1); each row reports
+    the best-of-``repeats`` wall time, the speedup relative to the serial
+    run and whether the result was bit-identical to it — which the runtime
+    guarantees (:mod:`repro.runtime.scheduler`).
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+
+    fmt = precision_for_target(target)
+    counts = list(workers)
+    if not counts or counts[0] != 1:
+        # The baseline must be the strictly serial run; inject it (its row
+        # is reported too) rather than silently misusing the first entry.
+        counts = [1] + counts
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        a, b = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+        serial_seconds: Optional[float] = None
+        serial_c = None
+        for count in counts:
+            config = Ozaki2Config(
+                precision=fmt, num_moduli=num_moduli, parallelism=int(count)
+            )
+            best = float("inf")
+            c = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                c = ozaki2_gemm(a, b, config=config)
+                best = min(best, time.perf_counter() - start)
+            if serial_seconds is None:
+                serial_seconds, serial_c = best, c
+            rows.append(
+                {
+                    "n": int(size),
+                    "method": config.method_name,
+                    "workers": int(count),
+                    "seconds": best,
+                    "speedup_vs_serial": serial_seconds / best,
+                    "bit_identical": bool(np.array_equal(c, serial_c)),
+                }
+            )
+    return rows
+
+
+def batched_speedup_sweep(
+    size: int,
+    batch: int,
+    num_moduli: int = 15,
+    parallelism: int = 1,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Batched API vs a Python loop of serial calls, on ``batch`` problems.
+
+    Returns two rows (``strategy`` = ``"loop"`` / ``"batched"``) with wall
+    time, speedup of batched over the loop and a bitwise-equality flag.
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+    from ..runtime import ozaki2_gemm_batched
+
+    fmt = precision_for_target(target)
+    config = Ozaki2Config(
+        precision=fmt, num_moduli=num_moduli, parallelism=int(parallelism)
+    )
+    pairs = [
+        phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed + j)
+        for j in range(batch)
+    ]
+
+    start = time.perf_counter()
+    loop_results = [ozaki2_gemm(a, b, config=config) for a, b in pairs]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_results = ozaki2_gemm_batched(
+        [a for a, _ in pairs], [b for _, b in pairs], config=config
+    )
+    batched_seconds = time.perf_counter() - start
+
+    identical = all(
+        np.array_equal(x, y) for x, y in zip(loop_results, batched_results)
+    )
+    common = {
+        "n": int(size),
+        "batch": int(batch),
+        "method": config.method_name,
+        "workers": config.parallelism,
+        "bit_identical": identical,
+    }
+    return [
+        {**common, "strategy": "loop", "seconds": loop_seconds, "speedup_vs_loop": 1.0},
+        {
+            **common,
+            "strategy": "batched",
+            "seconds": batched_seconds,
+            "speedup_vs_loop": loop_seconds / batched_seconds,
+        },
+    ]
+
+
+def precision_for_target(target: "Format | str") -> Format:
+    """Coerce a target precision spec to FP64/FP32 (helper for sweeps)."""
+    fmt = get_format(target)
+    if fmt not in (FP64, FP32):
+        raise ValueError(f"runtime sweeps emulate fp64 or fp32, got {fmt.name}")
+    return fmt

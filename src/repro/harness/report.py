@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 __all__ = ["format_table", "rows_to_csv"]
 

@@ -22,13 +22,12 @@ not tuned to the paper's measurements.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import List, Optional
+from typing import List
 
 from ..baselines.registry import MethodSpec, get_method
 from ..config import ComputeMode
 from ..errors import PerfModelError
-from ..types import FP32, FP64, Format
+from ..types import FP64, Format
 
 __all__ = ["PhaseCost", "MethodCost", "method_cost"]
 

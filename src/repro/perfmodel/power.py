@@ -19,7 +19,6 @@ crediting the emulated operation's ``2·m·n·k`` FLOPs.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from ..errors import PerfModelError
 from ..types import FP64, Format

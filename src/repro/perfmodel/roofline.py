@@ -19,7 +19,7 @@ problem grows), not the absolute TFLOPS of the authors' testbed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..errors import PerfModelError
 from ..types import FP64, Format

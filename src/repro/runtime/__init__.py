@@ -1,0 +1,30 @@
+"""Execution runtime: planning, worker-pool scheduling and batched GEMM.
+
+Ozaki scheme II is embarrassingly parallel — one emulated GEMM is ``N``
+independent INT8 residue GEMMs, times the number of k-blocks, times the
+number of output tiles.  This package exploits that structure:
+
+* :mod:`repro.runtime.plan` — :class:`ExecutionPlan` decomposes a problem
+  into tasks (and sizes output tiles against a memory budget).
+* :mod:`repro.runtime.scheduler` — :class:`Scheduler` fans tasks over a
+  thread pool with per-worker engine clones and merged op ledgers;
+  :func:`execute_plan` runs a plan with bit-identical serial/parallel
+  results.
+* :mod:`repro.runtime.batched` — :func:`ozaki2_gemm_batched` serves whole
+  batches through one shared scheduler, with one residue-conversion pass
+  per operand shape.
+"""
+
+from .batched import ozaki2_gemm_batched
+from .plan import ExecutionPlan, build_plan, plan_for_config, resolve_parallelism
+from .scheduler import Scheduler, execute_plan
+
+__all__ = [
+    "ExecutionPlan",
+    "build_plan",
+    "plan_for_config",
+    "resolve_parallelism",
+    "Scheduler",
+    "execute_plan",
+    "ozaki2_gemm_batched",
+]

@@ -1,0 +1,212 @@
+"""Batched emulated GEMM: many products through one shared runtime.
+
+:func:`ozaki2_gemm_batched` evaluates ``Cs[j] = As[j] @ Bs[j]`` for a whole
+batch with one configuration, sharing everything that does not depend on an
+individual item's values:
+
+* one cached :class:`~repro.crt.constants.CRTConstantTable`,
+* one :class:`~repro.runtime.scheduler.Scheduler` (worker pool + engine
+  clones) kept warm across items,
+* one residue-conversion pass per *operand shape*: items of equal shape
+  have their truncated operands stacked and pushed through the ``rmod``
+  kernels in a single NumPy call per modulus, instead of one call per item.
+
+Each item's tasks still fan out over the pool, and items are retired one at
+a time so per-item op ledgers stay exact.  Results are bit-identical to
+looping :func:`~repro.core.gemm.ozaki2_gemm` over the batch — the batched
+path reorders no floating-point operation, it only amortises fixed costs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ComputeMode, Ozaki2Config
+from ..core.accumulation import unscale
+from ..core.conversion import residue_slices, truncate_scaled
+from ..core.gemm import Ozaki2Result, PhaseTimes
+from ..core.scaling import accurate_mode_scales, fast_mode_scales
+from ..crt.constants import CRTConstantTable, build_constant_table
+from ..engines.base import MatrixEngine
+from ..types import result_dtype
+from ..utils.validation import check_gemm_operands
+from .plan import plan_for_config
+from .scheduler import Scheduler, execute_plan
+
+__all__ = ["ozaki2_gemm_batched"]
+
+
+def ozaki2_gemm_batched(
+    As: Sequence[np.ndarray],
+    Bs: Sequence[np.ndarray],
+    config: Optional[Ozaki2Config] = None,
+    engine: Optional[MatrixEngine] = None,
+    return_details: bool = False,
+    constant_table: Optional[CRTConstantTable] = None,
+    scheduler: Optional[Scheduler] = None,
+):
+    """Emulate ``As[j] @ Bs[j]`` for every item of a batch (Algorithm 1).
+
+    Parameters
+    ----------
+    As, Bs:
+        Equal-length sequences of operand matrices; item ``j`` must have a
+        matching inner dimension.  Shapes may differ between items — equal
+        shapes are detected and share one conversion pass.
+    config:
+        One :class:`~repro.config.Ozaki2Config` applied to every item
+        (``parallelism`` and ``memory_budget_mb`` drive the runtime).
+    engine:
+        Primary INT8 engine; defaults to a fresh one.  Its ledger ends up
+        holding the whole batch's operations.
+    return_details:
+        When True, return a list of :class:`~repro.core.gemm.Ozaki2Result`
+        (with per-item op-counter deltas) instead of plain matrices.
+    constant_table:
+        Precomputed constant table (otherwise built/cached from the config).
+    scheduler:
+        Existing :class:`Scheduler` to reuse; by default one is created for
+        the call and closed before returning.
+
+    Returns
+    -------
+    List of ``C`` matrices, or list of :class:`Ozaki2Result` when
+    ``return_details`` is true, in batch order.
+    """
+    if len(As) != len(Bs):
+        raise ValueError(f"batch length mismatch: {len(As)} A's vs {len(Bs)} B's")
+    config = config or Ozaki2Config()
+    if not As:
+        return []
+    table = constant_table or build_constant_table(
+        config.num_moduli, 64 if config.is_dgemm else 32
+    )
+    out_dtype = result_dtype(config.precision)
+
+    own_scheduler = scheduler is None
+    sched = scheduler or Scheduler(parallelism=config.parallelism, engine=engine)
+    try:
+        return _run_batch(As, Bs, config, table, out_dtype, sched, return_details)
+    finally:
+        if own_scheduler:
+            sched.close()
+
+
+def _run_batch(
+    As: Sequence[np.ndarray],
+    Bs: Sequence[np.ndarray],
+    config: Ozaki2Config,
+    table: CRTConstantTable,
+    out_dtype,
+    sched: Scheduler,
+    return_details: bool,
+) -> List:
+    batch = len(As)
+    engine = sched.engine
+    times: List[PhaseTimes] = [PhaseTimes() for _ in range(batch)]
+
+    # -- per-item scaling + truncation (value-dependent, cheap) --------------
+    a_primes: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    b_primes: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    mus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    nus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    plans = []
+    scale_counters = []
+    for j in range(batch):
+        if config.validate:
+            a, b = check_gemm_operands(As[j], Bs[j], dtype=np.float64)
+        else:
+            a = np.asarray(As[j], dtype=np.float64)
+            b = np.asarray(Bs[j], dtype=np.float64)
+        plans.append(plan_for_config(a.shape[0], a.shape[1], b.shape[1], config))
+
+        # Accurate mode issues engine GEMMs during scaling; snapshot the
+        # ledger so those calls are attributed to this item's counter.
+        counter_before = engine.counter.copy()
+        t0 = time.perf_counter()
+        if config.mode is ComputeMode.FAST:
+            mu, nu = fast_mode_scales(a, b, table)
+        else:
+            mu, nu, _ = accurate_mode_scales(a, b, table, engine)
+        times[j].add("scale", time.perf_counter() - t0)
+        scale_counters.append(engine.counter.difference(counter_before))
+
+        t0 = time.perf_counter()
+        a_primes[j] = truncate_scaled(a, mu, side="left")
+        times[j].add("convert_A", time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        b_primes[j] = truncate_scaled(b, nu, side="right")
+        times[j].add("convert_B", time.perf_counter() - t0)
+        mus[j], nus[j] = mu, nu
+
+    # -- shared residue conversion, one pass per operand shape ---------------
+    a_slices = _grouped_residue_slices(a_primes, table, config, times, "convert_A")
+    b_slices = _grouped_residue_slices(b_primes, table, config, times, "convert_B")
+
+    # -- execution: items retired in order, tasks fanned out per item --------
+    results = []
+    for j in range(batch):
+        counter_before = engine.counter.copy()
+        c_pp = execute_plan(
+            sched, plans[j], a_slices[j], b_slices[j], table, config, times=times[j]
+        )
+        t0 = time.perf_counter()
+        c = unscale(c_pp, mus[j], nus[j], out_dtype=out_dtype)
+        times[j].add("unscale", time.perf_counter() - t0)
+        if not return_details:
+            results.append(c)
+            continue
+        item_counter = engine.counter.difference(counter_before)
+        item_counter.absorb(scale_counters[j])
+        results.append(
+            Ozaki2Result(
+                c=c,
+                config=config,
+                mu=mus[j],
+                nu=nus[j],
+                phase_times=times[j],
+                int8_counter=item_counter,
+                num_k_blocks=plans[j].num_k_blocks,
+            )
+        )
+    return results
+
+
+def _grouped_residue_slices(
+    primes: List[np.ndarray],
+    table: CRTConstantTable,
+    config: Ozaki2Config,
+    times: List[PhaseTimes],
+    phase_key: str,
+) -> List[np.ndarray]:
+    """Residue stacks for every item, one conversion pass per shape group.
+
+    Items sharing a shape are stacked into a single ``(group, rows, cols)``
+    array so each ``rmod`` kernel runs once per modulus for the whole group
+    (the kernels are elementwise, so the stacked result is bit-identical to
+    converting items one by one).  The group's conversion time is split
+    evenly across its members' phase ledgers.
+    """
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for j, x in enumerate(primes):
+        groups.setdefault(x.shape, []).append(j)
+
+    out: List[np.ndarray] = [None] * len(primes)  # type: ignore[list-item]
+    for members in groups.values():
+        t0 = time.perf_counter()
+        if len(members) == 1:
+            j = members[0]
+            out[j] = residue_slices(primes[j], table, config.residue_kernel)
+        else:
+            stacked = np.stack([primes[j] for j in members])
+            slices = residue_slices(stacked, table, config.residue_kernel)
+            # slices has shape (N, group, rows, cols) -> per item (N, rows, cols)
+            for pos, j in enumerate(members):
+                out[j] = slices[:, pos]
+        dt = (time.perf_counter() - t0) / len(members)
+        for j in members:
+            times[j].add(phase_key, dt)
+    return out

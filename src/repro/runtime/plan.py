@@ -1,0 +1,227 @@
+"""Execution planning: decompose one emulated GEMM into independent tasks.
+
+Ozaki scheme II turns a high-precision GEMM into ``N`` independent INT8
+residue GEMMs (line 6 of Algorithm 1); with k-blocking (Section 4.3) and
+output tiling each residue further splits into independent
+``(k-block, m/n-tile)`` pieces.  An :class:`ExecutionPlan` enumerates that
+decomposition for one problem:
+
+* ``k_ranges`` — the inner-dimension blocks actually used.  The number of
+  blocks is derived from these ranges (not from the global
+  ``MAX_K_WITHOUT_BLOCKING`` constant), so a plan with blocking disabled
+  always reports exactly one block.
+* ``m_tiles`` / ``n_tiles`` — output tiles sized so the transient residue
+  stack ``(N, m_tile, n_tile)`` respects an optional memory budget.
+* ``parallelism`` — the resolved worker count for the scheduler.
+
+Plans are pure data: building one performs no numerical work, so tests can
+assert on the decomposition cheaply, and the scheduler can execute the same
+plan serially or in parallel with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Iterator, Optional, Tuple
+
+from ..config import MAX_K_WITHOUT_BLOCKING, Ozaki2Config
+from ..core.blocking import k_block_ranges
+from ..errors import OverflowRiskError
+
+__all__ = ["ExecutionPlan", "build_plan", "plan_for_config", "resolve_parallelism"]
+
+Range = Tuple[int, int]
+
+#: Workspace bytes charged per output element and per modulus: the INT64
+#: partial accumulator dominates; the UINT8 residue and FP64 temporaries of
+#: the accumulation phase are folded into the same per-modulus figure.
+_BYTES_PER_ELEMENT_PER_MODULUS = 8 + 1 + 8
+
+#: Workspace bytes charged per output element independent of ``N`` (the two
+#: FP64 accumulators ``C1``/``C2`` and the reconstructed tile).
+_BYTES_PER_ELEMENT_FIXED = 3 * 8
+
+
+def resolve_parallelism(parallelism: Optional[int]) -> int:
+    """Resolve a parallelism knob to a concrete worker count (>= 1).
+
+    ``None`` and ``1`` mean serial execution; ``0`` means one worker per
+    available CPU; any other positive integer is taken literally.
+    """
+    if parallelism is None:
+        return 1
+    workers = int(parallelism)
+    if workers < 0:
+        raise ValueError(f"parallelism must be >= 0, got {workers}")
+    if workers == 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """Decomposition of one ``(m, k, n)`` emulated GEMM into tasks.
+
+    Attributes
+    ----------
+    m, k, n:
+        Problem dimensions.
+    num_moduli:
+        Number ``N`` of residue GEMMs.
+    k_ranges:
+        ``(start, stop)`` blocks covering ``range(k)``; one entry unless
+        k-blocking was required.
+    m_tiles / n_tiles:
+        ``(start, stop)`` output tiles; one entry each unless a memory
+        budget forced tiling.
+    parallelism:
+        Resolved worker count (>= 1).  This is a recorded planning input:
+        entry points construct their :class:`~repro.runtime.scheduler.
+        Scheduler` from it, but a plan executed on an explicitly provided
+        scheduler runs with *that* scheduler's worker count.
+    """
+
+    m: int
+    k: int
+    n: int
+    num_moduli: int
+    k_ranges: Tuple[Range, ...]
+    m_tiles: Tuple[Range, ...]
+    n_tiles: Tuple[Range, ...]
+    parallelism: int = 1
+
+    @property
+    def num_k_blocks(self) -> int:
+        """Number of inner-dimension blocks actually used."""
+        return len(self.k_ranges)
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of independent output tiles."""
+        return len(self.m_tiles) * len(self.n_tiles)
+
+    @property
+    def tasks_per_tile(self) -> int:
+        """Independent engine calls per output tile (``N * k-blocks``)."""
+        return self.num_moduli * self.num_k_blocks
+
+    @property
+    def total_tasks(self) -> int:
+        """Total engine calls the plan will issue."""
+        return self.num_tiles * self.tasks_per_tile
+
+    def tiles(self) -> Iterator[Tuple[Range, Range]]:
+        """Iterate output tiles as ``((m_start, m_stop), (n_start, n_stop))``."""
+        for m_range in self.m_tiles:
+            for n_range in self.n_tiles:
+                yield m_range, n_range
+
+
+def _budget_tiles(
+    m: int, n: int, num_moduli: int, budget_bytes: float
+) -> Tuple[Tuple[Range, ...], Tuple[Range, ...]]:
+    """Split the ``m x n`` output into tiles fitting ``budget_bytes``.
+
+    The workspace for one tile is modelled as
+    ``tile_elements * (N * 17 + 24)`` bytes (INT64 partials plus the
+    accumulation temporaries).  Tiles are kept as square as possible so the
+    per-tile GEMMs stay compute-bound; a budget below one element still
+    yields 1x1 tiles rather than failing.
+    """
+    per_element = num_moduli * _BYTES_PER_ELEMENT_PER_MODULUS + _BYTES_PER_ELEMENT_FIXED
+    tile_elements = max(1, int(budget_bytes // per_element))
+    if m * n <= tile_elements:
+        return ((0, m),), ((0, n),)
+    side = max(1, math.isqrt(tile_elements))
+    tile_m = min(m, side)
+    tile_n = max(1, min(n, tile_elements // tile_m))
+    m_tiles = tuple(k_block_ranges(m, tile_m))
+    n_tiles = tuple(k_block_ranges(n, tile_n))
+    return m_tiles, n_tiles
+
+
+def build_plan(
+    m: int,
+    k: int,
+    n: int,
+    num_moduli: int,
+    *,
+    block_k: bool = True,
+    max_block_k: int = MAX_K_WITHOUT_BLOCKING,
+    memory_budget_mb: Optional[float] = None,
+    parallelism: Optional[int] = 1,
+) -> ExecutionPlan:
+    """Build an :class:`ExecutionPlan` for one ``(m, k, n)`` problem.
+
+    Parameters
+    ----------
+    m, k, n:
+        Problem dimensions (all positive).
+    num_moduli:
+        Number of residue GEMMs ``N``.
+    block_k:
+        Whether k-blocking is permitted.  When False, an inner dimension
+        beyond ``max_block_k`` raises
+        :class:`~repro.errors.OverflowRiskError` (matching
+        ``Ozaki2Config.block_k``) and the plan always has one k-block.
+    max_block_k:
+        Largest inner dimension per engine call (``2**17`` per Section 4.3;
+        overridable so tests can exercise blocking on small problems).
+    memory_budget_mb:
+        Optional workspace cap in MiB driving m/n tiling.
+    parallelism:
+        Worker-count knob, resolved via :func:`resolve_parallelism`.
+    """
+    for name, value in (("m", m), ("k", k), ("n", n)):
+        if int(value) <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+    if int(max_block_k) <= 0:
+        raise ValueError(f"max_block_k must be positive, got {max_block_k}")
+
+    if k > max_block_k and not block_k:
+        raise OverflowRiskError(
+            f"k={k} exceeds {max_block_k} and k-blocking is disabled in the config"
+        )
+    if block_k:
+        k_ranges = tuple(k_block_ranges(k, max_block_k))
+    else:
+        k_ranges = ((0, k),)
+
+    if memory_budget_mb is None:
+        m_tiles: Tuple[Range, ...] = ((0, m),)
+        n_tiles: Tuple[Range, ...] = ((0, n),)
+    else:
+        m_tiles, n_tiles = _budget_tiles(m, n, num_moduli, float(memory_budget_mb) * 2**20)
+
+    return ExecutionPlan(
+        m=int(m),
+        k=int(k),
+        n=int(n),
+        num_moduli=int(num_moduli),
+        k_ranges=k_ranges,
+        m_tiles=m_tiles,
+        n_tiles=n_tiles,
+        parallelism=resolve_parallelism(parallelism),
+    )
+
+
+def plan_for_config(
+    m: int,
+    k: int,
+    n: int,
+    config: Ozaki2Config,
+    max_block_k: int = MAX_K_WITHOUT_BLOCKING,
+) -> ExecutionPlan:
+    """Build the plan implied by an :class:`~repro.config.Ozaki2Config`."""
+    return build_plan(
+        m,
+        k,
+        n,
+        config.num_moduli,
+        block_k=config.block_k,
+        max_block_k=max_block_k,
+        memory_budget_mb=config.memory_budget_mb,
+        parallelism=config.parallelism,
+    )

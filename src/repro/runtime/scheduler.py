@@ -1,0 +1,229 @@
+"""Worker-pool scheduler executing :class:`~repro.runtime.plan.ExecutionPlan`s.
+
+The ``N`` residue GEMMs of Ozaki scheme II (and their k-blocks) are
+independent integer products, so they can run on any number of workers in
+any order and still reconstruct bit-identically: every engine call is exact
+in INT32/INT64, the k-block partial sums are exact integer additions, and
+the only floating-point accumulation (lines 8–9 of Algorithm 1) is applied
+per output tile in a fixed modulus order by exactly the code the serial
+path uses.  The scheduler therefore guarantees
+
+    ``execute_plan(parallelism=W) == execute_plan(parallelism=1)``  (bitwise)
+
+for every worker count ``W``.
+
+Threads, not processes: each task is one large NumPy matmul / ufunc chain,
+which releases the GIL, so a ``ThreadPoolExecutor`` scales on multi-core
+hosts without pickling matrices across process boundaries.
+
+Engine ledgers: each worker thread lazily receives ``engine.clone()`` (same
+settings, fresh :class:`~repro.engines.base.OpCounter`), so concurrent calls
+never race on a shared counter.  :meth:`Scheduler.merge_counters` folds the
+clone ledgers back into the primary engine, after which the op accounting is
+indistinguishable from a serial run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from ..config import Ozaki2Config, ResidueKernel
+from ..core.accumulation import accumulate_residue_products, reconstruct_crt
+from ..crt.constants import CRTConstantTable
+from ..engines.base import MatrixEngine
+from ..engines.int8 import Int8MatrixEngine
+from .plan import ExecutionPlan, resolve_parallelism
+
+__all__ = ["Scheduler", "execute_plan"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Scheduler:
+    """Reusable worker pool mapping tasks over per-thread engine clones.
+
+    Parameters
+    ----------
+    parallelism:
+        Worker-count knob (``None``/``1`` = serial in the calling thread,
+        ``0`` = one worker per CPU, else literal).
+    engine:
+        Primary matrix engine.  The serial path uses it directly; parallel
+        workers use clones whose ledgers are merged back into it.
+
+    A scheduler may be shared across many GEMMs (this is how the batched API
+    amortises pool start-up); use it as a context manager or call
+    :meth:`close` to shut the pool down.
+    """
+
+    def __init__(
+        self,
+        parallelism: Optional[int] = None,
+        engine: Optional[MatrixEngine] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else Int8MatrixEngine()
+        self.workers = resolve_parallelism(parallelism)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._local = threading.local()
+        self._clones: List[MatrixEngine] = []
+        self._clones_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Merge outstanding worker ledgers and shut the pool down."""
+        if self._closed:
+            return
+        self.merge_counters()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when tasks run on pool threads rather than inline."""
+        return self.workers > 1
+
+    # -- engine management ---------------------------------------------------
+    def _worker_engine(self) -> MatrixEngine:
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = self.engine.clone()
+            self._local.engine = engine
+            with self._clones_lock:
+                self._clones.append(engine)
+        return engine
+
+    def merge_counters(self) -> None:
+        """Fold every worker clone's ledger into the primary engine's.
+
+        Clone ledgers are reset after merging, so calling this repeatedly
+        (e.g. between items of a batch) never double-counts.  Must not be
+        called while tasks are in flight.
+        """
+        with self._clones_lock:
+            for clone in self._clones:
+                self.engine.counter.absorb(clone.counter)
+                clone.counter.reset()
+
+    # -- task execution ------------------------------------------------------
+    def map(self, fn: Callable[[MatrixEngine, T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn(engine, item)`` to every item, preserving input order.
+
+        Serial schedulers run inline on the primary engine; parallel ones
+        fan out over the pool with per-thread engine clones.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler has been closed")
+        if not self.is_parallel:
+            return [fn(self.engine, item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-runtime"
+            )
+        return list(self._pool.map(lambda item: fn(self._worker_engine(), item), items))
+
+
+def execute_plan(
+    scheduler: Scheduler,
+    plan: ExecutionPlan,
+    a_slices: np.ndarray,
+    b_slices: np.ndarray,
+    table: CRTConstantTable,
+    config: Ozaki2Config,
+    times=None,
+) -> np.ndarray:
+    """Run lines 6–11 of Algorithm 1 under a plan; return ``C''`` (float64).
+
+    Parameters
+    ----------
+    scheduler:
+        Worker pool (serial or parallel — the result is bit-identical).
+    plan:
+        Task decomposition from :func:`~repro.runtime.plan.build_plan`.
+    a_slices / b_slices:
+        Full INT8 residue stacks of shape ``(N, m, k)`` / ``(N, k, n)``.
+    table:
+        CRT constant table matching ``config``.
+    config:
+        Configuration (selects the ``mod`` kernel of the accumulation).
+    times:
+        Optional :class:`~repro.core.gemm.PhaseTimes` receiving per-phase
+        seconds under the keys ``matmul`` / ``accumulate`` / ``reconstruct``.
+        Wall-clock is attributed per stage, so under parallelism the
+        ``matmul`` entry is the elapsed (not summed per-worker) time.
+
+    Tiles are processed one at a time — bounding the transient workspace to
+    a single ``(N, m_tile, n_tile)`` stack, which is what the memory budget
+    promises — while the ``N x k-blocks`` engine calls inside each tile fan
+    out across the pool.
+    """
+    n_mod = plan.num_moduli
+    if a_slices.shape != (n_mod, plan.m, plan.k):
+        raise ValueError(
+            f"A residue stack has shape {a_slices.shape}, plan expects "
+            f"{(n_mod, plan.m, plan.k)}"
+        )
+    if b_slices.shape != (n_mod, plan.k, plan.n):
+        raise ValueError(
+            f"B residue stack has shape {b_slices.shape}, plan expects "
+            f"{(n_mod, plan.k, plan.n)}"
+        )
+
+    blocked = plan.num_k_blocks > 1
+    tasks = [
+        (i, start, stop) for i in range(n_mod) for start, stop in plan.k_ranges
+    ]
+    c_pp = np.empty((plan.m, plan.n), dtype=np.float64)
+
+    for (m0, m1), (n0, n1) in plan.tiles():
+
+        def _matmul(engine: MatrixEngine, task, _m0=m0, _m1=m1, _n0=n0, _n1=n1):
+            i, start, stop = task
+            return engine.matmul(
+                a_slices[i, _m0:_m1, start:stop], b_slices[i, start:stop, _n0:_n1]
+            )
+
+        t0 = time.perf_counter()
+        partials = scheduler.map(_matmul, tasks)
+        t1 = time.perf_counter()
+
+        if not blocked:
+            c_stack = np.asarray(partials)
+        else:
+            # Exact INT64 accumulation over k-blocks, in ascending-k order
+            # (the order is irrelevant to the value — integer addition is
+            # associative — but keeping it fixed documents the determinism).
+            c_stack = np.zeros((n_mod, m1 - m0, n1 - n0), dtype=np.int64)
+            for (i, _, _), partial in zip(tasks, partials):
+                c_stack[i] += partial.astype(np.int64)
+
+        use_mulhi = (
+            config.residue_kernel is ResidueKernel.FAST_FMA
+            and c_stack.dtype == np.int32
+        )
+        c1, c2 = accumulate_residue_products(c_stack, table, use_mulhi=use_mulhi)
+        t2 = time.perf_counter()
+        c_pp[m0:m1, n0:n1] = reconstruct_crt(c1, c2, table)
+        t3 = time.perf_counter()
+
+        if times is not None:
+            times.add("matmul", t1 - t0)
+            times.add("accumulate", t2 - t1)
+            times.add("reconstruct", t3 - t2)
+
+    scheduler.merge_counters()
+    return c_pp

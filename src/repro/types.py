@@ -19,7 +19,6 @@ bottom of this module (``FP64``, ``FP32``, ``TF32``, ``BF16``, ``FP16``,
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 import numpy as np
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.accuracy import max_relative_error, reference_gemm
-from repro.config import ComputeMode, Ozaki2Config, ResidueKernel
+from repro.config import ComputeMode, Ozaki2Config
 from repro.core.gemm import (
     PHASE_KEYS,
     Ozaki2Result,
@@ -169,3 +169,53 @@ class TestPhaseTimes:
 
     def test_empty_fractions(self):
         assert all(v == 0.0 for v in PhaseTimes().fractions().values())
+
+
+class TestNumKBlocksRegression:
+    """``num_k_blocks`` must reflect the block ranges actually executed.
+
+    Regression for a bug where it was derived from the global
+    ``MAX_K_WITHOUT_BLOCKING`` constant regardless of whether blocking was
+    enabled or what ranges the runtime really used.
+    """
+
+    def test_blocking_disabled_reports_single_block(self, small_pair):
+        a, b = small_pair
+        engine = Int8MatrixEngine()
+        config = Ozaki2Config.for_dgemm(8, block_k=False)
+        result = ozaki2_gemm(a, b, config=config, engine=engine, return_details=True)
+        assert result.num_k_blocks == 1
+        # One engine call per modulus and nothing else: the reported block
+        # count must agree with the calls the engine actually served.
+        assert engine.counter.matmul_calls == config.num_moduli * result.num_k_blocks
+
+    def test_block_count_matches_engine_calls_when_blocking(self, monkeypatch):
+        import repro.core.gemm as gemm_mod
+
+        a, b = phi_pair(12, 300, 10, phi=0.5, seed=11)
+        monkeypatch.setattr(gemm_mod, "MAX_K_WITHOUT_BLOCKING", 128)
+        engine = Int8MatrixEngine()
+        config = Ozaki2Config.for_dgemm(9)
+        result = ozaki2_gemm(a, b, config=config, engine=engine, return_details=True)
+        assert result.num_k_blocks == 3  # ceil(300 / 128)
+        assert engine.counter.matmul_calls == config.num_moduli * result.num_k_blocks
+
+    def test_blocking_disabled_with_shrunk_threshold(self, monkeypatch):
+        """Even when k exceeds a (shrunk) threshold, disabling blocking must
+        never report phantom blocks — it raises instead."""
+        import repro.core.gemm as gemm_mod
+
+        monkeypatch.setattr(gemm_mod, "MAX_K_WITHOUT_BLOCKING", 64)
+        a, b = phi_pair(8, 100, 8, phi=0.5, seed=7)
+        config = Ozaki2Config.for_dgemm(8, block_k=False)
+        with pytest.raises(OverflowRiskError):
+            ozaki2_gemm(a, b, config=config)
+
+    def test_blocked_result_matches_unblocked_bitwise(self, monkeypatch):
+        import repro.core.gemm as gemm_mod
+
+        a, b = phi_pair(16, 257, 12, phi=0.5, seed=5)
+        expected = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(10))
+        monkeypatch.setattr(gemm_mod, "MAX_K_WITHOUT_BLOCKING", 64)
+        blocked = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(10))
+        np.testing.assert_array_equal(blocked, expected)

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.crt.constants import build_constant_table, split_weight_bits
-from repro.crt.inverses import crt_weights, moduli_product
+from repro.crt.inverses import crt_weights
 from repro.crt.moduli import select_moduli
 from repro.errors import ConfigurationError
 

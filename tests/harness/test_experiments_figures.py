@@ -7,7 +7,6 @@ behaviour), not absolute numbers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.harness.experiments import (

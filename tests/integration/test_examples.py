@@ -11,7 +11,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
 
 _EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 

@@ -9,10 +9,9 @@ hardware substitution).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import emulated_dgemm, emulated_sgemm
-from repro.accuracy import max_relative_error, reference_gemm, summarize_errors
+from repro.accuracy import reference_gemm, summarize_errors
 from repro.baselines import native_sgemm, tf32_gemm
 from repro.perfmodel import get_gpu, modeled_tflops, phase_breakdown, power_efficiency
 from repro.workloads import phi_pair

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import PerfModelError
-from repro.perfmodel.specs import FIGURE1_GPUS, GPUS, GpuSpec, get_gpu
+from repro.perfmodel.specs import FIGURE1_GPUS, GPUS, get_gpu
 
 
 class TestDatabase:

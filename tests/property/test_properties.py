@@ -5,9 +5,8 @@ from __future__ import annotations
 from fractions import Fraction
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
-from hypothesis.extra import numpy as hnp
+
 
 from repro.core.conversion import truncate_scaled
 from repro.core.scaling import check_condition3, fast_mode_scales

@@ -1,0 +1,151 @@
+"""Tests for the batched GEMM API: loop equivalence, ledgers, grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Ozaki2Config
+from repro.core.gemm import Ozaki2Result, ozaki2_gemm
+from repro.engines.int8 import Int8MatrixEngine
+from repro.runtime import Scheduler, ozaki2_gemm_batched
+from repro.workloads import phi_pair
+
+
+def _mixed_batch(seed: int = 0):
+    """8 problems of mixed sizes (with repeated shapes to exercise grouping)."""
+    shapes = [
+        (32, 48, 24),
+        (32, 48, 24),
+        (16, 20, 12),
+        (64, 32, 8),
+        (32, 48, 24),
+        (16, 20, 12),
+        (8, 8, 8),
+        (40, 64, 56),
+    ]
+    As, Bs = [], []
+    for j, (m, k, n) in enumerate(shapes):
+        a, b = phi_pair(m, k, n, phi=0.5, seed=seed + j)
+        As.append(a)
+        Bs.append(b)
+    return As, Bs
+
+
+class TestBatchedEquivalence:
+    def test_batched_bit_identical_to_serial_loop_8_mixed(self):
+        As, Bs = _mixed_batch()
+        config = Ozaki2Config.for_dgemm(15)
+        batched = ozaki2_gemm_batched(As, Bs, config=config)
+        assert len(batched) == 8
+        for a, b, c in zip(As, Bs, batched):
+            np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
+
+    def test_batched_parallel_bit_identical(self):
+        As, Bs = _mixed_batch(seed=100)
+        config = Ozaki2Config.for_dgemm(10, parallelism=4)
+        serial_cfg = config.replace(parallelism=1)
+        batched = ozaki2_gemm_batched(As, Bs, config=config)
+        for a, b, c in zip(As, Bs, batched):
+            np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=serial_cfg))
+
+    def test_batched_sgemm(self):
+        As, Bs = [], []
+        for j in range(3):
+            a, b = phi_pair(24, 32, 20, phi=0.5, precision="fp32", seed=j)
+            As.append(a)
+            Bs.append(b)
+        config = Ozaki2Config.for_sgemm(8)
+        batched = ozaki2_gemm_batched(As, Bs, config=config)
+        for a, b, c in zip(As, Bs, batched):
+            assert c.dtype == np.float32
+            np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
+
+    def test_batched_accurate_mode(self):
+        As, Bs = _mixed_batch(seed=50)
+        As, Bs = As[:3], Bs[:3]
+        config = Ozaki2Config.for_dgemm(12, mode="accurate")
+        batched = ozaki2_gemm_batched(As, Bs, config=config)
+        for a, b, c in zip(As, Bs, batched):
+            np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
+
+    def test_batched_with_memory_budget(self):
+        As, Bs = _mixed_batch(seed=7)
+        config = Ozaki2Config.for_dgemm(8, memory_budget_mb=0.01)
+        reference_cfg = config.replace(memory_budget_mb=None)
+        batched = ozaki2_gemm_batched(As, Bs, config=config)
+        for a, b, c in zip(As, Bs, batched):
+            np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=reference_cfg))
+
+
+class TestBatchedDetails:
+    def test_per_item_results_and_counters(self):
+        As, Bs = _mixed_batch(seed=9)
+        config = Ozaki2Config.for_dgemm(9, parallelism=2)
+        results = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
+        assert all(isinstance(r, Ozaki2Result) for r in results)
+        for a, b, r in zip(As, Bs, results):
+            assert r.c.shape == (a.shape[0], b.shape[1])
+            # Fast mode, no k-blocking: exactly N INT8 GEMMs per item.
+            assert r.int8_counter.matmul_calls == 9
+            assert r.int8_counter.mac_ops == 9 * a.shape[0] * a.shape[1] * b.shape[1]
+            assert r.num_k_blocks == 1
+            assert r.method_name == "OS II-fast-9"
+
+    def test_accurate_mode_counters_match_loop(self):
+        """Accurate mode issues an extra engine GEMM during scaling; the
+        per-item batched ledgers must attribute it, matching a serial loop."""
+        As, Bs = _mixed_batch(seed=13)
+        As, Bs = As[:3], Bs[:3]
+        config = Ozaki2Config.for_dgemm(8, mode="accurate")
+        batched = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
+        for a, b, r in zip(As, Bs, batched):
+            loop = ozaki2_gemm(a, b, config=config, return_details=True)
+            assert r.int8_counter.as_dict() == loop.int8_counter.as_dict()
+            assert r.int8_counter.matmul_calls == 9  # N GEMMs + 1 scale GEMM
+
+    def test_batch_ledger_lands_on_primary_engine(self):
+        As, Bs = _mixed_batch(seed=3)
+        engine = Int8MatrixEngine()
+        ozaki2_gemm_batched(
+            As, Bs, config=Ozaki2Config.for_dgemm(7, parallelism=3), engine=engine
+        )
+        assert engine.counter.matmul_calls == 7 * len(As)
+
+    def test_phase_times_cover_all_phases(self):
+        As, Bs = _mixed_batch(seed=4)
+        results = ozaki2_gemm_batched(
+            As, Bs, config=Ozaki2Config.for_dgemm(8), return_details=True
+        )
+        for r in results:
+            for key in ("scale", "convert_A", "convert_B", "matmul", "unscale"):
+                assert r.phase_times.seconds[key] > 0.0
+
+
+class TestBatchedValidation:
+    def test_empty_batch(self):
+        assert ozaki2_gemm_batched([], []) == []
+
+    def test_length_mismatch(self):
+        a, b = phi_pair(8, 8, 8, phi=0.5, seed=0)
+        with pytest.raises(ValueError):
+            ozaki2_gemm_batched([a, a], [b])
+
+    def test_invalid_item_rejected(self):
+        a, b = phi_pair(8, 8, 8, phi=0.5, seed=0)
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            ozaki2_gemm_batched([a, np.ones((3, 4))], [b, np.ones((5, 6))])
+
+    def test_external_scheduler_not_closed(self):
+        As, Bs = _mixed_batch(seed=2)
+        with Scheduler(parallelism=2) as sched:
+            first = ozaki2_gemm_batched(
+                As[:2], Bs[:2], config=Ozaki2Config.for_dgemm(6), scheduler=sched
+            )
+            second = ozaki2_gemm_batched(
+                As[:2], Bs[:2], config=Ozaki2Config.for_dgemm(6), scheduler=sched
+            )
+        for c1, c2 in zip(first, second):
+            np.testing.assert_array_equal(c1, c2)

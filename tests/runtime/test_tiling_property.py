@@ -1,0 +1,53 @@
+"""Property test: m/n output tiling never changes a single bit of the result.
+
+The runtime's memory-budget tiling partitions the output; every element of
+``C`` is produced by exactly the same sequence of integer products and
+fixed-order floating-point accumulations whether or not the output was
+tiled, so the results must be bitwise equal — for any problem shape, any
+budget (including degenerate ones forcing 1x1 tiles) and any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.workloads.generators import phi_matrix
+
+COMMON_SETTINGS = dict(max_examples=25, deadline=None)
+
+dims = st.integers(min_value=1, max_value=28)
+moduli = st.integers(min_value=2, max_value=16)
+budgets = st.floats(min_value=1e-6, max_value=0.01)
+workers = st.sampled_from([1, 2, 3])
+
+
+@given(m=dims, k=dims, n=dims, num_moduli=moduli, budget=budgets, parallelism=workers, seed=st.integers(0, 2**16))
+@settings(**COMMON_SETTINGS)
+def test_tiling_preserves_exactness(m, k, n, num_moduli, budget, parallelism, seed):
+    a = phi_matrix(m, k, phi=0.5, seed=seed)
+    b = phi_matrix(k, n, phi=0.5, seed=seed + 1)
+
+    baseline = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(num_moduli))
+    tiled = ozaki2_gemm(
+        a,
+        b,
+        config=Ozaki2Config.for_dgemm(
+            num_moduli, memory_budget_mb=budget, parallelism=parallelism
+        ),
+    )
+    np.testing.assert_array_equal(tiled, baseline)
+
+
+@given(m=dims, k=dims, n=dims, budget=budgets, seed=st.integers(0, 2**16))
+@settings(**COMMON_SETTINGS)
+def test_tiling_preserves_exactness_sgemm(m, k, n, budget, seed):
+    a = phi_matrix(m, k, phi=0.5, precision="fp32", seed=seed)
+    b = phi_matrix(k, n, phi=0.5, precision="fp32", seed=seed + 1)
+
+    config = Ozaki2Config.for_sgemm(8)
+    baseline = ozaki2_gemm(a, b, config=config)
+    tiled = ozaki2_gemm(a, b, config=config.replace(memory_budget_mb=budget))
+    np.testing.assert_array_equal(tiled, baseline)

@@ -5,7 +5,6 @@ from __future__ import annotations
 from fractions import Fraction
 
 import numpy as np
-import pytest
 
 from repro.utils.doubledouble import (
     dd_abs,

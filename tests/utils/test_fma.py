@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.utils.fma import fast_two_sum, fma, split, two_prod, two_sum
 
