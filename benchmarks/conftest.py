@@ -29,6 +29,18 @@ if str(_SRC) not in sys.path:
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow``.
+
+    This conftest only sees items collected under ``benchmarks/``.  The
+    tier-1 suite still runs them (``pytest -x -q`` selects everything), but
+    the CI test matrix deselects them with ``-m "not slow"`` — the smoke
+    job runs the benchmark files explicitly and uploads their tables.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     """Directory collecting the rendered tables of every benchmark."""

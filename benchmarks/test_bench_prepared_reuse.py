@@ -1,0 +1,56 @@
+"""Prepared-operand reuse benchmark: convert once, multiply many.
+
+Measures the amortised per-call wall clock of multiplying one fixed ``A``
+against ``r`` partners through a single :func:`repro.prepare_a` (scales +
+truncation + INT8 residues computed once) versus ``r`` plain
+:func:`repro.ozaki2_gemm` calls that re-convert ``A`` every time.
+
+Bitwise equality of the two paths is asserted unconditionally — preparation
+caches, it never reorders floating-point work.  The amortised per-call time
+of the prepared path must fall strictly below the unprepared path for reuse
+counts ≥ 4: the one-time conversion is then paid off and every extra call
+saves the whole ``convert_A`` phase (~20% of the wall clock at this size,
+see ``results/cpu_wallclock_phase_breakdown.txt``).
+
+Results land in ``benchmarks/results/prepared_reuse.txt`` (uploaded as a CI
+artifact by the smoke job).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import prepared_reuse_sweep
+from repro.harness.report import format_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+SIZE = 1024 if FULL else 256
+REUSE_COUNTS = (1, 2, 4, 8, 16) if FULL else (1, 2, 4, 8)
+
+
+def test_bench_prepared_reuse(save_result):
+    # Best-of-5 on both paths in the quick run: the structural margin at
+    # reuse >= 4 is ~15% of total time, so the minimum over 5 runs keeps a
+    # scheduling hiccup on a shared CI runner from flipping the comparison.
+    rows = prepared_reuse_sweep(
+        SIZE,
+        reuse_counts=REUSE_COUNTS,
+        num_moduli=15,
+        repeats=1 if FULL else 5,
+    )
+    table = format_table(
+        rows,
+        float_format=".3e",
+        title=f"prepared-operand reuse: convert once, multiply many ({SIZE}^3)",
+    )
+    save_result("prepared_reuse", table)
+
+    assert all(row["bit_identical"] for row in rows)
+    for row in rows:
+        if row["reuse"] >= 4:
+            assert row["amortised_prepared"] < row["amortised_unprepared"], (
+                f"prepared path not amortised at reuse={row['reuse']}: "
+                f"{row['amortised_prepared']:.3e}s per call vs "
+                f"{row['amortised_unprepared']:.3e}s unprepared"
+            )

@@ -2,11 +2,37 @@
 
 These are library-quality versions of the workloads the paper motivates
 (Section 5.1 singles out HPL): a blocked LU factorisation whose trailing
-updates run through any GEMM method of the registry, with backward-error
-reporting.  The examples under ``examples/`` use the same algorithms in
-script form.
+updates run through any GEMM method of the registry (with convert-once
+``L21`` panels via the prepared-operand subsystem), and iterative solvers —
+Jacobi, conjugate gradients, iterative refinement — whose inner products
+reuse a prepared system matrix every iteration.  The examples under
+``examples/`` use the same algorithms in script form.
 """
 
-from .lu import blocked_lu, lu_backward_error, lu_with_method
+from .lu import (
+    blocked_lu,
+    lu_backward_error,
+    lu_with_method,
+    lu_with_prepared_updates,
+    prepared_update_gemm,
+)
+from .solvers import (
+    SolveResult,
+    cg_solve,
+    iterative_refinement_solve,
+    jacobi_solve,
+    prepared_matvec,
+)
 
-__all__ = ["blocked_lu", "lu_backward_error", "lu_with_method"]
+__all__ = [
+    "blocked_lu",
+    "lu_backward_error",
+    "lu_with_method",
+    "lu_with_prepared_updates",
+    "prepared_update_gemm",
+    "SolveResult",
+    "cg_solve",
+    "iterative_refinement_solve",
+    "jacobi_solve",
+    "prepared_matvec",
+]

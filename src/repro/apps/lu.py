@@ -11,17 +11,42 @@ checked for every emulation method in one line.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
 from ..baselines.registry import get_method
+from ..config import Ozaki2Config
 from ..errors import ValidationError
 from ..utils.validation import ensure_2d
 
-__all__ = ["blocked_lu", "lu_backward_error", "lu_with_method"]
+__all__ = [
+    "blocked_lu",
+    "lu_backward_error",
+    "lu_with_method",
+    "lu_with_prepared_updates",
+    "prepared_update_gemm",
+]
 
-GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+GemmFn = Callable[[Any, np.ndarray], np.ndarray]
+
+
+def prepared_update_gemm(config: Optional[Ozaki2Config] = None) -> GemmFn:
+    """Trailing-update GEMM through Ozaki scheme II.
+
+    The returned callable accepts either a raw ``L21`` panel or a
+    :class:`~repro.core.operand.ResidueOperand` prepared from it (see
+    :func:`blocked_lu`'s ``prepare_left``), so one prepared panel can be
+    multiplied against many ``U12`` column strips.
+    """
+    from ..core.gemm import ozaki2_gemm
+
+    config = config or Ozaki2Config.for_dgemm()
+
+    def gemm(left, right: np.ndarray) -> np.ndarray:
+        return ozaki2_gemm(left, right, config=config)
+
+    return gemm
 
 
 def blocked_lu(
@@ -29,6 +54,8 @@ def blocked_lu(
     block: int = 128,
     gemm: GemmFn | None = None,
     pivot: bool = True,
+    prepare_left: Callable[[np.ndarray], Any] | None = None,
+    trail_cols: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Right-looking blocked LU factorisation ``P A = L U``.
 
@@ -45,6 +72,20 @@ def blocked_lu(
     pivot:
         Apply partial (row) pivoting.  Disable only for diagonally dominant
         matrices.
+    prepare_left:
+        Optional one-time conversion of each panel's ``L21`` before the
+        trailing update — e.g. ``lambda l21: prepare_a(l21, config)`` — so
+        its residues are computed once and reused across every ``U12``
+        column strip of the row-block loop (``gemm`` receives the prepared
+        object as its first argument).
+    trail_cols:
+        When set, the trailing update ``A22 −= L21·U12`` is evaluated in
+        column strips of this width, each through one ``gemm`` call sharing
+        the same (possibly prepared) ``L21``.  Each output column depends
+        only on its own column of ``U12``, so the emulated GEMM (exact
+        integer arithmetic inside) gives bit-identical results to the
+        single-call update; a native BLAS ``gemm`` may differ in the last
+        bit because its kernel choice varies with the call shape.
 
     Returns
     -------
@@ -58,6 +99,8 @@ def blocked_lu(
         raise ValidationError(f"LU requires a square matrix, got {a.shape}")
     if block < 1:
         raise ValidationError(f"block must be positive, got {block}")
+    if trail_cols is not None and trail_cols < 1:
+        raise ValidationError(f"trail_cols must be positive, got {trail_cols}")
     gemm = gemm or (lambda x, y: x @ y)
 
     lu = np.array(a, dtype=np.float64, copy=True)
@@ -89,8 +132,17 @@ def blocked_lu(
         # U12 <- L11^{-1} A12 (unit lower triangular solve).
         l11 = np.tril(lu[panel, panel], -1) + np.eye(stop - start)
         lu[panel, trail] = np.linalg.solve(l11, lu[panel, trail])
-        # Trailing update: the HPL GEMM.
-        lu[trail, trail] -= gemm(lu[trail, panel], lu[panel, trail])
+        # Trailing update: the HPL GEMM.  L21 is converted at most once per
+        # panel and reused across every column strip of the row-block loop.
+        left = lu[trail, panel]
+        if prepare_left is not None:
+            left = prepare_left(np.ascontiguousarray(left))
+        if trail_cols is None:
+            lu[trail, trail] -= gemm(left, lu[panel, trail])
+        else:
+            for c0 in range(stop, n, trail_cols):
+                c1 = min(c0 + trail_cols, n)
+                lu[trail, c0:c1] -= gemm(left, lu[panel, c0:c1])
 
     lower = np.tril(lu, -1) + np.eye(n)
     upper = np.triu(lu)
@@ -119,4 +171,34 @@ def lu_with_method(
     """
     spec = get_method(method, target="fp64")
     p, lower, upper = blocked_lu(a, block=block, gemm=spec, pivot=pivot)
+    return lu_backward_error(a, p, lower, upper), (p, lower, upper)
+
+
+def lu_with_prepared_updates(
+    a: np.ndarray,
+    config: Optional[Ozaki2Config] = None,
+    block: int = 128,
+    pivot: bool = True,
+    trail_cols: Optional[int] = None,
+) -> Tuple[float, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Emulated-GEMM LU with convert-once trailing panels.
+
+    Each panel's ``L21`` is prepared once (scales + truncation + INT8
+    residues) and multiplied against the ``U12`` column strips of the
+    row-block loop — the HPL trailing-update pattern the prepared-operand
+    subsystem exists for.  ``trail_cols`` defaults to the panel width.
+
+    Returns ``(backward_error, (P, L, U))`` like :func:`lu_with_method`.
+    """
+    from ..core.operand import prepare_a
+
+    config = config or Ozaki2Config.for_dgemm()
+    p, lower, upper = blocked_lu(
+        a,
+        block=block,
+        gemm=prepared_update_gemm(config),
+        pivot=pivot,
+        prepare_left=lambda l21: prepare_a(l21, config=config),
+        trail_cols=trail_cols or block,
+    )
     return lu_backward_error(a, p, lower, upper), (p, lower, upper)

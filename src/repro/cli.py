@@ -4,8 +4,13 @@ Subcommands
 -----------
 ``run``
     Run emulated GEMMs through the execution runtime — generated workloads,
-    optional batching (``--batch``) and worker-pool parallelism
-    (``--parallel``) — and print per-item timing/accuracy.
+    optional batching (``--batch``), worker-pool parallelism
+    (``--parallel``) and convert-once operand reuse (``--prepare-a`` /
+    ``--prepare-b``) — and print per-item timing/accuracy.
+``solve``
+    Solve a generated linear system with an iterative solver (Jacobi, CG or
+    LU + iterative refinement) whose inner products reuse a prepared system
+    matrix every iteration.
 ``figures``
     Regenerate one or all of the paper's figures and print the tables
     (optionally at the paper's full problem sizes).
@@ -70,6 +75,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--check", action="store_true", help="report error vs the high-precision reference"
     )
+    run.add_argument(
+        "--prepare-a",
+        action="store_true",
+        help="share one A across the batch, converted once (convert-once/multiply-many)",
+    )
+    run.add_argument(
+        "--prepare-b",
+        action="store_true",
+        help="share one B across the batch, converted once",
+    )
+
+    solve = sub.add_parser(
+        "solve", help="iterative solvers reusing a prepared system matrix"
+    )
+    solve.add_argument(
+        "--solver", default="jacobi", choices=["jacobi", "cg", "ir"],
+        help="jacobi (diagonally dominant), cg (SPD), ir (LU + refinement)",
+    )
+    solve.add_argument("--size", type=int, default=256, help="system dimension n")
+    solve.add_argument("--moduli", type=int, default=None, help="number of CRT moduli N")
+    solve.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
+    solve.add_argument(
+        "--tol", type=float, default=None,
+        help="relative residual tolerance (default 1e-10 for fp64, 1e-5 for fp32)",
+    )
+    solve.add_argument("--max-iter", type=int, default=None)
+    solve.add_argument(
+        "--parallel", type=int, default=1,
+        help="worker threads for the residue GEMMs (0 = one per CPU)",
+    )
+    solve.add_argument("--phi", type=float, default=0.5)
+    solve.add_argument("--seed", type=int, default=0)
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument(
@@ -128,37 +165,54 @@ def _parse_size(text: str) -> tuple:
     raise SystemExit(f"--size expects 'n' or 'm,k,n', got {text!r}")
 
 
+def _resolve_workers(parallel: int) -> int:
+    """Map the CLI's ``--parallel 0`` (one worker per CPU) to a real count."""
+    import os
+
+    return parallel if parallel != 0 else max(1, os.cpu_count() or 1)
+
+
+def _default_moduli(precision: str, moduli) -> int:
+    from .config import DEFAULT_MODULI_DGEMM, DEFAULT_MODULI_SGEMM
+
+    if moduli is not None:
+        return moduli
+    return DEFAULT_MODULI_DGEMM if precision == "fp64" else DEFAULT_MODULI_SGEMM
+
+
 def _cmd_run(args) -> int:
     import time
 
-    from .config import DEFAULT_MODULI_DGEMM, DEFAULT_MODULI_SGEMM, Ozaki2Config
+    from .config import Ozaki2Config
+    from .core.operand import prepare_a, prepare_b
     from .harness import format_table
     from .runtime import ozaki2_gemm_batched
     from .workloads import phi_pair
 
     m, k, n = _parse_size(args.size)
-    if args.moduli is not None:
-        num_moduli = args.moduli
-    else:
-        num_moduli = (
-            DEFAULT_MODULI_DGEMM if args.precision == "fp64" else DEFAULT_MODULI_SGEMM
-        )
     config = Ozaki2Config(
         precision=args.precision,
-        num_moduli=num_moduli,
+        num_moduli=_default_moduli(args.precision, args.moduli),
         mode=args.mode,
-        parallelism=args.parallel,
+        parallelism=_resolve_workers(args.parallel),
         memory_budget_mb=args.memory_budget_mb,
     )
+    batch = max(1, args.batch)
     pairs = [
         phi_pair(m, k, n, phi=args.phi, precision=args.precision, seed=args.seed + j)
-        for j in range(max(1, args.batch))
+        for j in range(batch)
     ]
+    # --prepare-a / --prepare-b: every batch item shares one operand on that
+    # side, converted exactly once (the LU / iterative-solver reuse pattern).
+    if args.prepare_a:
+        pairs = [(pairs[0][0], b) for _, b in pairs]
+    if args.prepare_b:
+        pairs = [(a, pairs[0][1]) for a, _ in pairs]
 
     start = time.perf_counter()
-    results = ozaki2_gemm_batched(
-        [a for a, _ in pairs], [b for _, b in pairs], config=config, return_details=True
-    )
+    As = [prepare_a(pairs[0][0], config)] * batch if args.prepare_a else [a for a, _ in pairs]
+    Bs = [prepare_b(pairs[0][1], config)] * batch if args.prepare_b else [b for _, b in pairs]
+    results = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
     elapsed = time.perf_counter() - start
 
     rows = []
@@ -177,15 +231,65 @@ def _cmd_run(args) -> int:
             a, b = pairs[j]
             row["max_rel_error"] = max_relative_error(result.c, reference_gemm(a, b))
         rows.append(row)
-    print(
-        format_table(
-            rows,
-            float_format=".3e",
-            title=f"repro run (batch={len(results)}, parallel={config.parallelism})",
-        )
+    prepared = "".join(
+        label for label, on in (("A", args.prepare_a), ("B", args.prepare_b)) if on
     )
+    title = f"repro run (batch={len(results)}, parallel={config.parallelism}"
+    if prepared:
+        title += f", prepared={prepared}"
+    print(format_table(rows, float_format=".3e", title=title + ")"))
     mnk = 2.0 * m * k * n * len(results)
     print(f"wall time {elapsed:.3f} s  ({mnk / elapsed / 1e9:.2f} effective GFLOP/s)")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .apps import cg_solve, iterative_refinement_solve, jacobi_solve
+    from .config import Ozaki2Config
+    from .workloads import linear_system
+
+    config = Ozaki2Config(
+        precision=args.precision,
+        num_moduli=_default_moduli(args.precision, args.moduli),
+        parallelism=_resolve_workers(args.parallel),
+    )
+    kind = "spd" if args.solver == "cg" else "diag_dominant"
+    a, b, x_true = linear_system(args.size, kind=kind, phi=args.phi, seed=args.seed)
+
+    # The fp32 emulation's residual floor sits around 1e-7, so the fp64
+    # default tolerance would make every fp32 solve "fail"; scale it.
+    tol = args.tol if args.tol is not None else (
+        1e-10 if args.precision == "fp64" else 1e-5
+    )
+    solvers = {
+        "jacobi": lambda: jacobi_solve(
+            a, b, config=config, tol=tol,
+            max_iter=args.max_iter if args.max_iter is not None else 200,
+        ),
+        "cg": lambda: cg_solve(
+            a, b, config=config, tol=tol, max_iter=args.max_iter
+        ),
+        "ir": lambda: iterative_refinement_solve(
+            a, b, config=config, tol=tol,
+            max_iter=args.max_iter if args.max_iter is not None else 20,
+        ),
+    }
+    result = solvers[args.solver]()
+
+    error = float(np.max(np.abs(result.x - x_true)))
+    matvecs = max(1, result.iterations)
+    print(f"repro solve: {result.method} on n={args.size} ({kind})")
+    print(f"  converged            {result.converged} ({result.iterations} iterations)")
+    print(f"  relative residual    {result.residual_norm:.3e}  (tol {tol:.1e})")
+    print(f"  max |x - x_true|     {error:.3e}")
+    print(
+        f"  prepare once         {result.prepare_seconds:.3e} s "
+        f"(amortised {result.prepare_seconds / matvecs:.3e} s over {matvecs} matvecs)"
+    )
+    print(f"  total wall time      {result.seconds:.3f} s")
+    if not result.converged:
+        print("error: solver did not reach the tolerance", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -229,6 +333,13 @@ def _cmd_selfcheck(args) -> int:
             all(np.array_equal(serial, c) for c in batched),
             "",
         )
+    )
+
+    from .core.operand import prepare_a, prepare_b
+
+    prepared = ozaki2_gemm(prepare_a(a), prepare_b(b), config=Ozaki2Config(parallelism=1))
+    checks.append(
+        ("prepared-operand result bit-identical", bool(np.array_equal(serial, prepared)), "")
     )
 
     failed = 0
@@ -332,6 +443,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "solve": _cmd_solve,
         "figures": _cmd_figures,
         "accuracy": _cmd_accuracy,
         "throughput": _cmd_throughput,

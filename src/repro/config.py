@@ -121,8 +121,10 @@ class Ozaki2Config:
         Number of worker threads used by the execution runtime to fan the
         ``N`` residue GEMMs / k-blocks / output tiles out
         (:mod:`repro.runtime`).  ``1`` (default) runs strictly serially in
-        the calling thread; ``0`` means "one worker per CPU".  Results are
-        bit-identical for every setting.
+        the calling thread.  Must be positive — ``0`` and negatives raise
+        :class:`~repro.errors.ConfigurationError` (pass
+        ``os.cpu_count()``, or ``--parallel 0`` on the CLI, for
+        one-worker-per-CPU).  Results are bit-identical for every setting.
     memory_budget_mb:
         Optional cap (in MiB) on the residue-product workspace.  When set,
         the runtime tiles the output over m/n so that the transient
@@ -157,14 +159,17 @@ class Ozaki2Config:
                 f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
             )
         workers = int(self.parallelism)
-        if workers < 0:
+        if workers <= 0:
             raise ConfigurationError(
-                f"parallelism must be >= 0 (0 = one worker per CPU), got {workers}"
+                f"parallelism must be a positive worker count, got {workers} "
+                "(use os.cpu_count() — or --parallel 0 on the CLI — for one "
+                "worker per CPU)"
             )
         object.__setattr__(self, "parallelism", workers)
         if self.memory_budget_mb is not None:
             budget = float(self.memory_budget_mb)
             if not budget > 0.0:
+                # `not (x > 0)` also catches NaN, which every comparison fails.
                 raise ConfigurationError(
                     f"memory_budget_mb must be positive, got {budget}"
                 )

@@ -21,10 +21,22 @@ from .gemm import (
     emulated_sgemm,
     ozaki2_gemm,
 )
+from .operand import ResidueOperand, prepare_a, prepare_b
 from .planner import choose_num_moduli, estimate_retained_bits
-from .scaling import accurate_mode_scales, fast_mode_scales, scale_exponent_budget
+from .scaling import (
+    accurate_mode_scales,
+    fast_mode_scale_a,
+    fast_mode_scale_b,
+    fast_mode_scales,
+    scale_exponent_budget,
+)
 
 __all__ = [
+    "ResidueOperand",
+    "prepare_a",
+    "prepare_b",
+    "fast_mode_scale_a",
+    "fast_mode_scale_b",
     "accumulate_residue_products",
     "reconstruct_crt",
     "unscale",

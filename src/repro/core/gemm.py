@@ -35,10 +35,16 @@ from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine, OpCounter
 from ..types import result_dtype
-from ..utils.validation import check_gemm_operands
+from ..utils.validation import check_gemm_operands, check_operand
+from ..errors import ValidationError
 from .accumulation import unscale
 from .conversion import residue_slices, truncate_scaled
-from .scaling import accurate_mode_scales, fast_mode_scales
+from .operand import ResidueOperand
+from .scaling import (
+    accurate_mode_scales,
+    fast_mode_scale_a,
+    fast_mode_scale_b,
+)
 
 __all__ = ["PhaseTimes", "Ozaki2Result", "ozaki2_gemm", "emulated_dgemm", "emulated_sgemm"]
 
@@ -133,9 +139,49 @@ class _PhaseTimer:
         self._times.add(self._key, time.perf_counter() - self._start)
 
 
+def _resolve_prepared_sides(a, b, a_prep, b_prep, config):
+    """Validate a GEMM call in which at least one side is a ResidueOperand.
+
+    Checks side orientation and configuration compatibility of the prepared
+    side(s), applies the usual per-operand validation to the raw side (if
+    any) and verifies the inner dimensions match.  Returns the coerced
+    ``(a, b)`` pair (prepared entries are passed through unchanged).
+    """
+    if a_prep is not None:
+        if a_prep.side != "A":
+            raise ValidationError(
+                "a ResidueOperand prepared for the B side (per-column scales) "
+                "was passed as the left operand; use prepare_a for A"
+            )
+        a_prep.require_compatible(config)
+    if b_prep is not None:
+        if b_prep.side != "B":
+            raise ValidationError(
+                "a ResidueOperand prepared for the A side (per-row scales) "
+                "was passed as the right operand; use prepare_b for B"
+            )
+        b_prep.require_compatible(config)
+
+    if a_prep is None:
+        a = check_operand(a, "A") if config.validate else np.asarray(a, dtype=np.float64)
+    if b_prep is None:
+        b = check_operand(b, "B") if config.validate else np.asarray(b, dtype=np.float64)
+
+    k_a = a_prep.inner_dim if a_prep is not None else a.shape[1]
+    k_b = b_prep.inner_dim if b_prep is not None else b.shape[0]
+    if k_a != k_b:
+        shape_a = a_prep.shape if a_prep is not None else a.shape
+        shape_b = b_prep.shape if b_prep is not None else b.shape
+        raise ValidationError(
+            f"inner dimensions do not match: A is {tuple(shape_a)}, "
+            f"B is {tuple(shape_b)}"
+        )
+    return a, b
+
+
 def ozaki2_gemm(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: "np.ndarray | ResidueOperand",
+    b: "np.ndarray | ResidueOperand",
     config: Optional[Ozaki2Config] = None,
     engine: Optional[MatrixEngine] = None,
     return_details: bool = False,
@@ -147,7 +193,14 @@ def ozaki2_gemm(
     Parameters
     ----------
     a, b:
-        Input matrices with a matching inner dimension.
+        Input matrices with a matching inner dimension.  Either side may be
+        a precomputed :class:`~repro.core.operand.ResidueOperand` (from
+        :func:`~repro.core.operand.prepare_a` /
+        :func:`~repro.core.operand.prepare_b`); the corresponding convert
+        phase is then skipped — reported as 0 in :class:`PhaseTimes` — and
+        the result is bit-identical to the unprepared call.  Prepared
+        operands require ``ComputeMode.FAST`` (accurate mode couples the
+        two sides' scale determination).
     config:
         :class:`~repro.config.Ozaki2Config`; defaults to DGEMM emulation
         with 15 moduli in fast mode.  ``config.parallelism`` fans the
@@ -182,14 +235,19 @@ def ozaki2_gemm(
     )
     out_dtype = result_dtype(config.precision)
 
-    if config.validate:
-        a, b = check_gemm_operands(a, b, dtype=np.float64)
+    a_prep = a if isinstance(a, ResidueOperand) else None
+    b_prep = b if isinstance(b, ResidueOperand) else None
+    if a_prep is None and b_prep is None:
+        if config.validate:
+            a, b = check_gemm_operands(a, b, dtype=np.float64)
+        else:
+            a = np.asarray(a, dtype=np.float64)
+            b = np.asarray(b, dtype=np.float64)
     else:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = _resolve_prepared_sides(a, b, a_prep, b_prep, config)
 
-    m, k = a.shape
-    n = b.shape[1]
+    m, k = a_prep.shape if a_prep is not None else a.shape
+    n = (b_prep.shape if b_prep is not None else b.shape)[1]
     # Raises OverflowRiskError when k > 2**17 with blocking disabled; the
     # number of k-blocks reported below comes from the ranges actually used.
     # The threshold is read from this module's global so tests can shrink it.
@@ -201,24 +259,35 @@ def ozaki2_gemm(
     times = PhaseTimes()
 
     try:
-        # Line 1: scale vectors.
+        # Line 1: scale vectors.  Fast mode derives each side's scales from
+        # that side alone, so a prepared operand simply contributes its
+        # cached vector.
         with _PhaseTimer(times, "scale"):
             if config.mode is ComputeMode.FAST:
-                mu, nu = fast_mode_scales(a, b, table)
+                mu = a_prep.scale if a_prep is not None else fast_mode_scale_a(a, table)
+                nu = b_prep.scale if b_prep is not None else fast_mode_scale_b(b, table)
             else:
                 mu, nu, _ = accurate_mode_scales(
                     a, b, table, engine, MAX_K_WITHOUT_BLOCKING
                 )
 
-        # Lines 2 and 4: A' and its residues.
-        with _PhaseTimer(times, "convert_A"):
-            a_prime = truncate_scaled(a, mu, side="left")
-            a_slices = residue_slices(a_prime, table, config.residue_kernel)
+        # Lines 2 and 4: A' and its residues (skipped when A is prepared).
+        if a_prep is not None:
+            a_slices = a_prep.slices
+            times.add("convert_A", 0.0)
+        else:
+            with _PhaseTimer(times, "convert_A"):
+                a_prime = truncate_scaled(a, mu, side="left")
+                a_slices = residue_slices(a_prime, table, config.residue_kernel)
 
-        # Lines 3 and 5: B' and its residues.
-        with _PhaseTimer(times, "convert_B"):
-            b_prime = truncate_scaled(b, nu, side="right")
-            b_slices = residue_slices(b_prime, table, config.residue_kernel)
+        # Lines 3 and 5: B' and its residues (skipped when B is prepared).
+        if b_prep is not None:
+            b_slices = b_prep.slices
+            times.add("convert_B", 0.0)
+        else:
+            with _PhaseTimer(times, "convert_B"):
+                b_prime = truncate_scaled(b, nu, side="right")
+                b_slices = residue_slices(b_prime, table, config.residue_kernel)
 
         # Lines 6-11: the N INT8 GEMMs (fanned out over the scheduler's
         # workers, blocked over k and tiled over m/n per the plan) and the

@@ -1,0 +1,207 @@
+"""Precomputed residue operands: convert once, multiply many times.
+
+The conversion phases of Algorithm 1 (lines 2–5: scaling, truncation and the
+per-modulus INT8 residues) account for a large share of the emulated GEMM's
+wall clock (see ``benchmarks/results/cpu_wallclock_phase_breakdown.txt``),
+yet they depend only on *one* operand.  Workloads that multiply the same
+matrix against many partners — LU trailing updates sweeping one ``L21``
+across column strips, iterative solvers applying a fixed system matrix every
+iteration, batches sharing a weight matrix — re-pay that cost on every call.
+
+:class:`ResidueOperand` captures the conversion of one side once:
+
+* the fast-mode power-of-two scale vector (``μ`` for the A side, ``ν`` for
+  the B side),
+* the per-modulus INT8 residue stack ``(N, rows, cols)``.
+
+A prepared operand can then be passed to :func:`~repro.core.gemm.ozaki2_gemm`
+(or :func:`~repro.runtime.batched.ozaki2_gemm_batched`) in place of the raw
+matrix; the corresponding convert phase is skipped entirely and reported as
+0 in :class:`~repro.core.gemm.PhaseTimes`.  Results are **bit-identical** to
+the unprepared call: fast mode derives each side's scales from that side
+alone, so caching reorders no floating-point operation.
+
+Accurate mode is different — its scale determination couples the two sides
+through the bound matrix ``C̄ = Ā·B̄`` (Section 4.2), so residues cannot be
+fixed before the partner is known.  Preparation is therefore restricted to
+``ComputeMode.FAST`` and raises :class:`~repro.errors.ConfigurationError`
+otherwise (see :meth:`ResidueOperand.require_compatible`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..config import ComputeMode, Ozaki2Config
+from ..crt.constants import CRTConstantTable, build_constant_table
+from ..errors import ConfigurationError
+from ..utils.validation import check_operand
+from .conversion import residue_slices, truncate_scaled
+from .scaling import fast_mode_scale_a, fast_mode_scale_b
+
+__all__ = ["ResidueOperand", "prepare_a", "prepare_b"]
+
+#: Human-readable phrasing of why accurate mode cannot use prepared operands.
+_ACCURATE_RESTRICTION = (
+    "accurate-mode scale determination couples the two sides (the bound "
+    "matrix C-bar = A-bar * B-bar of Section 4.2 depends on both operands), "
+    "so residues cannot be fixed before the partner is known; use "
+    "ComputeMode.FAST, or pass raw matrices in accurate mode"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResidueOperand:
+    """One GEMM side converted once, reusable against many partners.
+
+    Attributes
+    ----------
+    side:
+        ``"A"`` (left operand, per-row scales) or ``"B"`` (right operand,
+        per-column scales).
+    scale:
+        The fast-mode power-of-two scale vector actually applied (``μ`` for
+        the A side, ``ν`` for the B side).
+    slices:
+        INT8 residue stack of shape ``(N, rows, cols)`` — lines 4–5 of
+        Algorithm 1 for this operand.
+    config:
+        The configuration the operand was prepared under.  Multiplications
+        must use a configuration with the same precision, moduli count,
+        mode and residue kernel (runtime knobs — ``parallelism``,
+        ``memory_budget_mb``, ``block_k``, ``validate`` — may differ freely;
+        they do not affect the residues).
+    convert_seconds:
+        One-time wall-clock cost of the preparation (scale + truncate +
+        residues); the amortisation baseline reported by
+        :func:`repro.harness.prepared_reuse_sweep`.
+    """
+
+    side: str
+    scale: np.ndarray
+    slices: np.ndarray
+    config: Ozaki2Config
+    convert_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.side not in ("A", "B"):
+            raise ConfigurationError(
+                f"ResidueOperand side must be 'A' or 'B', got {self.side!r}"
+            )
+
+    @property
+    def shape(self) -> tuple:
+        """Shape ``(rows, cols)`` of the underlying matrix."""
+        return tuple(self.slices.shape[1:])
+
+    @property
+    def num_moduli(self) -> int:
+        """Number of residue slices ``N``."""
+        return int(self.slices.shape[0])
+
+    @property
+    def inner_dim(self) -> int:
+        """The GEMM inner dimension ``k`` this operand contributes."""
+        return int(self.shape[1] if self.side == "A" else self.shape[0])
+
+    @property
+    def phase_key(self) -> str:
+        """The :class:`~repro.core.gemm.PhaseTimes` key this operand skips."""
+        return "convert_A" if self.side == "A" else "convert_B"
+
+    def require_compatible(self, config: Ozaki2Config) -> None:
+        """Raise :class:`ConfigurationError` unless ``config`` can reuse this.
+
+        The cached scale and residues are a function of the preparing
+        configuration's precision (constant-table bit width), moduli count,
+        mode and residue kernel; a multiplication under a configuration that
+        differs in any of those would silently change the result, so it is
+        rejected instead.
+        """
+        if config.mode is not ComputeMode.FAST:
+            raise ConfigurationError(
+                f"prepared operand ({self.side} side) cannot be used in "
+                f"{config.mode.value!r} mode: {_ACCURATE_RESTRICTION}"
+            )
+        mismatches = [
+            f"{name}: prepared with {ours!r}, multiplication requests {theirs!r}"
+            for name, ours, theirs in (
+                ("precision", self.config.precision.name, config.precision.name),
+                ("num_moduli", self.config.num_moduli, config.num_moduli),
+                ("residue_kernel", self.config.residue_kernel.value,
+                 config.residue_kernel.value),
+            )
+            if ours != theirs
+        ]
+        if mismatches:
+            raise ConfigurationError(
+                "prepared operand is incompatible with this configuration — "
+                + "; ".join(mismatches)
+            )
+
+
+def _prepare(
+    x: np.ndarray,
+    side: str,
+    config: Optional[Ozaki2Config],
+    constant_table: Optional[CRTConstantTable],
+) -> ResidueOperand:
+    config = config or Ozaki2Config()
+    if config.mode is not ComputeMode.FAST:
+        raise ConfigurationError(
+            f"cannot prepare the {side} side in {config.mode.value!r} mode: "
+            + _ACCURATE_RESTRICTION
+        )
+    table = constant_table or build_constant_table(
+        config.num_moduli, 64 if config.is_dgemm else 32
+    )
+    if config.validate:
+        x = check_operand(x, side, dtype=np.float64)
+    else:
+        x = np.asarray(x, dtype=np.float64)
+
+    start = time.perf_counter()
+    if side == "A":
+        scale = fast_mode_scale_a(x, table)
+        x_prime = truncate_scaled(x, scale, side="left")
+    else:
+        scale = fast_mode_scale_b(x, table)
+        x_prime = truncate_scaled(x, scale, side="right")
+    slices = residue_slices(x_prime, table, config.residue_kernel)
+    elapsed = time.perf_counter() - start
+
+    return ResidueOperand(
+        side=side,
+        scale=scale,
+        slices=slices,
+        config=config,
+        convert_seconds=elapsed,
+    )
+
+
+def prepare_a(
+    a: np.ndarray,
+    config: Optional[Ozaki2Config] = None,
+    constant_table: Optional[CRTConstantTable] = None,
+) -> ResidueOperand:
+    """Prepare the left operand: cache ``μ`` and the residues of ``A'``.
+
+    The returned :class:`ResidueOperand` can be passed to
+    :func:`~repro.core.gemm.ozaki2_gemm` in place of ``a`` any number of
+    times; every such call skips the ``convert_A`` phase and is bit-identical
+    to the unprepared call.  Fast mode only (see the module docstring).
+    """
+    return _prepare(a, "A", config, constant_table)
+
+
+def prepare_b(
+    b: np.ndarray,
+    config: Optional[Ozaki2Config] = None,
+    constant_table: Optional[CRTConstantTable] = None,
+) -> ResidueOperand:
+    """Prepare the right operand: cache ``ν`` and the residues of ``B'``."""
+    return _prepare(b, "B", config, constant_table)

@@ -55,6 +55,8 @@ from ..utils.fp import exponent_floor, pow2, round_up_sum_of_squares
 __all__ = [
     "scale_exponent_budget",
     "fast_mode_scales",
+    "fast_mode_scale_a",
+    "fast_mode_scale_b",
     "accurate_mode_scales",
     "check_condition3",
 ]
@@ -108,6 +110,23 @@ def _fast_mode_exponents(x: np.ndarray, axis: int, alpha: float) -> np.ndarray:
     return np.where(max_abs > 0, exps, 0.0)
 
 
+def fast_mode_scale_a(a: np.ndarray, table: CRTConstantTable) -> np.ndarray:
+    """Fast-mode scale vector ``μ`` (per row of A) alone.
+
+    Fast mode derives each side's scales from that side only (Cauchy–Schwarz
+    splits the budget per side), so ``μ`` can be computed — and cached, see
+    :mod:`repro.core.operand` — without ever seeing ``B``.
+    """
+    alpha = scale_exponent_budget(table, "fast")
+    return pow2(_fast_mode_exponents(a, axis=1, alpha=alpha).astype(np.int64))
+
+
+def fast_mode_scale_b(b: np.ndarray, table: CRTConstantTable) -> np.ndarray:
+    """Fast-mode scale vector ``ν`` (per column of B) alone."""
+    alpha = scale_exponent_budget(table, "fast")
+    return pow2(_fast_mode_exponents(b, axis=0, alpha=alpha).astype(np.int64))
+
+
 def fast_mode_scales(
     a: np.ndarray, b: np.ndarray, table: CRTConstantTable
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -121,12 +140,7 @@ def fast_mode_scales(
     Cauchy–Schwarz.  Zero rows/columns get scale 1 (their contribution to
     ``A'B'`` is zero either way).
     """
-    alpha = scale_exponent_budget(table, "fast")
-    exp_a = _fast_mode_exponents(a, axis=1, alpha=alpha)
-    exp_b = _fast_mode_exponents(b, axis=0, alpha=alpha)
-    mu = pow2(exp_a.astype(np.int64))
-    nu = pow2(exp_b.astype(np.int64))
-    return mu, nu
+    return fast_mode_scale_a(a, table), fast_mode_scale_b(b, table)
 
 
 def _ceil_scaled_magnitude(x: np.ndarray, scale: np.ndarray, axis: int) -> np.ndarray:

@@ -12,6 +12,7 @@ from .experiments import (
     breakdown_sweep,
     cpu_wallclock_sweep,
     power_sweep,
+    prepared_reuse_sweep,
     runtime_scaling_sweep,
     throughput_sweep,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "breakdown_sweep",
     "cpu_wallclock_sweep",
     "power_sweep",
+    "prepared_reuse_sweep",
     "runtime_scaling_sweep",
     "throughput_sweep",
     "FigureResult",

@@ -28,6 +28,7 @@ __all__ = [
     "cpu_wallclock_sweep",
     "runtime_scaling_sweep",
     "batched_speedup_sweep",
+    "prepared_reuse_sweep",
 ]
 
 
@@ -299,6 +300,81 @@ def batched_speedup_sweep(
             "speedup_vs_loop": loop_seconds / batched_seconds,
         },
     ]
+
+
+def prepared_reuse_sweep(
+    size: int = 256,
+    reuse_counts: Sequence[int] = (1, 2, 4, 8),
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Amortised speedup of convert-once/multiply-many vs fresh conversion.
+
+    For every reuse count ``r``, one fixed ``A`` is multiplied against ``r``
+    distinct partners twice: once with plain :func:`~repro.core.gemm.
+    ozaki2_gemm` calls (A converted every time) and once through a single
+    :func:`~repro.core.operand.prepare_a` whose residues serve all ``r``
+    calls.  Rows report best-of-``repeats`` total wall time, amortised
+    per-call time (the prepared total *includes* the one-time preparation),
+    the amortised speedup, and bitwise equality — which the prepared path
+    guarantees.
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+    from ..core.operand import prepare_a
+
+    fmt = precision_for_target(target)
+    config = Ozaki2Config(precision=fmt, num_moduli=num_moduli)
+    max_reuse = max(reuse_counts)
+    a, _ = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+    partners = [
+        phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed + 1 + j)[1]
+        for j in range(max_reuse)
+    ]
+
+    rows: List[Dict[str, object]] = []
+    for reuse in reuse_counts:
+        plain_seconds = float("inf")
+        plain_results = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            results = [ozaki2_gemm(a, partners[i], config=config) for i in range(reuse)]
+            elapsed = time.perf_counter() - start
+            if elapsed < plain_seconds:
+                plain_seconds, plain_results = elapsed, results
+
+        prepared_seconds = float("inf")
+        prepared_results = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            prep = prepare_a(a, config=config)
+            results = [
+                ozaki2_gemm(prep, partners[i], config=config) for i in range(reuse)
+            ]
+            elapsed = time.perf_counter() - start
+            if elapsed < prepared_seconds:
+                prepared_seconds, prepared_results = elapsed, results
+
+        identical = all(
+            np.array_equal(x, y) for x, y in zip(plain_results, prepared_results)
+        )
+        rows.append(
+            {
+                "n": int(size),
+                "method": config.method_name,
+                "reuse": int(reuse),
+                "seconds_unprepared": plain_seconds,
+                "seconds_prepared": prepared_seconds,
+                "amortised_unprepared": plain_seconds / reuse,
+                "amortised_prepared": prepared_seconds / reuse,
+                "amortised_speedup": plain_seconds / prepared_seconds,
+                "bit_identical": identical,
+            }
+        )
+    return rows
 
 
 def precision_for_target(target: "Format | str") -> Format:

@@ -9,12 +9,19 @@ individual item's values:
   clones) kept warm across items,
 * one residue-conversion pass per *operand shape*: items of equal shape
   have their truncated operands stacked and pushed through the ``rmod``
-  kernels in a single NumPy call per modulus, instead of one call per item.
+  kernels in a single NumPy call per modulus, instead of one call per item,
+* one conversion per *distinct matrix*: items that pass the same array
+  object (or the same precomputed
+  :class:`~repro.core.operand.ResidueOperand`) on a side share a single
+  scale/truncate/residue pass in fast mode — the exact situation of LU
+  trailing updates and iterative solvers reusing one system matrix.
 
 Each item's tasks still fan out over the pool, and items are retired one at
 a time so per-item op ledgers stay exact.  Results are bit-identical to
 looping :func:`~repro.core.gemm.ozaki2_gemm` over the batch — the batched
 path reorders no floating-point operation, it only amortises fixed costs.
+(Shared conversions are charged to the first item that uses them; later
+items report 0 for the shared phase, exactly like prepared operands.)
 """
 
 from __future__ import annotations
@@ -27,8 +34,9 @@ import numpy as np
 from ..config import ComputeMode, Ozaki2Config
 from ..core.accumulation import unscale
 from ..core.conversion import residue_slices, truncate_scaled
-from ..core.gemm import Ozaki2Result, PhaseTimes
-from ..core.scaling import accurate_mode_scales, fast_mode_scales
+from ..core.gemm import Ozaki2Result, PhaseTimes, _resolve_prepared_sides
+from ..core.operand import ResidueOperand
+from ..core.scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine
 from ..types import result_dtype
@@ -55,7 +63,10 @@ def ozaki2_gemm_batched(
     As, Bs:
         Equal-length sequences of operand matrices; item ``j`` must have a
         matching inner dimension.  Shapes may differ between items — equal
-        shapes are detected and share one conversion pass.
+        shapes are detected and share one conversion pass.  Entries may
+        also be precomputed :class:`~repro.core.operand.ResidueOperand`
+        objects (fast mode only), and items passing the *same* array object
+        on a side share a single conversion in fast mode.
     config:
         One :class:`~repro.config.Ozaki2Config` applied to every item
         (``parallelism`` and ``memory_budget_mb`` drive the runtime).
@@ -79,7 +90,10 @@ def ozaki2_gemm_batched(
     if len(As) != len(Bs):
         raise ValueError(f"batch length mismatch: {len(As)} A's vs {len(Bs)} B's")
     config = config or Ozaki2Config()
-    if not As:
+    if len(As) == 0:
+        # An empty batch is a no-op, not an error: no scheduler, plan or
+        # conversion state is set up, and `[]` is returned for both the
+        # plain and the return_details flavours.
         return []
     table = constant_table or build_constant_table(
         config.num_moduli, 64 if config.is_dgemm else 32
@@ -106,45 +120,102 @@ def _run_batch(
 ) -> List:
     batch = len(As)
     engine = sched.engine
+    fast = config.mode is ComputeMode.FAST
     times: List[PhaseTimes] = [PhaseTimes() for _ in range(batch)]
 
     # -- per-item scaling + truncation (value-dependent, cheap) --------------
-    a_primes: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
-    b_primes: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    # ``a_primes[j] is None`` means item j needs no residue conversion of its
+    # own: the side is prepared, or it aliases (``a_src[j]``) an earlier item
+    # that passed the very same array object (fast mode derives each side's
+    # scales from that side alone, so identical inputs convert identically).
+    a_primes: List[Optional[np.ndarray]] = [None] * batch
+    b_primes: List[Optional[np.ndarray]] = [None] * batch
+    a_preps: List[Optional[ResidueOperand]] = [None] * batch
+    b_preps: List[Optional[ResidueOperand]] = [None] * batch
+    a_src = list(range(batch))
+    b_src = list(range(batch))
     mus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
     nus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
     plans = []
     scale_counters = []
+    seen_a: Dict[int, int] = {}
+    seen_b: Dict[int, int] = {}
     for j in range(batch):
-        if config.validate:
-            a, b = check_gemm_operands(As[j], Bs[j], dtype=np.float64)
+        a_in, b_in = As[j], Bs[j]
+        a_prep = a_in if isinstance(a_in, ResidueOperand) else None
+        b_prep = b_in if isinstance(b_in, ResidueOperand) else None
+        a_preps[j], b_preps[j] = a_prep, b_prep
+        alias_a = fast and a_prep is None and id(a_in) in seen_a
+        alias_b = fast and b_prep is None and id(b_in) in seen_b
+
+        if a_prep is not None or b_prep is not None:
+            a, b = _resolve_prepared_sides(a_in, b_in, a_prep, b_prep, config)
+        elif config.validate:
+            a, b = check_gemm_operands(a_in, b_in, dtype=np.float64)
         else:
-            a = np.asarray(As[j], dtype=np.float64)
-            b = np.asarray(Bs[j], dtype=np.float64)
-        plans.append(plan_for_config(a.shape[0], a.shape[1], b.shape[1], config))
+            a = np.asarray(a_in, dtype=np.float64)
+            b = np.asarray(b_in, dtype=np.float64)
+
+        m, k = a_prep.shape if a_prep is not None else a.shape
+        n = (b_prep.shape if b_prep is not None else b.shape)[1]
+        plans.append(plan_for_config(m, k, n, config))
 
         # Accurate mode issues engine GEMMs during scaling; snapshot the
         # ledger so those calls are attributed to this item's counter.
         counter_before = engine.counter.copy()
         t0 = time.perf_counter()
-        if config.mode is ComputeMode.FAST:
-            mu, nu = fast_mode_scales(a, b, table)
+        if not fast:
+            mu, nu = accurate_mode_scales(a, b, table, engine)[:2]
         else:
-            mu, nu, _ = accurate_mode_scales(a, b, table, engine)
+            if a_prep is not None:
+                mu = a_prep.scale
+            elif alias_a:
+                mu = mus[seen_a[id(a_in)]]
+            else:
+                mu = fast_mode_scale_a(a, table)
+            if b_prep is not None:
+                nu = b_prep.scale
+            elif alias_b:
+                nu = nus[seen_b[id(b_in)]]
+            else:
+                nu = fast_mode_scale_b(b, table)
         times[j].add("scale", time.perf_counter() - t0)
         scale_counters.append(engine.counter.difference(counter_before))
-
-        t0 = time.perf_counter()
-        a_primes[j] = truncate_scaled(a, mu, side="left")
-        times[j].add("convert_A", time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        b_primes[j] = truncate_scaled(b, nu, side="right")
-        times[j].add("convert_B", time.perf_counter() - t0)
         mus[j], nus[j] = mu, nu
+
+        if a_prep is not None or alias_a:
+            times[j].add("convert_A", 0.0)
+            if alias_a:
+                a_src[j] = a_src[seen_a[id(a_in)]]
+        else:
+            t0 = time.perf_counter()
+            a_primes[j] = truncate_scaled(a, mu, side="left")
+            times[j].add("convert_A", time.perf_counter() - t0)
+            if fast:
+                seen_a[id(a_in)] = j
+        if b_prep is not None or alias_b:
+            times[j].add("convert_B", 0.0)
+            if alias_b:
+                b_src[j] = b_src[seen_b[id(b_in)]]
+        else:
+            t0 = time.perf_counter()
+            b_primes[j] = truncate_scaled(b, nu, side="right")
+            times[j].add("convert_B", time.perf_counter() - t0)
+            if fast:
+                seen_b[id(b_in)] = j
 
     # -- shared residue conversion, one pass per operand shape ---------------
     a_slices = _grouped_residue_slices(a_primes, table, config, times, "convert_A")
     b_slices = _grouped_residue_slices(b_primes, table, config, times, "convert_B")
+    for j in range(batch):
+        if a_preps[j] is not None:
+            a_slices[j] = a_preps[j].slices
+        elif a_slices[j] is None:
+            a_slices[j] = a_slices[a_src[j]]
+        if b_preps[j] is not None:
+            b_slices[j] = b_preps[j].slices
+        elif b_slices[j] is None:
+            b_slices[j] = b_slices[b_src[j]]
 
     # -- execution: items retired in order, tasks fanned out per item --------
     results = []
@@ -176,25 +247,28 @@ def _run_batch(
 
 
 def _grouped_residue_slices(
-    primes: List[np.ndarray],
+    primes: List[Optional[np.ndarray]],
     table: CRTConstantTable,
     config: Ozaki2Config,
     times: List[PhaseTimes],
     phase_key: str,
-) -> List[np.ndarray]:
+) -> List[Optional[np.ndarray]]:
     """Residue stacks for every item, one conversion pass per shape group.
 
     Items sharing a shape are stacked into a single ``(group, rows, cols)``
     array so each ``rmod`` kernel runs once per modulus for the whole group
     (the kernels are elementwise, so the stacked result is bit-identical to
     converting items one by one).  The group's conversion time is split
-    evenly across its members' phase ledgers.
+    evenly across its members' phase ledgers.  ``None`` entries (prepared
+    or aliased operands) are skipped and stay ``None`` in the output — the
+    caller fills them from their source.
     """
     groups: Dict[Tuple[int, int], List[int]] = {}
     for j, x in enumerate(primes):
-        groups.setdefault(x.shape, []).append(j)
+        if x is not None:
+            groups.setdefault(x.shape, []).append(j)
 
-    out: List[np.ndarray] = [None] * len(primes)  # type: ignore[list-item]
+    out: List[Optional[np.ndarray]] = [None] * len(primes)
     for members in groups.values():
         t0 = time.perf_counter()
         if len(members) == 1:

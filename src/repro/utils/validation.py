@@ -13,7 +13,7 @@ import numpy as np
 
 from ..errors import ValidationError
 
-__all__ = ["ensure_2d", "require_finite", "check_gemm_operands"]
+__all__ = ["ensure_2d", "require_finite", "check_operand", "check_gemm_operands"]
 
 
 def ensure_2d(x, name: str = "matrix") -> np.ndarray:
@@ -22,8 +22,30 @@ def ensure_2d(x, name: str = "matrix") -> np.ndarray:
     if arr.ndim != 2:
         raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
     if arr.size == 0:
-        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+        raise ValidationError(
+            f"{name} has a zero dimension (shape {arr.shape}); GEMM operands "
+            "must be non-empty — degenerate m/k/n products are rejected rather "
+            "than silently returning empty or all-zero results"
+        )
     return arr
+
+
+def check_operand(
+    x, name: str = "matrix", dtype=np.float64, check_finite: bool = True
+) -> np.ndarray:
+    """Validate and coerce a single GEMM operand.
+
+    Applies exactly the per-side checks of :func:`check_gemm_operands`
+    (2-D, non-empty, cast to ``dtype``, contiguous, optionally finite) so a
+    side validated on its own — e.g. while preparing a
+    :class:`~repro.core.operand.ResidueOperand` — is bit-identical to one
+    validated through the pair entry point.
+    """
+    x = ensure_2d(x, name)
+    x = np.ascontiguousarray(x, dtype=dtype)
+    if check_finite:
+        require_finite(x, name)
+    return x
 
 
 def require_finite(x: np.ndarray, name: str = "matrix") -> None:
@@ -41,14 +63,12 @@ def check_gemm_operands(
     inner dimension, casts them to ``dtype`` and (optionally) checks
     finiteness.  Returns the coerced pair.
     """
-    a = ensure_2d(a, "A")
-    b = ensure_2d(b, "B")
+    a = check_operand(a, "A", dtype=dtype, check_finite=False)
+    b = check_operand(b, "B", dtype=dtype, check_finite=False)
     if a.shape[1] != b.shape[0]:
         raise ValidationError(
             f"inner dimensions do not match: A is {a.shape}, B is {b.shape}"
         )
-    a = np.ascontiguousarray(a, dtype=dtype)
-    b = np.ascontiguousarray(b, dtype=dtype)
     if check_finite:
         require_finite(a, "A")
         require_finite(b, "B")

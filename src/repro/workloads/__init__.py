@@ -3,15 +3,21 @@
 from .generators import (
     WorkloadSpec,
     adversarial_cancellation_matrix,
+    diagonally_dominant_matrix,
     hpl_like_pair,
+    linear_system,
     phi_matrix,
     phi_pair,
+    spd_matrix,
 )
 
 __all__ = [
     "WorkloadSpec",
     "adversarial_cancellation_matrix",
+    "diagonally_dominant_matrix",
     "hpl_like_pair",
+    "linear_system",
     "phi_matrix",
     "phi_pair",
+    "spd_matrix",
 ]

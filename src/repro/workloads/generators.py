@@ -28,6 +28,9 @@ __all__ = [
     "phi_pair",
     "hpl_like_pair",
     "adversarial_cancellation_matrix",
+    "diagonally_dominant_matrix",
+    "spd_matrix",
+    "linear_system",
 ]
 
 
@@ -140,3 +143,77 @@ def adversarial_cancellation_matrix(
     base = rng.standard_normal((rows, cols))
     mask = rng.random((rows, cols)) < 0.5
     return np.where(mask, base * float(magnitude_ratio), base)
+
+
+def diagonally_dominant_matrix(
+    n: int,
+    phi: float = 0.5,
+    dominance: float = 2.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Strictly row-diagonally-dominant system matrix (Jacobi-convergent).
+
+    Off-diagonal entries follow the paper's ``phi`` law; each diagonal entry
+    is set to ``dominance`` times the absolute row sum (``dominance > 1``
+    guarantees Jacobi and Gauss–Seidel convergence).
+    """
+    if dominance <= 1.0:
+        raise ValidationError(f"dominance must exceed 1, got {dominance}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    a = phi_matrix(n, n, phi=phi, rng=rng)
+    np.fill_diagonal(a, 0.0)
+    row_sums = np.abs(a).sum(axis=1)
+    # Guard all-zero rows (n == 1): any positive diagonal keeps A nonsingular.
+    np.fill_diagonal(a, float(dominance) * np.maximum(row_sums, 1.0))
+    return a
+
+
+def spd_matrix(
+    n: int,
+    phi: float = 0.5,
+    shift: float = 1e-3,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Symmetric positive-definite system matrix (CG-convergent).
+
+    Built as ``M·Mᵀ/n + shift·I`` from a ``phi``-law factor ``M``; the
+    Gram product makes it symmetric positive semi-definite and the shift
+    bounds the smallest eigenvalue away from zero.
+    """
+    if shift <= 0.0:
+        raise ValidationError(f"shift must be positive, got {shift}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    m = phi_matrix(n, n, phi=phi, rng=rng)
+    a = (m @ m.T) / float(n)
+    a = 0.5 * (a + a.T)
+    a[np.diag_indices_from(a)] += float(shift)
+    return a
+
+
+def linear_system(
+    n: int,
+    kind: str = "diag_dominant",
+    phi: float = 0.5,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A solvable system ``(A, b, x_true)`` with ``b = A @ x_true``.
+
+    ``kind`` selects the matrix family: ``"diag_dominant"`` (Jacobi/general
+    solvers) or ``"spd"`` (conjugate gradients).  The reference solution is
+    drawn from a standard normal so solver errors can be measured directly.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "diag_dominant":
+        a = diagonally_dominant_matrix(n, phi=phi, rng=rng)
+    elif kind == "spd":
+        a = spd_matrix(n, phi=phi, rng=rng)
+    else:
+        raise ValidationError(
+            f"unknown system kind {kind!r}; expected 'diag_dominant' or 'spd'"
+        )
+    x_true = rng.standard_normal(n)
+    return a, a @ x_true, x_true

@@ -1,0 +1,208 @@
+"""Tests for the precomputed-operand subsystem (convert once, multiply many)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ComputeMode, Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.core.operand import ResidueOperand, prepare_a, prepare_b
+from repro.core.scaling import fast_mode_scales
+from repro.crt.constants import build_constant_table
+from repro.errors import ConfigurationError, ValidationError
+from repro.workloads import phi_pair
+
+
+class TestPrepare:
+    def test_prepare_a_contents(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(12)
+        prep = prepare_a(a, config=config)
+        assert prep.side == "A"
+        assert prep.shape == a.shape
+        assert prep.num_moduli == 12
+        assert prep.inner_dim == a.shape[1]
+        assert prep.phase_key == "convert_A"
+        assert prep.slices.dtype == np.int8
+        assert prep.slices.shape == (12,) + a.shape
+        assert prep.convert_seconds > 0.0
+        # The cached scale is exactly the fast-mode mu.
+        table = build_constant_table(12, 64)
+        mu, _ = fast_mode_scales(a, b, table)
+        np.testing.assert_array_equal(prep.scale, mu)
+
+    def test_prepare_b_contents(self, small_pair):
+        _, b = small_pair
+        prep = prepare_b(b, config=Ozaki2Config.for_dgemm(9))
+        assert prep.side == "B"
+        assert prep.inner_dim == b.shape[0]
+        assert prep.phase_key == "convert_B"
+        assert prep.slices.shape == (9,) + b.shape
+
+    def test_prepare_validates_operand(self):
+        with pytest.raises(ValidationError):
+            prepare_a(np.ones((2, 3, 4)))
+        with pytest.raises(ValidationError):
+            prepare_a(np.array([[np.inf, 1.0]]))
+
+    def test_prepare_rejects_accurate_mode(self, small_pair):
+        a, _ = small_pair
+        with pytest.raises(ConfigurationError, match="accurate"):
+            prepare_a(a, config=Ozaki2Config.for_dgemm(12, mode="accurate"))
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResidueOperand(
+                side="C",
+                scale=np.ones(2),
+                slices=np.zeros((2, 2, 2), dtype=np.int8),
+                config=Ozaki2Config(),
+            )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("kernel", ["exact", "fast_fma"])
+    @pytest.mark.parametrize(
+        "precision, num_moduli", [("fp64", 15), ("fp64", 8), ("fp32", 8)]
+    )
+    def test_prepared_matches_unprepared(self, kernel, precision, num_moduli):
+        a, b = phi_pair(21, 34, 17, phi=0.7, seed=5)
+        config = Ozaki2Config(
+            precision=precision, num_moduli=num_moduli, residue_kernel=kernel
+        )
+        reference = ozaki2_gemm(a, b, config=config)
+        pa, pb = prepare_a(a, config), prepare_b(b, config)
+        for lhs, rhs in ((pa, b), (a, pb), (pa, pb)):
+            c = ozaki2_gemm(lhs, rhs, config=config)
+            assert c.tobytes() == reference.tobytes()
+
+    @given(
+        m=st.integers(1, 24),
+        k=st.integers(1, 32),
+        n=st.integers(1, 24),
+        num_moduli=st.integers(2, 20),
+        kernel=st.sampled_from(["exact", "fast_fma"]),
+        prepare_side=st.sampled_from(["A", "B", "AB"]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prepared_byte_identical_property(
+        self, m, k, n, num_moduli, kernel, prepare_side, seed
+    ):
+        """For random shapes/N/kernels, prepared A and/or B returns output
+        byte-identical to the unprepared call (the tentpole guarantee)."""
+        a, b = phi_pair(m, k, n, phi=0.5, seed=seed)
+        config = Ozaki2Config.for_dgemm(num_moduli, residue_kernel=kernel)
+        reference = ozaki2_gemm(a, b, config=config)
+        lhs = prepare_a(a, config) if "A" in prepare_side else a
+        rhs = prepare_b(b, config) if "B" in prepare_side else b
+        assert ozaki2_gemm(lhs, rhs, config=config).tobytes() == reference.tobytes()
+
+    def test_prepared_with_runtime_knobs(self, small_pair):
+        """Runtime knobs (parallelism, tiling) may differ from the preparing
+        config — they do not affect the cached residues."""
+        a, b = small_pair
+        base = Ozaki2Config.for_dgemm(10)
+        prep = prepare_a(a, config=base)
+        reference = ozaki2_gemm(a, b, config=base)
+        for variant in (
+            base.replace(parallelism=3),
+            base.replace(memory_budget_mb=0.01),
+        ):
+            c = ozaki2_gemm(prep, b, config=variant)
+            np.testing.assert_array_equal(c, reference)
+
+    def test_prepared_with_k_blocking(self, monkeypatch):
+        """Prepared slices feed the k-blocked execution path unchanged."""
+        import repro.core.gemm as gemm_mod
+
+        a, b = phi_pair(12, 96, 10, seed=8)
+        config = Ozaki2Config.for_dgemm(8)
+        monkeypatch.setattr(gemm_mod, "MAX_K_WITHOUT_BLOCKING", 32)
+        reference = ozaki2_gemm(a, b, config=config, return_details=True)
+        assert reference.num_k_blocks == 3
+        c = ozaki2_gemm(prepare_a(a, config), b, config=config)
+        np.testing.assert_array_equal(c, reference.c)
+
+
+class TestPhaseReporting:
+    def test_prepared_sides_report_zero_convert(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(10)
+        result = ozaki2_gemm(prepare_a(a, config), b, config=config, return_details=True)
+        assert result.phase_times.seconds["convert_A"] == 0.0
+        assert result.phase_times.seconds["convert_B"] > 0.0
+        both = ozaki2_gemm(
+            prepare_a(a, config), prepare_b(b, config), config=config, return_details=True
+        )
+        assert both.phase_times.seconds["convert_A"] == 0.0
+        assert both.phase_times.seconds["convert_B"] == 0.0
+        assert both.phase_times.seconds["matmul"] > 0.0
+
+    def test_details_carry_cached_scales(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(10)
+        prep = prepare_a(a, config)
+        result = ozaki2_gemm(prep, b, config=config, return_details=True)
+        np.testing.assert_array_equal(result.mu, prep.scale)
+
+
+class TestCompatibility:
+    def test_wrong_side_rejected(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(8)
+        with pytest.raises(ValidationError, match="B side"):
+            ozaki2_gemm(prepare_b(b, config), b, config=config)
+        with pytest.raises(ValidationError, match="A side"):
+            ozaki2_gemm(a, prepare_a(a, config), config=config)
+
+    def test_moduli_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        prep = prepare_a(a, Ozaki2Config.for_dgemm(10))
+        with pytest.raises(ConfigurationError, match="num_moduli"):
+            ozaki2_gemm(prep, b, config=Ozaki2Config.for_dgemm(12))
+
+    def test_kernel_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        prep = prepare_a(a, Ozaki2Config.for_dgemm(10, residue_kernel="exact"))
+        with pytest.raises(ConfigurationError, match="residue_kernel"):
+            ozaki2_gemm(
+                prep, b, config=Ozaki2Config.for_dgemm(10, residue_kernel="fast_fma")
+            )
+
+    def test_precision_mismatch_rejected(self):
+        a, b = phi_pair(8, 8, 8, seed=0)
+        prep = prepare_a(a, Ozaki2Config.for_dgemm(8))
+        with pytest.raises(ConfigurationError, match="precision"):
+            ozaki2_gemm(prep, b, config=Ozaki2Config.for_sgemm(8))
+
+    def test_accurate_multiplication_rejected(self, small_pair):
+        a, b = small_pair
+        prep = prepare_a(a, Ozaki2Config.for_dgemm(12))
+        with pytest.raises(ConfigurationError, match="accurate"):
+            ozaki2_gemm(prep, b, config=Ozaki2Config.for_dgemm(12, mode="accurate"))
+
+    def test_inner_dim_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(8)
+        with pytest.raises(ValidationError, match="inner dimensions"):
+            ozaki2_gemm(prepare_a(a, config), np.ones((3, 4)), config=config)
+        with pytest.raises(ValidationError, match="inner dimensions"):
+            ozaki2_gemm(np.ones((4, 3)), prepare_b(b, config), config=config)
+
+    def test_raw_partner_still_validated(self, small_pair):
+        a, b = small_pair
+        config = Ozaki2Config.for_dgemm(8)
+        bad = b.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="non-finite"):
+            ozaki2_gemm(prepare_a(a, config), bad, config=config)
+
+    def test_compatibility_mode_is_enum_identity(self, small_pair):
+        """ComputeMode round-trips through strings without breaking reuse."""
+        a, b = small_pair
+        prep = prepare_a(a, Ozaki2Config.for_dgemm(8, mode="fast"))
+        c = ozaki2_gemm(prep, b, config=Ozaki2Config.for_dgemm(8, mode=ComputeMode.FAST))
+        np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(8)))

@@ -107,6 +107,113 @@ class TestRmodFastFma:
             rmod_fast_fma(np.zeros(4), 251, 1 / 251, np.float32(1 / 251), 8, 16)
 
 
+class TestRmodFastFmaBoundaries:
+    """The paper's exact validity-window edges and correction-step
+    transitions (Section 4.2): N <= 20 for FP64 inputs, N <= 18 for FP32
+    inputs; correction thresholds (N1, N2) = (13, 19) / (5, 11)."""
+
+    @staticmethod
+    def _check_window(num_moduli, precision_bits):
+        table = build_constant_table(num_moduli, precision_bits)
+        alpha = 0.5 * (table.log2_P - 1.5)
+        rng = np.random.default_rng(1000 * precision_bits + num_moduli)
+        x = _random_integer_matrix(rng, (512,), int(alpha))
+        for i, p in enumerate(table.moduli):
+            fast = rmod_fast_fma(
+                x,
+                p,
+                float(table.pinv64[i]),
+                float(table.pinv32[i]),
+                num_moduli,
+                precision_bits,
+            )
+            assert np.all(np.abs(fast) <= 128.5), (num_moduli, p)
+            exact = rmod_exact(x, p)
+            np.testing.assert_array_equal(np.mod(fast - exact, p), np.zeros_like(x))
+
+    def test_fp64_window_edge_n20(self):
+        """N = 20 is the last N the paper states as valid for FP64 inputs."""
+        self._check_window(20, 64)
+
+    def test_fp32_window_edge_n18(self):
+        """N = 18 is the last N the paper states as valid for FP32 inputs."""
+        self._check_window(18, 32)
+
+    @pytest.mark.parametrize("num_moduli", [12, 13, 18, 19])
+    def test_fp64_correction_step_transitions(self, num_moduli):
+        """Straddle the (N1, N2) = (13, 19) FP64 thresholds: the kernel must
+        stay congruent on both sides of each extra-correction activation."""
+        self._check_window(num_moduli, 64)
+
+    @pytest.mark.parametrize("num_moduli", [4, 5, 10, 11])
+    def test_fp32_correction_step_transitions(self, num_moduli):
+        """Straddle the (N1, N2) = (5, 11) FP32 thresholds."""
+        self._check_window(num_moduli, 32)
+
+    def test_correction_steps_actually_engage(self):
+        """Directly observe the threshold semantics: for an input that needs
+        the correction, N below N1 leaves a wide value and N at N1 tightens
+        it (FP64 thresholds: N1 = 13)."""
+        table = build_constant_table(13, 64)
+        p = int(table.moduli[0])
+        pinv64, pinv32 = float(table.pinv64[0]), float(table.pinv32[0])
+        rng = np.random.default_rng(7)
+        x = _random_integer_matrix(rng, (4096,), 55)
+        below = rmod_fast_fma(x, p, pinv64, pinv32, 12, 64)
+        at = rmod_fast_fma(x, p, pinv64, pinv32, 13, 64)
+        # Both are congruent to x mod p...
+        np.testing.assert_array_equal(np.mod(below - at, p), np.zeros_like(x))
+        # ...and the corrected result is never wider than the uncorrected one.
+        assert np.max(np.abs(at)) <= np.max(np.abs(below))
+
+
+class TestNonnegModInt64SafeLimit:
+    """_nonneg_mod_integer_valued straddling the 2**62 int64-safe limit."""
+
+    @pytest.mark.parametrize("p", [256, 251, 199, 29])
+    def test_values_straddling_limit(self, p):
+        from repro.crt.residues import _INT64_SAFE_LIMIT, _nonneg_mod_integer_valued
+
+        limit = _INT64_SAFE_LIMIT
+        # Exactly representable float64 integers around the limit, both signs.
+        x = np.array(
+            [
+                limit - 2**10,
+                limit - 1024.0,
+                limit,
+                limit + 2**11,
+                2.0 * limit,
+                -(limit - 1024.0),
+                -limit,
+                -(limit + 2**11),
+            ]
+        )
+        r = _nonneg_mod_integer_valued(x, p)
+        assert np.all((r >= 0) & (r < p))
+        for xi, ri in zip(x, r):
+            assert (int(xi) - int(ri)) % p == 0
+
+    def test_mixed_array_uses_wide_path_consistently(self):
+        """One element above the limit pushes the whole array down the exact
+        split path; small elements must still come out exact."""
+        from repro.crt.residues import _INT64_SAFE_LIMIT, _nonneg_mod_integer_valued
+
+        x = np.array([0.0, 1.0, -1.0, 12345.0, _INT64_SAFE_LIMIT * 4])
+        for p in (256, 251):
+            r = _nonneg_mod_integer_valued(x, p)
+            for xi, ri in zip(x, r):
+                assert (int(xi) - int(ri)) % p == 0
+                assert 0 <= ri < p
+
+    def test_just_below_limit_uses_int64_path_exactly(self):
+        from repro.crt.residues import _nonneg_mod_integer_valued
+
+        x = np.array([2.0**61, 2.0**61 + 512.0, -(2.0**61)])
+        r = _nonneg_mod_integer_valued(x, 251)
+        for xi, ri in zip(x, r):
+            assert (int(xi) - int(ri)) % 251 == 0
+
+
 class TestModFastMulhi:
     @pytest.mark.parametrize("p_index", [0, 1, 5, 10, 19])
     def test_matches_integer_mod_over_int32_range(self, p_index):

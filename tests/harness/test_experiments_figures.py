@@ -14,6 +14,7 @@ from repro.harness.experiments import (
     breakdown_sweep,
     cpu_wallclock_sweep,
     power_sweep,
+    prepared_reuse_sweep,
     throughput_sweep,
 )
 from repro.harness.figures import (
@@ -63,6 +64,19 @@ class TestSweeps:
         rows = cpu_wallclock_sweep(("DGEMM", "OS II-fast-8"), (64,), target="fp64")
         assert len(rows) == 2
         assert all(row["seconds"] > 0 and row["effective_gflops"] > 0 for row in rows)
+
+    def test_prepared_reuse_sweep(self):
+        rows = prepared_reuse_sweep(
+            48, reuse_counts=(1, 3), num_moduli=8, repeats=1
+        )
+        assert [row["reuse"] for row in rows] == [1, 3]
+        for row in rows:
+            assert row["bit_identical"]
+            assert row["seconds_prepared"] > 0 and row["seconds_unprepared"] > 0
+            assert row["amortised_prepared"] == pytest.approx(
+                row["seconds_prepared"] / row["reuse"]
+            )
+            assert row["method"] == "OS II-fast-8"
 
 
 class TestFigureEntryPoints:

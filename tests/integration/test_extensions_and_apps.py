@@ -181,6 +181,73 @@ class TestCli:
         assert cli_main(["throughput", "--sizes", "1024", "--gpus", "GH200"]) == 0
         assert "GH200" in capsys.readouterr().out
 
+    def test_run_subcommand_with_prepared_a(self, capsys):
+        code = cli_main(
+            ["run", "--size", "48", "--batch", "3", "--prepare-a", "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prepared=A" in out
+        assert "max_rel_error" in out
+
+    def test_run_subcommand_with_prepared_both(self, capsys):
+        assert cli_main(["run", "--size", "32", "--batch", "2", "--prepare-a", "--prepare-b"]) == 0
+        assert "prepared=AB" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--size", "32", "--parallel", "-2"],
+            ["run", "--size", "32", "--memory-budget-mb", "0"],
+            ["run", "--size", "32", "--memory-budget-mb", "-1.5"],
+        ],
+    )
+    def test_run_invalid_runtime_knobs_exit_nonzero_one_line(self, argv, capsys):
+        """Invalid knobs must produce a one-line error and a non-zero exit,
+        not a traceback."""
+        code = cli_main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_solve_subcommand_jacobi(self, capsys):
+        code = cli_main(["solve", "--solver", "jacobi", "--size", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jacobi(OS II-fast-15)" in out
+        assert "converged            True" in out
+
+    def test_solve_subcommand_cg(self, capsys):
+        code = cli_main(
+            ["solve", "--solver", "cg", "--size", "32", "--tol", "1e-8", "--moduli", "12"]
+        )
+        assert code == 0
+        assert "cg(OS II-fast-12)" in capsys.readouterr().out
+
+    def test_solve_subcommand_ir(self, capsys):
+        assert cli_main(["solve", "--solver", "ir", "--size", "40"]) == 0
+        assert "ir(" in capsys.readouterr().out
+
+    def test_solve_fp32_default_tolerance_is_reachable(self, capsys):
+        """fp32 emulation has a ~1e-7 residual floor; the default tolerance
+        must scale with the precision so fp32 solves can succeed."""
+        code = cli_main(["solve", "--solver", "jacobi", "--size", "48",
+                         "--precision", "fp32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged            True" in out
+        assert "tol 1.0e-05" in out
+
+    def test_solve_non_convergence_exits_nonzero(self, capsys):
+        code = cli_main(
+            ["solve", "--solver", "jacobi", "--size", "48", "--max-iter", "1",
+             "--tol", "1e-15"]
+        )
+        assert code == 1
+        assert "did not reach" in capsys.readouterr().err
+
     def test_gemm_subcommand(self, tmp_path, capsys, rng):
         a = rng.standard_normal((12, 16))
         b = rng.standard_normal((16, 8))

@@ -122,9 +122,112 @@ class TestBatchedDetails:
                 assert r.phase_times.seconds[key] > 0.0
 
 
+class TestBatchedPrepared:
+    """Prepared operands and shared-matrix reuse inside a batch."""
+
+    def test_prepared_items_bit_identical(self):
+        from repro.core.operand import prepare_a, prepare_b
+
+        config = Ozaki2Config.for_dgemm(10)
+        a, b = phi_pair(24, 32, 20, phi=0.5, seed=40)
+        a2, b2 = phi_pair(24, 32, 20, phi=0.5, seed=41)
+        pa, pb = prepare_a(a, config), prepare_b(b, config)
+        batched = ozaki2_gemm_batched([pa, pa, a2], [pb, b2, pb], config=config)
+        for (x, y), c in zip([(a, b), (a, b2), (a2, b)], batched):
+            np.testing.assert_array_equal(c, ozaki2_gemm(x, y, config=config))
+
+    def test_prepared_items_report_zero_convert(self):
+        from repro.core.operand import prepare_a
+
+        config = Ozaki2Config.for_dgemm(8)
+        a, b = phi_pair(16, 24, 12, phi=0.5, seed=42)
+        results = ozaki2_gemm_batched(
+            [prepare_a(a, config), a], [b, b], config=config, return_details=True
+        )
+        assert results[0].phase_times.seconds["convert_A"] == 0.0
+        assert results[1].phase_times.seconds["convert_A"] > 0.0
+        np.testing.assert_array_equal(results[0].c, results[1].c)
+
+    def test_shared_matrix_object_converted_once(self, monkeypatch):
+        """Items passing the same array object share one conversion pass."""
+        import repro.runtime.batched as batched_mod
+
+        calls = []
+        original = batched_mod.truncate_scaled
+
+        def counting(x, scale, side):
+            calls.append(side)
+            return original(x, scale, side)
+
+        monkeypatch.setattr(batched_mod, "truncate_scaled", counting)
+        config = Ozaki2Config.for_dgemm(8)
+        a, b = phi_pair(16, 24, 12, phi=0.5, seed=43)
+        _, b2 = phi_pair(16, 24, 12, phi=0.5, seed=44)
+        ozaki2_gemm_batched([a, a, a], [b, b2, b], config=config)
+        # One left-side truncation for the shared A, two right-side ones
+        # (b appears twice as the same object and is shared as well).
+        assert calls.count("left") == 1
+        assert calls.count("right") == 2
+
+    def test_shared_matrix_bit_identical_to_loop(self):
+        config = Ozaki2Config.for_dgemm(9)
+        a, b = phi_pair(20, 28, 16, phi=0.5, seed=45)
+        _, b2 = phi_pair(20, 28, 16, phi=0.5, seed=46)
+        batched = ozaki2_gemm_batched([a, a], [b, b2], config=config)
+        np.testing.assert_array_equal(batched[0], ozaki2_gemm(a, b, config=config))
+        np.testing.assert_array_equal(batched[1], ozaki2_gemm(a, b2, config=config))
+
+    def test_shared_matrix_not_deduped_in_accurate_mode(self):
+        """Accurate-mode scales depend on the partner, so identical A objects
+        must still convert per item — results must match the serial loop."""
+        config = Ozaki2Config.for_dgemm(10, mode="accurate")
+        a, b = phi_pair(16, 20, 12, phi=0.5, seed=47)
+        _, b2 = phi_pair(16, 20, 12, phi=0.5, seed=48)
+        batched = ozaki2_gemm_batched([a, a], [b, b2], config=config)
+        np.testing.assert_array_equal(batched[0], ozaki2_gemm(a, b, config=config))
+        np.testing.assert_array_equal(batched[1], ozaki2_gemm(a, b2, config=config))
+
+    def test_prepared_rejects_accurate_mode(self):
+        from repro.core.operand import prepare_a
+        from repro.errors import ConfigurationError
+
+        config = Ozaki2Config.for_dgemm(10)
+        a, b = phi_pair(8, 8, 8, phi=0.5, seed=49)
+        prep = prepare_a(a, config)
+        with pytest.raises(ConfigurationError):
+            ozaki2_gemm_batched([prep], [b], config=config.replace(mode="accurate"))
+
+
 class TestBatchedValidation:
     def test_empty_batch(self):
         assert ozaki2_gemm_batched([], []) == []
+
+    def test_empty_batch_with_details_and_config(self):
+        """Regression: an empty batch returns [] cleanly for every flavour
+        (no shape-grouping or scheduler setup on zero items)."""
+        config = Ozaki2Config.for_dgemm(8, parallelism=2, memory_budget_mb=1.0)
+        assert ozaki2_gemm_batched([], [], config=config) == []
+        assert ozaki2_gemm_batched([], [], config=config, return_details=True) == []
+
+    def test_empty_numpy_sequences(self):
+        """Empty numpy arrays as the batch containers are not ambiguous."""
+        assert ozaki2_gemm_batched(np.empty((0, 4, 4)), np.empty((0, 4, 4))) == []
+
+    def test_single_item_batch_identical_to_gemm(self):
+        """Regression: a batch of one goes through the same pipeline as
+        ozaki2_gemm — same bits, same op ledger, same k-block count."""
+        a, b = phi_pair(24, 32, 20, phi=0.5, seed=60)
+        for config in (
+            Ozaki2Config.for_dgemm(11),
+            Ozaki2Config.for_dgemm(9, mode="accurate"),
+            Ozaki2Config.for_sgemm(8),
+        ):
+            single = ozaki2_gemm_batched([a], [b], config=config, return_details=True)
+            assert len(single) == 1
+            loop = ozaki2_gemm(a, b, config=config, return_details=True)
+            np.testing.assert_array_equal(single[0].c, loop.c)
+            assert single[0].int8_counter.as_dict() == loop.int8_counter.as_dict()
+            assert single[0].num_k_blocks == loop.num_k_blocks
 
     def test_length_mismatch(self):
         a, b = phi_pair(8, 8, 8, phi=0.5, seed=0)

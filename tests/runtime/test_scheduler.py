@@ -157,7 +157,9 @@ class TestGemmLevelParallelism:
     def test_gemm_parallel_matches_serial_bitwise(self):
         a, b = phi_pair(48, 96, 40, phi=0.5, seed=21)
         serial = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(15, parallelism=1))
-        for workers in (0, 2, 4):
+        # Worker counts must be explicit positives at the config level (the
+        # CLI's --parallel 0 convenience maps to os.cpu_count() before this).
+        for workers in (2, 3, 4):
             parallel = ozaki2_gemm(
                 a, b, config=Ozaki2Config.for_dgemm(15, parallelism=workers)
             )

@@ -95,3 +95,32 @@ class TestOzaki2Config:
     def test_constants(self):
         assert MAX_MODULI == 20
         assert MAX_K_WITHOUT_BLOCKING == 2**17
+
+
+class TestRuntimeKnobValidation:
+    """Invalid runtime knobs fail at construction, not deep in the runtime."""
+
+    @pytest.mark.parametrize("bad_workers", [0, -1, -8])
+    def test_parallelism_must_be_positive(self, bad_workers):
+        with pytest.raises(ConfigurationError, match="parallelism"):
+            Ozaki2Config(parallelism=bad_workers)
+
+    def test_parallelism_accepts_positive_counts(self):
+        assert Ozaki2Config(parallelism=1).parallelism == 1
+        assert Ozaki2Config(parallelism=16).parallelism == 16
+
+    @pytest.mark.parametrize("bad_budget", [0.0, -1.0, -0.5, float("nan")])
+    def test_memory_budget_must_be_positive(self, bad_budget):
+        with pytest.raises(ConfigurationError, match="memory_budget_mb"):
+            Ozaki2Config(memory_budget_mb=bad_budget)
+
+    def test_memory_budget_none_and_positive_accepted(self):
+        assert Ozaki2Config(memory_budget_mb=None).memory_budget_mb is None
+        assert Ozaki2Config(memory_budget_mb=0.25).memory_budget_mb == 0.25
+
+    def test_replace_revalidates(self):
+        cfg = Ozaki2Config(parallelism=2)
+        with pytest.raises(ConfigurationError):
+            cfg.replace(parallelism=0)
+        with pytest.raises(ConfigurationError):
+            cfg.replace(memory_budget_mb=-2.0)
