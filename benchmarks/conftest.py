@@ -32,13 +32,19 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 def pytest_collection_modifyitems(items):
     """Mark every benchmark as ``slow``.
 
-    This conftest only sees items collected under ``benchmarks/``.  The
-    tier-1 suite still runs them (``pytest -x -q`` selects everything), but
-    the CI test matrix deselects them with ``-m "not slow"`` — the smoke
-    job runs the benchmark files explicitly and uploads their tables.
+    ``pytest_collection_modifyitems`` receives the *whole session's* items
+    (conftest directory scoping applies to fixtures, not collection hooks),
+    so the marker is applied only to items that actually live under
+    ``benchmarks/`` — otherwise a combined ``tests + benchmarks`` run with
+    ``-m "not slow"`` would deselect the entire tier-1 suite.  The tier-1
+    suite still runs the benchmarks (``pytest -x -q`` selects everything),
+    but the CI test matrix deselects them with ``-m "not slow"`` — the
+    smoke job runs the benchmark files explicitly and uploads their tables.
     """
+    bench_dir = str(pathlib.Path(__file__).resolve().parent)
     for item in items:
-        item.add_marker(pytest.mark.slow)
+        if str(item.fspath).startswith(bench_dir):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

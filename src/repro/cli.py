@@ -85,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="share one B across the batch, converted once",
     )
+    run.add_argument(
+        "--no-fused",
+        action="store_true",
+        help="use the per-modulus loop path instead of the fused stacked "
+        "kernels (bit-identical; for verification and benchmarking)",
+    )
 
     solve = sub.add_parser(
         "solve", help="iterative solvers reusing a prepared system matrix"
@@ -196,6 +202,7 @@ def _cmd_run(args) -> int:
         mode=args.mode,
         parallelism=_resolve_workers(args.parallel),
         memory_budget_mb=args.memory_budget_mb,
+        fused_kernels=not args.no_fused,
     )
     batch = max(1, args.batch)
     pairs = [
@@ -340,6 +347,15 @@ def _cmd_selfcheck(args) -> int:
     prepared = ozaki2_gemm(prepare_a(a), prepare_b(b), config=Ozaki2Config(parallelism=1))
     checks.append(
         ("prepared-operand result bit-identical", bool(np.array_equal(serial, prepared)), "")
+    )
+
+    unfused = ozaki2_gemm(a, b, config=Ozaki2Config(fused_kernels=False))
+    checks.append(
+        (
+            "fused vs per-modulus loop bit-identical",
+            bool(np.array_equal(serial, unfused)),
+            "",
+        )
     )
 
     failed = 0

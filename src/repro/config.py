@@ -130,6 +130,14 @@ class Ozaki2Config:
         the runtime tiles the output over m/n so that the transient
         ``(N, m_tile, n_tile)`` stacks stay within the budget; ``None``
         (default) computes the product in a single tile.
+    fused_kernels:
+        If True (default), run the fused kernel path: the ``N`` residue
+        GEMMs are issued as stacked 3-D engine calls over modulus chunks,
+        the residue conversion runs in a single broadcast pass, and the
+        accumulation is vectorised over the U-stack.  If False, run the
+        pre-fusion per-modulus loops instead.  Results and op ledgers are
+        **bit-identical** either way — the loop path is kept as the
+        verification comparator and for benchmarking the fusion speedup.
     """
 
     precision: Format = FP64
@@ -140,6 +148,7 @@ class Ozaki2Config:
     validate: bool = True
     parallelism: int = 1
     memory_budget_mb: Optional[float] = None
+    fused_kernels: bool = True
 
     def __post_init__(self) -> None:
         fmt = get_format(self.precision)
@@ -166,6 +175,7 @@ class Ozaki2Config:
                 "worker per CPU)"
             )
         object.__setattr__(self, "parallelism", workers)
+        object.__setattr__(self, "fused_kernels", bool(self.fused_kernels))
         if self.memory_budget_mb is not None:
             budget = float(self.memory_budget_mb)
             if not budget > 0.0:

@@ -18,12 +18,12 @@ performed without forming the product ``P_1 Q`` inexactly.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..crt.constants import CRTConstantTable
-from ..crt.residues import uint8_residues
+from ..crt.residues import uint8_residues, uint8_residues_stack
 from ..utils.fma import fma
 
 __all__ = ["accumulate_residue_products", "reconstruct_crt", "unscale"]
@@ -33,7 +33,8 @@ def accumulate_residue_products(
     c_stack: np.ndarray,
     table: CRTConstantTable,
     use_mulhi: bool = False,
-) -> Tuple[np.ndarray, np.ndarray]:
+    vectorized: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Compute ``C'^{(1)} = Σ s_i1 U_i`` and ``C'^{(2)} = Σ s_i2 U_i``.
 
     Parameters
@@ -46,13 +47,29 @@ def accumulate_residue_products(
     use_mulhi:
         Use the ``__mulhi`` fast kernel for ``mod`` (Section 4.3) instead of
         the exact integer remainder.  Both yield identical ``U_i``.
+    vectorized:
+        When True (default), materialise the whole float64 U-stack first
+        (one scalar-divisor remainder per modulus, no UINT8/float64
+        round-trips) and evaluate ``C1`` with a single
+        :func:`numpy.tensordot` of the split weights against the U-stack.
+        For the 64-bit tables ``C1`` is order-independent because the
+        split-weight accumulation is *error-free* (every ``s_i1 U_i`` has at
+        most ``β_i + 8 <= 53`` significant bits and every partial sum is an
+        exact multiple of a common unit below 2^53 — Section 4.3), so any
+        summation order gives the identical float64 result.  The 32-bit
+        tables keep the full (unsplit) weights, whose accumulation carries
+        rounding; there — and for the inexact ``C2`` terms — the fixed
+        ascending-modulus order of the per-modulus loop is preserved so the
+        result stays bit-identical with ``vectorized=False`` (kept as the
+        pre-fusion comparator).
 
     Returns
     -------
     (C1, C2):
-        Two float64 ``(m, n)`` matrices.  ``C1`` is exact; ``C2`` holds the
-        low-order correction (all zeros for SGEMM emulation, where
-        ``s_i2 = 0``).
+        ``C1`` is an exact float64 ``(m, n)`` matrix.  ``C2`` holds the
+        low-order correction, or is ``None`` when every split-weight tail
+        ``s_i2`` is zero (always the case for SGEMM emulation) — the dead
+        all-zero accumulation is skipped instead of allocated.
     """
     c_stack = np.asarray(c_stack)
     if c_stack.ndim != 3 or c_stack.shape[0] != table.num_moduli:
@@ -60,10 +77,39 @@ def accumulate_residue_products(
             f"c_stack must have shape (N, m, n) with N={table.num_moduli}, "
             f"got {c_stack.shape}"
         )
+    need_c2 = bool(np.any(table.s2 != 0.0))
+    if vectorized:
+        # Materialise the whole float64 U-stack up front.  The residues lie
+        # in [0, p) ⊂ [0, 255], so writing them straight into float64 makes
+        # the UINT8 narrowing of the per-modulus path a bitwise no-op and
+        # saves the widening pass.
+        u = uint8_residues_stack(
+            c_stack,
+            table.moduli,
+            table.pinv_prime if use_mulhi else None,
+            out=np.empty(c_stack.shape, dtype=np.float64),
+        )
+        if table.precision_bits == 64:
+            c1 = np.tensordot(table.s1, u.reshape(table.num_moduli, -1), axes=1)
+            c1 = c1.reshape(c_stack.shape[1:])
+        else:
+            # Unsplit 32-bit weights: the sum is inexact, keep the loop order.
+            c1 = np.zeros(c_stack.shape[1:], dtype=np.float64)
+            for i in range(table.num_moduli):
+                c1 += table.s1[i] * u[i]
+        if not need_c2:
+            return c1, None
+        # Ordered accumulation of the inexact low-order terms; adding a term
+        # with s2[i] == 0 is a bitwise no-op (all terms are >= 0), so only
+        # the nonzero ones are visited.
+        c2 = np.zeros(c_stack.shape[1:], dtype=np.float64)
+        for i in np.flatnonzero(table.s2):
+            c2 += table.s2[i] * u[i]
+        return c1, c2
+
     m, n = c_stack.shape[1:]
     c1 = np.zeros((m, n), dtype=np.float64)
-    c2 = np.zeros((m, n), dtype=np.float64)
-    need_c2 = bool(np.any(table.s2 != 0.0))
+    c2 = np.zeros((m, n), dtype=np.float64) if need_c2 else None
     for i, p in enumerate(table.moduli):
         pinv_prime = int(table.pinv_prime[i]) if use_mulhi else None
         u = uint8_residues(c_stack[i], p, pinv_prime).astype(np.float64)
@@ -74,7 +120,7 @@ def accumulate_residue_products(
 
 
 def reconstruct_crt(
-    c1: np.ndarray, c2: np.ndarray, table: CRTConstantTable
+    c1: np.ndarray, c2: Optional[np.ndarray], table: CRTConstantTable
 ) -> np.ndarray:
     """Reconstruct ``C'' = rmod(C', P)`` from the two accumulations.
 
@@ -85,12 +131,16 @@ def reconstruct_crt(
 
     ``Q`` is the integer multiple of ``P`` contained in ``C'``; subtracting
     it with the double-double ``P ≈ P1 + P2`` and FMA keeps the massive
-    cancellation exact to FP64 accuracy.
+    cancellation exact to FP64 accuracy.  ``c2 = None`` (the sentinel for an
+    all-zero second accumulation) skips the addition outright.  The scalar
+    coefficients ``-P1`` / ``-P2`` broadcast through :func:`~repro.utils.
+    fma.fma` directly — no full-size constant matrices are materialised.
     """
     q = np.rint(table.Pinv * c1)
-    t = fma(np.full_like(q, -table.P1), q, c1)
-    t = t + c2
-    return fma(np.full_like(q, -table.P2), q, t)
+    t = fma(-table.P1, q, c1)
+    if c2 is not None:
+        t = t + c2
+    return fma(-table.P2, q, t)
 
 
 def unscale(c_pp: np.ndarray, mu: np.ndarray, nu: np.ndarray, out_dtype=np.float64) -> np.ndarray:

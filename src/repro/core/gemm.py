@@ -278,7 +278,12 @@ def ozaki2_gemm(
         else:
             with _PhaseTimer(times, "convert_A"):
                 a_prime = truncate_scaled(a, mu, side="left")
-                a_slices = residue_slices(a_prime, table, config.residue_kernel)
+                a_slices = residue_slices(
+                    a_prime,
+                    table,
+                    config.residue_kernel,
+                    single_pass=config.fused_kernels,
+                )
 
         # Lines 3 and 5: B' and its residues (skipped when B is prepared).
         if b_prep is not None:
@@ -287,13 +292,22 @@ def ozaki2_gemm(
         else:
             with _PhaseTimer(times, "convert_B"):
                 b_prime = truncate_scaled(b, nu, side="right")
-                b_slices = residue_slices(b_prime, table, config.residue_kernel)
+                b_slices = residue_slices(
+                    b_prime,
+                    table,
+                    config.residue_kernel,
+                    single_pass=config.fused_kernels,
+                )
 
         # Lines 6-11: the N INT8 GEMMs (fanned out over the scheduler's
         # workers, blocked over k and tiled over m/n per the plan) and the
         # CRT reconstruction.  Fills the matmul/accumulate/reconstruct
-        # phases of ``times``.
-        c_pp = execute_plan(scheduler, plan, a_slices, b_slices, table, config, times)
+        # phases of ``times``.  The residue stacks come from our own
+        # conversion (or a prepared operand), so they are trusted: the
+        # fused engine path may skip its per-call validation sweeps.
+        c_pp = execute_plan(
+            scheduler, plan, a_slices, b_slices, table, config, times, trusted=True
+        )
 
         # Line 12: inverse scaling.
         with _PhaseTimer(times, "unscale"):

@@ -73,8 +73,8 @@ class ResidueOperand:
         The configuration the operand was prepared under.  Multiplications
         must use a configuration with the same precision, moduli count,
         mode and residue kernel (runtime knobs — ``parallelism``,
-        ``memory_budget_mb``, ``block_k``, ``validate`` — may differ freely;
-        they do not affect the residues).
+        ``memory_budget_mb``, ``block_k``, ``validate``, ``fused_kernels``
+        — may differ freely; they do not affect the residues).
     convert_seconds:
         One-time wall-clock cost of the preparation (scale + truncate +
         residues); the amortisation baseline reported by
@@ -171,7 +171,9 @@ def _prepare(
     else:
         scale = fast_mode_scale_b(x, table)
         x_prime = truncate_scaled(x, scale, side="right")
-    slices = residue_slices(x_prime, table, config.residue_kernel)
+    slices = residue_slices(
+        x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
+    )
     elapsed = time.perf_counter() - start
 
     return ResidueOperand(

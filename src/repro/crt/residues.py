@@ -39,6 +39,7 @@ __all__ = [
     "mod_fast_mulhi",
     "residues_to_int8",
     "uint8_residues",
+    "uint8_residues_stack",
 ]
 
 #: Correction-step thresholds (N1, N2) of the fast rmod kernel, per input
@@ -51,7 +52,9 @@ _FAST_RMOD_THRESHOLDS = {64: (13, 19), 32: (5, 11)}
 _INT64_SAFE_LIMIT = 2.0**62
 
 
-def _nonneg_mod_integer_valued(x: np.ndarray, p: int) -> np.ndarray:
+def _nonneg_mod_integer_valued(
+    x: np.ndarray, p: int, max_abs: float | None = None
+) -> np.ndarray:
     """Exact ``x mod p`` in ``[0, p)`` for integer-valued float64 ``x``.
 
     Uses int64 remainders (much faster than ``fmod``) whenever the values
@@ -59,10 +62,15 @@ def _nonneg_mod_integer_valued(x: np.ndarray, p: int) -> np.ndarray:
     matrices can exceed 2**62 — are split exactly into
     ``x = hi * 2**31 + lo`` (both parts fit int64) and recombined modulo
     ``p``.  Either way the result is exact.
+
+    ``max_abs`` lets callers that reduce the *same* matrix by many moduli
+    pass a precomputed ``max(|x|)``, so the full-matrix scan that selects the
+    int64 path runs once per conversion instead of once per modulus.
     """
     x = np.asarray(x, dtype=np.float64)
     p_int = int(p)
-    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs is None:
+        max_abs = float(np.max(np.abs(x))) if x.size else 0.0
     if max_abs < _INT64_SAFE_LIMIT:
         return np.remainder(x.astype(np.int64), p_int).astype(np.float64)
     # Exact split: hi = floor(x / 2^31) is an integer below 2^62 for
@@ -76,16 +84,18 @@ def _nonneg_mod_integer_valued(x: np.ndarray, p: int) -> np.ndarray:
     return np.remainder(hi_mod * shift_mod + lo_mod, p_int).astype(np.float64)
 
 
-def rmod_exact(x: np.ndarray, p: int) -> np.ndarray:
+def rmod_exact(x: np.ndarray, p: int, max_abs: float | None = None) -> np.ndarray:
     """Centred remainder ``x - p*round(x/p)`` computed exactly.
 
     ``x`` must contain integer-valued float64 entries (as produced by the
     truncation step of Algorithm 1).  The result lies in ``[-p/2, p/2]``;
     for even ``p`` the boundary value ``+p/2`` is kept (the INT8 engine
-    wraps ``+128`` to ``-128``, which is congruent modulo 256).
+    wraps ``+128`` to ``-128``, which is congruent modulo 256).  ``max_abs``
+    is an optional precomputed ``max(|x|)`` (see
+    :func:`_nonneg_mod_integer_valued`).
     """
     p_f = float(int(p))
-    r = _nonneg_mod_integer_valued(x, p)
+    r = _nonneg_mod_integer_valued(x, p, max_abs=max_abs)
     return np.where(r > p_f / 2.0, r - p_f, r)
 
 
@@ -177,6 +187,7 @@ def residues_to_int8(
     pinv_b: np.ndarray | None = None,
     pinv32: np.ndarray | None = None,
     precision_bits: int = 64,
+    single_pass: bool = True,
 ) -> np.ndarray:
     """Residues of an integer-valued matrix for every modulus, as INT8.
 
@@ -193,24 +204,116 @@ def residues_to_int8(
         ``"exact"`` (default) or ``"fast_fma"`` for the Section 4.2 kernel.
     pinv_b, pinv32, precision_bits:
         Reciprocal tables and input precision, required by the fast kernel.
+    single_pass:
+        When True (default), convert once and broadcast the remainder across
+        a leading moduli axis: the ``max(|x|)`` scan and the float64→int64
+        conversion run a single time for all ``N`` moduli instead of once
+        per modulus.  When False, fall back to the per-modulus loop (kept as
+        the pre-fusion comparator for benchmarks and bit-identity tests).
+        Both paths are exact integer arithmetic and bit-identical.
     """
     x = np.asarray(x, dtype=np.float64)
     mods = [int(p) for p in moduli]
+    if kernel not in ("exact", "fast_fma"):
+        raise ConfigurationError(f"unknown residue kernel {kernel!r}")
+    if kernel == "fast_fma" and (pinv_b is None or pinv32 is None):
+        raise ConfigurationError("fast_fma kernel requires pinv_b and pinv32 tables")
+    if single_pass:
+        return _residues_to_int8_single_pass(
+            x, mods, kernel, pinv_b, pinv32, precision_bits
+        )
+    return _residues_to_int8_loop(x, mods, kernel, pinv_b, pinv32, precision_bits)
+
+
+def _residues_to_int8_loop(
+    x: np.ndarray,
+    mods: list,
+    kernel: str,
+    pinv_b,
+    pinv32,
+    precision_bits: int,
+) -> np.ndarray:
+    """Per-modulus conversion loop (the pre-fusion reference path).
+
+    The only cross-modulus saving applied here is the hoisted ``max(|x|)``
+    scan: one conversion serves all ``N`` moduli of the exact kernel instead
+    of rescanning the same matrix per modulus.
+    """
     out = np.empty((len(mods),) + x.shape, dtype=np.int8)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
     for i, p in enumerate(mods):
         if kernel == "exact":
-            r = rmod_exact(x, p)
-        elif kernel == "fast_fma":
-            if pinv_b is None or pinv32 is None:
-                raise ConfigurationError(
-                    "fast_fma kernel requires pinv_b and pinv32 tables"
-                )
+            r = rmod_exact(x, p, max_abs=max_abs)
+        else:
             r = rmod_fast_fma(
                 x, p, float(pinv_b[i]), float(pinv32[i]), len(mods), precision_bits
             )
-        else:
-            raise ConfigurationError(f"unknown residue kernel {kernel!r}")
         out[i] = _wrap_to_int8(r)
+    return out
+
+
+def _residues_to_int8_single_pass(
+    x: np.ndarray,
+    mods: list,
+    kernel: str,
+    pinv_b,
+    pinv32,
+    precision_bits: int,
+) -> np.ndarray:
+    """Single-pass conversion of the exact kernel for all ``N`` moduli.
+
+    The ``max(|x|)`` scan and the float64→int64 conversion run **once** and
+    serve every modulus; each residue is then produced entirely in the
+    integer domain with the shifted remainder
+
+        ``rmod(x, p) = ((x + ⌊p/2⌋) mod p) − ⌊p/2⌋``
+
+    which yields the centred representative directly — no float64
+    round-trip, no separate centring pass, and ``+p/2`` lands on ``−p/2``
+    for even ``p`` exactly as the INT8 wrap does.  The result is
+    bit-identical to the per-modulus loop.  The remainder itself runs per
+    modulus with a *scalar* divisor: NumPy's scalar-divisor inner loop is
+    several times faster than a broadcast against an ``(N, 1, ...)``
+    divisor array, so looping the one cheap op beats broadcasting the
+    whole chain.
+
+    The fast-FMA kernel delegates to the loop: it is pure per-modulus
+    floating-point arithmetic with no shared scan or conversion to hoist,
+    and stacking it only adds temporary-array pressure.
+    """
+    if kernel == "fast_fma":
+        return _residues_to_int8_loop(x, mods, kernel, pinv_b, pinv32, precision_bits)
+
+    out = np.empty((len(mods),) + x.shape, dtype=np.int8)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs < _INT64_SAFE_LIMIT:
+        xi = x.astype(np.int64)
+        scratch = np.empty_like(xi)
+        for i, p in enumerate(mods):
+            half = p // 2
+            # |xi| < 2**62, so the +half shift cannot overflow int64.
+            np.add(xi, half, out=scratch)
+            np.remainder(scratch, p, out=scratch)
+            scratch -= half
+            out[i] = scratch.astype(np.int8)
+        return out
+
+    # Beyond the int64-safe limit: the same exact hi/lo split as
+    # _nonneg_mod_integer_valued, performed once for all moduli.
+    hi = np.floor(np.ldexp(x, -31))
+    lo = x - np.ldexp(hi, 31)
+    hi_i64 = hi.astype(np.int64)
+    lo_i64 = lo.astype(np.int64)
+    for i, p in enumerate(mods):
+        half = p // 2
+        shift_mod = pow(2, 31, p)
+        hi_mod = np.remainder(hi_i64, p)
+        lo_mod = np.remainder(lo_i64, p)
+        # hi_mod, lo_mod < p <= 256 and shift_mod < p, so the combination
+        # stays far below the int64 range.
+        r = np.remainder(hi_mod * shift_mod + lo_mod + half, p)
+        r -= half
+        out[i] = r.astype(np.int8)
     return out
 
 
@@ -225,3 +328,37 @@ def uint8_residues(c_int32: np.ndarray, p: int, pinv_prime: int | None = None) -
     else:
         u = mod_fast_mulhi(c_int32, p, pinv_prime)
     return u.astype(np.uint8)
+
+
+def uint8_residues_stack(
+    c_stack: np.ndarray,
+    moduli,
+    pinv_prime: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """``U = [mod(C'_1, p_1), ..., mod(C'_N, p_N)]`` for the whole stack.
+
+    ``c_stack`` is the ``(N, m, n)`` integer residue-product stack; entry
+    ``i`` is reduced by modulus ``moduli[i]``.  Bit-identical to calling
+    :func:`uint8_residues` per modulus, without the per-call int64
+    casts and UINT8/float round-trips: each remainder runs with a scalar
+    divisor (NumPy's fastest inner loop) straight into the output stack.
+    When ``pinv_prime`` (the ``⌊2^32/p_i − 1⌋`` table) is given, the
+    ``__mulhi`` fast kernel of Section 4.3 is used instead of the exact
+    remainder.
+
+    ``out`` may supply a preallocated ``c_stack.shape`` array of any dtype
+    that can represent ``[0, 255]``; the fused accumulation passes a
+    float64 stack so the residues land in their final representation with
+    no separate widening pass.  Without ``out``, a UINT8 stack is returned.
+    """
+    c = np.asarray(c_stack)
+    u = out if out is not None else np.empty(c.shape, dtype=np.uint8)
+    if pinv_prime is None:
+        p_dtype = c.dtype.type
+        for i, p in enumerate(moduli):
+            u[i] = np.remainder(c[i], p_dtype(p))
+    else:
+        for i, p in enumerate(moduli):
+            u[i] = mod_fast_mulhi(c[i], p, int(pinv_prime[i]))
+    return u

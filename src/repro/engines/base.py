@@ -47,12 +47,28 @@ class OpCounter:
     bytes_read: int = 0
     bytes_written: int = 0
 
-    def record_matmul(self, m: int, n: int, k: int, in_bytes: float, out_bytes: float) -> None:
-        """Record one ``m x k`` by ``k x n`` GEMM."""
-        self.matmul_calls += 1
-        self.mac_ops += int(m) * int(n) * int(k)
-        self.bytes_read += int(round((m * k + k * n) * in_bytes))
-        self.bytes_written += int(round(m * n * out_bytes))
+    def record_matmul(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        in_bytes: float,
+        out_bytes: float,
+        count: int = 1,
+    ) -> None:
+        """Record ``count`` identical ``m x k`` by ``k x n`` GEMMs.
+
+        A fused stacked call (:meth:`MatrixEngine.matmul_stack`) records its
+        whole stack through ``count`` so the ledger is indistinguishable from
+        ``count`` separate 2-D calls: the per-call byte figures are rounded
+        first and then multiplied, exactly as repeated single calls would
+        accumulate them.
+        """
+        count = int(count)
+        self.matmul_calls += count
+        self.mac_ops += count * int(m) * int(n) * int(k)
+        self.bytes_read += count * int(round((m * k + k * n) * in_bytes))
+        self.bytes_written += count * int(round(m * n * out_bytes))
 
     def record_elementwise(self, count: int, in_bytes: float = 0.0, out_bytes: float = 0.0) -> None:
         """Record ``count`` element-wise operations and their traffic."""
@@ -170,6 +186,58 @@ class MatrixEngine(abc.ABC):
             out_bytes=self.output_format.bytes_per_element,
         )
         return out
+
+    def matmul_stack(self, a: np.ndarray, b: np.ndarray, trusted: bool = False) -> np.ndarray:
+        """Batched product ``out[i] = a[i] @ b[i]`` over a 3-D operand stack.
+
+        ``a`` has shape ``(N, m, k)`` and ``b`` has shape ``(N, k, n)``; the
+        result is the ``(N, m, n)`` stack of per-slice products with the
+        engine's numerical behaviour.  The op ledger records exactly what
+        ``N`` separate :meth:`matmul` calls would.
+
+        ``trusted`` asserts the operands are already in the engine's input
+        representation (e.g. INT8 residue stacks produced by this library's
+        own conversion), letting subclasses skip their per-call validation
+        sweeps.  The generic fallback ignores the flag and validates — only
+        engines that override this method with a fused implementation may
+        honour it, so external callers keep full validation by default.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        self._check_stack_shapes(a, b)
+        outs = [
+            self._compute(self._prepare(a[i], "A"), self._prepare(b[i], "B"))
+            for i in range(a.shape[0])
+        ]
+        n_stack, m, k = a.shape
+        n = b.shape[2]
+        self.counter.record_matmul(
+            m,
+            n,
+            k,
+            in_bytes=self.input_format.bytes_per_element,
+            out_bytes=self.output_format.bytes_per_element,
+            count=n_stack,
+        )
+        return np.stack(outs)
+
+    def _check_stack_shapes(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Validate a :meth:`matmul_stack` operand pair (3-D, conforming)."""
+        if a.ndim != 3 or b.ndim != 3:
+            raise EngineError(
+                f"{self.name}: stacked operands must be 3-D, got "
+                f"{a.ndim}-D and {b.ndim}-D"
+            )
+        if a.shape[0] != b.shape[0]:
+            raise EngineError(
+                f"{self.name}: stack sizes mismatch {a.shape} x {b.shape}"
+            )
+        if a.shape[0] == 0:
+            raise EngineError(f"{self.name}: matmul_stack requires a non-empty stack")
+        if a.shape[2] != b.shape[1]:
+            raise EngineError(
+                f"{self.name}: inner dimensions mismatch {a.shape} x {b.shape}"
+            )
 
     def reset_counter(self) -> None:
         """Reset the engine's operation ledger."""

@@ -96,6 +96,79 @@ class Int8MatrixEngine(MatrixEngine):
             return self._compute_blas(a, b)
         return self._compute_integer(a, b)
 
+    # -- fused stacked path ---------------------------------------------------
+    def matmul_stack(self, a: np.ndarray, b: np.ndarray, trusted: bool = False) -> np.ndarray:
+        """Fused batched product ``(N, m, k) @ (N, k, n) -> (N, m, n)``.
+
+        Unlike the generic per-slice fallback, this override converts each
+        residue stack to float64 **once** and issues a single stacked
+        BLAS-backed :func:`numpy.matmul`, so the ``N`` residue GEMMs of one
+        modulus chunk cost one engine call's worth of Python/NumPy overhead.
+        The INT32 wraparound reduction is applied only when the inner
+        dimension can actually reach the accumulator boundary (see
+        :meth:`_wrap_int32`).
+
+        ``trusted=True`` additionally skips the per-call validation sweeps
+        when the operands are already INT8 — the contract for residue stacks
+        produced by this library's own conversion (:func:`repro.core.
+        conversion.residue_slices` and prepared operands), whose values are
+        in range by construction.  Operands of any other dtype are validated
+        regardless of the flag, so external callers keep full validation by
+        default.  Results are bit-identical to ``N`` separate
+        :meth:`~repro.engines.base.MatrixEngine.matmul` calls, and the op
+        ledger records the same ``N`` GEMMs.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        self._check_stack_shapes(a, b)
+        n_stack, m, k = a.shape
+        n = b.shape[2]
+        if self.strict_k and k > _MAX_EXACT_K:
+            raise OverflowRiskError(
+                f"inner dimension k={k} exceeds 2**17; block the product "
+                "(core.blocking) or construct the engine with strict_k=False"
+            )
+        if trusted and a.dtype == np.int8 and b.dtype == np.int8:
+            a8, b8 = a, b
+        else:
+            a8 = self._prepare(a, "A")
+            b8 = self._prepare(b, "B")
+        if self.use_blas:
+            prod = np.matmul(a8.astype(np.float64), b8.astype(np.float64))
+            out = self._wrap_int32(prod, k)
+        else:
+            with np.errstate(over="ignore"):
+                out = np.matmul(a8.astype(np.int32), b8.astype(np.int32)).astype(np.int32)
+        self.counter.record_matmul(
+            m,
+            n,
+            k,
+            in_bytes=self.input_format.bytes_per_element,
+            out_bytes=self.output_format.bytes_per_element,
+            count=n_stack,
+        )
+        return out
+
+    @staticmethod
+    def _wrap_int32(prod: np.ndarray, k: int) -> np.ndarray:
+        """Reduce exact float64 products into the signed INT32 range.
+
+        Every prepared operand entry is bounded by ``|a|, |b| <= 128``, so an
+        exact inner product over ``k`` terms is bounded by
+        ``k * 128 * 128 = k * 2**14``.  For ``k < 2**17`` that bound is
+        strictly below ``2**31``: every product already lies inside the INT32
+        range, the wraparound reduction is the identity, and the two
+        full-array ``mod``/``where`` passes can be skipped — the plain cast
+        is exact.  Only ``k >= 2**17`` can reach ``±2**31`` (the single
+        boundary case of Section 4.3 at ``k = 2**17``) and takes the
+        reduction.
+        """
+        if k < _MAX_EXACT_K:
+            return prod.astype(np.int32)
+        wrapped = np.mod(prod, 4294967296.0)
+        wrapped = np.where(wrapped >= 2147483648.0, wrapped - 4294967296.0, wrapped)
+        return wrapped.astype(np.int32)
+
     # -- computation paths ---------------------------------------------------
     @staticmethod
     def _compute_blas(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -11,6 +11,7 @@ from .experiments import (
     batched_speedup_sweep,
     breakdown_sweep,
     cpu_wallclock_sweep,
+    kernel_fusion_sweep,
     power_sweep,
     prepared_reuse_sweep,
     runtime_scaling_sweep,
@@ -36,6 +37,7 @@ __all__ = [
     "batched_speedup_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
+    "kernel_fusion_sweep",
     "power_sweep",
     "prepared_reuse_sweep",
     "runtime_scaling_sweep",

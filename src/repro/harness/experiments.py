@@ -26,6 +26,7 @@ __all__ = [
     "power_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
+    "kernel_fusion_sweep",
     "runtime_scaling_sweep",
     "batched_speedup_sweep",
     "prepared_reuse_sweep",
@@ -241,6 +242,72 @@ def runtime_scaling_sweep(
                     "bit_identical": bool(np.array_equal(c, serial_c)),
                 }
             )
+    return rows
+
+
+def kernel_fusion_sweep(
+    size: int,
+    num_moduli: int = 15,
+    workers: Sequence[int] = (1,),
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Fused kernel path vs the pre-fusion per-modulus loop (this CPU).
+
+    For every worker count, one ``size^3`` emulated GEMM runs end-to-end
+    through both paths (``Ozaki2Config.fused_kernels`` True/False); each
+    pair of rows reports the best-of-``repeats`` wall time, the fused
+    speedup over the loop, whether the results were bit-identical and
+    whether the merged op ledgers were equal — both of which the fused path
+    guarantees.  The per-phase seconds of the *best* run of each path are
+    attached under ``phase_<key>`` so benchmarks can archive the
+    before/after breakdown.
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+
+    fmt = precision_for_target(target)
+    a, b = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for count in workers:
+        results: Dict[bool, object] = {}
+        best: Dict[bool, float] = {}
+        for fused in (False, True):
+            config = Ozaki2Config(
+                precision=fmt,
+                num_moduli=num_moduli,
+                parallelism=int(count),
+                fused_kernels=fused,
+            )
+            best[fused] = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                result = ozaki2_gemm(a, b, config=config, return_details=True)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[fused]:
+                    best[fused] = elapsed
+                    results[fused] = result
+        identical = bool(np.array_equal(results[True].c, results[False].c))
+        ledger_equal = (
+            results[True].int8_counter.as_dict()
+            == results[False].int8_counter.as_dict()
+        )
+        for fused in (False, True):
+            row: Dict[str, object] = {
+                "n": int(size),
+                "method": results[fused].method_name,
+                "workers": int(count),
+                "path": "fused" if fused else "per-modulus",
+                "seconds": best[fused],
+                "speedup_vs_loop": best[False] / best[fused],
+                "bit_identical": identical,
+                "ledger_equal": ledger_equal,
+            }
+            for key, value in results[fused].phase_times.seconds.items():
+                row[f"phase_{key}"] = value
+            rows.append(row)
     return rows
 
 

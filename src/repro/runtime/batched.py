@@ -222,7 +222,14 @@ def _run_batch(
     for j in range(batch):
         counter_before = engine.counter.copy()
         c_pp = execute_plan(
-            sched, plans[j], a_slices[j], b_slices[j], table, config, times=times[j]
+            sched,
+            plans[j],
+            a_slices[j],
+            b_slices[j],
+            table,
+            config,
+            times=times[j],
+            trusted=True,
         )
         t0 = time.perf_counter()
         c = unscale(c_pp, mus[j], nus[j], out_dtype=out_dtype)
@@ -273,10 +280,20 @@ def _grouped_residue_slices(
         t0 = time.perf_counter()
         if len(members) == 1:
             j = members[0]
-            out[j] = residue_slices(primes[j], table, config.residue_kernel)
+            out[j] = residue_slices(
+                primes[j],
+                table,
+                config.residue_kernel,
+                single_pass=config.fused_kernels,
+            )
         else:
             stacked = np.stack([primes[j] for j in members])
-            slices = residue_slices(stacked, table, config.residue_kernel)
+            slices = residue_slices(
+                stacked,
+                table,
+                config.residue_kernel,
+                single_pass=config.fused_kernels,
+            )
             # slices has shape (N, group, rows, cols) -> per item (N, rows, cols)
             for pos, j in enumerate(members):
                 out[j] = slices[:, pos]

@@ -30,7 +30,13 @@ from ..config import MAX_K_WITHOUT_BLOCKING, Ozaki2Config
 from ..core.blocking import k_block_ranges
 from ..errors import OverflowRiskError
 
-__all__ = ["ExecutionPlan", "build_plan", "plan_for_config", "resolve_parallelism"]
+__all__ = [
+    "ExecutionPlan",
+    "build_plan",
+    "modulus_chunk_ranges",
+    "plan_for_config",
+    "resolve_parallelism",
+]
 
 Range = Tuple[int, int]
 
@@ -58,6 +64,32 @@ def resolve_parallelism(parallelism: Optional[int]) -> int:
     if workers == 0:
         return max(1, os.cpu_count() or 1)
     return workers
+
+
+def modulus_chunk_ranges(num_moduli: int, workers: int) -> Tuple[Range, ...]:
+    """Split the ``N`` moduli into contiguous chunks for fused engine calls.
+
+    Each chunk becomes one :meth:`~repro.engines.base.MatrixEngine.
+    matmul_stack` task.  A serial run takes the whole stack in a single
+    fused call; a parallel run splits it into ``min(workers, N)``
+    near-equal contiguous ranges so every worker gets one stacked call per
+    k-block.  Chunk boundaries never affect the result — the residue GEMMs
+    are independent exact integer products reassembled in fixed modulus
+    order — so any worker count stays bit-identical.
+    """
+    n = int(num_moduli)
+    if n <= 0:
+        raise ValueError(f"num_moduli must be positive, got {n}")
+    w = max(1, int(workers))
+    n_chunks = min(n, w)
+    base, extra = divmod(n, n_chunks)
+    ranges = []
+    start = 0
+    for j in range(n_chunks):
+        stop = start + base + (1 if j < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -104,13 +136,29 @@ class ExecutionPlan:
 
     @property
     def tasks_per_tile(self) -> int:
-        """Independent engine calls per output tile (``N * k-blocks``)."""
+        """Independent residue GEMMs per output tile (``N * k-blocks``).
+
+        This counts the ledger-visible 2-D products.  The fused kernel path
+        issues them as :attr:`modulus_chunks` stacked engine calls per
+        k-block instead of one call each, but records the identical op
+        ledger.
+        """
         return self.num_moduli * self.num_k_blocks
 
     @property
     def total_tasks(self) -> int:
-        """Total engine calls the plan will issue."""
+        """Total residue GEMMs the plan will account for."""
         return self.num_tiles * self.tasks_per_tile
+
+    @property
+    def modulus_chunks(self) -> Tuple[Range, ...]:
+        """Contiguous moduli ranges, one fused stacked call each.
+
+        Derived from the plan's recorded ``parallelism``; a plan executed on
+        an explicitly provided scheduler is re-chunked for *that* scheduler's
+        worker count (chunking never changes the result, only the fan-out).
+        """
+        return modulus_chunk_ranges(self.num_moduli, self.parallelism)
 
     def tiles(self) -> Iterator[Tuple[Range, Range]]:
         """Iterate output tiles as ``((m_start, m_stop), (n_start, n_stop))``."""

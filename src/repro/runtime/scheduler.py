@@ -6,7 +6,11 @@ any order and still reconstruct bit-identically: every engine call is exact
 in INT32/INT64, the k-block partial sums are exact integer additions, and
 the only floating-point accumulation (lines 8–9 of Algorithm 1) is applied
 per output tile in a fixed modulus order by exactly the code the serial
-path uses.  The scheduler therefore guarantees
+path uses.  Under the fused kernel path (``config.fused_kernels``, the
+default) a task is a contiguous *modulus chunk* of the residue stack — one
+stacked BLAS-backed engine call — rather than a single modulus; chunk
+boundaries follow the executing scheduler's worker count and never affect
+the value.  The scheduler therefore guarantees
 
     ``execute_plan(parallelism=W) == execute_plan(parallelism=1)``  (bitwise)
 
@@ -37,7 +41,7 @@ from ..core.accumulation import accumulate_residue_products, reconstruct_crt
 from ..crt.constants import CRTConstantTable
 from ..engines.base import MatrixEngine
 from ..engines.int8 import Int8MatrixEngine
-from .plan import ExecutionPlan, resolve_parallelism
+from .plan import ExecutionPlan, modulus_chunk_ranges, resolve_parallelism
 
 __all__ = ["Scheduler", "execute_plan"]
 
@@ -145,6 +149,7 @@ def execute_plan(
     table: CRTConstantTable,
     config: Ozaki2Config,
     times=None,
+    trusted: bool = False,
 ) -> np.ndarray:
     """Run lines 6–11 of Algorithm 1 under a plan; return ``C''`` (float64).
 
@@ -159,17 +164,28 @@ def execute_plan(
     table:
         CRT constant table matching ``config``.
     config:
-        Configuration (selects the ``mod`` kernel of the accumulation).
+        Configuration.  Selects the ``mod`` kernel of the accumulation and,
+        via ``config.fused_kernels``, whether tasks are modulus *chunks* of
+        the stack (one fused :meth:`~repro.engines.base.MatrixEngine.
+        matmul_stack` call each — serial runs take a single fused call per
+        tile and k-block, parallel runs split the stack across workers) or
+        the per-modulus 2-D calls of the pre-fusion path.  Both are
+        bit-identical and record identical op ledgers.
     times:
         Optional :class:`~repro.core.gemm.PhaseTimes` receiving per-phase
         seconds under the keys ``matmul`` / ``accumulate`` / ``reconstruct``.
         Wall-clock is attributed per stage, so under parallelism the
         ``matmul`` entry is the elapsed (not summed per-worker) time.
+    trusted:
+        Declare the residue stacks as produced by this library's own
+        conversion (INT8, in range by construction), letting the fused path
+        skip the engine's per-call validation sweeps.  Off by default so
+        external callers handing in arbitrary stacks keep full validation.
 
     Tiles are processed one at a time — bounding the transient workspace to
     a single ``(N, m_tile, n_tile)`` stack, which is what the memory budget
-    promises — while the ``N x k-blocks`` engine calls inside each tile fan
-    out across the pool.
+    promises — while the engine calls inside each tile fan out across the
+    pool.
     """
     n_mod = plan.num_moduli
     if a_slices.shape != (n_mod, plan.m, plan.k):
@@ -184,38 +200,73 @@ def execute_plan(
         )
 
     blocked = plan.num_k_blocks > 1
-    tasks = [
-        (i, start, stop) for i in range(n_mod) for start, stop in plan.k_ranges
-    ]
+    fused = config.fused_kernels
+    if fused:
+        # Modulus chunks sized for the worker count actually executing the
+        # plan: the plan's own decomposition when the scheduler matches its
+        # recorded parallelism (the entry points always construct the
+        # scheduler from it), re-chunked for an externally supplied
+        # scheduler with a different worker count.  Tasks are ordered
+        # chunk-major so the unblocked fast path can reassemble the stack
+        # by concatenation; chunking never affects the value.
+        if scheduler.workers == plan.parallelism:
+            chunks = plan.modulus_chunks
+        else:
+            chunks = modulus_chunk_ranges(n_mod, scheduler.workers)
+        tasks = [
+            (lo, hi, start, stop)
+            for lo, hi in chunks
+            for start, stop in plan.k_ranges
+        ]
+    else:
+        tasks = [
+            (i, i + 1, start, stop)
+            for i in range(n_mod)
+            for start, stop in plan.k_ranges
+        ]
     c_pp = np.empty((plan.m, plan.n), dtype=np.float64)
 
     for (m0, m1), (n0, n1) in plan.tiles():
 
         def _matmul(engine: MatrixEngine, task, _m0=m0, _m1=m1, _n0=n0, _n1=n1):
-            i, start, stop = task
+            lo, hi, start, stop = task
+            if fused:
+                return engine.matmul_stack(
+                    a_slices[lo:hi, _m0:_m1, start:stop],
+                    b_slices[lo:hi, start:stop, _n0:_n1],
+                    trusted=trusted,
+                )
             return engine.matmul(
-                a_slices[i, _m0:_m1, start:stop], b_slices[i, start:stop, _n0:_n1]
+                a_slices[lo, _m0:_m1, start:stop], b_slices[lo, start:stop, _n0:_n1]
             )
 
         t0 = time.perf_counter()
         partials = scheduler.map(_matmul, tasks)
         t1 = time.perf_counter()
 
-        if not blocked:
-            c_stack = np.asarray(partials)
-        else:
+        if blocked:
             # Exact INT64 accumulation over k-blocks, in ascending-k order
             # (the order is irrelevant to the value — integer addition is
             # associative — but keeping it fixed documents the determinism).
             c_stack = np.zeros((n_mod, m1 - m0, n1 - n0), dtype=np.int64)
-            for (i, _, _), partial in zip(tasks, partials):
-                c_stack[i] += partial.astype(np.int64)
+            for (lo, hi, _, _), partial in zip(tasks, partials):
+                if fused:
+                    c_stack[lo:hi] += partial.astype(np.int64)
+                else:
+                    c_stack[lo] += partial.astype(np.int64)
+        elif fused:
+            # One k-block: tasks are the chunks in modulus order already.
+            c_stack = partials[0] if len(partials) == 1 else np.concatenate(partials)
+        else:
+            c_stack = np.asarray(partials)
 
         use_mulhi = (
             config.residue_kernel is ResidueKernel.FAST_FMA
             and c_stack.dtype == np.int32
         )
-        c1, c2 = accumulate_residue_products(c_stack, table, use_mulhi=use_mulhi)
+        c1, c2 = accumulate_residue_products(
+            c_stack, table, use_mulhi=use_mulhi, vectorized=fused
+        )
         t2 = time.perf_counter()
         c_pp[m0:m1, n0:n1] = reconstruct_crt(c1, c2, table)
         t3 = time.perf_counter()

@@ -61,11 +61,45 @@ class TestAccumulate:
         np.testing.assert_array_equal(c1_a, c1_b)
         np.testing.assert_array_equal(c2_a, c2_b)
 
-    def test_sgemm_table_gives_zero_c2(self, rng):
+    def test_sgemm_table_gives_c2_sentinel(self, rng):
+        """All split-weight tails are zero for SGEMM tables: the dead second
+        accumulation is skipped and reported as the ``None`` sentinel (for
+        both the vectorized path and the per-modulus comparator)."""
         table = build_constant_table(8, 32)
         c_stack = rng.integers(-(2**31), 2**31, (8, 3, 3)).astype(np.int32)
-        _, c2 = accumulate_residue_products(c_stack, table)
-        np.testing.assert_array_equal(c2, np.zeros((3, 3)))
+        for vectorized in (True, False):
+            _, c2 = accumulate_residue_products(c_stack, table, vectorized=vectorized)
+            assert c2 is None
+
+    @pytest.mark.parametrize("precision_bits", [64, 32])
+    @pytest.mark.parametrize("use_mulhi", [False, True])
+    def test_vectorized_matches_per_modulus_loop(self, rng, precision_bits, use_mulhi):
+        """The single-tensordot/broadcast path must be bit-identical to the
+        per-modulus loop it replaces, including the inexact C2 terms."""
+        n_mod = 15 if precision_bits == 64 else 8
+        table = build_constant_table(n_mod, precision_bits)
+        c_stack = rng.integers(-(2**31), 2**31, (n_mod, 7, 9)).astype(np.int32)
+        c1_v, c2_v = accumulate_residue_products(
+            c_stack, table, use_mulhi=use_mulhi, vectorized=True
+        )
+        c1_l, c2_l = accumulate_residue_products(
+            c_stack, table, use_mulhi=use_mulhi, vectorized=False
+        )
+        np.testing.assert_array_equal(c1_v, c1_l)
+        if c2_l is None:
+            assert c2_v is None
+        else:
+            np.testing.assert_array_equal(c2_v, c2_l)
+
+    def test_vectorized_matches_loop_on_int64_blocked_stack(self, rng):
+        """k-blocked partial sums arrive as int64 and can exceed the INT32
+        range; both accumulation paths must stay exact and identical."""
+        table = build_constant_table(12, 64)
+        c_stack = rng.integers(-(2**33), 2**33, (12, 5, 4)).astype(np.int64)
+        c1_v, c2_v = accumulate_residue_products(c_stack, table, vectorized=True)
+        c1_l, c2_l = accumulate_residue_products(c_stack, table, vectorized=False)
+        np.testing.assert_array_equal(c1_v, c1_l)
+        np.testing.assert_array_equal(c2_v, c2_l)
 
 
 class TestReconstruct:
@@ -108,6 +142,33 @@ class TestReconstruct:
         c_pp = reconstruct_crt(c1, c2, table)
         assert crt_reconstruct_int([value % p for p in table.moduli], table.moduli) == value
         assert c_pp[0, 0] == pytest.approx(value, rel=1e-12)
+
+
+class TestReconstructSentinel:
+    def test_none_c2_matches_explicit_zeros(self, rng):
+        """reconstruct_crt with the ``None`` sentinel must equal the seed
+        behaviour of adding an all-zero C2 matrix."""
+        table = build_constant_table(8, 32)
+        c_stack = rng.integers(-(2**31), 2**31, (8, 4, 4)).astype(np.int32)
+        c1, c2 = accumulate_residue_products(c_stack, table)
+        assert c2 is None
+        with_sentinel = reconstruct_crt(c1, None, table)
+        with_zeros = reconstruct_crt(c1, np.zeros_like(c1), table)
+        np.testing.assert_array_equal(with_sentinel, with_zeros)
+
+    def test_scalar_fma_coefficients_broadcast(self, rng):
+        """The -P1/-P2 coefficients are scalars now; spot-check against the
+        seed's full-matrix formulation."""
+        from repro.utils.fma import fma
+
+        table = build_constant_table(15, 64)
+        c_stack = rng.integers(-(2**31), 2**31, (15, 6, 6)).astype(np.int32)
+        c1, c2 = accumulate_residue_products(c_stack, table)
+        got = reconstruct_crt(c1, c2, table)
+        q = np.rint(table.Pinv * c1)
+        t = fma(np.full_like(q, -table.P1), q, c1) + c2
+        want = fma(np.full_like(q, -table.P2), q, t)
+        np.testing.assert_array_equal(got, want)
 
 
 class TestUnscale:

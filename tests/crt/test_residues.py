@@ -273,6 +273,83 @@ class TestResidueStacks:
         with pytest.raises(ConfigurationError):
             residues_to_int8(np.zeros((2, 2)), (256, 255), kernel="magic")
 
+    @pytest.mark.parametrize("kernel", ["exact", "fast_fma"])
+    @pytest.mark.parametrize("precision_bits", [64, 32])
+    def test_single_pass_matches_loop(self, kernel, precision_bits):
+        """The broadcast single-pass conversion must be bit-identical to the
+        per-modulus loop across kernels and precisions."""
+        n_mod = 15 if precision_bits == 64 else 8
+        table = build_constant_table(n_mod, precision_bits)
+        alpha = 0.5 * (table.log2_P - 1.5)
+        rng = np.random.default_rng(precision_bits + n_mod)
+        x = _random_integer_matrix(rng, (24, 18), int(alpha))
+        kwargs = dict(kernel=kernel)
+        if kernel == "fast_fma":
+            kwargs.update(
+                pinv_b=table.pinv64,
+                pinv32=table.pinv32,
+                precision_bits=precision_bits,
+            )
+        fused = residues_to_int8(x, table.moduli, single_pass=True, **kwargs)
+        loop = residues_to_int8(x, table.moduli, single_pass=False, **kwargs)
+        np.testing.assert_array_equal(fused, loop)
+        assert fused.dtype == np.int8
+
+    def test_single_pass_matches_loop_above_int64_limit(self):
+        """Values beyond the int64-safe limit take the exact hi/lo split in
+        both paths; they must still agree bit-for-bit."""
+        from repro.crt.residues import _INT64_SAFE_LIMIT
+
+        table = build_constant_table(18, 64)
+        x = np.array(
+            [
+                [0.0, 1.0, -1.0, 12345.0],
+                [_INT64_SAFE_LIMIT, -_INT64_SAFE_LIMIT, 4 * _INT64_SAFE_LIMIT, 2.0**70],
+            ]
+        )
+        fused = residues_to_int8(x, table.moduli, single_pass=True)
+        loop = residues_to_int8(x, table.moduli, single_pass=False)
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_single_pass_on_3d_input(self):
+        """The batched runtime stacks same-shape operands before conversion;
+        the broadcast path must handle the extra leading axis."""
+        rng = np.random.default_rng(9)
+        table = build_constant_table(6, 64)
+        x = np.trunc(rng.standard_normal((3, 5, 7)) * 1e6)
+        fused = residues_to_int8(x, table.moduli, single_pass=True)
+        loop = residues_to_int8(x, table.moduli, single_pass=False)
+        assert fused.shape == (6, 3, 5, 7)
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_uint8_residues_stack_matches_per_modulus(self):
+        from repro.crt.residues import uint8_residues_stack
+
+        table = build_constant_table(12, 64)
+        rng = np.random.default_rng(11)
+        c_stack = rng.integers(-(2**31), 2**31, (12, 9, 5)).astype(np.int32)
+        plain = uint8_residues_stack(c_stack, table.moduli)
+        mulhi = uint8_residues_stack(c_stack, table.moduli, table.pinv_prime)
+        for i, p in enumerate(table.moduli):
+            np.testing.assert_array_equal(plain[i], uint8_residues(c_stack[i], p))
+            np.testing.assert_array_equal(
+                mulhi[i], uint8_residues(c_stack[i], p, int(table.pinv_prime[i]))
+            )
+        assert plain.dtype == mulhi.dtype == np.uint8
+
+    def test_hoisted_max_abs_scan_is_respected(self):
+        """_nonneg_mod_integer_valued must honour a precomputed max_abs (the
+        per-conversion hoist) and stay exact on both sides of the limit."""
+        from repro.crt.residues import _INT64_SAFE_LIMIT, _nonneg_mod_integer_valued
+
+        x = np.array([1.0, -7.0, 2.0**40])
+        hoisted = _nonneg_mod_integer_valued(x, 251, max_abs=float(2.0**40))
+        np.testing.assert_array_equal(hoisted, _nonneg_mod_integer_valued(x, 251))
+        # A max_abs above the limit must route the same values down the
+        # split path and still return exact remainders.
+        wide = _nonneg_mod_integer_valued(x, 251, max_abs=float(2 * _INT64_SAFE_LIMIT))
+        np.testing.assert_array_equal(wide, hoisted)
+
     def test_uint8_residues_with_and_without_mulhi(self):
         table = build_constant_table(4, 64)
         rng = np.random.default_rng(2)

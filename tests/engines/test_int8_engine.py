@@ -98,6 +98,126 @@ class TestOverflowBehaviour:
         assert int(c[0, 0]) % 256 == 0
 
 
+class TestMatmulStack:
+    def test_matches_per_slice_matmul_both_paths(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(-128, 128, (5, 17, 33)).astype(np.int8)
+        b = rng.integers(-128, 128, (5, 33, 9)).astype(np.int8)
+        for use_blas in (True, False):
+            stacked = Int8MatrixEngine(use_blas=use_blas).matmul_stack(a, b)
+            loop_engine = Int8MatrixEngine(use_blas=use_blas)
+            for i in range(5):
+                np.testing.assert_array_equal(stacked[i], loop_engine.matmul(a[i], b[i]))
+            assert stacked.dtype == np.int32
+
+    def test_trusted_skips_validation_but_matches(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(-128, 128, (4, 8, 12)).astype(np.int8)
+        b = rng.integers(-128, 128, (4, 12, 6)).astype(np.int8)
+        engine = Int8MatrixEngine()
+        np.testing.assert_array_equal(
+            engine.matmul_stack(a, b, trusted=True), engine.matmul_stack(a, b)
+        )
+
+    def test_trusted_flag_ignored_for_non_int8_dtypes(self):
+        """Only stacks already in the engine's input representation may skip
+        validation; float inputs are validated even when declared trusted."""
+        engine = Int8MatrixEngine()
+        bad = np.full((1, 2, 2), 300.0)
+        ok = np.ones((1, 2, 2))
+        with pytest.raises(EngineError):
+            engine.matmul_stack(bad, ok, trusted=True)
+        # Integer-valued floats still go through the +128 wrap.
+        c = engine.matmul_stack(np.full((1, 1, 1), 128.0), ok[:, :1, :1], trusted=True)
+        assert c[0, 0, 0] == -128
+
+    def test_ledger_equals_n_single_calls(self):
+        a = np.zeros((3, 8, 16), dtype=np.int8)
+        b = np.zeros((3, 16, 4), dtype=np.int8)
+        stacked = Int8MatrixEngine()
+        stacked.matmul_stack(a, b)
+        single = Int8MatrixEngine()
+        for i in range(3):
+            single.matmul(a[i], b[i])
+        assert stacked.counter.as_dict() == single.counter.as_dict()
+
+    def test_shape_validation(self):
+        engine = Int8MatrixEngine()
+        with pytest.raises(EngineError):
+            engine.matmul_stack(np.ones((2, 2), dtype=np.int8), np.ones((2, 2, 2), dtype=np.int8))
+        with pytest.raises(EngineError):
+            engine.matmul_stack(np.ones((2, 2, 3), dtype=np.int8), np.ones((3, 3, 2), dtype=np.int8))
+        with pytest.raises(EngineError):
+            engine.matmul_stack(np.ones((2, 2, 3), dtype=np.int8), np.ones((2, 4, 2), dtype=np.int8))
+        with pytest.raises(EngineError):
+            engine.matmul_stack(
+                np.empty((0, 2, 3), dtype=np.int8), np.empty((0, 3, 2), dtype=np.int8)
+            )
+
+    def test_strict_k_refused_above_threshold(self):
+        engine = Int8MatrixEngine(strict_k=True)
+        k = 2**17 + 1
+        with pytest.raises(OverflowRiskError):
+            engine.matmul_stack(
+                np.zeros((1, 1, k), dtype=np.int8), np.zeros((1, k, 1), dtype=np.int8)
+            )
+
+
+class TestWraparoundSkipBoundary:
+    """The stacked path skips the INT32 wraparound reduction exactly when it
+    is unreachable: |a|,|b| <= 128 bounds every inner product by k * 2**14,
+    which stays strictly below 2**31 for k < 2**17 and reaches +/-2**31 only
+    at k = 2**17 (Section 4.3)."""
+
+    def test_k_at_boundary_wraps(self):
+        k = 2**17
+        a = np.full((1, 1, k), -128, dtype=np.int8)
+        b = np.full((1, k, 2), -128, dtype=np.int8)
+        c = Int8MatrixEngine().matmul_stack(a, b, trusted=True)
+        # (-128) * (-128) * 2**17 = +2**31, which wraps to -2**31.
+        assert c[0, 0, 0] == -(2**31) and c[0, 0, 1] == -(2**31)
+        ref = Int8MatrixEngine(use_blas=False).matmul_stack(a, b, trusted=True)
+        np.testing.assert_array_equal(c, ref)
+
+    def test_k_just_below_boundary_skips_reduction_exactly(self):
+        k = 2**17 - 1
+        a = np.full((1, 1, k), -128, dtype=np.int8)
+        b = np.full((1, k, 2), 127, dtype=np.int8)
+        c = Int8MatrixEngine().matmul_stack(a, b, trusted=True)
+        # Largest-magnitude reachable product below the boundary: exact, no
+        # reduction needed, and it must agree with the integer reference.
+        assert c[0, 0, 0] == -128 * 127 * k
+        ref = Int8MatrixEngine(use_blas=False).matmul_stack(a, b, trusted=True)
+        np.testing.assert_array_equal(c, ref)
+
+    def test_above_boundary_with_strict_k_off_matches_reference(self):
+        k = 2**17 + 64
+        a = np.full((1, 1, k), 127, dtype=np.int8)
+        b = np.full((1, k, 1), 127, dtype=np.int8)
+        fast = Int8MatrixEngine(strict_k=False).matmul_stack(a, b, trusted=True)
+        ref = Int8MatrixEngine(use_blas=False, strict_k=False).matmul_stack(
+            a, b, trusted=True
+        )
+        np.testing.assert_array_equal(fast, ref)
+        wrapped = ((127 * 127 * k + 2**31) % 2**32) - 2**31
+        assert fast[0, 0, 0] == wrapped
+
+
+class TestGenericStackFallback:
+    def test_base_class_fallback_matches_loop_and_ledger(self):
+        from repro.engines.native import Fp64MatrixEngine
+
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((3, 6, 7))
+        b = rng.standard_normal((3, 7, 4))
+        stacked_engine = Fp64MatrixEngine()
+        stacked = stacked_engine.matmul_stack(a, b)
+        loop_engine = Fp64MatrixEngine()
+        for i in range(3):
+            np.testing.assert_array_equal(stacked[i], loop_engine.matmul(a[i], b[i]))
+        assert stacked_engine.counter.as_dict() == loop_engine.counter.as_dict()
+
+
 class TestCounter:
     def test_counter_records_work(self):
         engine = Int8MatrixEngine()

@@ -1,0 +1,134 @@
+"""Bit-identity of the fused kernel path against the per-modulus loop.
+
+The fused path (``Ozaki2Config.fused_kernels=True``, the default) issues the
+``N`` residue GEMMs as stacked engine calls over modulus chunks, converts
+residues in a single broadcast pass and vectorises the accumulation.  Every
+one of those steps is exact integer arithmetic (or preserves the seed
+path's floating-point operation order where it is not), so the results —
+and the merged op ledgers — must be bit-for-bit identical to the
+pre-fusion per-modulus loop across every configuration axis: compute mode,
+residue kernel, target precision, prepared operands, k-blocked shapes and
+worker counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.core.operand import prepare_a, prepare_b
+from repro.runtime.batched import ozaki2_gemm_batched
+from repro.workloads import phi_pair
+
+PARALLELISMS = (1, 4)
+
+
+def _pair(precision="fp64", seed=7, shape=(48, 96, 40)):
+    m, k, n = shape
+    return phi_pair(m, k, n, phi=0.5, precision=precision, seed=seed)
+
+
+def _run_both(a, b, config):
+    """Return (fused, loop) Ozaki2Results for one configuration."""
+    fused = ozaki2_gemm(a, b, config=config.replace(fused_kernels=True), return_details=True)
+    loop = ozaki2_gemm(a, b, config=config.replace(fused_kernels=False), return_details=True)
+    return fused, loop
+
+
+def _assert_identical(fused, loop):
+    np.testing.assert_array_equal(fused.c, loop.c)
+    assert fused.c.dtype == loop.c.dtype
+    assert fused.int8_counter.as_dict() == loop.int8_counter.as_dict()
+    np.testing.assert_array_equal(fused.mu, loop.mu)
+    np.testing.assert_array_equal(fused.nu, loop.nu)
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("mode", ["fast", "accurate"])
+    @pytest.mark.parametrize("kernel", ["exact", "fast_fma"])
+    @pytest.mark.parametrize(
+        "precision,num_moduli", [("fp64", 15), ("fp32", 8)]
+    )
+    def test_modes_kernels_precisions_parallelism(
+        self, precision, num_moduli, kernel, mode, parallelism
+    ):
+        a, b = _pair(precision=precision)
+        config = Ozaki2Config(
+            precision=precision,
+            num_moduli=num_moduli,
+            mode=mode,
+            residue_kernel=kernel,
+            parallelism=parallelism,
+        )
+        fused, loop = _run_both(a, b, config)
+        _assert_identical(fused, loop)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_prepared_operands(self, parallelism):
+        a, b = _pair()
+        config = Ozaki2Config.for_dgemm(12, parallelism=parallelism)
+        raw_loop = ozaki2_gemm(
+            a, b, config=config.replace(fused_kernels=False), return_details=True
+        )
+        a_prep, b_prep = prepare_a(a, config), prepare_b(b, config)
+        for lhs, rhs in ((a_prep, b), (a, b_prep), (a_prep, b_prep)):
+            fused = ozaki2_gemm(lhs, rhs, config=config, return_details=True)
+            np.testing.assert_array_equal(fused.c, raw_loop.c)
+            loop = ozaki2_gemm(
+                lhs, rhs, config=config.replace(fused_kernels=False), return_details=True
+            )
+            _assert_identical(fused, loop)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_k_blocked_shapes(self, monkeypatch, parallelism):
+        """Shrink the blocking threshold so small problems exercise multiple
+        k-blocks through both task decompositions."""
+        import repro.core.gemm as gemm_mod
+
+        monkeypatch.setattr(gemm_mod, "MAX_K_WITHOUT_BLOCKING", 40)
+        a, b = _pair(shape=(24, 100, 20))
+        config = Ozaki2Config.for_dgemm(10, parallelism=parallelism)
+        fused, loop = _run_both(a, b, config)
+        assert fused.num_k_blocks == loop.num_k_blocks == 3
+        _assert_identical(fused, loop)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_memory_budget_tiling(self, parallelism):
+        a, b = _pair()
+        config = Ozaki2Config.for_dgemm(
+            9, parallelism=parallelism, memory_budget_mb=0.05
+        )
+        fused, loop = _run_both(a, b, config)
+        _assert_identical(fused, loop)
+
+    def test_fused_parallel_matches_fused_serial(self):
+        """The bit-identical-for-every-worker-count guarantee must keep
+        holding under modulus-chunk tasks."""
+        a, b = _pair()
+        serial = ozaki2_gemm(a, b, config=Ozaki2Config.for_dgemm(15, parallelism=1))
+        for workers in (2, 3, 4, 8):
+            parallel = ozaki2_gemm(
+                a, b, config=Ozaki2Config.for_dgemm(15, parallelism=workers)
+            )
+            np.testing.assert_array_equal(parallel, serial)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_batched_fused_matches_loop(self, parallelism):
+        a0, b0 = _pair(seed=1)
+        a1, b1 = _pair(seed=2)
+        config = Ozaki2Config.for_dgemm(11, parallelism=parallelism)
+        fused = ozaki2_gemm_batched(
+            [a0, a1, a0], [b0, b1, b0], config=config, return_details=True
+        )
+        loop = ozaki2_gemm_batched(
+            [a0, a1, a0],
+            [b0, b1, b0],
+            config=config.replace(fused_kernels=False),
+            return_details=True,
+        )
+        for f, l in zip(fused, loop):
+            np.testing.assert_array_equal(f.c, l.c)
+            assert f.int8_counter.as_dict() == l.int8_counter.as_dict()

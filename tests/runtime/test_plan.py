@@ -9,6 +9,7 @@ from repro.errors import OverflowRiskError
 from repro.runtime.plan import (
     ExecutionPlan,
     build_plan,
+    modulus_chunk_ranges,
     plan_for_config,
     resolve_parallelism,
 )
@@ -95,6 +96,35 @@ class TestMemoryBudgetTiling:
             build_plan(0, 4, 4, 2)
         with pytest.raises(ValueError):
             build_plan(4, 4, 4, 2, max_block_k=0)
+
+
+class TestModulusChunks:
+    def test_serial_is_one_fused_chunk(self):
+        assert modulus_chunk_ranges(15, 1) == ((0, 15),)
+
+    @pytest.mark.parametrize("n_mod", [2, 7, 15, 20])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 8, 32])
+    def test_chunks_partition_the_moduli(self, n_mod, workers):
+        chunks = modulus_chunk_ranges(n_mod, workers)
+        # Contiguous, ordered, exhaustive, no empty chunks.
+        assert chunks[0][0] == 0 and chunks[-1][1] == n_mod
+        for (lo, hi), (lo2, _) in zip(chunks, chunks[1:]):
+            assert hi == lo2
+        assert all(hi > lo for lo, hi in chunks)
+        assert len(chunks) == min(n_mod, max(1, workers))
+        # Near-equal sizes: max and min differ by at most one modulus.
+        sizes = [hi - lo for lo, hi in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_moduli_count_rejected(self):
+        with pytest.raises(ValueError):
+            modulus_chunk_ranges(0, 2)
+
+    def test_plan_property_uses_recorded_parallelism(self):
+        plan = build_plan(32, 16, 32, 10, parallelism=4)
+        assert plan.modulus_chunks == modulus_chunk_ranges(10, 4)
+        serial = build_plan(32, 16, 32, 10, parallelism=1)
+        assert serial.modulus_chunks == ((0, 10),)
 
 
 class TestPlanForConfig:
