@@ -31,6 +31,7 @@ Main entry points
 from .config import ComputeMode, Ozaki2Config, ResidueKernel
 from .core.blas_like import gemm
 from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm, ozaki2_gemm
+from .core.gemv import GemvResult, prepared_gemv
 from .core.operand import ResidueOperand, prepare_a, prepare_b
 from .core.planner import choose_num_moduli
 from .runtime import ExecutionPlan, Scheduler, ozaki2_gemm_batched
@@ -53,9 +54,11 @@ __all__ = [
     "Ozaki2Config",
     "ResidueKernel",
     "Ozaki2Result",
+    "GemvResult",
     "emulated_dgemm",
     "emulated_sgemm",
     "ozaki2_gemm",
+    "prepared_gemv",
     "ozaki2_gemm_batched",
     "ResidueOperand",
     "prepare_a",

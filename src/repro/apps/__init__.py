@@ -4,9 +4,11 @@ These are library-quality versions of the workloads the paper motivates
 (Section 5.1 singles out HPL): a blocked LU factorisation whose trailing
 updates run through any GEMM method of the registry (with convert-once
 ``L21`` panels via the prepared-operand subsystem), and iterative solvers —
-Jacobi, conjugate gradients, iterative refinement — whose inner products
-reuse a prepared system matrix every iteration.  The examples under
-``examples/`` use the same algorithms in script form.
+Jacobi, conjugate gradients (plain and preconditioned), iterative
+refinement — whose inner products reuse a prepared system matrix every
+iteration through the residue-GEMV fast path, with ILU(0)/SSOR
+preconditioners factored once (:mod:`repro.apps.preconditioners`).  The
+examples under ``examples/`` use the same algorithms in script form.
 """
 
 from .lu import (
@@ -16,11 +18,20 @@ from .lu import (
     lu_with_prepared_updates,
     prepared_update_gemm,
 )
+from .preconditioners import (
+    ILU0Preconditioner,
+    IdentityPreconditioner,
+    PRECONDITIONER_KINDS,
+    Preconditioner,
+    SSORPreconditioner,
+    make_preconditioner,
+)
 from .solvers import (
     SolveResult,
     cg_solve,
     iterative_refinement_solve,
     jacobi_solve,
+    pcg_solve,
     prepared_matvec,
 )
 
@@ -30,8 +41,15 @@ __all__ = [
     "lu_with_method",
     "lu_with_prepared_updates",
     "prepared_update_gemm",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "ILU0Preconditioner",
+    "SSORPreconditioner",
+    "PRECONDITIONER_KINDS",
+    "make_preconditioner",
     "SolveResult",
     "cg_solve",
+    "pcg_solve",
     "iterative_refinement_solve",
     "jacobi_solve",
     "prepared_matvec",

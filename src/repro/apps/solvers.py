@@ -9,12 +9,24 @@ operand, skipping the dominant ``convert_A`` phase on every call.  The
 emulated products are bit-identical to unprepared calls, so the solvers'
 numerics are exactly those of a loop over :func:`~repro.core.gemm.ozaki2_gemm`.
 
-Three solvers are provided:
+Each matrix–vector product takes the dedicated residue-GEMV fast path
+(:func:`repro.core.gemv.prepared_gemv`) by default — one fused stacked
+engine GEMV on the cached residues, bypassing the GEMM plan/scheduler
+machinery entirely — and falls back to the bit-identical ``n = 1`` GEMM
+route when ``Ozaki2Config.gemv_fast_path`` is off (see
+:func:`prepared_matvec`).
+
+Four solvers are provided:
 
 * :func:`jacobi_solve` — for strictly diagonally dominant systems
-  (e.g. :func:`repro.workloads.diagonally_dominant_matrix`),
+  (e.g. :func:`repro.workloads.diagonally_dominant_matrix`); a ``precond``
+  upgrades the sweep to preconditioned Richardson,
 * :func:`cg_solve` — conjugate gradients for symmetric positive-definite
   systems (e.g. :func:`repro.workloads.spd_matrix`),
+* :func:`pcg_solve` — preconditioned CG whose ``M ≈ A`` is factored once
+  (:mod:`repro.apps.preconditioners`: ILU(0), SSOR), cutting the iteration
+  count — and with it the number of emulated products — on
+  ill-conditioned systems,
 * :func:`iterative_refinement_solve` — LU once (optionally with emulated
   trailing updates, see :mod:`repro.apps.lu`), then refinement steps whose
   residuals ``r = b − A·x`` run through the prepared emulated GEMM.
@@ -34,16 +46,19 @@ import numpy as np
 
 from ..config import Ozaki2Config
 from ..core.gemm import ozaki2_gemm
+from ..core.gemv import prepared_gemv
 from ..core.operand import ResidueOperand, prepare_a
 from ..errors import ValidationError
 from ..runtime.scheduler import Scheduler
 from ..utils.validation import ensure_2d
+from .preconditioners import Preconditioner, make_preconditioner
 
 __all__ = [
     "SolveResult",
     "prepared_matvec",
     "jacobi_solve",
     "cg_solve",
+    "pcg_solve",
     "iterative_refinement_solve",
 ]
 
@@ -65,11 +80,18 @@ class SolveResult:
     residual_history:
         Relative residual after every iteration (length ``iterations``).
     method:
-        Solver label, e.g. ``"jacobi(OS II-fast-15)"``.
+        Solver label, e.g. ``"jacobi(OS II-fast-15)"`` or
+        ``"pcg+ilu0(OS II-fast-15)"``.
     prepare_seconds:
         One-time cost of preparing the system matrix (the amortised phase).
     seconds:
         Total wall-clock of the solve, including preparation.
+    precond:
+        Preconditioner kind actually applied (``"none"`` when the solver
+        ran unpreconditioned).
+    precond_seconds:
+        One-time cost of factoring the preconditioner (0 for ``"none"``) —
+        amortised over the iterations exactly like ``prepare_seconds``.
     """
 
     x: np.ndarray
@@ -80,6 +102,8 @@ class SolveResult:
     method: str
     prepare_seconds: float
     seconds: float
+    precond: str = "none"
+    precond_seconds: float = 0.0
 
 
 def prepared_matvec(
@@ -88,11 +112,25 @@ def prepared_matvec(
     config: Optional[Ozaki2Config] = None,
     scheduler: Optional[Scheduler] = None,
 ) -> np.ndarray:
-    """Emulated ``A @ v`` through a prepared left operand (GEMV as n=1 GEMM)."""
+    """Emulated ``A @ v`` through a prepared left operand.
+
+    With ``config.gemv_fast_path`` (the default) the product takes the
+    dedicated residue-GEMV kernel (:func:`repro.core.gemv.prepared_gemv`):
+    one fused stacked engine GEMV on the cached residues, no
+    plan/scheduler machinery.  With the flag off it routes through the full
+    ``n = 1`` GEMM path instead — the verification comparator.  Both are
+    bit-identical (and, for configurations that do not force output tiling
+    via ``memory_budget_mb``, record identical op ledgers), so solvers
+    behave numerically the same either way.
+    """
     config = config or operand.config
     v = np.asarray(v, dtype=np.float64)
     if v.ndim != 1:
         raise ValidationError(f"matvec expects a 1-D vector, got shape {v.shape}")
+    if config.gemv_fast_path:
+        engine = scheduler.engine if scheduler is not None else None
+        product = prepared_gemv(operand, v, config=config, engine=engine)
+        return np.asarray(product, dtype=np.float64).ravel()
     product = ozaki2_gemm(operand, v[:, None], config=config, scheduler=scheduler)
     return np.asarray(product, dtype=np.float64).ravel()
 
@@ -128,22 +166,45 @@ def jacobi_solve(
     tol: float = 1e-10,
     max_iter: int = 200,
     x0: Optional[np.ndarray] = None,
+    precond: "str | Preconditioner | None" = None,
+    omega: float = 1.0,
 ) -> SolveResult:
     """Jacobi iteration ``x ← x + D⁻¹(b − A·x)`` with emulated residuals.
 
     Converges for strictly diagonally dominant ``A``.  The system matrix is
     prepared once; every iteration's ``A·x`` reuses the cached residues.
+
+    ``precond`` upgrades the sweep to the preconditioned Richardson
+    iteration ``x ← x + M⁻¹(b − A·x)``: classic Jacobi *is* this sweep with
+    ``M = diag(A)``, and passing ``"ilu0"``/``"ssor"`` (or a factored
+    :class:`~repro.apps.preconditioners.Preconditioner`) swaps in the
+    stronger factored-once ``M``, widening the convergent class well beyond
+    diagonal dominance.  ``None`` (default) keeps the classic diagonal
+    sweep bit-for-bit.
     """
     config = _solver_config(config)
     a, b = _check_system(a, b)
     max_iter = _check_max_iter(max_iter)
-    diag = np.diag(a).copy()
-    if np.any(diag == 0.0):
-        raise ValidationError("Jacobi requires a zero-free diagonal")
-
+    # Both one-time costs count towards the reported total wall clock, so
+    # the timer starts before the preconditioner is factored.
     start = time.perf_counter()
+    m_inv: Optional[Preconditioner] = None
+    precond_seconds = 0.0
+    kind = "none"
+    if precond is not None:
+        candidate = make_preconditioner(a, precond, omega=omega)
+        if candidate.kind != "none":
+            m_inv, kind = candidate, candidate.kind
+            precond_seconds = candidate.factor_seconds
+    if m_inv is None:
+        diag = np.diag(a).copy()
+        if np.any(diag == 0.0):
+            raise ValidationError("Jacobi requires a zero-free diagonal")
+    label = "jacobi" if m_inv is None else f"jacobi+{kind}"
+
+    prep_start = time.perf_counter()
     prep = prepare_a(a, config=config)
-    prepare_seconds = time.perf_counter() - start
+    prepare_seconds = time.perf_counter() - prep_start
 
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     b_norm = float(np.linalg.norm(b)) or 1.0
@@ -157,16 +218,21 @@ def jacobi_solve(
             if rel <= tol:
                 converged = True
                 break
-            x = x + residual / diag
+            if m_inv is None:
+                x = x + residual / diag
+            else:
+                x = x + m_inv.apply(residual)
     return SolveResult(
         x=x,
         converged=converged,
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),
         residual_history=history,
-        method=f"jacobi({config.method_name})",
+        method=f"{label}({config.method_name})",
         prepare_seconds=prepare_seconds,
         seconds=time.perf_counter() - start,
+        precond=kind,
+        precond_seconds=precond_seconds,
     )
 
 
@@ -177,12 +243,68 @@ def cg_solve(
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
     x0: Optional[np.ndarray] = None,
+    precond: "str | Preconditioner | None" = None,
+    omega: float = 1.0,
 ) -> SolveResult:
     """Conjugate gradients for SPD ``A`` with emulated ``A·p`` products.
 
     One matrix–vector product per iteration, all through the prepared
     operand.  ``max_iter`` defaults to ``2n`` (CG reaches the exact solution
     in at most ``n`` exact-arithmetic steps; the slack absorbs rounding).
+    This is :func:`pcg_solve` with the identity preconditioner — the
+    preconditioned iteration with ``M = I`` performs bit-for-bit the plain
+    CG recurrence — and passing ``precond`` upgrades it to preconditioned
+    CG outright (reported under the ``pcg+<kind>`` label).
+    """
+    # Decide from the preconditioner *kind*, so a factored
+    # IdentityPreconditioner instance labels the run "cg" exactly like
+    # precond=None / "none" does.
+    if precond is None:
+        unpreconditioned = True
+    elif isinstance(precond, Preconditioner):
+        unpreconditioned = precond.kind == "none"
+    else:
+        unpreconditioned = str(precond).strip().lower() in ("none", "")
+    return pcg_solve(
+        a,
+        b,
+        config=config,
+        tol=tol,
+        max_iter=max_iter,
+        x0=x0,
+        precond="none" if unpreconditioned else precond,
+        omega=omega,
+        _method_label="cg" if unpreconditioned else None,
+    )
+
+
+def pcg_solve(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: Optional[Ozaki2Config] = None,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    precond: "str | Preconditioner" = "ilu0",
+    omega: float = 1.0,
+    _method_label: Optional[str] = None,
+) -> SolveResult:
+    """Preconditioned conjugate gradients with emulated ``A·p`` products.
+
+    Both one-time costs follow the convert-once pattern: the system matrix
+    is prepared for the emulated GEMV (:func:`~repro.core.operand.
+    prepare_a`) and the preconditioner ``M ≈ A`` is factored
+    (:func:`~repro.apps.preconditioners.make_preconditioner`) before the
+    first iteration; every step then costs one emulated matrix–vector
+    product plus the O(n²) preconditioner application ``z = M⁻¹ r``.  On
+    ill-conditioned SPD systems the preconditioned iteration converges in
+    strictly fewer steps than plain CG — fewer emulated products, which is
+    the whole budget of the solve.
+
+    ``precond`` is a kind from :data:`~repro.apps.preconditioners.
+    PRECONDITIONER_KINDS` (``"none"``, ``"ilu0"``, ``"ssor"``) or an
+    already-factored :class:`~repro.apps.preconditioners.Preconditioner`
+    to reuse across solves; ``omega`` is the SSOR relaxation factor.
     """
     config = _solver_config(config)
     a, b = _check_system(a, b)
@@ -190,8 +312,19 @@ def cg_solve(
     max_iter = 2 * n if max_iter is None else _check_max_iter(max_iter)
 
     start = time.perf_counter()
+    # Factor the preconditioner before the (expensive) operand preparation,
+    # so invalid precond arguments fail before any residue conversion runs.
+    # The one-time factor cost is recorded where it happens (an
+    # already-factored instance passed in reports its original cost).
+    m_inv = make_preconditioner(a, precond, omega=omega)
+    precond_seconds = m_inv.factor_seconds
+
+    prep_start = time.perf_counter()
     prep = prepare_a(a, config=config)
-    prepare_seconds = time.perf_counter() - start
+    prepare_seconds = time.perf_counter() - prep_start
+
+    if _method_label is None:
+        _method_label = "pcg" if m_inv.kind == "none" else f"pcg+{m_inv.kind}"
 
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     b_norm = float(np.linalg.norm(b)) or 1.0
@@ -199,35 +332,46 @@ def cg_solve(
     converged = False
     with Scheduler(parallelism=config.parallelism) as sched:
         r = b - prepared_matvec(prep, x, config, sched)
-        p = r.copy()
-        rs = float(r @ r)
+        z = m_inv.apply(r)
+        p = z.copy()
+        rz = float(r @ z)
         for _ in range(max_iter):
-            rel = float(np.sqrt(rs)) / b_norm
+            rel = float(np.linalg.norm(r)) / b_norm
             history.append(rel)
             if rel <= tol:
                 converged = True
                 break
+            if rz == 0.0:
+                # Breakdown: the preconditioned inner product vanished while
+                # the residual has not (possible only for a degenerate
+                # user-supplied preconditioner) — alpha would be 0 and the
+                # beta division undefined, so stop rather than crash.
+                break
             ap = prepared_matvec(prep, p, config, sched)
             denom = float(p @ ap)
             if denom <= 0.0:
-                # Loss of positive-definiteness in the emulated product —
-                # stop rather than diverge silently.
+                # Loss of positive-definiteness in the emulated product (or
+                # an indefinite preconditioner) — stop rather than diverge
+                # silently.
                 break
-            alpha = rs / denom
+            alpha = rz / denom
             x = x + alpha * p
             r = r - alpha * ap
-            rs_next = float(r @ r)
-            p = r + (rs_next / rs) * p
-            rs = rs_next
+            z = m_inv.apply(r)
+            rz_next = float(r @ z)
+            p = z + (rz_next / rz) * p
+            rz = rz_next
     return SolveResult(
         x=x,
         converged=converged,
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),
         residual_history=history,
-        method=f"cg({config.method_name})",
+        method=f"{_method_label}({config.method_name})",
         prepare_seconds=prepare_seconds,
         seconds=time.perf_counter() - start,
+        precond=m_inv.kind,
+        precond_seconds=precond_seconds,
     )
 
 

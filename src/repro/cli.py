@@ -95,9 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser(
         "solve", help="iterative solvers reusing a prepared system matrix"
     )
+    _SOLVERS = ["jacobi", "cg", "pcg", "ir"]
     solve.add_argument(
-        "--solver", default="jacobi", choices=["jacobi", "cg", "ir"],
-        help="jacobi (diagonally dominant), cg (SPD), ir (LU + refinement)",
+        "solver_pos", nargs="?", default=None, choices=_SOLVERS, metavar="solver",
+        help="jacobi (diagonally dominant), cg (SPD), pcg (preconditioned CG "
+        "on the ill-conditioned SPD family), ir (LU + refinement); "
+        "default jacobi",
+    )
+    solve.add_argument(
+        "--solver", dest="solver_opt", default=None, choices=_SOLVERS,
+        help="alias for the positional solver argument",
     )
     solve.add_argument("--size", type=int, default=256, help="system dimension n")
     solve.add_argument("--moduli", type=int, default=None, help="number of CRT moduli N")
@@ -110,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--parallel", type=int, default=1,
         help="worker threads for the residue GEMMs (0 = one per CPU)",
+    )
+    solve.add_argument(
+        "--precond", default=None, choices=["none", "ilu0", "ssor"],
+        help="preconditioner factored once before the iteration (jacobi/cg/pcg; "
+        "pcg defaults to ilu0)",
+    )
+    solve.add_argument(
+        "--omega", type=float, default=1.0,
+        help="SSOR relaxation factor in (0, 2); 1.0 is symmetric Gauss-Seidel",
+    )
+    solve.add_argument(
+        "--cond", type=float, default=None,
+        help="condition number of the generated system (pcg's ill-conditioned "
+        "SPD family only; default 1e4)",
+    )
+    solve.add_argument(
+        "--no-gemv-fast",
+        action="store_true",
+        help="route the per-iteration matvecs through the n=1 GEMM "
+        "plan/scheduler path instead of the residue-GEMV kernel "
+        "(bit-identical; for verification and benchmarking)",
     )
     solve.add_argument("--phi", type=float, default=0.5)
     solve.add_argument("--seed", type=int, default=0)
@@ -251,41 +279,87 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_solve(args) -> int:
-    from .apps import cg_solve, iterative_refinement_solve, jacobi_solve
+    from .apps import cg_solve, iterative_refinement_solve, jacobi_solve, pcg_solve
     from .config import Ozaki2Config
     from .workloads import linear_system
 
+    if (
+        args.solver_opt is not None
+        and args.solver_pos is not None
+        and args.solver_opt != args.solver_pos
+    ):
+        print(
+            f"error: conflicting solver selections: positional {args.solver_pos!r} "
+            f"vs --solver {args.solver_opt!r}",
+            file=sys.stderr,
+        )
+        return 2
+    solver = args.solver_opt or args.solver_pos or "jacobi"
+    if solver == "ir" and args.precond is not None:
+        print(
+            "error: --precond does not apply to the ir solver (iterative "
+            "refinement corrects with its own LU factors); use jacobi, cg or pcg",
+            file=sys.stderr,
+        )
+        return 2
+    if solver != "pcg" and args.cond is not None:
+        print(
+            "warning: --cond only shapes pcg's ill-conditioned SPD family; "
+            f"ignored for the {solver} solver",
+            file=sys.stderr,
+        )
     config = Ozaki2Config(
         precision=args.precision,
         num_moduli=_default_moduli(args.precision, args.moduli),
         parallelism=_resolve_workers(args.parallel),
+        gemv_fast_path=not args.no_gemv_fast,
     )
-    kind = "spd" if args.solver == "cg" else "diag_dominant"
-    a, b, x_true = linear_system(args.size, kind=kind, phi=args.phi, seed=args.seed)
+    if solver == "pcg":
+        kind = "ill_spd"
+    elif solver == "cg":
+        kind = "spd"
+    else:
+        kind = "diag_dominant"
+    a, b, x_true = linear_system(
+        args.size, kind=kind, phi=args.phi, seed=args.seed,
+        cond=args.cond if args.cond is not None else 1e4,
+    )
 
     # The fp32 emulation's residual floor sits around 1e-7, so the fp64
     # default tolerance would make every fp32 solve "fail"; scale it.
     tol = args.tol if args.tol is not None else (
         1e-10 if args.precision == "fp64" else 1e-5
     )
+    # --precond default: pcg factors ILU(0) unless told otherwise; the other
+    # solvers stay unpreconditioned unless a kind is requested explicitly.
+    precond = args.precond if args.precond is not None else (
+        "ilu0" if solver == "pcg" else None
+    )
     solvers = {
         "jacobi": lambda: jacobi_solve(
             a, b, config=config, tol=tol,
             max_iter=args.max_iter if args.max_iter is not None else 200,
+            precond=precond, omega=args.omega,
         ),
         "cg": lambda: cg_solve(
-            a, b, config=config, tol=tol, max_iter=args.max_iter
+            a, b, config=config, tol=tol, max_iter=args.max_iter,
+            precond=precond, omega=args.omega,
+        ),
+        "pcg": lambda: pcg_solve(
+            a, b, config=config, tol=tol, max_iter=args.max_iter,
+            precond=precond or "none", omega=args.omega,
         ),
         "ir": lambda: iterative_refinement_solve(
             a, b, config=config, tol=tol,
             max_iter=args.max_iter if args.max_iter is not None else 20,
         ),
     }
-    result = solvers[args.solver]()
+    result = solvers[solver]()
 
     error = float(np.max(np.abs(result.x - x_true)))
     matvecs = max(1, result.iterations)
-    print(f"repro solve: {result.method} on n={args.size} ({kind})")
+    route = "gemv fast path" if config.gemv_fast_path else "n=1 GEMM route"
+    print(f"repro solve: {result.method} on n={args.size} ({kind}, {route})")
     print(f"  converged            {result.converged} ({result.iterations} iterations)")
     print(f"  relative residual    {result.residual_norm:.3e}  (tol {tol:.1e})")
     print(f"  max |x - x_true|     {error:.3e}")
@@ -293,6 +367,11 @@ def _cmd_solve(args) -> int:
         f"  prepare once         {result.prepare_seconds:.3e} s "
         f"(amortised {result.prepare_seconds / matvecs:.3e} s over {matvecs} matvecs)"
     )
+    if result.precond != "none":
+        print(
+            f"  precondition once    {result.precond_seconds:.3e} s "
+            f"({result.precond} factored before the iteration)"
+        )
     print(f"  total wall time      {result.seconds:.3f} s")
     if not result.converged:
         print("error: solver did not reach the tolerance", file=sys.stderr)
@@ -354,6 +433,20 @@ def _cmd_selfcheck(args) -> int:
         (
             "fused vs per-modulus loop bit-identical",
             bool(np.array_equal(serial, unfused)),
+            "",
+        )
+    )
+
+    from .core.gemv import prepared_gemv
+
+    v = b[:, 0]
+    prep = prepare_a(a)
+    gemv_fast = prepared_gemv(prep, v, config=Ozaki2Config())
+    gemv_gemm = ozaki2_gemm(prep, v[:, None], config=Ozaki2Config())
+    checks.append(
+        (
+            "residue-GEMV fast path bit-identical to n=1 GEMM route",
+            bool(np.array_equal(gemv_fast, gemv_gemm.ravel())),
             "",
         )
     )

@@ -138,6 +138,20 @@ class Ozaki2Config:
         pre-fusion per-modulus loops instead.  Results and op ledgers are
         **bit-identical** either way — the loop path is kept as the
         verification comparator and for benchmarking the fusion speedup.
+    gemv_fast_path:
+        If True (default), matrix–vector products against a prepared
+        operand (:func:`repro.apps.solvers.prepared_matvec`, i.e. every
+        iteration of the iterative solvers) take the dedicated residue-GEMV
+        kernel (:func:`repro.core.gemv.prepared_gemv`): one fused stacked
+        engine GEMV, vector-shaped conversion, no
+        :class:`~repro.runtime.plan.ExecutionPlan`/:class:`~repro.runtime.
+        scheduler.Scheduler` machinery.  If False, route the product
+        through the full ``n = 1`` GEMM path instead.  Results are
+        **bit-identical** either way — and so are the op ledgers, unless a
+        ``memory_budget_mb`` forces the GEMM comparator to tile its output
+        into per-tile engine calls (the GEMV path never tiles).  The GEMM
+        route is kept as the verification comparator (CLI: ``repro solve
+        --no-gemv-fast``).
     """
 
     precision: Format = FP64
@@ -149,6 +163,7 @@ class Ozaki2Config:
     parallelism: int = 1
     memory_budget_mb: Optional[float] = None
     fused_kernels: bool = True
+    gemv_fast_path: bool = True
 
     def __post_init__(self) -> None:
         fmt = get_format(self.precision)
@@ -176,6 +191,7 @@ class Ozaki2Config:
             )
         object.__setattr__(self, "parallelism", workers)
         object.__setattr__(self, "fused_kernels", bool(self.fused_kernels))
+        object.__setattr__(self, "gemv_fast_path", bool(self.gemv_fast_path))
         if self.memory_budget_mb is not None:
             budget = float(self.memory_budget_mb)
             if not budget > 0.0:

@@ -21,6 +21,7 @@ from .gemm import (
     emulated_sgemm,
     ozaki2_gemm,
 )
+from .gemv import GemvResult, prepared_gemv
 from .operand import ResidueOperand, prepare_a, prepare_b
 from .planner import choose_num_moduli, estimate_retained_bits
 from .scaling import (
@@ -46,6 +47,8 @@ __all__ = [
     "truncate_scaled",
     "Ozaki2Result",
     "PhaseTimes",
+    "GemvResult",
+    "prepared_gemv",
     "emulated_dgemm",
     "emulated_sgemm",
     "ozaki2_gemm",

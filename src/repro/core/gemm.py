@@ -139,6 +139,21 @@ class _PhaseTimer:
         self._times.add(self._key, time.perf_counter() - self._start)
 
 
+def _check_prepared_a(a_prep, config) -> None:
+    """Validate a ResidueOperand passed as the left operand.
+
+    Shared by the GEMM route and the residue-GEMV fast path
+    (:mod:`repro.core.gemv`), whose contract is exact error parity with
+    this route — one helper keeps the invariant structural.
+    """
+    if a_prep.side != "A":
+        raise ValidationError(
+            "a ResidueOperand prepared for the B side (per-column scales) "
+            "was passed as the left operand; use prepare_a for A"
+        )
+    a_prep.require_compatible(config)
+
+
 def _resolve_prepared_sides(a, b, a_prep, b_prep, config):
     """Validate a GEMM call in which at least one side is a ResidueOperand.
 
@@ -148,12 +163,7 @@ def _resolve_prepared_sides(a, b, a_prep, b_prep, config):
     ``(a, b)`` pair (prepared entries are passed through unchanged).
     """
     if a_prep is not None:
-        if a_prep.side != "A":
-            raise ValidationError(
-                "a ResidueOperand prepared for the B side (per-column scales) "
-                "was passed as the left operand; use prepare_a for A"
-            )
-        a_prep.require_compatible(config)
+        _check_prepared_a(a_prep, config)
     if b_prep is not None:
         if b_prep.side != "B":
             raise ValidationError(

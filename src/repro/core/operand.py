@@ -73,8 +73,9 @@ class ResidueOperand:
         The configuration the operand was prepared under.  Multiplications
         must use a configuration with the same precision, moduli count,
         mode and residue kernel (runtime knobs — ``parallelism``,
-        ``memory_budget_mb``, ``block_k``, ``validate``, ``fused_kernels``
-        — may differ freely; they do not affect the residues).
+        ``memory_budget_mb``, ``block_k``, ``validate``, ``fused_kernels``,
+        ``gemv_fast_path`` — may differ freely; they do not affect the
+        residues).
     convert_seconds:
         One-time wall-clock cost of the preparation (scale + truncate +
         residues); the amortisation baseline reported by

@@ -189,15 +189,21 @@ def residues_to_int8(
     precision_bits: int = 64,
     single_pass: bool = True,
 ) -> np.ndarray:
-    """Residues of an integer-valued matrix for every modulus, as INT8.
+    """Residues of an integer-valued array for every modulus, as INT8.
 
     Returns an array of shape ``(N, *x.shape)`` holding
-    ``rmod(x, p_i)`` cast to INT8 (lines 4-5 of Algorithm 1).
+    ``rmod(x, p_i)`` cast to INT8 (lines 4-5 of Algorithm 1).  ``x`` may be
+    any shape — the kernels are element-wise, so a 1-D vector (the ``n = 1``
+    GEMV operand of :func:`repro.core.gemv.prepared_gemv`) converts in the
+    same single pass as a matrix and is bit-identical to converting the
+    equivalent ``(k, 1)`` column: a vector-shaped conversion is simply a
+    matrix-shaped one without the dead trailing axis.
 
     Parameters
     ----------
     x:
-        Integer-valued float64 matrix (``A'`` or ``B'``).
+        Integer-valued float64 array (``A'``, ``B'`` or a GEMV vector
+        ``x'``).
     moduli:
         Sequence of moduli.
     kernel:

@@ -221,6 +221,57 @@ class MatrixEngine(abc.ABC):
         )
         return np.stack(outs)
 
+    def matvec_stack(self, a: np.ndarray, v: np.ndarray, trusted: bool = False) -> np.ndarray:
+        """Batched matrix–vector product ``out[i] = a[i] @ v[i]`` over a stack.
+
+        ``a`` has shape ``(N, m, k)`` and ``v`` has shape ``(N, k)``; the
+        result is the ``(N, m)`` stack of per-slice products with the
+        engine's numerical behaviour.  This is the ``n = 1`` specialisation
+        of :meth:`matmul_stack` — the op ledger records exactly what ``N``
+        separate ``(m, k) @ (k, 1)`` :meth:`matmul` calls would, so a GEMV
+        issued through this op is indistinguishable in the accounting from
+        the same product routed through the GEMM machinery.
+
+        ``trusted`` has the same contract as in :meth:`matmul_stack`: the
+        generic fallback ignores it and validates every slice; only engines
+        overriding this method with a fused implementation may honour it.
+        """
+        a = np.asarray(a)
+        v = np.asarray(v)
+        self._check_vec_stack_shapes(a, v)
+        outs = [
+            self._compute(self._prepare(a[i], "A"), self._prepare(v[i][:, None], "B"))[:, 0]
+            for i in range(a.shape[0])
+        ]
+        n_stack, m, k = a.shape
+        self.counter.record_matmul(
+            m,
+            1,
+            k,
+            in_bytes=self.input_format.bytes_per_element,
+            out_bytes=self.output_format.bytes_per_element,
+            count=n_stack,
+        )
+        return np.stack(outs)
+
+    def _check_vec_stack_shapes(self, a: np.ndarray, v: np.ndarray) -> None:
+        """Validate a :meth:`matvec_stack` operand pair (3-D x 2-D, conforming)."""
+        if a.ndim != 3 or v.ndim != 2:
+            raise EngineError(
+                f"{self.name}: matvec_stack expects a 3-D matrix stack and a "
+                f"2-D vector stack, got {a.ndim}-D and {v.ndim}-D"
+            )
+        if a.shape[0] != v.shape[0]:
+            raise EngineError(
+                f"{self.name}: stack sizes mismatch {a.shape} x {v.shape}"
+            )
+        if a.shape[0] == 0:
+            raise EngineError(f"{self.name}: matvec_stack requires a non-empty stack")
+        if a.shape[2] != v.shape[1]:
+            raise EngineError(
+                f"{self.name}: inner dimensions mismatch {a.shape} x {v.shape}"
+            )
+
     def _check_stack_shapes(self, a: np.ndarray, b: np.ndarray) -> None:
         """Validate a :meth:`matmul_stack` operand pair (3-D, conforming)."""
         if a.ndim != 3 or b.ndim != 3:

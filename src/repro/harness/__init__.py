@@ -11,8 +11,10 @@ from .experiments import (
     batched_speedup_sweep,
     breakdown_sweep,
     cpu_wallclock_sweep,
+    gemv_fast_path_sweep,
     kernel_fusion_sweep,
     power_sweep,
+    preconditioner_sweep,
     prepared_reuse_sweep,
     runtime_scaling_sweep,
     throughput_sweep,
@@ -37,8 +39,10 @@ __all__ = [
     "batched_speedup_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
+    "gemv_fast_path_sweep",
     "kernel_fusion_sweep",
     "power_sweep",
+    "preconditioner_sweep",
     "prepared_reuse_sweep",
     "runtime_scaling_sweep",
     "throughput_sweep",

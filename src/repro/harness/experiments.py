@@ -27,6 +27,8 @@ __all__ = [
     "breakdown_sweep",
     "cpu_wallclock_sweep",
     "kernel_fusion_sweep",
+    "gemv_fast_path_sweep",
+    "preconditioner_sweep",
     "runtime_scaling_sweep",
     "batched_speedup_sweep",
     "prepared_reuse_sweep",
@@ -308,6 +310,169 @@ def kernel_fusion_sweep(
             for key, value in results[fused].phase_times.seconds.items():
                 row[f"phase_{key}"] = value
             rows.append(row)
+    return rows
+
+
+def gemv_fast_path_sweep(
+    size: int,
+    num_moduli: int = 15,
+    iters: int = 5,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Residue-GEMV fast path vs the ``n = 1`` GEMM route (this CPU).
+
+    Models one solver run: a ``size x size`` system matrix is prepared once
+    (:func:`~repro.core.operand.prepare_a`), then ``iters`` distinct vectors
+    are multiplied through :func:`~repro.apps.solvers.prepared_matvec` with
+    ``gemv_fast_path`` off (the full plan/scheduler ``n = 1`` GEMM route)
+    and on (the dedicated :func:`~repro.core.gemv.prepared_gemv` kernel).
+    Two rows are returned — ``route`` = ``"gemm-n1"`` / ``"gemv-fast"`` —
+    with the best-of-``repeats`` total wall time, the **per-iteration
+    latency** (the figure a solver iteration pays), the fast path's speedup,
+    and the bitwise/op-ledger equality flags that the fast path guarantees.
+    Per-phase seconds of a representative call are attached under
+    ``phase_<key>``.
+    """
+    from ..apps.solvers import prepared_matvec
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+    from ..core.gemv import prepared_gemv
+    from ..core.operand import prepare_a
+    from ..engines.int8 import Int8MatrixEngine
+    from ..runtime.scheduler import Scheduler
+
+    fmt = precision_for_target(target)
+    rng_seed = int(seed)
+    a = phi_pair(size, size, size, phi=phi, precision=fmt, seed=rng_seed)[0]
+    vectors = [
+        phi_pair(size, size, 1, phi=phi, precision=fmt, seed=rng_seed + 1 + j)[1][:, 0]
+        for j in range(max(1, int(iters)))
+    ]
+
+    configs = {
+        "gemm-n1": Ozaki2Config(
+            precision=fmt, num_moduli=num_moduli, gemv_fast_path=False
+        ),
+        "gemv-fast": Ozaki2Config(
+            precision=fmt, num_moduli=num_moduli, gemv_fast_path=True
+        ),
+    }
+    prep = prepare_a(a, config=configs["gemv-fast"])
+
+    best: Dict[str, float] = {}
+    outputs: Dict[str, List[np.ndarray]] = {}
+    for route, config in configs.items():
+        best[route] = float("inf")
+        for _ in range(max(1, repeats)):
+            with Scheduler(parallelism=config.parallelism) as sched:
+                start = time.perf_counter()
+                outs = [prepared_matvec(prep, v, config, sched) for v in vectors]
+                elapsed = time.perf_counter() - start
+            if elapsed < best[route]:
+                best[route] = elapsed
+                outputs[route] = outs
+
+    identical = all(
+        np.array_equal(x, y) for x, y in zip(outputs["gemm-n1"], outputs["gemv-fast"])
+    )
+
+    # Verification pass with fresh engines: the two routes must account for
+    # exactly the same residue products.  Also yields per-phase seconds.
+    v0 = vectors[0]
+    gemm_engine = Int8MatrixEngine()
+    gemm_details = ozaki2_gemm(
+        prep,
+        v0[:, None],
+        config=configs["gemm-n1"],
+        engine=gemm_engine,
+        return_details=True,
+    )
+    gemv_engine = Int8MatrixEngine()
+    gemv_details = prepared_gemv(
+        prep, v0, config=configs["gemv-fast"], engine=gemv_engine, return_details=True
+    )
+    ledger_equal = (
+        gemm_details.int8_counter.as_dict() == gemv_details.int8_counter.as_dict()
+    )
+
+    details = {"gemm-n1": gemm_details, "gemv-fast": gemv_details}
+    rows: List[Dict[str, object]] = []
+    for route in ("gemm-n1", "gemv-fast"):
+        row: Dict[str, object] = {
+            "n": int(size),
+            "method": configs[route].method_name,
+            "route": route,
+            "iters": len(vectors),
+            "seconds_total": best[route],
+            "per_iter_seconds": best[route] / len(vectors),
+            "speedup_vs_gemm": best["gemm-n1"] / best[route],
+            "bit_identical": identical,
+            "ledger_equal": ledger_equal,
+            "prepare_seconds": prep.convert_seconds,
+        }
+        for key, value in details[route].phase_times.seconds.items():
+            row[f"phase_{key}"] = value
+        rows.append(row)
+    return rows
+
+
+def preconditioner_sweep(
+    size: int = 96,
+    kinds: Sequence[str] = ("none", "ilu0", "ssor"),
+    cond: float = 1e3,
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    tol: Optional[float] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Iteration counts of PCG under each preconditioner, on one system.
+
+    Solves one ill-conditioned SPD system
+    (:func:`repro.workloads.ill_conditioned_spd_matrix`, condition number
+    ``cond``) with :func:`~repro.apps.solvers.pcg_solve` under every
+    preconditioner kind.  One row per kind reports convergence, the
+    iteration count (``"none"`` is the plain-CG baseline the others are
+    measured against), the one-time factor cost and the total wall time.
+    """
+    from ..apps.solvers import pcg_solve
+    from ..config import Ozaki2Config
+    from ..workloads import linear_system
+
+    fmt = precision_for_target(target)
+    config = Ozaki2Config(precision=fmt, num_moduli=num_moduli)
+    if tol is None:
+        tol = 1e-8 if fmt == FP64 else 1e-3
+    a, b, _ = linear_system(size, kind="ill_spd", seed=seed, cond=cond)
+
+    results = {
+        kind: pcg_solve(a, b, config=config, tol=tol, precond=kind)
+        for kind in kinds
+    }
+    baseline = results.get("none")
+    rows: List[Dict[str, object]] = []
+    for kind in kinds:
+        result = results[kind]
+        rows.append(
+            {
+                "n": int(size),
+                "cond": float(cond),
+                "method": result.method,
+                "precond": kind,
+                "converged": result.converged,
+                "iterations": result.iterations,
+                "residual": result.residual_norm,
+                "iters_vs_cg": (
+                    result.iterations / baseline.iterations
+                    if baseline is not None and baseline.iterations
+                    else float("nan")
+                ),
+                "factor_seconds": result.precond_seconds,
+                "seconds": result.seconds,
+            }
+        )
     return rows
 
 

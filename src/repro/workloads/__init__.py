@@ -5,6 +5,7 @@ from .generators import (
     adversarial_cancellation_matrix,
     diagonally_dominant_matrix,
     hpl_like_pair,
+    ill_conditioned_spd_matrix,
     linear_system,
     phi_matrix,
     phi_pair,
@@ -16,6 +17,7 @@ __all__ = [
     "adversarial_cancellation_matrix",
     "diagonally_dominant_matrix",
     "hpl_like_pair",
+    "ill_conditioned_spd_matrix",
     "linear_system",
     "phi_matrix",
     "phi_pair",

@@ -30,6 +30,7 @@ __all__ = [
     "adversarial_cancellation_matrix",
     "diagonally_dominant_matrix",
     "spd_matrix",
+    "ill_conditioned_spd_matrix",
     "linear_system",
 ]
 
@@ -194,26 +195,60 @@ def spd_matrix(
     return a
 
 
+def ill_conditioned_spd_matrix(
+    n: int,
+    cond: float = 1e6,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """SPD matrix with a prescribed condition number (PCG stress family).
+
+    Built as ``Q·diag(λ)·Qᵀ`` with a Haar-random orthogonal ``Q`` (QR of a
+    Gaussian matrix) and eigenvalues log-spaced from 1 down to ``1/cond``.
+    Plain CG needs O(√cond) iterations on this family, while a factored
+    preconditioner (ILU(0), SSOR — :mod:`repro.apps.preconditioners`)
+    collapses the count; the solver test matrix asserts that gap.
+    """
+    cond = float(cond)
+    if cond < 1.0:
+        raise ValidationError(f"cond must be at least 1, got {cond}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if n == 1:
+        return np.ones((1, 1))
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigvals = np.logspace(0.0, -np.log10(cond), n)
+    a = (q * eigvals[None, :]) @ q.T
+    return 0.5 * (a + a.T)
+
+
 def linear_system(
     n: int,
     kind: str = "diag_dominant",
     phi: float = 0.5,
     seed: int = 0,
+    cond: float = 1e6,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """A solvable system ``(A, b, x_true)`` with ``b = A @ x_true``.
 
     ``kind`` selects the matrix family: ``"diag_dominant"`` (Jacobi/general
-    solvers) or ``"spd"`` (conjugate gradients).  The reference solution is
-    drawn from a standard normal so solver errors can be measured directly.
+    solvers), ``"spd"`` (conjugate gradients) or ``"ill_spd"`` (the
+    prescribed-condition-number SPD family of
+    :func:`ill_conditioned_spd_matrix`, controlled by ``cond`` — the
+    preconditioned-CG stress case).  The reference solution is drawn from a
+    standard normal so solver errors can be measured directly.
     """
     rng = np.random.default_rng(seed)
     if kind == "diag_dominant":
         a = diagonally_dominant_matrix(n, phi=phi, rng=rng)
     elif kind == "spd":
         a = spd_matrix(n, phi=phi, rng=rng)
+    elif kind == "ill_spd":
+        a = ill_conditioned_spd_matrix(n, cond=cond, rng=rng)
     else:
         raise ValidationError(
-            f"unknown system kind {kind!r}; expected 'diag_dominant' or 'spd'"
+            f"unknown system kind {kind!r}; expected 'diag_dominant', 'spd' "
+            "or 'ill_spd'"
         )
     x_true = rng.standard_normal(n)
     return a, a @ x_true, x_true

@@ -13,7 +13,9 @@ from repro.harness.experiments import (
     accuracy_sweep,
     breakdown_sweep,
     cpu_wallclock_sweep,
+    gemv_fast_path_sweep,
     power_sweep,
+    preconditioner_sweep,
     prepared_reuse_sweep,
     throughput_sweep,
 )
@@ -77,6 +79,28 @@ class TestSweeps:
                 row["seconds_prepared"] / row["reuse"]
             )
             assert row["method"] == "OS II-fast-8"
+
+    def test_gemv_fast_path_sweep(self):
+        rows = gemv_fast_path_sweep(48, num_moduli=8, iters=2, repeats=1)
+        assert [row["route"] for row in rows] == ["gemm-n1", "gemv-fast"]
+        for row in rows:
+            assert row["bit_identical"] and row["ledger_equal"]
+            assert row["per_iter_seconds"] == pytest.approx(
+                row["seconds_total"] / row["iters"]
+            )
+            assert row["method"] == "OS II-fast-8"
+            # Every phase key of the GEMM breakdown is attached.
+            assert {f"phase_{k}" for k in ("scale", "matmul", "unscale")} <= set(row)
+        gemm_row = rows[0]
+        assert gemm_row["speedup_vs_gemm"] == pytest.approx(1.0)
+
+    def test_preconditioner_sweep(self):
+        rows = preconditioner_sweep(size=32, kinds=("none", "ilu0"), cond=1e2)
+        by_kind = {row["precond"]: row for row in rows}
+        assert set(by_kind) == {"none", "ilu0"}
+        assert all(row["converged"] for row in rows)
+        assert by_kind["ilu0"]["iterations"] < by_kind["none"]["iterations"]
+        assert by_kind["none"]["iters_vs_cg"] == pytest.approx(1.0)
 
 
 class TestFigureEntryPoints:

@@ -230,6 +230,49 @@ class TestCli:
         assert cli_main(["solve", "--solver", "ir", "--size", "40"]) == 0
         assert "ir(" in capsys.readouterr().out
 
+    def test_solve_positional_solver_form(self, capsys):
+        code = cli_main(["solve", "cg", "--size", "32", "--tol", "1e-8"])
+        assert code == 0
+        assert "cg(OS II-fast-15)" in capsys.readouterr().out
+
+    def test_solve_cg_with_ilu0_precond(self, capsys):
+        code = cli_main(["solve", "cg", "--precond", "ilu0", "--size", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pcg+ilu0(OS II-fast-15)" in out
+        assert "precondition once" in out
+
+    def test_solve_pcg_defaults_to_ilu0_on_ill_conditioned_family(self, capsys):
+        code = cli_main(["solve", "pcg", "--size", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pcg+ilu0(OS II-fast-15)" in out
+        assert "ill_spd" in out
+
+    def test_solve_jacobi_with_ssor_precond(self, capsys):
+        code = cli_main(
+            ["solve", "jacobi", "--size", "48", "--precond", "ssor", "--omega", "1.2"]
+        )
+        assert code == 0
+        assert "jacobi+ssor(OS II-fast-15)" in capsys.readouterr().out
+
+    def test_solve_no_gemv_fast_comparator_route(self, capsys):
+        code = cli_main(["solve", "jacobi", "--size", "48", "--no-gemv-fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=1 GEMM route" in out
+        assert "converged            True" in out
+
+    def test_solve_gemv_routes_agree_on_iteration_count(self, capsys):
+        assert cli_main(["solve", "jacobi", "--size", "40"]) == 0
+        fast = capsys.readouterr().out
+        assert cli_main(["solve", "jacobi", "--size", "40", "--no-gemv-fast"]) == 0
+        slow = capsys.readouterr().out
+        pick = lambda text: next(  # noqa: E731
+            line for line in text.splitlines() if "converged" in line
+        )
+        assert pick(fast) == pick(slow)
+
     def test_solve_fp32_default_tolerance_is_reachable(self, capsys):
         """fp32 emulation has a ~1e-7 residual floor; the default tolerance
         must scale with the precision so fp32 solves can succeed."""

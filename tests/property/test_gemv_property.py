@@ -1,0 +1,93 @@
+"""Property test: the residue-GEMV fast path never changes a single bit.
+
+:func:`repro.core.gemv.prepared_gemv` is an execution strategy, not a
+numerical change: the same ``N`` residue products, the same fixed-order
+accumulation, just issued without the GEMM plan/scheduler machinery.  So
+for *any* problem shape, moduli count, precision, compute mode and
+prepared/unprepared left operand, its result must equal the ``n = 1`` GEMM
+route bitwise, and the op ledgers of the two routes must be identical — at
+every parallelism setting (the fast path has nothing to fan out, but the
+ledger totals of the GEMM route are chunking-invariant, so equality must
+hold for serial and parallel configurations alike).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.config import ComputeMode, Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.core.gemv import prepared_gemv
+from repro.core.operand import prepare_a
+from repro.engines.int8 import Int8MatrixEngine
+from repro.workloads.generators import phi_matrix
+
+COMMON_SETTINGS = dict(max_examples=40, deadline=None)
+
+dims = st.integers(min_value=1, max_value=24)
+moduli = st.integers(min_value=2, max_value=16)
+modes = st.sampled_from([ComputeMode.FAST, ComputeMode.ACCURATE])
+precisions = st.sampled_from(["fp64", "fp32"])
+workers = st.sampled_from([1, 4])
+
+
+@given(
+    m=dims,
+    k=dims,
+    num_moduli=moduli,
+    mode=modes,
+    precision=precisions,
+    prepared=st.booleans(),
+    parallelism=workers,
+    seed=st.integers(0, 2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_gemv_fast_path_is_bit_identical_to_n1_gemm(
+    m, k, num_moduli, mode, precision, prepared, parallelism, seed
+):
+    # Accurate mode couples the two sides' scales, so operands cannot be
+    # prepared there (both routes reject that combination identically —
+    # pinned by test_prepared_operand_rejects_accurate_mode).
+    assume(not (prepared and mode is ComputeMode.ACCURATE))
+    if precision == "fp32":
+        num_moduli = min(num_moduli, 10)
+
+    config = Ozaki2Config(
+        precision=precision,
+        num_moduli=num_moduli,
+        mode=mode,
+        parallelism=parallelism,
+    )
+    a = phi_matrix(m, k, phi=0.5, precision=precision, seed=seed)
+    v = phi_matrix(k, 1, phi=0.5, precision=precision, seed=seed + 1)[:, 0]
+    left = prepare_a(a, config=config) if prepared else a
+
+    gemv_engine = Int8MatrixEngine()
+    fast = prepared_gemv(left, v, config=config, engine=gemv_engine)
+
+    gemm_engine = Int8MatrixEngine()
+    reference = ozaki2_gemm(left, v[:, None], config=config, engine=gemm_engine)
+
+    np.testing.assert_array_equal(fast, np.asarray(reference).ravel())
+    assert gemv_engine.counter.as_dict() == gemm_engine.counter.as_dict()
+
+
+@given(
+    k=dims,
+    num_moduli=st.integers(min_value=2, max_value=16),
+    parallelism=workers,
+    seed=st.integers(0, 2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_solver_matvec_is_route_invariant(k, num_moduli, parallelism, seed):
+    """prepared_matvec returns the same bits whichever route the flag picks."""
+    from repro.apps.solvers import prepared_matvec
+
+    config = Ozaki2Config.for_dgemm(num_moduli, parallelism=parallelism)
+    a = phi_matrix(k, k, phi=0.5, seed=seed)
+    v = phi_matrix(k, 1, phi=0.5, seed=seed + 1)[:, 0]
+    prep = prepare_a(a, config=config)
+    fast = prepared_matvec(prep, v, config.replace(gemv_fast_path=True))
+    slow = prepared_matvec(prep, v, config.replace(gemv_fast_path=False))
+    np.testing.assert_array_equal(fast, slow)

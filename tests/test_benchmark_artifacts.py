@@ -2,11 +2,14 @@
 
 The kernel-fusion benchmark (``benchmarks/test_bench_kernel_fusion.py``)
 archives its fused-vs-loop comparison in
-``benchmarks/results/kernel_fusion.txt``; the table is committed so the
-measured speedup travels with the repository and CI uploads a fresh copy
-from the smoke job.  This test asserts the committed artifact exists and
-still parses: both execution paths present, and a positive fused speedup
-factor recoverable from the ``speedup_vs_loop`` column.
+``benchmarks/results/kernel_fusion.txt``, and the GEMV fast-path benchmark
+(``benchmarks/test_bench_gemv_fast_path.py``) archives its per-iteration
+latency comparison in ``benchmarks/results/gemv_fast_path.txt``; the tables
+are committed so the measured speedups travel with the repository and CI
+uploads fresh copies from the smoke job.  These tests assert the committed
+artifacts exist and still parse: both execution paths present, and the
+committed speedup claims recoverable — and still meeting their acceptance
+floors — from the speedup columns.
 """
 
 from __future__ import annotations
@@ -14,12 +17,9 @@ from __future__ import annotations
 import pathlib
 import re
 
-KERNEL_FUSION_RESULT = (
-    pathlib.Path(__file__).resolve().parents[1]
-    / "benchmarks"
-    / "results"
-    / "kernel_fusion.txt"
-)
+_RESULTS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+KERNEL_FUSION_RESULT = _RESULTS / "kernel_fusion.txt"
+GEMV_FAST_PATH_RESULT = _RESULTS / "gemv_fast_path.txt"
 
 
 def _parse_rows(text: str):
@@ -58,5 +58,28 @@ def test_kernel_fusion_speedup_file_exists_and_parses():
     assert fused_speedups, "no fused rows in kernel_fusion.txt"
     assert all(s > 0.0 for s in fused_speedups)
     # Every archived row must certify the fusion guarantees.
+    assert all(row["bit_identical"] == "True" for row in rows)
+    assert all(row["ledger_equal"] == "True" for row in rows)
+
+
+def test_gemv_fast_path_file_exists_and_parses():
+    assert GEMV_FAST_PATH_RESULT.exists(), (
+        "benchmarks/results/gemv_fast_path.txt is missing; run "
+        "`pytest benchmarks/test_bench_gemv_fast_path.py` to regenerate it"
+    )
+    rows = _parse_rows(GEMV_FAST_PATH_RESULT.read_text())
+    routes = {row["route"] for row in rows}
+    assert {"gemv-fast", "gemm-n1"} <= routes
+    # The archived per-iteration latencies back the committed speedup claim:
+    # the fast path must stay >= 2x below the n=1 GEMM route at the
+    # 4096x4096 acceptance scale.
+    by_route = {row["route"]: row for row in rows}
+    fast = by_route["gemv-fast"]
+    assert float(fast["speedup_vs_gemm"]) >= 2.0
+    assert float(fast["per_iter_seconds"]) <= 0.5 * float(
+        by_route["gemm-n1"]["per_iter_seconds"]
+    )
+    assert all(row["n"] == "4096" for row in rows)
+    # Every archived row must certify the fast-path guarantees.
     assert all(row["bit_identical"] == "True" for row in rows)
     assert all(row["ledger_equal"] == "True" for row in rows)
