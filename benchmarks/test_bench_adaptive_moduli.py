@@ -1,0 +1,115 @@
+"""Adaptive-moduli benchmark: auto-N emulation and progressive solves.
+
+Two experiments back the adaptive-precision subsystem
+(:mod:`repro.crt.adaptive`):
+
+* **Auto-N GEMM** — small-k / well-scaled workload families run through
+  ``num_moduli="auto"`` at the default accuracy target against the paper's
+  fixed DGEMM default ``N = 15``.  Asserted on every family: the measured
+  max element-wise error stays within the selection's guaranteed a-priori
+  bound, and the auto result is *bitwise identical* to a fixed run at the
+  selected count (auto selection chooses the configuration, never the
+  arithmetic — the fixed route is the in-tree comparator, exactly the
+  ``--no-fused``/``--no-gemv-fast`` pattern).  The headline family must
+  reach the >= 1.3x end-to-end acceptance speedup.
+
+* **Progressive-precision CG** — the moduli-escalation ladder
+  (``progressive=True``) against the fixed-count solve on the
+  ill-conditioned SPD family.  Both routes face the same full-count
+  residual check; the progressive route must converge in at most the
+  fixed route's wall clock.
+
+The tables are archived in ``benchmarks/results/adaptive_moduli.txt`` (and
+uploaded as a CI artifact by the smoke job);
+``tests/test_benchmark_artifacts.py`` asserts the committed table stays
+parseable and keeps certifying the claims.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import adaptive_moduli_sweep, progressive_solver_sweep
+from repro.harness.report import format_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+CPUS = os.cpu_count() or 1
+
+#: Small-k / well-scaled families (phi=0.5 is the HPL-like spread).  The
+#: first row is the headline acceptance family; the fp32 family compares
+#: against the SGEMM default N=8.
+FAMILIES = [
+    {"label": "fp64-smallk", "m": 768, "k": 16, "n": 768, "phi": 0.5},
+    {"label": "fp64-k32", "m": 512, "k": 32, "n": 512, "phi": 0.5},
+    {"label": "fp64-phi1", "m": 384, "k": 64, "n": 384, "phi": 1.0},
+    {
+        "label": "fp32-smallk",
+        "m": 512,
+        "k": 32,
+        "n": 512,
+        "phi": 0.5,
+        "precision": "fp32",
+        "num_moduli_fixed": 8,
+    },
+]
+
+REPEATS = 5 if FULL else 3
+
+#: Progressive-CG system: the preconditioner benchmark's ill-conditioned
+#: SPD family, large enough that per-iteration matvec cost dominates the
+#: ladder's operand re-derivations.
+SOLVE_SIZE = 1024
+SOLVE_COND = 1e3
+
+
+def test_bench_adaptive_auto_moduli_speedup(save_result):
+    rows = adaptive_moduli_sweep(FAMILIES, repeats=REPEATS)
+    gemm_table = format_table(
+        rows,
+        float_format=".3e",
+        title=(
+            f"adaptive moduli: auto-N vs fixed N (default target_accuracy, "
+            f"{CPUS} CPUs)"
+        ),
+    )
+
+    solver_rows = progressive_solver_sweep(
+        size=SOLVE_SIZE, cond=SOLVE_COND, tol=1e-10
+    )
+    solver_table = format_table(
+        solver_rows,
+        float_format=".3e",
+        title=(
+            f"progressive-precision CG vs fixed N=15 (ill-conditioned SPD, "
+            f"n={SOLVE_SIZE}, cond={SOLVE_COND:g}, {CPUS} CPUs)"
+        ),
+    )
+    save_result("adaptive_moduli", gemm_table + "\n\n" + solver_table)
+
+    # The accuracy guarantee and the comparator guarantee hold on EVERY
+    # tested family.
+    assert all(row["within_bound"] for row in rows), [
+        (row["family"], row["max_error"], row["error_bound"]) for row in rows
+    ]
+    assert all(row["bit_identical"] for row in rows)
+    # Auto never selects beyond the table ceiling, and always fewer moduli
+    # than the fixed default on these well-scaled families.
+    assert all(row["n_auto"] <= 20 for row in rows)
+    assert all(row["n_auto"] < row["n_fixed"] for row in rows)
+
+    # Headline acceptance: >= 1.3x end-to-end on the small-k / well-scaled
+    # fp64 family at the default accuracy target.
+    headline = rows[0]
+    assert headline["speedup"] >= 1.3, (
+        f"auto-N reached only {headline['speedup']:.2f}x vs fixed N=15 on "
+        f"{headline['family']} (selected N={headline['n_auto']})"
+    )
+
+    # Progressive CG: same final residual check, within the fixed wall clock.
+    fixed, prog = solver_rows
+    assert fixed["converged"] and prog["converged"]
+    assert prog["residual"] <= prog["tol"]
+    assert prog["seconds"] <= fixed["seconds"], (
+        f"progressive CG took {prog['seconds']:.2f}s vs fixed "
+        f"{fixed['seconds']:.2f}s (schedule {prog['schedule']})"
+    )

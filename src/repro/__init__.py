@@ -34,6 +34,7 @@ from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm, ozaki2_gemm
 from .core.gemv import GemvResult, prepared_gemv
 from .core.operand import ResidueOperand, prepare_a, prepare_b
 from .core.planner import choose_num_moduli
+from .crt.adaptive import AdaptiveSelection, select_num_moduli
 from .runtime import ExecutionPlan, Scheduler, ozaki2_gemm_batched
 from .errors import (
     ConfigurationError,
@@ -46,7 +47,7 @@ from .errors import (
 )
 from .types import BF16, FP16, FP32, FP64, INT8, TF32, Format, get_format
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -67,6 +68,8 @@ __all__ = [
     "Scheduler",
     "gemm",
     "choose_num_moduli",
+    "AdaptiveSelection",
+    "select_num_moduli",
     "ConfigurationError",
     "EngineError",
     "ModuliError",

@@ -48,6 +48,7 @@ from ..config import Ozaki2Config
 from ..core.gemm import ozaki2_gemm
 from ..core.gemv import prepared_gemv
 from ..core.operand import ResidueOperand, prepare_a
+from ..crt.adaptive import select_num_moduli
 from ..errors import ValidationError
 from ..runtime.scheduler import Scheduler
 from ..utils.validation import ensure_2d
@@ -55,12 +56,150 @@ from .preconditioners import Preconditioner, make_preconditioner
 
 __all__ = [
     "SolveResult",
+    "moduli_schedule_segments",
     "prepared_matvec",
     "jacobi_solve",
     "cg_solve",
     "pcg_solve",
     "iterative_refinement_solve",
 ]
+
+
+def moduli_schedule_segments(moduli_history: List[int]) -> List[tuple]:
+    """Run-length encode a moduli history into ``(count, iterations)`` pairs.
+
+    ``[6, 6, 12, 15, 15]`` becomes ``[(6, 2), (12, 1), (15, 2)]`` — the
+    form the CLI and the progressive-solver sweep render schedules in.
+    """
+    segments: List[list] = []
+    for count in moduli_history:
+        if segments and segments[-1][0] == count:
+            segments[-1][1] += 1
+        else:
+            segments.append([count, 1])
+    return [tuple(segment) for segment in segments]
+
+
+class _ModuliLadder:
+    """Escalation schedule of a progressive-precision solve.
+
+    Early iterations of an iterative solver cannot profit from a matvec
+    whose error sits ten orders below the current residual — the adaptive
+    error model (:mod:`repro.crt.adaptive`) says how many moduli suffice to
+    keep the matvec's error safely below the residual, and that is all a
+    contraction needs.  The ladder maps the current relative residual to a
+    moduli count, never descends, escalates in strides of at least
+    :data:`_ESCALATION_STRIDE` (each stage re-derives the prepared operand
+    once — cached on it — so fewer, larger jumps amortise better), and
+    pins the endgame to the full count: once the residual is within a
+    decade of the tolerance every iteration runs at ``n_full``, so a
+    converged answer has passed exactly the fixed-count residual check.
+
+    Two deliberately-heuristic ingredients (the *correctness* of a
+    progressive solve never rests on them — only its speed — because
+    convergence is declared solely from a full-count residual):
+
+    * the stage rule stays on a count while the stage's guaranteed
+      relative bound remains within :data:`_BOUND_SLACK_CREDIT` of the
+      residual — the bound's documented two-to-four-order conservatism
+      means the true matvec error then sits far below the residual;
+    * a stall guard (:meth:`stalled`) escalates anyway whenever a window
+      of iterations stops making progress — the backstop for matrices on
+      which that slack did not materialise.
+
+    The selection is intentionally fed unit magnitudes: the model's
+    relative bound is magnitude-invariant, so the ladder depends only on
+    ``(k, precision, mode)`` and the residual.
+    """
+
+    def __init__(self, inner_dim: int, config: Ozaki2Config, tol: float) -> None:
+        self.k = int(inner_dim)
+        self.n_full = int(config.num_moduli)
+        self.bits = 64 if config.is_dgemm else 32
+        self.mode = config.mode.value
+        self.tol = float(tol)
+        self._window: List[float] = []
+
+    def moduli_for(self, rel_residual: float, current: int) -> int:
+        """Moduli count for the next iteration given the residual now."""
+        if not np.isfinite(rel_residual) or rel_residual <= 10.0 * self.tol:
+            return self.n_full
+        target = min(_BOUND_SLACK_CREDIT * rel_residual, 0.099)
+        want = select_num_moduli(
+            self.k, 1.0, 1.0, self.bits, target=target, mode=self.mode
+        ).num_moduli
+        want = min(self.n_full, want)
+        if want <= current:
+            return current
+        return min(self.n_full, max(want, current + _ESCALATION_STRIDE))
+
+    def next_stride(self, current: int) -> int:
+        """One forced escalation step (the stall guard's move)."""
+        return min(self.n_full, current + _ESCALATION_STRIDE)
+
+    def advance(self, rel_residual: float, current: int) -> int:
+        """Count for the next iteration: the stage rule plus the stall guard.
+
+        Covers the ordinary escalation (the residual shrank past the
+        current stage), a low-count residual meeting the tolerance (the
+        stage rule then pins the full count for the verification pass),
+        and the stall guard (no progress at this stage's error floor).
+        Resets the progress window whenever an escalation is due, so the
+        caller only has to swap operands when the result exceeds
+        ``current``.
+        """
+        want = self.moduli_for(rel_residual, current)
+        if want == current and current < self.n_full and self.stalled(rel_residual):
+            want = self.next_stride(current)
+        if want > current:
+            self.reset_window()
+        return want
+
+    def stalled(self, rel_residual: float) -> bool:
+        """True when the recent iterations stopped making progress.
+
+        CG residuals oscillate, so single samples cannot be compared; the
+        guard instead compares the *best* residual of the newest half of a
+        sliding window against the best of the oldest half, and reports a
+        stall only when the improvement is under 10%.  A full window must
+        accumulate first, which doubles as a grace period after every
+        escalation/restart (escalations clear the window).
+        """
+        self._window.append(float(rel_residual))
+        if len(self._window) < _STALL_WINDOW:
+            return False
+        if len(self._window) > _STALL_WINDOW:
+            self._window.pop(0)
+        half = _STALL_WINDOW // 2
+        return min(self._window[half:]) > 0.9 * min(self._window[:half])
+
+    def reset_window(self) -> None:
+        """Forget the progress window (call after every escalation)."""
+        self._window.clear()
+
+    def initial(self) -> int:
+        """Starting count (the ladder entry for an unconverged residual)."""
+        return self.moduli_for(1.0, 0)
+
+
+#: Minimum escalation jump of the progressive ladder (see _ModuliLadder).
+#: Tuned on the adaptive-moduli benchmark: smaller strides add operand
+#: re-derivations and CG restarts that cost more than their finer-grained
+#: stages save.
+_ESCALATION_STRIDE = 6
+
+#: Stage rule: stay on a count while its *guaranteed* relative bound is
+#: below ``credit x residual``.  1.0 keeps the guarantee exactly at the
+#: residual; the bound's measured two-to-four-order conservatism means the
+#: true matvec error then sits far below it, and the stall guard covers
+#: the exceptions.  (Values well above 1 over-stay stages on
+#: ill-conditioned systems; values below 1 escalate before the cheap
+#: stages have paid for their derivation.)
+_BOUND_SLACK_CREDIT = 1.0
+
+#: Sliding-window length of the stall guard (compared in halves; also the
+#: post-escalation grace period, since escalations clear the window).
+_STALL_WINDOW = 20
 
 
 @dataclasses.dataclass
@@ -92,6 +231,12 @@ class SolveResult:
     precond_seconds:
         One-time cost of factoring the preconditioner (0 for ``"none"``) —
         amortised over the iterations exactly like ``prepare_seconds``.
+    moduli_history:
+        Moduli count each iteration's emulated products ran with (aligned
+        with ``residual_history``).  Constant for plain solves; a
+        non-descending ladder ending at the full count for progressive
+        solves (``progressive=True``) — convergence is only ever declared
+        from a full-count residual check.
     """
 
     x: np.ndarray
@@ -104,6 +249,7 @@ class SolveResult:
     seconds: float
     precond: str = "none"
     precond_seconds: float = 0.0
+    moduli_history: List[int] = dataclasses.field(default_factory=list)
 
 
 def prepared_matvec(
@@ -164,10 +310,11 @@ def jacobi_solve(
     b: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     tol: float = 1e-10,
-    max_iter: int = 200,
+    max_iter: Optional[int] = None,
     x0: Optional[np.ndarray] = None,
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
+    progressive: bool = False,
 ) -> SolveResult:
     """Jacobi iteration ``x ← x + D⁻¹(b − A·x)`` with emulated residuals.
 
@@ -181,10 +328,23 @@ def jacobi_solve(
     stronger factored-once ``M``, widening the convergent class well beyond
     diagonal dominance.  ``None`` (default) keeps the classic diagonal
     sweep bit-for-bit.
+
+    ``progressive`` runs the sweep at a reduced moduli count while the
+    residual is large and escalates along the adaptive ladder
+    (:class:`_ModuliLadder`); the stationary iteration tolerates the
+    larger early matvec error, and convergence is only declared from a
+    full-count residual check, so a converged answer passed exactly the
+    plain solve's criterion.
     """
     config = _solver_config(config)
     a, b = _check_system(a, b)
-    max_iter = _check_max_iter(max_iter)
+    # Progressive sweeps spend iterations on ladder stages and full-count
+    # verification passes, so their default budget carries 50% slack
+    # (matching pcg_solve's 3n-instead-of-2n default).
+    if max_iter is None:
+        max_iter = 300 if progressive else 200
+    else:
+        max_iter = _check_max_iter(max_iter)
     # Both one-time costs count towards the reported total wall clock, so
     # the timer starts before the preconditioner is factored.
     start = time.perf_counter()
@@ -204,20 +364,45 @@ def jacobi_solve(
 
     prep_start = time.perf_counter()
     prep = prepare_a(a, config=config)
+    config = prep.config  # concrete under num_moduli="auto"
     prepare_seconds = time.perf_counter() - prep_start
+
+    n_full = config.num_moduli
+    ladder = _ModuliLadder(a.shape[1], config, tol) if progressive else None
+    cur_n = ladder.initial() if ladder is not None else n_full
+    prep_cur = prep.resolve_for(cur_n)
+    cfg_cur = config.resolved(cur_n)
+    if progressive:
+        label += "-prog"
 
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     b_norm = float(np.linalg.norm(b)) or 1.0
     history: List[float] = []
+    moduli: List[int] = []
     converged = False
     with Scheduler(parallelism=config.parallelism) as sched:
         for _ in range(max_iter):
-            residual = b - prepared_matvec(prep, x, config, sched)
+            residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
             rel = float(np.linalg.norm(residual)) / b_norm
             history.append(rel)
+            moduli.append(cur_n)
             if rel <= tol:
-                converged = True
-                break
+                if cur_n == n_full:
+                    converged = True
+                    break
+                # A low-count residual met the tolerance: re-verify at the
+                # full count before claiming convergence (no sweep applied
+                # — x may already be converged).
+                cur_n = n_full
+                prep_cur, cfg_cur = prep.resolve_for(cur_n), config.resolved(cur_n)
+                continue
+            if ladder is not None:
+                want = ladder.advance(rel, cur_n)
+                if want > cur_n:
+                    # Escalate for the *next* sweep; the residual in hand is
+                    # still a valid stationary-iteration correction.
+                    cur_n = want
+                    prep_cur, cfg_cur = prep.resolve_for(cur_n), config.resolved(cur_n)
             if m_inv is None:
                 x = x + residual / diag
             else:
@@ -233,6 +418,7 @@ def jacobi_solve(
         seconds=time.perf_counter() - start,
         precond=kind,
         precond_seconds=precond_seconds,
+        moduli_history=moduli,
     )
 
 
@@ -245,6 +431,7 @@ def cg_solve(
     x0: Optional[np.ndarray] = None,
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
+    progressive: bool = False,
 ) -> SolveResult:
     """Conjugate gradients for SPD ``A`` with emulated ``A·p`` products.
 
@@ -255,6 +442,8 @@ def cg_solve(
     preconditioned iteration with ``M = I`` performs bit-for-bit the plain
     CG recurrence — and passing ``precond`` upgrades it to preconditioned
     CG outright (reported under the ``pcg+<kind>`` label).
+    ``progressive`` enables the moduli-escalation ladder (see
+    :func:`pcg_solve`).
     """
     # Decide from the preconditioner *kind*, so a factored
     # IdentityPreconditioner instance labels the run "cg" exactly like
@@ -274,6 +463,7 @@ def cg_solve(
         x0=x0,
         precond="none" if unpreconditioned else precond,
         omega=omega,
+        progressive=progressive,
         _method_label="cg" if unpreconditioned else None,
     )
 
@@ -287,6 +477,7 @@ def pcg_solve(
     x0: Optional[np.ndarray] = None,
     precond: "str | Preconditioner" = "ilu0",
     omega: float = 1.0,
+    progressive: bool = False,
     _method_label: Optional[str] = None,
 ) -> SolveResult:
     """Preconditioned conjugate gradients with emulated ``A·p`` products.
@@ -305,11 +496,24 @@ def pcg_solve(
     PRECONDITIONER_KINDS` (``"none"``, ``"ilu0"``, ``"ssor"``) or an
     already-factored :class:`~repro.apps.preconditioners.Preconditioner`
     to reuse across solves; ``omega`` is the SSOR relaxation factor.
+
+    ``progressive`` iterates at a reduced moduli count while the residual
+    is large and escalates along the adaptive ladder
+    (:class:`_ModuliLadder`).  CG's recurrence assumes one fixed operator,
+    so every escalation *restarts* the recurrence from the current iterate
+    (a fresh residual, preconditioned direction and ``r·z`` at the new
+    count); the endgame runs at the full count, so a converged answer
+    passed exactly the plain solve's residual check.
     """
     config = _solver_config(config)
     a, b = _check_system(a, b)
     n = a.shape[0]
-    max_iter = 2 * n if max_iter is None else _check_max_iter(max_iter)
+    # Progressive solves spend iterations on ladder stages and restarts, so
+    # their default budget carries an extra n of slack.
+    if max_iter is None:
+        max_iter = (3 if progressive else 2) * n
+    else:
+        max_iter = _check_max_iter(max_iter)
 
     start = time.perf_counter()
     # Factor the preconditioner before the (expensive) operand preparation,
@@ -321,38 +525,86 @@ def pcg_solve(
 
     prep_start = time.perf_counter()
     prep = prepare_a(a, config=config)
+    config = prep.config  # concrete under num_moduli="auto"
     prepare_seconds = time.perf_counter() - prep_start
 
     if _method_label is None:
         _method_label = "pcg" if m_inv.kind == "none" else f"pcg+{m_inv.kind}"
+    if progressive:
+        _method_label += "-prog"
+
+    n_full = config.num_moduli
+    ladder = _ModuliLadder(a.shape[1], config, tol) if progressive else None
+    cur_n = ladder.initial() if ladder is not None else n_full
+    prep_cur = prep.resolve_for(cur_n)
+    cfg_cur = config.resolved(cur_n)
 
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     b_norm = float(np.linalg.norm(b)) or 1.0
     history: List[float] = []
+    moduli: List[int] = []
     converged = False
     with Scheduler(parallelism=config.parallelism) as sched:
-        r = b - prepared_matvec(prep, x, config, sched)
-        z = m_inv.apply(r)
-        p = z.copy()
-        rz = float(r @ z)
+
+        def _restart():
+            """(Re)start the recurrence from x at the current count."""
+            r = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
+            z = m_inv.apply(r)
+            return r, z, z.copy(), float(r @ z)
+
+        def _recover_from_breakdown():
+            """Escalate to the full count after a low-count breakdown.
+
+            At a reduced count the emulated ``A·p`` carries the ladder's
+            deliberately larger error, which can destroy the recurrence's
+            positive-definiteness; that is an artefact of the stage, not
+            of the problem, so the progressive solve escalates straight
+            to the full count and restarts instead of aborting.
+            Returns True when a recovery restart was performed.
+            """
+            nonlocal cur_n, prep_cur, cfg_cur, r, z, p, rz
+            if ladder is None or cur_n >= n_full:
+                return False
+            cur_n = n_full
+            prep_cur = prep.resolve_for(cur_n)
+            cfg_cur = config.resolved(cur_n)
+            ladder.reset_window()
+            r, z, p, rz = _restart()
+            return True
+
+        r, z, p, rz = _restart()
         for _ in range(max_iter):
             rel = float(np.linalg.norm(r)) / b_norm
             history.append(rel)
-            if rel <= tol:
+            moduli.append(cur_n)
+            if rel <= tol and cur_n == n_full:
                 converged = True
                 break
+            if ladder is not None:
+                want = ladder.advance(rel, cur_n)
+                if want > cur_n:
+                    cur_n = want
+                    prep_cur = prep.resolve_for(cur_n)
+                    cfg_cur = config.resolved(cur_n)
+                    r, z, p, rz = _restart()
+                    continue
             if rz == 0.0:
                 # Breakdown: the preconditioned inner product vanished while
-                # the residual has not (possible only for a degenerate
-                # user-supplied preconditioner) — alpha would be 0 and the
-                # beta division undefined, so stop rather than crash.
+                # the residual has not.  At the full count this is possible
+                # only for a degenerate user-supplied preconditioner — alpha
+                # would be 0 and the beta division undefined, so stop rather
+                # than crash.
+                if _recover_from_breakdown():
+                    continue
                 break
-            ap = prepared_matvec(prep, p, config, sched)
+            ap = prepared_matvec(prep_cur, p, cfg_cur, sched)
             denom = float(p @ ap)
             if denom <= 0.0:
                 # Loss of positive-definiteness in the emulated product (or
                 # an indefinite preconditioner) — stop rather than diverge
-                # silently.
+                # silently, unless a reduced-count stage caused it.
+                if _recover_from_breakdown():
+                    continue
                 break
             alpha = rz / denom
             x = x + alpha * p
@@ -372,6 +624,7 @@ def pcg_solve(
         seconds=time.perf_counter() - start,
         precond=m_inv.kind,
         precond_seconds=precond_seconds,
+        moduli_history=moduli,
     )
 
 
@@ -380,9 +633,10 @@ def iterative_refinement_solve(
     b: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     tol: float = 1e-13,
-    max_iter: int = 20,
+    max_iter: Optional[int] = None,
     lu_block: int = 64,
     emulated_factorization: bool = False,
+    progressive: bool = False,
 ) -> SolveResult:
     """LU once, then refinement steps with emulated residuals.
 
@@ -392,15 +646,26 @@ def iterative_refinement_solve(
     then iterates ``x ← x + U⁻¹L⁻¹P(b − A·x)`` where the residual product
     ``A·x`` runs through the prepared system matrix every step — the classic
     HPL-style pairing of a fast factorization with high-quality residuals.
+
+    ``progressive`` computes the early residuals at a reduced moduli count
+    (mixed-precision refinement's textbook move) and escalates along the
+    adaptive ladder; the convergence check always happens at the full
+    count.
     """
     from .lu import blocked_lu, prepared_update_gemm
 
     config = _solver_config(config)
     a, b = _check_system(a, b)
-    max_iter = _check_max_iter(max_iter)
+    # Progressive refinement spends steps on ladder stages and full-count
+    # verification passes; widen the default budget accordingly.
+    if max_iter is None:
+        max_iter = 30 if progressive else 20
+    else:
+        max_iter = _check_max_iter(max_iter)
 
     start = time.perf_counter()
     prep = prepare_a(a, config=config)
+    config = prep.config  # concrete under num_moduli="auto"
     prepare_seconds = time.perf_counter() - start
 
     if emulated_factorization:
@@ -420,18 +685,36 @@ def iterative_refinement_solve(
         y = np.linalg.solve(lower, p @ residual)
         return np.linalg.solve(upper, y)
 
+    n_full = config.num_moduli
+    ladder = _ModuliLadder(a.shape[1], config, tol) if progressive else None
+    cur_n = ladder.initial() if ladder is not None else n_full
+    prep_cur = prep.resolve_for(cur_n)
+    cfg_cur = config.resolved(cur_n)
+
     x = correction(b)
     b_norm = float(np.linalg.norm(b)) or 1.0
     history: List[float] = []
+    moduli: List[int] = []
     converged = False
     with Scheduler(parallelism=config.parallelism) as sched:
         for _ in range(max_iter):
-            residual = b - prepared_matvec(prep, x, config, sched)
+            residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
             rel = float(np.linalg.norm(residual)) / b_norm
             history.append(rel)
+            moduli.append(cur_n)
             if rel <= tol:
-                converged = True
-                break
+                if cur_n == n_full:
+                    converged = True
+                    break
+                # Re-verify at the full count before claiming convergence.
+                cur_n = n_full
+                prep_cur, cfg_cur = prep.resolve_for(cur_n), config.resolved(cur_n)
+                continue
+            if ladder is not None:
+                want = ladder.advance(rel, cur_n)
+                if want > cur_n:
+                    cur_n = want
+                    prep_cur, cfg_cur = prep.resolve_for(cur_n), config.resolved(cur_n)
             x = x + correction(residual)
     return SolveResult(
         x=x,
@@ -439,7 +722,8 @@ def iterative_refinement_solve(
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),
         residual_history=history,
-        method=f"ir({config.method_name})",
+        method=f"ir{'-prog' if progressive else ''}({config.method_name})",
         prepare_seconds=prepare_seconds,
         seconds=time.perf_counter() - start,
+        moduli_history=moduli,
     )

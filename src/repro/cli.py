@@ -61,7 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker threads for the residue GEMMs (0 = one per CPU)",
     )
-    run.add_argument("--moduli", type=int, default=None, help="number of CRT moduli N")
+    run.add_argument(
+        "--moduli",
+        default=None,
+        help="number of CRT moduli N, or 'auto' for accuracy-driven selection",
+    )
+    run.add_argument(
+        "--target-accuracy",
+        type=float,
+        default=None,
+        help="relative accuracy target of --moduli auto (default: 1e-10 "
+        "for fp64, 1e-5 for fp32)",
+    )
     run.add_argument("--mode", default="fast", choices=["fast", "accurate"])
     run.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
     run.add_argument(
@@ -107,7 +118,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="alias for the positional solver argument",
     )
     solve.add_argument("--size", type=int, default=256, help="system dimension n")
-    solve.add_argument("--moduli", type=int, default=None, help="number of CRT moduli N")
+    solve.add_argument(
+        "--moduli",
+        default=None,
+        help="number of CRT moduli N, or 'auto' for accuracy-driven selection",
+    )
+    solve.add_argument(
+        "--target-accuracy",
+        type=float,
+        default=None,
+        help="relative accuracy target of --moduli auto (default: 1e-10 "
+        "for fp64, 1e-5 for fp32)",
+    )
+    solve.add_argument(
+        "--progressive",
+        action="store_true",
+        help="iterate at a reduced moduli count early and escalate as the "
+        "residual shrinks (final iterations always run at the full count)",
+    )
     solve.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
     solve.add_argument(
         "--tol", type=float, default=None,
@@ -206,12 +234,20 @@ def _resolve_workers(parallel: int) -> int:
     return parallel if parallel != 0 else max(1, os.cpu_count() or 1)
 
 
-def _default_moduli(precision: str, moduli) -> int:
+def _default_moduli(precision: str, moduli) -> "int | str":
     from .config import DEFAULT_MODULI_DGEMM, DEFAULT_MODULI_SGEMM
 
-    if moduli is not None:
-        return moduli
-    return DEFAULT_MODULI_DGEMM if precision == "fp64" else DEFAULT_MODULI_SGEMM
+    if moduli is None:
+        return DEFAULT_MODULI_DGEMM if precision == "fp64" else DEFAULT_MODULI_SGEMM
+    if isinstance(moduli, str):
+        key = moduli.strip().lower()
+        if key == "auto":
+            return "auto"
+        try:
+            return int(key)
+        except ValueError:
+            raise SystemExit(f"--moduli expects an integer or 'auto', got {moduli!r}")
+    return moduli
 
 
 def _cmd_run(args) -> int:
@@ -231,6 +267,7 @@ def _cmd_run(args) -> int:
         parallelism=_resolve_workers(args.parallel),
         memory_budget_mb=args.memory_budget_mb,
         fused_kernels=not args.no_fused,
+        target_accuracy=args.target_accuracy,
     )
     batch = max(1, args.batch)
     pairs = [
@@ -313,6 +350,7 @@ def _cmd_solve(args) -> int:
         num_moduli=_default_moduli(args.precision, args.moduli),
         parallelism=_resolve_workers(args.parallel),
         gemv_fast_path=not args.no_gemv_fast,
+        target_accuracy=args.target_accuracy,
     )
     if solver == "pcg":
         kind = "ill_spd"
@@ -337,21 +375,21 @@ def _cmd_solve(args) -> int:
     )
     solvers = {
         "jacobi": lambda: jacobi_solve(
-            a, b, config=config, tol=tol,
-            max_iter=args.max_iter if args.max_iter is not None else 200,
-            precond=precond, omega=args.omega,
+            a, b, config=config, tol=tol, max_iter=args.max_iter,
+            precond=precond, omega=args.omega, progressive=args.progressive,
         ),
         "cg": lambda: cg_solve(
             a, b, config=config, tol=tol, max_iter=args.max_iter,
-            precond=precond, omega=args.omega,
+            precond=precond, omega=args.omega, progressive=args.progressive,
         ),
         "pcg": lambda: pcg_solve(
             a, b, config=config, tol=tol, max_iter=args.max_iter,
             precond=precond or "none", omega=args.omega,
+            progressive=args.progressive,
         ),
         "ir": lambda: iterative_refinement_solve(
-            a, b, config=config, tol=tol,
-            max_iter=args.max_iter if args.max_iter is not None else 20,
+            a, b, config=config, tol=tol, max_iter=args.max_iter,
+            progressive=args.progressive,
         ),
     }
     result = solvers[solver]()
@@ -372,6 +410,13 @@ def _cmd_solve(args) -> int:
             f"  precondition once    {result.precond_seconds:.3e} s "
             f"({result.precond} factored before the iteration)"
         )
+    if args.progressive and result.moduli_history:
+        from .apps.solvers import moduli_schedule_segments
+
+        schedule = " -> ".join(
+            f"N={c} x{i}" for c, i in moduli_schedule_segments(result.moduli_history)
+        )
+        print(f"  moduli schedule      {schedule}")
     print(f"  total wall time      {result.seconds:.3f} s")
     if not result.converged:
         print("error: solver did not reach the tolerance", file=sys.stderr)
@@ -447,6 +492,17 @@ def _cmd_selfcheck(args) -> int:
         (
             "residue-GEMV fast path bit-identical to n=1 GEMM route",
             bool(np.array_equal(gemv_fast, gemv_gemm.ravel())),
+            "",
+        )
+    )
+
+    auto = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli="auto"), return_details=True)
+    auto_fixed = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=auto.config.num_moduli))
+    checks.append(
+        (
+            f"auto moduli selection (N={auto.config.num_moduli}) bit-identical "
+            "to fixed N",
+            bool(np.array_equal(auto.c, auto_fixed)),
             "",
         )
     )

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+import os
+import warnings
+from typing import Optional, Union
 
 from .errors import ConfigurationError
 from .types import FP32, FP64, Format, get_format
@@ -24,6 +26,7 @@ __all__ = [
     "MAX_K_WITHOUT_BLOCKING",
     "DEFAULT_MODULI_DGEMM",
     "DEFAULT_MODULI_SGEMM",
+    "AUTO",
 ]
 
 #: Maximum number of moduli supported by the constant tables (Section 4.1:
@@ -40,6 +43,11 @@ DEFAULT_MODULI_DGEMM: int = 15
 
 #: Default number of moduli giving SGEMM-level accuracy (Section 5.1).
 DEFAULT_MODULI_SGEMM: int = 8
+
+#: Sentinel accepted by ``num_moduli`` (accuracy-driven selection, see
+#: :mod:`repro.crt.adaptive`) and by ``parallelism`` (one worker per CPU,
+#: clamped to ``os.cpu_count()``).
+AUTO: str = "auto"
 
 
 class ComputeMode(str, enum.Enum):
@@ -104,7 +112,21 @@ class Ozaki2Config:
         Number ``N`` of pairwise-coprime moduli (2..20).  More moduli means
         a larger ``P`` in condition (3) of the paper, hence smaller
         truncation error and higher accuracy, at the cost of ``N`` INT8
-        GEMMs.
+        GEMMs.  The string ``"auto"`` requests accuracy-driven selection
+        per call: the a-priori error model of :mod:`repro.crt.adaptive`
+        picks the smallest ``N`` whose guaranteed bound meets
+        ``target_accuracy`` for the call's ``(k, max|A|, max|B|)``.  An
+        auto configuration is *resolved* to a concrete one at every entry
+        point (the result objects report the selected ``N``), and the
+        resolved run is bit-identical to a fixed-``N`` run at the selected
+        count — the fixed route is the verification comparator, exactly
+        like ``fused_kernels``/``gemv_fast_path``.
+    target_accuracy:
+        Relative accuracy target of auto selection, interpreted against
+        the natural element scale ``k·max|A|·max|B|``.  ``None`` (default)
+        uses :data:`repro.crt.adaptive.DEFAULT_TARGET_ACCURACY` for the
+        precision (1e-10 for fp64, 1e-5 for fp32 — the library's solver
+        tolerances).  Ignored when ``num_moduli`` is a fixed count.
     mode:
         ``ComputeMode.FAST`` or ``ComputeMode.ACCURATE`` (Section 4.2).
     residue_kernel:
@@ -121,10 +143,15 @@ class Ozaki2Config:
         Number of worker threads used by the execution runtime to fan the
         ``N`` residue GEMMs / k-blocks / output tiles out
         (:mod:`repro.runtime`).  ``1`` (default) runs strictly serially in
-        the calling thread.  Must be positive — ``0`` and negatives raise
-        :class:`~repro.errors.ConfigurationError` (pass
-        ``os.cpu_count()``, or ``--parallel 0`` on the CLI, for
-        one-worker-per-CPU).  Results are bit-identical for every setting.
+        the calling thread.  The string ``"auto"`` resolves to
+        ``os.cpu_count()`` at construction — clamped to the host, it can
+        never over-subscribe.  Explicit integers must be positive — ``0``
+        and negatives raise :class:`~repro.errors.ConfigurationError`
+        (``--parallel 0`` on the CLI maps to one-worker-per-CPU) — and a
+        count beyond ``os.cpu_count()`` emits a one-line warning (once per
+        count): oversubscribed pools are *slower* than serial on small
+        hosts (see ``benchmarks/results/runtime_scaling.txt``).  Results
+        are bit-identical for every setting.
     memory_budget_mb:
         Optional cap (in MiB) on the residue-product workspace.  When set,
         the runtime tiles the output over m/n so that the transient
@@ -155,15 +182,16 @@ class Ozaki2Config:
     """
 
     precision: Format = FP64
-    num_moduli: int = DEFAULT_MODULI_DGEMM
+    num_moduli: Union[int, str] = DEFAULT_MODULI_DGEMM
     mode: ComputeMode = ComputeMode.FAST
     residue_kernel: ResidueKernel = ResidueKernel.EXACT
     block_k: bool = True
     validate: bool = True
-    parallelism: int = 1
+    parallelism: Union[int, str] = 1
     memory_budget_mb: Optional[float] = None
     fused_kernels: bool = True
     gemv_fast_path: bool = True
+    target_accuracy: Optional[float] = None
 
     def __post_init__(self) -> None:
         fmt = get_format(self.precision)
@@ -176,19 +204,59 @@ class Ozaki2Config:
         object.__setattr__(self, "mode", mode)
         kernel = ResidueKernel.parse(self.residue_kernel)
         object.__setattr__(self, "residue_kernel", kernel)
-        n = int(self.num_moduli)
-        object.__setattr__(self, "num_moduli", n)
-        if not (2 <= n <= MAX_MODULI):
-            raise ConfigurationError(
-                f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
-            )
-        workers = int(self.parallelism)
-        if workers <= 0:
-            raise ConfigurationError(
-                f"parallelism must be a positive worker count, got {workers} "
-                "(use os.cpu_count() — or --parallel 0 on the CLI — for one "
-                "worker per CPU)"
-            )
+        if isinstance(self.num_moduli, str):
+            key = self.num_moduli.strip().lower()
+            if key != AUTO:
+                raise ConfigurationError(
+                    f"num_moduli must be an integer in [2, {MAX_MODULI}] or "
+                    f"{AUTO!r}, got {self.num_moduli!r}"
+                )
+            object.__setattr__(self, "num_moduli", AUTO)
+        else:
+            n = int(self.num_moduli)
+            object.__setattr__(self, "num_moduli", n)
+            if not (2 <= n <= MAX_MODULI):
+                raise ConfigurationError(
+                    f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
+                )
+        if self.target_accuracy is not None:
+            target = float(self.target_accuracy)
+            if not (0.0 < target < 1.0):
+                raise ConfigurationError(
+                    f"target_accuracy must lie in (0, 1), got {target}"
+                )
+            object.__setattr__(self, "target_accuracy", target)
+        cpus = max(1, os.cpu_count() or 1)
+        if isinstance(self.parallelism, str):
+            key = self.parallelism.strip().lower()
+            if key != AUTO:
+                raise ConfigurationError(
+                    f"parallelism must be a positive worker count or {AUTO!r}, "
+                    f"got {self.parallelism!r}"
+                )
+            # "auto" clamps to the host: one worker per CPU, never more.
+            workers = cpus
+        else:
+            workers = int(self.parallelism)
+            if workers <= 0:
+                raise ConfigurationError(
+                    f"parallelism must be a positive worker count, got {workers} "
+                    "(use parallelism='auto' — or --parallel 0 on the CLI — for "
+                    "one worker per CPU)"
+                )
+            if workers > cpus:
+                # Deduplication is left to the warnings machinery (the
+                # default filter shows one occurrence per call site), so
+                # standard filters/pytest.warns keep full control.
+                warnings.warn(
+                    f"parallelism={workers} over-subscribes this host "
+                    f"({cpus} CPU{'s' if cpus != 1 else ''}); oversubscribed "
+                    "worker pools measure slower than serial (see "
+                    "benchmarks/results/runtime_scaling.txt) — consider "
+                    "parallelism='auto'",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         object.__setattr__(self, "parallelism", workers)
         object.__setattr__(self, "fused_kernels", bool(self.fused_kernels))
         object.__setattr__(self, "gemv_fast_path", bool(self.gemv_fast_path))
@@ -212,10 +280,28 @@ class Ozaki2Config:
         return self.precision == FP32
 
     @property
+    def moduli_is_auto(self) -> bool:
+        """True when ``num_moduli`` requests accuracy-driven selection."""
+        return self.num_moduli == AUTO
+
+    @property
     def method_name(self) -> str:
-        """Name in the paper's nomenclature, e.g. ``"OS II-fast-14"``."""
+        """Name in the paper's nomenclature, e.g. ``"OS II-fast-14"``.
+
+        An unresolved auto configuration reports ``"OS II-<mode>-auto"``;
+        results always carry the resolved configuration with the selected
+        count.
+        """
         mode = "fast" if self.mode is ComputeMode.FAST else "accu"
         return f"OS II-{mode}-{self.num_moduli}"
+
+    def resolved(self, num_moduli: int) -> "Ozaki2Config":
+        """Concrete copy of an auto configuration at the selected count.
+
+        No-op guard included: resolving a fixed configuration to its own
+        count returns an equal configuration.
+        """
+        return dataclasses.replace(self, num_moduli=int(num_moduli))
 
     def replace(self, **kwargs) -> "Ozaki2Config":
         """Return a copy with the given fields replaced."""

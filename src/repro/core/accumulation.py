@@ -18,6 +18,8 @@ performed without forming the product ``P_1 Q`` inexactly.
 
 from __future__ import annotations
 
+import functools
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -27,6 +29,53 @@ from ..crt.residues import uint8_residues, uint8_residues_stack
 from ..utils.fma import fma
 
 __all__ = ["accumulate_residue_products", "reconstruct_crt", "unscale"]
+
+
+@functools.lru_cache(maxsize=None)
+def _split_tail_terms(moduli: Tuple[int, ...], precision_bits: int) -> Tuple[bool, Tuple[int, ...]]:
+    """Cached ``(need_c2, nonzero s2 indices)`` for one constant table.
+
+    These depend only on the moduli prefix and the table bit width (the
+    32-bit tables always report ``(False, ())`` — their weights are kept
+    unsplit), yet were recomputed — an ``any`` plus a ``flatnonzero`` sweep
+    over the split tails — on every GEMM/GEMV call.  Keyed like the
+    constant-table cache itself, so auto-N runs hopping between moduli
+    counts each hit their own entry.
+    """
+    from ..crt.constants import build_constant_table
+
+    table = build_constant_table(len(moduli), precision_bits, moduli=moduli)
+    nonzero = tuple(int(i) for i in np.flatnonzero(table.s2))
+    return bool(nonzero), nonzero
+
+
+#: Per-thread reusable float64 U-stack workspaces keyed on
+#: ``(num_moduli, m, n)``.  The vectorised accumulation materialises the
+#: whole float64 residue stack on every GEMM/GEMV call even though its
+#: allocation depends only on the moduli count and the tile shape; solvers
+#: and batched runs hit the same shape thousands of times, so the buffer is
+#: recycled (thread-local: the accumulation runs on the calling thread, and
+#: concurrent callers must not share a scratch stack).  Contents are fully
+#: overwritten by :func:`repro.crt.residues.uint8_residues_stack` before
+#: any read, and the buffer never escapes the call.
+_WORKSPACE = threading.local()
+
+#: Distinct shapes cached per thread before the pool is cleared (bounds the
+#: resident scratch memory for workloads sweeping many problem sizes).
+_WORKSPACE_MAX_SHAPES = 8
+
+
+def _u_stack_workspace(shape: Tuple[int, ...]) -> np.ndarray:
+    """Fetch (or allocate) this thread's float64 U-stack for ``shape``."""
+    pool = getattr(_WORKSPACE, "pool", None)
+    if pool is None:
+        pool = _WORKSPACE.pool = {}
+    buffer = pool.get(shape)
+    if buffer is None:
+        if len(pool) >= _WORKSPACE_MAX_SHAPES:
+            pool.clear()
+        buffer = pool[shape] = np.empty(shape, dtype=np.float64)
+    return buffer
 
 
 def accumulate_residue_products(
@@ -77,9 +126,11 @@ def accumulate_residue_products(
             f"c_stack must have shape (N, m, n) with N={table.num_moduli}, "
             f"got {c_stack.shape}"
         )
-    need_c2 = bool(np.any(table.s2 != 0.0))
+    need_c2, s2_nonzero = _split_tail_terms(table.moduli, table.precision_bits)
     if vectorized:
-        # Materialise the whole float64 U-stack up front.  The residues lie
+        # Materialise the whole float64 U-stack up front, into this
+        # thread's cached workspace for the (moduli, tile) shape — the
+        # buffer is fully overwritten before any read.  The residues lie
         # in [0, p) ⊂ [0, 255], so writing them straight into float64 makes
         # the UINT8 narrowing of the per-modulus path a bitwise no-op and
         # saves the widening pass.
@@ -87,7 +138,7 @@ def accumulate_residue_products(
             c_stack,
             table.moduli,
             table.pinv_prime if use_mulhi else None,
-            out=np.empty(c_stack.shape, dtype=np.float64),
+            out=_u_stack_workspace(c_stack.shape),
         )
         if table.precision_bits == 64:
             c1 = np.tensordot(table.s1, u.reshape(table.num_moduli, -1), axes=1)
@@ -103,7 +154,7 @@ def accumulate_residue_products(
         # with s2[i] == 0 is a bitwise no-op (all terms are >= 0), so only
         # the nonzero ones are visited.
         c2 = np.zeros(c_stack.shape[1:], dtype=np.float64)
-        for i in np.flatnonzero(table.s2):
+        for i in s2_nonzero:
             c2 += table.s2[i] * u[i]
         return c1, c2
 

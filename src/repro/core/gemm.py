@@ -32,11 +32,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config
+from ..crt.adaptive import AdaptiveSelection, select_num_moduli
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine, OpCounter
 from ..types import result_dtype
 from ..utils.validation import check_gemm_operands, check_operand
-from ..errors import ValidationError
+from ..errors import ConfigurationError, ValidationError
 from .accumulation import unscale
 from .conversion import residue_slices, truncate_scaled
 from .operand import ResidueOperand
@@ -47,6 +48,59 @@ from .scaling import (
 )
 
 __all__ = ["PhaseTimes", "Ozaki2Result", "ozaki2_gemm", "emulated_dgemm", "emulated_sgemm"]
+
+#: Why num_moduli="auto" rejects a caller-supplied constant table.
+_AUTO_TABLE_RESTRICTION = (
+    "num_moduli='auto' selects the count (and with it the moduli prefix) "
+    "per call from the default table, so a caller-supplied constant_table "
+    "cannot be honoured; pass a fixed num_moduli to use a custom table"
+)
+
+
+def _operand_max_abs(raw, prep) -> float:
+    """``max|X|`` of one GEMM side, prepared or raw.
+
+    Prepared operands carry the value from their preparation's scaling scan
+    (free); raw sides pay one ``max(|X|)`` pass — the same scan the scaling
+    phase performs, a negligible fraction of the conversion it feeds.
+    """
+    if prep is not None:
+        if prep.max_abs is None:
+            raise ValidationError(
+                "auto moduli selection needs the operand's max-abs, but this "
+                "hand-constructed ResidueOperand carries no cached prescale "
+                "bounds; prepare it with repro.core.operand.prepare_a/"
+                "prepare_b or pass a fixed num_moduli"
+            )
+        return prep.max_abs
+    return float(np.max(np.abs(raw))) if raw.size else 0.0
+
+
+def _resolve_auto_moduli(a, b, a_prep, b_prep, k, config):
+    """Resolve ``num_moduli="auto"`` for one call.
+
+    Returns ``(config, a_prep, b_prep, selection)``: a concrete
+    configuration at the selected count, prepared sides re-derived at that
+    count (:meth:`~repro.core.operand.ResidueOperand.resolve_for`, cached),
+    and the :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic.  The
+    resolved call is bit-identical to a fixed-``num_moduli`` call at the
+    selected count — auto selection chooses the configuration, never the
+    arithmetic.
+    """
+    selection = select_num_moduli(
+        k,
+        _operand_max_abs(a, a_prep),
+        _operand_max_abs(b, b_prep),
+        64 if config.is_dgemm else 32,
+        target=config.target_accuracy,
+        mode=config.mode.value,
+    )
+    config = config.resolved(selection.num_moduli)
+    if a_prep is not None:
+        a_prep = a_prep.resolve_for(config.num_moduli)
+    if b_prep is not None:
+        b_prep = b_prep.resolve_for(config.num_moduli)
+    return config, a_prep, b_prep, selection
 
 #: Ordered list of phase keys (matches the breakdown figures).
 PHASE_KEYS = (
@@ -107,6 +161,11 @@ class Ozaki2Result:
         Number of inner-dimension blocks actually used, derived from the
         execution plan's block ranges (1 unless k-blocking was enabled and
         required, i.e. ``k > 2^17``).
+    moduli_selection:
+        The :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic when
+        the call ran with ``num_moduli="auto"`` (selected count, guaranteed
+        error bound, whether the target was met); ``None`` for fixed-count
+        runs.  ``config`` always carries the resolved count either way.
     """
 
     c: np.ndarray
@@ -116,6 +175,7 @@ class Ozaki2Result:
     phase_times: PhaseTimes
     int8_counter: OpCounter
     num_k_blocks: int
+    moduli_selection: "AdaptiveSelection | None" = None
 
     @property
     def method_name(self) -> str:
@@ -240,9 +300,6 @@ def ozaki2_gemm(
     from ..runtime.scheduler import Scheduler, execute_plan
 
     config = config or Ozaki2Config()
-    table = constant_table or build_constant_table(
-        config.num_moduli, 64 if config.is_dgemm else 32
-    )
     out_dtype = result_dtype(config.precision)
 
     a_prep = a if isinstance(a, ResidueOperand) else None
@@ -258,6 +315,23 @@ def ozaki2_gemm(
 
     m, k = a_prep.shape if a_prep is not None else a.shape
     n = (b_prep.shape if b_prep is not None else b.shape)[1]
+
+    # Accuracy-driven moduli selection: resolve "auto" to a concrete count
+    # (and re-derive prepared sides at it) before any table or plan exists.
+    # A caller-supplied table cannot be honoured under auto — the selection
+    # model is defined for the default moduli prefix — so it is rejected
+    # rather than silently replaced.
+    selection = None
+    if config.moduli_is_auto:
+        if constant_table is not None:
+            raise ConfigurationError(_AUTO_TABLE_RESTRICTION)
+        config, a_prep, b_prep, selection = _resolve_auto_moduli(
+            a, b, a_prep, b_prep, k, config
+        )
+    table = constant_table or build_constant_table(
+        config.num_moduli, 64 if config.is_dgemm else 32
+    )
+
     # Raises OverflowRiskError when k > 2**17 with blocking disabled; the
     # number of k-blocks reported below comes from the ranges actually used.
     # The threshold is read from this module's global so tests can shrink it.
@@ -318,6 +392,8 @@ def ozaki2_gemm(
         c_pp = execute_plan(
             scheduler, plan, a_slices, b_slices, table, config, times, trusted=True
         )
+        # One emulated GEMM retired at this (possibly auto-selected) count.
+        engine.counter.record_emulated(config.num_moduli)
 
         # Line 12: inverse scaling.
         with _PhaseTimer(times, "unscale"):
@@ -336,6 +412,7 @@ def ozaki2_gemm(
         phase_times=times,
         int8_counter=engine.counter,
         num_k_blocks=plan.num_k_blocks,
+        moduli_selection=selection,
     )
 
 

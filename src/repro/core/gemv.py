@@ -39,13 +39,19 @@ from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config, ResidueK
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine, OpCounter
 from ..engines.int8 import Int8MatrixEngine
-from ..errors import OverflowRiskError, ValidationError
+from ..errors import ConfigurationError, OverflowRiskError, ValidationError
 from ..types import result_dtype
 from ..utils.validation import check_operand
 from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
 from .blocking import k_block_ranges
 from .conversion import residue_slices, truncate_scaled
-from .gemm import PhaseTimes, _PhaseTimer, _check_prepared_a
+from .gemm import (
+    PhaseTimes,
+    _AUTO_TABLE_RESTRICTION,
+    _PhaseTimer,
+    _check_prepared_a,
+    _resolve_auto_moduli,
+)
 from .operand import ResidueOperand
 from .scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
 
@@ -73,6 +79,9 @@ class GemvResult:
     int8_counter:
         Operation ledger of the INT8 engine — identical to what the
         ``n = 1`` GEMM route records for the same product.
+    moduli_selection:
+        :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic for
+        ``num_moduli="auto"`` runs; ``None`` for fixed counts.
     """
 
     c: np.ndarray
@@ -81,6 +90,7 @@ class GemvResult:
     nu: np.ndarray
     phase_times: PhaseTimes
     int8_counter: OpCounter
+    moduli_selection: object = None
 
     @property
     def method_name(self) -> str:
@@ -149,9 +159,6 @@ def prepared_gemv(
     """
     a_prep = a if isinstance(a, ResidueOperand) else None
     config = config or (a_prep.config if a_prep is not None else Ozaki2Config())
-    table = constant_table or build_constant_table(
-        config.num_moduli, 64 if config.is_dgemm else 32
-    )
     out_dtype = result_dtype(config.precision)
     engine = engine or Int8MatrixEngine()
     times = PhaseTimes()
@@ -180,6 +187,21 @@ def prepared_gemv(
             f"k={k} exceeds {MAX_K_WITHOUT_BLOCKING} and k-blocking is "
             "disabled in the config"
         )
+
+    # Accuracy-driven moduli selection, exactly as the GEMM route resolves
+    # it: concrete count, prepared side re-derived (cached), bit-identical
+    # to the fixed-count run at the selected count.  A caller-supplied
+    # table is rejected under auto, as on the GEMM route.
+    selection = None
+    if config.moduli_is_auto:
+        if constant_table is not None:
+            raise ConfigurationError(_AUTO_TABLE_RESTRICTION)
+        config, a_prep, _, selection = _resolve_auto_moduli(
+            a_mat, x_col, a_prep, None, k, config
+        )
+    table = constant_table or build_constant_table(
+        config.num_moduli, 64 if config.is_dgemm else 32
+    )
 
     # Line 1: scale vectors.  A prepared operand contributes its cached μ;
     # accurate mode needs both raw sides (operand.require_compatible already
@@ -267,6 +289,9 @@ def prepared_gemv(
     times.add("accumulate", t2 - t1)
     times.add("reconstruct", t3 - t2)
 
+    # One emulated GEMV retired at this (possibly auto-selected) count.
+    engine.counter.record_emulated(config.num_moduli)
+
     # Line 12: inverse scaling, then drop the dead column axis.
     with _PhaseTimer(times, "unscale"):
         c = unscale(c_pp, mu, nu, out_dtype=out_dtype)[:, 0]
@@ -280,4 +305,5 @@ def prepared_gemv(
         nu=nu,
         phase_times=times,
         int8_counter=engine.counter,
+        moduli_selection=selection,
     )

@@ -12,7 +12,13 @@ iteration, batches sharing a weight matrix — re-pay that cost on every call.
 
 * the fast-mode power-of-two scale vector (``μ`` for the A side, ``ν`` for
   the B side),
-* the per-modulus INT8 residue stack ``(N, rows, cols)``.
+* the per-modulus INT8 residue stack ``(N, rows, cols)``,
+* the ``N``-independent pre-scale bounds of the scale formula
+  (:class:`~repro.core.scaling.PrescaleBounds`) and a reference to the
+  validated source matrix, so the *same* operand can be re-derived at any
+  other moduli count without re-running the row/column-norm pass
+  (:meth:`ResidueOperand.resolve_for` — the machinery behind adaptive
+  moduli selection and progressive-precision solvers).
 
 A prepared operand can then be passed to :func:`~repro.core.gemm.ozaki2_gemm`
 (or :func:`~repro.runtime.batched.ozaki2_gemm_batched`) in place of the raw
@@ -20,6 +26,20 @@ matrix; the corresponding convert phase is skipped entirely and reported as
 0 in :class:`~repro.core.gemm.PhaseTimes`.  Results are **bit-identical** to
 the unprepared call: fast mode derives each side's scales from that side
 alone, so caching reorders no floating-point operation.
+
+Adaptive moduli selection (``num_moduli="auto"``)
+-------------------------------------------------
+Preparing under an auto configuration resolves the moduli count *at
+preparation time* from the operand's own ``(k, max|X|)`` — the relative
+error model of :mod:`repro.crt.adaptive` is magnitude-invariant, so this is
+exactly the count every partner's multiplication selects under the same
+``target_accuracy``; reuse therefore stays valid with no partner-dependent
+re-selection.  A partner multiplying under a *different* target (or a fixed
+count, e.g. the progressive-precision solvers escalating through a moduli
+ladder) calls :meth:`ResidueOperand.resolve_for`, which re-derives the
+operand at the requested count — bit-identical to a fresh preparation at
+that count — and caches the result, so solvers escalating through a ladder
+pay each stage's conversion once.
 
 Accurate mode is different — its scale determination couples the two sides
 through the bound matrix ``C̄ = Ā·B̄`` (Section 4.2), so residues cannot be
@@ -32,16 +52,22 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..config import ComputeMode, Ozaki2Config
+from ..crt.adaptive import select_num_moduli
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..errors import ConfigurationError
 from ..utils.validation import check_operand
 from .conversion import residue_slices, truncate_scaled
-from .scaling import fast_mode_scale_a, fast_mode_scale_b
+from .scaling import (
+    PrescaleBounds,
+    fast_mode_prescale,
+    scale_exponent_budget,
+    scale_from_prescale,
+)
 
 __all__ = ["ResidueOperand", "prepare_a", "prepare_b"]
 
@@ -70,16 +96,28 @@ class ResidueOperand:
         INT8 residue stack of shape ``(N, rows, cols)`` — lines 4–5 of
         Algorithm 1 for this operand.
     config:
-        The configuration the operand was prepared under.  Multiplications
-        must use a configuration with the same precision, moduli count,
-        mode and residue kernel (runtime knobs — ``parallelism``,
+        The (always concrete) configuration the operand was prepared
+        under; preparing with ``num_moduli="auto"`` stores the resolved
+        configuration at the selected count.  Multiplications must use a
+        configuration with the same precision, moduli count, mode and
+        residue kernel (runtime knobs — ``parallelism``,
         ``memory_budget_mb``, ``block_k``, ``validate``, ``fused_kernels``,
         ``gemv_fast_path`` — may differ freely; they do not affect the
-        residues).
+        residues).  A different moduli count is reachable through
+        :meth:`resolve_for` instead of re-preparation.
     convert_seconds:
         One-time wall-clock cost of the preparation (scale + truncate +
         residues); the amortisation baseline reported by
         :func:`repro.harness.prepared_reuse_sweep`.
+    prescale:
+        Cached ``N``-independent scale inputs
+        (:class:`~repro.core.scaling.PrescaleBounds`), or ``None`` for
+        hand-constructed operands (which then cannot :meth:`resolve_for`).
+    source:
+        Reference to the validated float64 source matrix (not a copy — the
+        operand keeps the caller's array alive; mutating it invalidates
+        future :meth:`resolve_for` derivations, exactly as mutating the
+        matrix between two plain GEMM calls would change their results).
     """
 
     side: str
@@ -87,12 +125,26 @@ class ResidueOperand:
     slices: np.ndarray
     config: Ozaki2Config
     convert_seconds: float = 0.0
+    prescale: Optional[PrescaleBounds] = None
+    source: Optional[np.ndarray] = None
+    _resolved_cache: Dict[int, "ResidueOperand"] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.side not in ("A", "B"):
             raise ConfigurationError(
                 f"ResidueOperand side must be 'A' or 'B', got {self.side!r}"
             )
+        if self.config.moduli_is_auto:
+            raise ConfigurationError(
+                "ResidueOperand.config must be concrete; preparation resolves "
+                "auto configurations before constructing the operand"
+            )
+        # Seed the (shared) derivation cache with this operand's own count,
+        # so resolving back to it from a derived operand is a lookup, not a
+        # second conversion.
+        self._resolved_cache.setdefault(self.num_moduli, self)
 
     @property
     def shape(self) -> tuple:
@@ -110,6 +162,16 @@ class ResidueOperand:
         return int(self.shape[1] if self.side == "A" else self.shape[0])
 
     @property
+    def max_abs(self) -> Optional[float]:
+        """``max|X|`` of the source matrix (None without cached prescale).
+
+        This is the scan auto-N selection feeds on — already performed by
+        the preparation's scaling pass, so selection against a prepared
+        operand costs nothing.
+        """
+        return None if self.prescale is None else self.prescale.global_max_abs
+
+    @property
     def phase_key(self) -> str:
         """The :class:`~repro.core.gemm.PhaseTimes` key this operand skips."""
         return "convert_A" if self.side == "A" else "convert_B"
@@ -121,21 +183,26 @@ class ResidueOperand:
         configuration's precision (constant-table bit width), moduli count,
         mode and residue kernel; a multiplication under a configuration that
         differs in any of those would silently change the result, so it is
-        rejected instead.
+        rejected instead.  An **auto** ``config`` skips the moduli-count
+        comparison: the entry points resolve the selection and re-derive
+        the operand (:meth:`resolve_for`) before executing, so the count is
+        checked on the resolved pair.
         """
         if config.mode is not ComputeMode.FAST:
             raise ConfigurationError(
                 f"prepared operand ({self.side} side) cannot be used in "
                 f"{config.mode.value!r} mode: {_ACCURATE_RESTRICTION}"
             )
+        checks = [
+            ("precision", self.config.precision.name, config.precision.name),
+            ("residue_kernel", self.config.residue_kernel.value,
+             config.residue_kernel.value),
+        ]
+        if not config.moduli_is_auto:
+            checks.insert(1, ("num_moduli", self.config.num_moduli, config.num_moduli))
         mismatches = [
             f"{name}: prepared with {ours!r}, multiplication requests {theirs!r}"
-            for name, ours, theirs in (
-                ("precision", self.config.precision.name, config.precision.name),
-                ("num_moduli", self.config.num_moduli, config.num_moduli),
-                ("residue_kernel", self.config.residue_kernel.value,
-                 config.residue_kernel.value),
-            )
+            for name, ours, theirs in checks
             if ours != theirs
         ]
         if mismatches:
@@ -143,6 +210,61 @@ class ResidueOperand:
                 "prepared operand is incompatible with this configuration — "
                 + "; ".join(mismatches)
             )
+
+    def resolve_for(self, num_moduli: int) -> "ResidueOperand":
+        """Return this operand re-derived at another moduli count.
+
+        The derived operand is **bit-identical to a fresh preparation** of
+        the source matrix at the requested count: the scale vector is
+        finalised from the cached pre-scale bounds (the exact arithmetic of
+        :func:`~repro.core.scaling.fast_mode_scale_a` — see
+        :func:`~repro.core.scaling.scale_from_prescale`) and the truncation
+        + residue passes rerun against the stored source.  Derivations are
+        cached on the operand, so a solver escalating through a moduli
+        ladder — or a batch multiplying one operand under several targets —
+        pays each count's conversion once.  Works in both directions
+        (narrowing *and* widening).
+        """
+        num_moduli = int(num_moduli)
+        if num_moduli == self.num_moduli:
+            return self
+        cached = self._resolved_cache.get(num_moduli)
+        if cached is not None:
+            return cached
+        if self.prescale is None or self.source is None:
+            raise ConfigurationError(
+                f"this {self.side}-side operand was prepared with "
+                f"num_moduli={self.num_moduli} and carries no cached "
+                "pre-scale bounds/source, so it cannot be re-derived at "
+                f"num_moduli={num_moduli}; prepare it again with the "
+                "requested configuration"
+            )
+        config = self.config.resolved(num_moduli)
+        table = build_constant_table(
+            num_moduli, 64 if config.is_dgemm else 32
+        )
+        start = time.perf_counter()
+        scale = scale_from_prescale(
+            self.prescale, scale_exponent_budget(table, "fast")
+        )
+        x_prime = truncate_scaled(
+            self.source, scale, side="left" if self.side == "A" else "right"
+        )
+        slices = residue_slices(
+            x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
+        )
+        derived = ResidueOperand(
+            side=self.side,
+            scale=scale,
+            slices=slices,
+            config=config,
+            convert_seconds=time.perf_counter() - start,
+            prescale=self.prescale,
+            source=self.source,
+            _resolved_cache=self._resolved_cache,
+        )
+        self._resolved_cache[num_moduli] = derived
+        return derived
 
 
 def _prepare(
@@ -157,21 +279,45 @@ def _prepare(
             f"cannot prepare the {side} side in {config.mode.value!r} mode: "
             + _ACCURATE_RESTRICTION
         )
-    table = constant_table or build_constant_table(
-        config.num_moduli, 64 if config.is_dgemm else 32
-    )
+    if config.moduli_is_auto and constant_table is not None:
+        raise ConfigurationError(
+            "num_moduli='auto' selects the count (and with it the moduli "
+            "prefix) per call from the default table, so a caller-supplied "
+            "constant_table cannot be honoured; pass a fixed num_moduli to "
+            "use a custom table"
+        )
     if config.validate:
         x = check_operand(x, side, dtype=np.float64)
     else:
         x = np.asarray(x, dtype=np.float64)
 
     start = time.perf_counter()
-    if side == "A":
-        scale = fast_mode_scale_a(x, table)
-        x_prime = truncate_scaled(x, scale, side="left")
+    prescale = fast_mode_prescale(x, axis=1 if side == "A" else 0)
+    if config.moduli_is_auto:
+        # Resolve the selection from the operand's own max-abs scan (just
+        # performed by the prescale pass).  The relative error model is
+        # magnitude-invariant, so the partner's magnitudes cannot change the
+        # selected count — this is the count every same-target
+        # multiplication will request.
+        inner = x.shape[1] if side == "A" else x.shape[0]
+        selection = select_num_moduli(
+            inner,
+            prescale.global_max_abs,
+            prescale.global_max_abs,
+            64 if config.is_dgemm else 32,
+            target=config.target_accuracy,
+            mode=config.mode.value,
+        )
+        config = config.resolved(selection.num_moduli)
+        table = build_constant_table(
+            config.num_moduli, 64 if config.is_dgemm else 32
+        )
     else:
-        scale = fast_mode_scale_b(x, table)
-        x_prime = truncate_scaled(x, scale, side="right")
+        table = constant_table or build_constant_table(
+            config.num_moduli, 64 if config.is_dgemm else 32
+        )
+    scale = scale_from_prescale(prescale, scale_exponent_budget(table, "fast"))
+    x_prime = truncate_scaled(x, scale, side="left" if side == "A" else "right")
     slices = residue_slices(
         x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
     )
@@ -183,6 +329,8 @@ def _prepare(
         slices=slices,
         config=config,
         convert_seconds=elapsed,
+        prescale=prescale,
+        source=x,
     )
 
 
@@ -197,6 +345,8 @@ def prepare_a(
     :func:`~repro.core.gemm.ozaki2_gemm` in place of ``a`` any number of
     times; every such call skips the ``convert_A`` phase and is bit-identical
     to the unprepared call.  Fast mode only (see the module docstring).
+    Under ``num_moduli="auto"`` the moduli count is resolved here, from the
+    operand's own magnitudes (see the module docstring).
     """
     return _prepare(a, "A", config, constant_table)
 

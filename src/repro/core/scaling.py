@@ -42,6 +42,7 @@ DGEMM-level accuracy at k=1024, N≈7–8 for SGEMM-level accuracy).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Tuple
 
 import numpy as np
@@ -54,6 +55,9 @@ from ..utils.fp import exponent_floor, pow2, round_up_sum_of_squares
 
 __all__ = [
     "scale_exponent_budget",
+    "PrescaleBounds",
+    "fast_mode_prescale",
+    "scale_from_prescale",
     "fast_mode_scales",
     "fast_mode_scale_a",
     "fast_mode_scale_b",
@@ -82,20 +86,56 @@ def scale_exponent_budget(table: CRTConstantTable, mode: str) -> float:
     raise ValidationError(f"unknown scaling mode {mode!r}")
 
 
-def _fast_mode_exponents(x: np.ndarray, axis: int, alpha: float) -> np.ndarray:
-    """Per-row (axis=1) or per-column (axis=0) scale exponents, fast mode.
+@dataclasses.dataclass(frozen=True)
+class PrescaleBounds:
+    """The ``N``-independent inputs of one side's fast-mode scale formula.
+
+    The fast-mode exponent of row/column ``i`` is
+    ``⌊α(N) − t_i⌋ − M_i`` where only the budget ``α(N)`` depends on the
+    moduli count; ``t_i = max(1, 0.51·log2 S_i)`` (the clamped norm
+    estimate) and ``M_i = ⌊log2 max_h |a_ih|⌋`` are pure functions of the
+    data.  Capturing them once lets a prepared operand re-derive its scale
+    vector for *any* moduli count — bit-identically to a fresh scaling pass
+    over the raw matrix — without touching the matrix again (see
+    :meth:`repro.core.operand.ResidueOperand.resolve_for`).
+
+    Attributes
+    ----------
+    axis:
+        1 for the A side (per-row), 0 for the B side (per-column).
+    clamp_term:
+        ``max(1, 0.51·log2 S_i)`` per row/column (float64).
+    m_exp:
+        Floored exponents ``M_i`` (int64; 0 for zero rows/columns).
+    max_abs:
+        Per-row/column largest magnitudes (the scan the scaling pass
+        performs anyway; ``float(global_max_abs)`` feeds auto-N selection).
+    """
+
+    axis: int
+    clamp_term: np.ndarray
+    m_exp: np.ndarray
+    max_abs: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("clamp_term", "m_exp", "max_abs"):
+            getattr(self, name).setflags(write=False)
+
+    @property
+    def global_max_abs(self) -> float:
+        """``max|X|`` over the whole operand (0 for an all-zero operand)."""
+        return float(np.max(self.max_abs)) if self.max_abs.size else 0.0
+
+
+def fast_mode_prescale(x: np.ndarray, axis: int) -> PrescaleBounds:
+    """Compute the ``N``-independent part of the fast-mode scale formula.
 
     Each row/column is first normalised by ``2^M`` where ``M`` is the floored
     exponent of its largest magnitude (the ``−⌊log2 max_h |a_ih|⌋`` term of
     the paper's formula); the sum of squares of the *normalised* vector then
     lies in ``[1, 4k]`` regardless of the absolute data scale, so it can
     neither underflow nor overflow, and the clamp ``max(1, 0.51·log2 S)`` is
-    a true upper bound on ``log2`` of the normalised 2-norm.  The exponent is
-
-    ``⌊α − max(1, 0.51·log2 S_norm)⌋ − M``
-
-    which guarantees ``μ_i·‖a_i‖₂ ≤ 2^α`` (see the module docstring).
-    Zero rows/columns get exponent 0.
+    a true upper bound on ``log2`` of the normalised 2-norm.
     """
     max_abs = np.max(np.abs(x), axis=axis)
     m_exp = np.where(max_abs > 0, exponent_floor(max_abs), np.int64(0))
@@ -106,8 +146,34 @@ def _fast_mode_exponents(x: np.ndarray, axis: int, alpha: float) -> np.ndarray:
         normalised = x * normaliser[None, :]
     s_norm = round_up_sum_of_squares(normalised, axis=axis)
     s_norm = np.maximum(s_norm, 1.0)
-    exps = np.floor(alpha - np.maximum(1.0, 0.51 * np.log2(s_norm))) - m_exp
-    return np.where(max_abs > 0, exps, 0.0)
+    clamp = np.maximum(1.0, 0.51 * np.log2(s_norm))
+    return PrescaleBounds(axis=axis, clamp_term=clamp, m_exp=m_exp, max_abs=max_abs)
+
+
+def scale_from_prescale(prescale: PrescaleBounds, alpha: float) -> np.ndarray:
+    """Finalise a scale vector from cached pre-scale bounds and a budget.
+
+    The exponent is ``⌊α − max(1, 0.51·log2 S_norm)⌋ − M`` (zero
+    rows/columns get exponent 0), exactly the arithmetic of the one-shot
+    path — so ``scale_from_prescale(fast_mode_prescale(x, axis), α)`` is
+    bit-identical to the corresponding :func:`fast_mode_scale_a` /
+    :func:`fast_mode_scale_b` call.
+    """
+    exps = np.floor(alpha - prescale.clamp_term) - prescale.m_exp
+    exps = np.where(prescale.max_abs > 0, exps, 0.0)
+    return pow2(exps.astype(np.int64))
+
+
+def _fast_mode_exponents(x: np.ndarray, axis: int, alpha: float) -> np.ndarray:
+    """Per-row (axis=1) or per-column (axis=0) scale exponents, fast mode.
+
+    The exponent is ``⌊α − max(1, 0.51·log2 S_norm)⌋ − M`` which guarantees
+    ``μ_i·‖a_i‖₂ ≤ 2^α`` (see the module docstring and
+    :func:`fast_mode_prescale`).  Zero rows/columns get exponent 0.
+    """
+    prescale = fast_mode_prescale(x, axis)
+    exps = np.floor(alpha - prescale.clamp_term) - prescale.m_exp
+    return np.where(prescale.max_abs > 0, exps, 0.0)
 
 
 def fast_mode_scale_a(a: np.ndarray, table: CRTConstantTable) -> np.ndarray:

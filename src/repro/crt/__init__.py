@@ -14,6 +14,14 @@ This subpackage provides everything Algorithm 1 needs around the CRT:
   (Sections 4.2 and 4.3).
 """
 
+from .adaptive import (
+    AUTO_MODULI,
+    DEFAULT_TARGET_ACCURACY,
+    AdaptiveSelection,
+    elementwise_error_bound,
+    relative_error_bound,
+    select_num_moduli,
+)
 from .constants import CRTConstantTable, build_constant_table
 from .inverses import crt_weights, modular_inverses, moduli_product
 from .moduli import (
@@ -31,6 +39,12 @@ from .residues import (
 )
 
 __all__ = [
+    "AUTO_MODULI",
+    "DEFAULT_TARGET_ACCURACY",
+    "AdaptiveSelection",
+    "elementwise_error_bound",
+    "relative_error_bound",
+    "select_num_moduli",
     "CRTConstantTable",
     "build_constant_table",
     "crt_weights",

@@ -1,0 +1,319 @@
+"""Accuracy-driven moduli-count selection (the auto-N engine).
+
+Every phase of the emulation — conversion, the ``N`` INT8 GEMMs, the
+accumulation, the CRT reconstruction — costs time linear in the moduli
+count, yet the *required* ``N`` is a function of the problem: the inner
+dimension ``k``, the operand magnitudes, and the accuracy the caller
+actually needs.  This module turns the scaling construction of
+:mod:`repro.core.scaling` into a rigorous a-priori bound on the emulated
+product's element-wise error and inverts it: given a target accuracy,
+:func:`select_num_moduli` returns the smallest ``N`` whose bound meets it.
+
+Derivation
+----------
+Write ``A' = trunc(diag(μ)·A)`` and ``B' = trunc(B·diag(ν))``.  The CRT
+pipeline reproduces ``A'B'`` exactly (the residue GEMMs are exact integer
+products and the split-weight accumulation of Section 4.3 commits only the
+reconstruction roundoff), so the dominant error is the truncation::
+
+    (AB − C)_ij = Σ_h [ a_ih·δb_h / ν_j + b_hj·δa_h / μ_i − δa_h·δb_h/(μ_i ν_j) ]
+
+with ``|δa|, |δb| < 1``.  The fast-mode scale construction
+(:func:`repro.core.scaling.fast_mode_scale_a`) picks the exponent
+``⌊α − max(1, 0.51·log2 S_i)⌋ − M_i`` where ``α = (log2(P−1) − 1.5)/2`` is
+the per-side budget, ``M_i = ⌊log2 max_h |a_ih|⌋`` and ``S_i ≤ 4k·(1+γ)``
+bounds the sum of squares of the ``2^{−M_i}``-normalised row.  Chasing the
+floor and the clamp through gives the guaranteed scale lower bound
+
+.. math::
+
+    1/μ_i \\;\\le\\; \\max|A| \\cdot 2^{\\,c(k) − α}, \\qquad
+    c(k) = 1 + \\max(1,\\; 0.51\\,\\log_2(4k(1+γ))) + c_{slack}
+
+(and the analogous bound for ``ν``; accurate mode's direct-product scales
+obey the same form with ``c(k) = 0.51·log2(4096·k) − 4 + c_slack``, since
+``C̄`` entries are at most ``k·2^{12}``).  Substituting into the truncation
+sum and adding the reconstruction roundoff ``u_acc·k`` (``u_acc = 2^{−52}``
+for the split 64-bit tables, ``2^{−36}`` for the unsplit 32-bit tables, as
+in :mod:`repro.accuracy.error_bounds`) yields the **relative** bound
+
+.. math::
+
+    \\frac{\\max_{ij} |(AB − C)_{ij}|}{k\\,\\max|A|\\,\\max|B|}
+    \\;\\le\\; ρ(N, k) = 2^{\\,c(k)+1−α(N)} + 2^{\\,2(c(k)−α(N))} + u_{acc}\\,k.
+
+``ρ`` depends only on ``(N, k, precision, mode)`` — the operand magnitudes
+cancel against the natural scale ``k·max|A|·max|B|`` — so the selection is
+magnitude-invariant: rescaling the data by powers of two never changes the
+chosen ``N``.  This is what makes prepared-operand reuse sound under auto
+selection: the ``N`` chosen at preparation time (from the operand's own
+max-abs scan) is exactly the ``N`` every partner's multiplication selects
+under the same target (see :mod:`repro.core.operand`).
+
+The bound is deliberately coarse (the property suite measures it two to
+four orders above the observed error) but it is a *true* upper bound for
+this library's scaling construction, which ``tests/crt/test_adaptive.py``
+and the adaptive benchmark verify across workload families.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..config import MAX_MODULI
+from ..errors import ConfigurationError
+from ..utils.fp import upper_bound_inflation
+from .constants import build_constant_table
+
+__all__ = [
+    "AUTO_MODULI",
+    "DEFAULT_TARGET_ACCURACY",
+    "AdaptiveSelection",
+    "truncation_margin_exponent",
+    "relative_error_bound",
+    "elementwise_error_bound",
+    "select_num_moduli",
+]
+
+#: Sentinel value of ``Ozaki2Config.num_moduli`` requesting auto selection.
+AUTO_MODULI = "auto"
+
+#: Default relative accuracy target per precision (keyed on the constant
+#: table's bit width).  The values match the library's default solver
+#: tolerances (``repro solve``: 1e-10 for fp64, 1e-5 for fp32) — "as
+#: accurate as the rest of the pipeline asks for", not "as accurate as the
+#: format allows"; callers wanting the full fixed-N accuracy pass a tighter
+#: ``target_accuracy`` or a fixed ``num_moduli``.
+DEFAULT_TARGET_ACCURACY = {64: 1e-10, 32: 1e-5}
+
+#: Smallest moduli count the selector may return (the constant tables
+#: require at least two moduli).
+_MIN_MODULI = 2
+
+#: Slack (in bits) absorbing the floating-point evaluation of the scale
+#: exponents themselves (the ``0.51·log2 S`` term is computed in float64;
+#: its rounding is far below one bit, 0.1 is generous).
+_SLACK_BITS = 0.1
+
+#: Accumulation/reconstruction unit roundoff per table bit width (matches
+#: :mod:`repro.accuracy.error_bounds`).
+_U_ACC = {64: 2.0**-52, 32: 2.0**-36}
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveSelection:
+    """Outcome of one auto-N selection.
+
+    Attributes
+    ----------
+    num_moduli:
+        The selected moduli count (clamped to ``[2, MAX_MODULI]``).
+    target:
+        The relative accuracy target the selection aimed for.
+    met:
+        Whether the a-priori bound at ``num_moduli`` meets ``target``.
+        False only when even ``MAX_MODULI`` moduli cannot — the selection
+        then clamps rather than failing, and ``bound`` reports what *is*
+        guaranteed.
+    bound:
+        Guaranteed absolute element-wise error bound
+        ``max_ij |(AB − C)_ij| ≤ bound`` at the selected ``N``.
+    relative_bound:
+        The same bound divided by the natural scale ``k·max|A|·max|B|``
+        (0 when either operand is identically zero).
+    k:
+        Inner dimension the selection was made for.
+    max_abs_a / max_abs_b:
+        The operand max-abs values used (the B value is the partner's, or
+        the operand's own at preparation time — the relative bound is
+        magnitude-invariant, so this never changes the selected ``N``).
+    precision_bits:
+        64 (DGEMM emulation) or 32 (SGEMM emulation).
+    mode:
+        ``"fast"`` or ``"accurate"`` — selects the margin constant.
+    """
+
+    num_moduli: int
+    target: float
+    met: bool
+    bound: float
+    relative_bound: float
+    k: int
+    max_abs_a: float
+    max_abs_b: float
+    precision_bits: int
+    mode: str
+
+    @property
+    def scale(self) -> float:
+        """The natural error scale ``k·max|A|·max|B|``."""
+        return float(self.k) * self.max_abs_a * self.max_abs_b
+
+
+def truncation_margin_exponent(k: int, mode: str = "fast") -> float:
+    """The margin ``c(k)`` of the scale lower bound ``1/μ ≤ max|A|·2^{c−α}``.
+
+    Fast mode: the clamp term of the exponent formula is at most
+    ``max(1, 0.51·log2(4k·(1+γ)))`` (normalised entries are below 2 in
+    magnitude, so the round-up sum of squares is below ``4k`` inflated by
+    :func:`repro.utils.fp.upper_bound_inflation`); the floor loses one more
+    bit.  Accurate mode: the direct-product bound matrix ``C̄`` has entries
+    at most ``k·2^{12}`` (both magnitude matrices are below ``2^6``), and
+    the pre-scale ``μ'`` contributes ``2^{M−5}``.
+    """
+    k = int(k)
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if mode == "fast":
+        inflation = upper_bound_inflation(2 * k)
+        clamp = max(1.0, 0.51 * math.log2(4.0 * k * inflation))
+        return 1.0 + clamp + _SLACK_BITS
+    if mode == "accurate":
+        return 0.51 * math.log2(4096.0 * k) - 4.0 + _SLACK_BITS
+    raise ConfigurationError(f"unknown compute mode {mode!r}")
+
+
+def relative_error_bound(
+    k: int, num_moduli: int, precision_bits: int = 64, mode: str = "fast"
+) -> float:
+    """Relative bound ``ρ(N, k)``: max element error over ``k·max|A|·max|B|``.
+
+    Magnitude-invariant (see the module docstring): this is the quantity
+    the selection compares against ``target_accuracy``.
+    """
+    if precision_bits not in _U_ACC:
+        raise ConfigurationError(
+            f"precision_bits must be 32 or 64, got {precision_bits}"
+        )
+    table = build_constant_table(int(num_moduli), int(precision_bits))
+    alpha = 0.5 * float(table.P_fast)
+    c = truncation_margin_exponent(k, mode)
+    trunc = 2.0 ** (c - alpha + 1.0) + 2.0 ** (2.0 * (c - alpha))
+    return trunc + _U_ACC[precision_bits] * float(k)
+
+
+def elementwise_error_bound(
+    k: int,
+    max_abs_a: float,
+    max_abs_b: float,
+    num_moduli: int,
+    precision_bits: int = 64,
+    mode: str = "fast",
+) -> float:
+    """Absolute element-wise bound ``max_ij |(AB − C)_ij|`` of one emulation.
+
+    The product of :func:`relative_error_bound` and the natural scale
+    ``k·max|A|·max|B|``.  Zero operands give a zero bound (the emulated
+    product of a zero matrix is exactly zero).
+    """
+    max_abs_a = _check_max_abs(max_abs_a, "A")
+    max_abs_b = _check_max_abs(max_abs_b, "B")
+    scale = float(k) * max_abs_a * max_abs_b
+    if scale == 0.0:
+        return 0.0
+    return relative_error_bound(k, num_moduli, precision_bits, mode) * scale
+
+
+def _check_max_abs(value: float, which: str) -> float:
+    value = float(value)
+    if not (value >= 0.0) or math.isinf(value):
+        raise ConfigurationError(
+            f"max|{which}| must be a finite non-negative value, got {value}"
+        )
+    return value
+
+
+def select_num_moduli(
+    k: int,
+    max_abs_a: float,
+    max_abs_b: float,
+    precision_bits: int = 64,
+    target: "float | None" = None,
+    mode: str = "fast",
+    max_moduli: int = MAX_MODULI,
+) -> AdaptiveSelection:
+    """Smallest ``N`` whose a-priori bound meets the accuracy target.
+
+    Parameters
+    ----------
+    k:
+        Inner dimension of the product.
+    max_abs_a / max_abs_b:
+        ``max|A|`` / ``max|B|`` — the max-abs scans the scaling pass
+        performs anyway.  They parameterise the returned absolute bound;
+        the *selection* is magnitude-invariant (the relative bound does not
+        depend on them), except that a zero operand short-circuits to the
+        minimum ``N`` with a zero bound.
+    precision_bits:
+        64 for DGEMM emulation, 32 for SGEMM emulation.
+    target:
+        Relative accuracy target in ``(0, 1)``; ``None`` uses
+        :data:`DEFAULT_TARGET_ACCURACY` for the precision.
+    mode:
+        ``"fast"`` or ``"accurate"``.
+    max_moduli:
+        Upper clamp (:data:`repro.config.MAX_MODULI` by default).  A target
+        unreachable even at the clamp returns ``met=False`` with the clamp
+        value rather than raising — auto selection degrades to the most
+        accurate supported configuration, and the returned ``bound`` states
+        what is actually guaranteed.
+    """
+    k = int(k)
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if precision_bits not in _U_ACC:
+        raise ConfigurationError(
+            f"precision_bits must be 32 or 64, got {precision_bits}"
+        )
+    if target is None:
+        target = DEFAULT_TARGET_ACCURACY[int(precision_bits)]
+    target = float(target)
+    if not (0.0 < target < 1.0):
+        raise ConfigurationError(
+            f"target_accuracy must lie in (0, 1), got {target}"
+        )
+    max_moduli = int(max_moduli)
+    if not (_MIN_MODULI <= max_moduli <= MAX_MODULI):
+        raise ConfigurationError(
+            f"max_moduli must lie in [{_MIN_MODULI}, {MAX_MODULI}], got {max_moduli}"
+        )
+    max_abs_a = _check_max_abs(max_abs_a, "A")
+    max_abs_b = _check_max_abs(max_abs_b, "B")
+
+    scale = float(k) * max_abs_a * max_abs_b
+    if scale == 0.0:
+        # A zero operand: the emulated product is exactly zero for any N.
+        return AdaptiveSelection(
+            num_moduli=_MIN_MODULI,
+            target=target,
+            met=True,
+            bound=0.0,
+            relative_bound=0.0,
+            k=k,
+            max_abs_a=max_abs_a,
+            max_abs_b=max_abs_b,
+            precision_bits=int(precision_bits),
+            mode=mode,
+        )
+
+    chosen, met, rel = max_moduli, False, relative_error_bound(
+        k, max_moduli, precision_bits, mode
+    )
+    for n in range(_MIN_MODULI, max_moduli + 1):
+        candidate = relative_error_bound(k, n, precision_bits, mode)
+        if candidate <= target:
+            chosen, met, rel = n, True, candidate
+            break
+    return AdaptiveSelection(
+        num_moduli=chosen,
+        target=target,
+        met=met,
+        bound=rel * scale,
+        relative_bound=rel,
+        k=k,
+        max_abs_a=max_abs_a,
+        max_abs_b=max_abs_b,
+        precision_bits=int(precision_bits),
+        mode=mode,
+    )

@@ -39,6 +39,13 @@ class OpCounter:
     bytes_read / bytes_written:
         Modelled memory traffic in bytes, assuming each operand is read or
         written once per invocation (no cache model).
+    emulated_calls:
+        Histogram ``{N: count}`` of emulated GEMM/GEMV calls retired
+        through this engine, keyed by the moduli count each call actually
+        ran with.  Recorded by the emulation entry points (not by the raw
+        engine ops), so fused/unfused and GEMV/GEMM execution strategies
+        stay ledger-identical; under ``num_moduli="auto"`` this is where
+        the per-call selected ``N`` becomes observable.
     """
 
     matmul_calls: int = 0
@@ -46,6 +53,16 @@ class OpCounter:
     elementwise_ops: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    emulated_calls: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    #: Plain integer counters (the dict field needs per-key arithmetic).
+    _INT_FIELDS = (
+        "matmul_calls",
+        "mac_ops",
+        "elementwise_ops",
+        "bytes_read",
+        "bytes_written",
+    )
 
     def record_matmul(
         self,
@@ -76,6 +93,18 @@ class OpCounter:
         self.bytes_read += int(round(count * in_bytes))
         self.bytes_written += int(round(count * out_bytes))
 
+    def record_emulated(self, num_moduli: int, count: int = 1) -> None:
+        """Record ``count`` emulated GEMM/GEMV calls run with ``num_moduli``.
+
+        Called once per emulated product by the entry points
+        (:func:`repro.core.gemm.ozaki2_gemm`,
+        :func:`repro.core.gemv.prepared_gemv`, the batched runtime) — never
+        by the engine's raw ops, so every execution strategy of the same
+        product records the identical ledger.
+        """
+        key = int(num_moduli)
+        self.emulated_calls[key] = self.emulated_calls.get(key, 0) + int(count)
+
     @property
     def flops(self) -> int:
         """Conventional floating/integer-op count: 2 ops per MAC."""
@@ -88,8 +117,9 @@ class OpCounter:
         self.elementwise_ops = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.emulated_calls = {}
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dictionary (for reports/tests)."""
         return {
             "matmul_calls": self.matmul_calls,
@@ -98,41 +128,42 @@ class OpCounter:
             "elementwise_ops": self.elementwise_ops,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "emulated_calls": dict(self.emulated_calls),
         }
 
     def merge(self, other: "OpCounter") -> "OpCounter":
         """Return a new counter with the sum of both ledgers."""
-        merged = OpCounter()
-        for field in dataclasses.fields(OpCounter):
-            setattr(
-                merged,
-                field.name,
-                getattr(self, field.name) + getattr(other, field.name),
-            )
+        merged = self.copy()
+        merged.absorb(other)
         return merged
 
     def absorb(self, other: "OpCounter") -> None:
         """Add ``other``'s ledger into this counter in place."""
-        for field in dataclasses.fields(OpCounter):
-            setattr(
-                self,
-                field.name,
-                getattr(self, field.name) + getattr(other, field.name),
-            )
+        for name in self._INT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for moduli, count in other.emulated_calls.items():
+            self.emulated_calls[moduli] = self.emulated_calls.get(moduli, 0) + count
 
     def copy(self) -> "OpCounter":
         """Return an independent snapshot of this ledger."""
-        return dataclasses.replace(self)
+        snapshot = dataclasses.replace(self)
+        snapshot.emulated_calls = dict(self.emulated_calls)
+        return snapshot
 
     def difference(self, earlier: "OpCounter") -> "OpCounter":
-        """Return the per-field delta ``self - earlier`` as a new counter."""
+        """Return the per-field delta ``self - earlier`` as a new counter.
+
+        Histogram entries whose delta is zero are dropped, so a window in
+        which no emulated call retired reports an empty histogram.
+        """
         delta = OpCounter()
-        for field in dataclasses.fields(OpCounter):
-            setattr(
-                delta,
-                field.name,
-                getattr(self, field.name) - getattr(earlier, field.name),
-            )
+        for name in self._INT_FIELDS:
+            setattr(delta, name, getattr(self, name) - getattr(earlier, name))
+        keys = set(self.emulated_calls) | set(earlier.emulated_calls)
+        for moduli in keys:
+            count = self.emulated_calls.get(moduli, 0) - earlier.emulated_calls.get(moduli, 0)
+            if count:
+                delta.emulated_calls[moduli] = count
         return delta
 
 

@@ -8,6 +8,7 @@ are plain dictionaries (easy to assert on in tests or dump to CSV) and whose
 
 from .experiments import (
     accuracy_sweep,
+    adaptive_moduli_sweep,
     batched_speedup_sweep,
     breakdown_sweep,
     cpu_wallclock_sweep,
@@ -16,6 +17,7 @@ from .experiments import (
     power_sweep,
     preconditioner_sweep,
     prepared_reuse_sweep,
+    progressive_solver_sweep,
     runtime_scaling_sweep,
     throughput_sweep,
 )
@@ -36,6 +38,7 @@ from .report import format_table, rows_to_csv
 
 __all__ = [
     "accuracy_sweep",
+    "adaptive_moduli_sweep",
     "batched_speedup_sweep",
     "breakdown_sweep",
     "cpu_wallclock_sweep",
@@ -44,6 +47,7 @@ __all__ = [
     "power_sweep",
     "preconditioner_sweep",
     "prepared_reuse_sweep",
+    "progressive_solver_sweep",
     "runtime_scaling_sweep",
     "throughput_sweep",
     "FigureResult",

@@ -22,6 +22,8 @@ from ..workloads import phi_pair
 
 __all__ = [
     "accuracy_sweep",
+    "adaptive_moduli_sweep",
+    "progressive_solver_sweep",
     "throughput_sweep",
     "power_sweep",
     "breakdown_sweep",
@@ -615,3 +617,137 @@ def precision_for_target(target: "Format | str") -> Format:
     if fmt not in (FP64, FP32):
         raise ValueError(f"runtime sweeps emulate fp64 or fp32, got {fmt.name}")
     return fmt
+
+
+def adaptive_moduli_sweep(
+    families: Sequence[Dict[str, object]],
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Auto-N vs fixed-N emulation across workload families (this CPU).
+
+    Each family is a dict with keys ``label``, ``m``, ``k``, ``n`` and
+    optionally ``phi`` (default 0.5), ``precision`` (default fp64),
+    ``num_moduli_fixed`` (default 15 — the paper's DGEMM default) and
+    ``seed``.  For every family the same (A, B) pair runs through
+
+    * the fixed configuration (``num_moduli=num_moduli_fixed``), and
+    * the auto configuration (``num_moduli="auto"`` at the default
+      ``target_accuracy`` unless the family overrides it),
+
+    with best-of-``repeats`` wall clocks.  Each row reports the selected
+    count, the measured end-to-end speedup next to the cost model's
+    *predicted* ops speedup (:func:`repro.perfmodel.adaptive_moduli_savings`),
+    the measured max element-wise error against the high-precision
+    reference next to the selection's guaranteed bound
+    (``within_bound``), and bitwise equality of the auto result against a
+    fixed run at the selected count (``bit_identical`` — auto selection
+    chooses the configuration, never the arithmetic).
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+    from ..perfmodel import adaptive_moduli_savings
+
+    rows: List[Dict[str, object]] = []
+    for family in families:
+        fmt = precision_for_target(family.get("precision", FP64))
+        m, k, n = int(family["m"]), int(family["k"]), int(family["n"])
+        phi = float(family.get("phi", 0.5))
+        seed = int(family.get("seed", 0))
+        n_fixed = int(family.get("num_moduli_fixed", 15))
+        target = family.get("target_accuracy")
+        a, b = phi_pair(m, k, n, phi=phi, precision=fmt, seed=seed)
+
+        fixed_cfg = Ozaki2Config(precision=fmt, num_moduli=n_fixed)
+        auto_cfg = Ozaki2Config(
+            precision=fmt, num_moduli="auto", target_accuracy=target
+        )
+
+        best = {}
+        details = {}
+        for key, cfg in (("fixed", fixed_cfg), ("auto", auto_cfg)):
+            best[key] = float("inf")
+            for _ in range(max(1, int(repeats))):
+                start = time.perf_counter()
+                result = ozaki2_gemm(a, b, config=cfg, return_details=True)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[key]:
+                    best[key], details[key] = elapsed, result
+
+        auto = details["auto"]
+        selection = auto.moduli_selection
+        comparator = ozaki2_gemm(a, b, config=fixed_cfg.replace(num_moduli=auto.config.num_moduli))
+        reference = reference_gemm(a, b)
+        measured_error = float(np.max(np.abs(auto.c.astype(np.float64) - reference)))
+        predicted = adaptive_moduli_savings(
+            m, k, n, n_fixed, auto.config.num_moduli, target=fmt
+        )
+        rows.append(
+            {
+                "family": str(family.get("label", f"m{m}k{k}n{n}_phi{phi:g}")),
+                "precision": fmt.name,
+                "m": m,
+                "k": k,
+                "n": n,
+                "phi": phi,
+                "target": selection.target,
+                "n_fixed": n_fixed,
+                "n_auto": auto.config.num_moduli,
+                "target_met": bool(selection.met),
+                "seconds_fixed": best["fixed"],
+                "seconds_auto": best["auto"],
+                "speedup": best["fixed"] / best["auto"],
+                "predicted_speedup": predicted["predicted_ops_speedup"],
+                "max_error": measured_error,
+                "error_bound": float(selection.bound),
+                "within_bound": bool(measured_error <= selection.bound),
+                "bit_identical": bool(np.array_equal(auto.c, comparator)),
+            }
+        )
+    return rows
+
+
+def progressive_solver_sweep(
+    size: int = 1024,
+    cond: float = 1e3,
+    num_moduli: int = 15,
+    tol: float = 1e-10,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Progressive-precision CG vs the fixed-count solve (this CPU).
+
+    Solves one ill-conditioned SPD system (the PCG benchmark family) with
+    plain CG at the fixed count and with ``progressive=True`` (the
+    moduli-escalation ladder of :class:`repro.apps.solvers._ModuliLadder`).
+    Two rows — ``route`` = ``"fixed"`` / ``"progressive"`` — report
+    convergence, iterations, the final relative residual (both routes face
+    the *same* full-count residual check), wall clock, and the
+    progressive route's moduli schedule as ``N:iterations`` segments.
+    """
+    from ..apps.solvers import cg_solve, moduli_schedule_segments
+    from ..config import Ozaki2Config
+    from ..workloads import linear_system
+
+    a, b, _ = linear_system(size, kind="ill_spd", cond=cond, seed=seed)
+    config = Ozaki2Config(num_moduli=num_moduli)
+
+    rows: List[Dict[str, object]] = []
+    for route, progressive in (("fixed", False), ("progressive", True)):
+        result = cg_solve(a, b, config=config, tol=tol, progressive=progressive)
+        segments = moduli_schedule_segments(result.moduli_history)
+        rows.append(
+            {
+                "route": route,
+                "n": int(size),
+                "cond": float(cond),
+                "method": result.method,
+                "converged": bool(result.converged),
+                "iterations": int(result.iterations),
+                "residual": float(result.residual_norm),
+                "tol": float(tol),
+                "seconds": float(result.seconds),
+                "schedule": "->".join(f"{c}x{i}" for c, i in segments),
+            }
+        )
+    rows[1]["speedup_vs_fixed"] = rows[0]["seconds"] / rows[1]["seconds"]
+    rows[0]["speedup_vs_fixed"] = 1.0
+    return rows

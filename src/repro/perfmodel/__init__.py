@@ -20,7 +20,7 @@ crossovers sit), not the absolute TFLOPS of the authors' testbed.
 """
 
 from .breakdown import phase_breakdown
-from .costmodel import MethodCost, PhaseCost, method_cost
+from .costmodel import MethodCost, PhaseCost, adaptive_moduli_savings, method_cost
 from .power import power_efficiency, modeled_power
 from .roofline import modeled_time, modeled_tflops, phase_times
 from .specs import GPUS, FIGURE1_GPUS, GpuSpec, get_gpu
@@ -30,6 +30,7 @@ __all__ = [
     "MethodCost",
     "PhaseCost",
     "method_cost",
+    "adaptive_moduli_savings",
     "power_efficiency",
     "modeled_power",
     "modeled_time",

@@ -27,9 +27,9 @@ from typing import List
 from ..baselines.registry import MethodSpec, get_method
 from ..config import ComputeMode
 from ..errors import PerfModelError
-from ..types import FP64, Format
+from ..types import FP64, Format, get_format
 
-__all__ = ["PhaseCost", "MethodCost", "method_cost"]
+__all__ = ["PhaseCost", "MethodCost", "method_cost", "adaptive_moduli_savings"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -208,3 +208,44 @@ def method_cost(
         raise PerfModelError(f"no cost model for method family {spec.family!r}")
 
     return MethodCost(method=spec.name, target=spec.target, m=m, k=k, n=n, phases=phases)
+
+
+def adaptive_moduli_savings(
+    m: int,
+    k: int,
+    n: int,
+    num_moduli_fixed: int,
+    num_moduli_auto: int,
+    target: "Format | str" = FP64,
+    mode: "ComputeMode | str" = ComputeMode.FAST,
+) -> dict:
+    """Predicted cost savings of auto-N against a fixed moduli count.
+
+    Evaluates the Ozaki-II phase cost model at both counts and reports the
+    fixed/auto ratios for scalar operations and modelled memory traffic —
+    the *predicted* speedup the adaptive benchmark compares against its
+    measured wall-clock ratio (``predicted-vs-actual N savings``).  Both
+    ratios are >= 1 whenever ``num_moduli_auto <= num_moduli_fixed`` since
+    every N-dependent phase shrinks linearly and no phase grows.
+    """
+    mode = ComputeMode.parse(mode)
+    fmt = get_format(target)
+    costs = {}
+    for label, nmod in (("fixed", int(num_moduli_fixed)), ("auto", int(num_moduli_auto))):
+        phases = _ozaki2_cost(nmod, mode, fmt, int(m), int(k), int(n))
+        costs[label] = (
+            sum(p.ops for p in phases),
+            sum(p.bytes_moved for p in phases),
+        )
+    ops_fixed, bytes_fixed = costs["fixed"]
+    ops_auto, bytes_auto = costs["auto"]
+    return {
+        "num_moduli_fixed": int(num_moduli_fixed),
+        "num_moduli_auto": int(num_moduli_auto),
+        "ops_fixed": ops_fixed,
+        "ops_auto": ops_auto,
+        "bytes_fixed": bytes_fixed,
+        "bytes_auto": bytes_auto,
+        "predicted_ops_speedup": ops_fixed / ops_auto,
+        "predicted_bytes_speedup": bytes_fixed / bytes_auto,
+    }

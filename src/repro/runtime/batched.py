@@ -34,11 +34,18 @@ import numpy as np
 from ..config import ComputeMode, Ozaki2Config
 from ..core.accumulation import unscale
 from ..core.conversion import residue_slices, truncate_scaled
-from ..core.gemm import Ozaki2Result, PhaseTimes, _resolve_prepared_sides
+from ..core.gemm import (
+    Ozaki2Result,
+    PhaseTimes,
+    _AUTO_TABLE_RESTRICTION,
+    _resolve_auto_moduli,
+    _resolve_prepared_sides,
+)
 from ..core.operand import ResidueOperand
 from ..core.scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine
+from ..errors import ConfigurationError
 from ..types import result_dtype
 from ..utils.validation import check_gemm_operands
 from .plan import plan_for_config
@@ -95,9 +102,18 @@ def ozaki2_gemm_batched(
         # conversion state is set up, and `[]` is returned for both the
         # plain and the return_details flavours.
         return []
-    table = constant_table or build_constant_table(
-        config.num_moduli, 64 if config.is_dgemm else 32
-    )
+    if config.moduli_is_auto:
+        # Auto selection is per item (each item's k and magnitudes pick its
+        # own count); tables are built per resolved item inside the batch,
+        # and a caller-supplied table is rejected exactly as on the single
+        # GEMM route.
+        if constant_table is not None:
+            raise ConfigurationError(_AUTO_TABLE_RESTRICTION)
+        table = None
+    else:
+        table = constant_table or build_constant_table(
+            config.num_moduli, 64 if config.is_dgemm else 32
+        )
     out_dtype = result_dtype(config.precision)
 
     own_scheduler = scheduler is None
@@ -121,6 +137,7 @@ def _run_batch(
     batch = len(As)
     engine = sched.engine
     fast = config.mode is ComputeMode.FAST
+    auto = config.moduli_is_auto
     times: List[PhaseTimes] = [PhaseTimes() for _ in range(batch)]
 
     # -- per-item scaling + truncation (value-dependent, cheap) --------------
@@ -136,6 +153,9 @@ def _run_batch(
     b_src = list(range(batch))
     mus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
     nus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
+    configs: List[Ozaki2Config] = [None] * batch  # type: ignore[list-item]
+    tables: List[CRTConstantTable] = [None] * batch  # type: ignore[list-item]
+    selections = [None] * batch
     plans = []
     scale_counters = []
     seen_a: Dict[int, int] = {}
@@ -144,9 +164,6 @@ def _run_batch(
         a_in, b_in = As[j], Bs[j]
         a_prep = a_in if isinstance(a_in, ResidueOperand) else None
         b_prep = b_in if isinstance(b_in, ResidueOperand) else None
-        a_preps[j], b_preps[j] = a_prep, b_prep
-        alias_a = fast and a_prep is None and id(a_in) in seen_a
-        alias_b = fast and b_prep is None and id(b_in) in seen_b
 
         if a_prep is not None or b_prep is not None:
             a, b = _resolve_prepared_sides(a_in, b_in, a_prep, b_prep, config)
@@ -158,27 +175,55 @@ def _run_batch(
 
         m, k = a_prep.shape if a_prep is not None else a.shape
         n = (b_prep.shape if b_prep is not None else b.shape)[1]
-        plans.append(plan_for_config(m, k, n, config))
+
+        # Per-item auto-N: each item's (k, magnitudes) selects its own
+        # count; prepared sides are re-derived at it (cached on the
+        # operand, so repeated batch items pay each count once).
+        if auto:
+            configs[j], a_prep, b_prep, selections[j] = _resolve_auto_moduli(
+                a, b, a_prep, b_prep, k, config
+            )
+        else:
+            configs[j] = config
+        if table is not None and table.num_moduli == configs[j].num_moduli:
+            tables[j] = table
+        else:
+            tables[j] = build_constant_table(
+                configs[j].num_moduli, 64 if config.is_dgemm else 32
+            )
+        a_preps[j], b_preps[j] = a_prep, b_prep
+        # Same-object aliasing requires the same resolved count: equal
+        # arrays under one batch config always select equally (the model is
+        # deterministic), so the guard only matters defensively.
+        alias_a = (
+            fast and a_prep is None and id(a_in) in seen_a
+            and configs[seen_a[id(a_in)]].num_moduli == configs[j].num_moduli
+        )
+        alias_b = (
+            fast and b_prep is None and id(b_in) in seen_b
+            and configs[seen_b[id(b_in)]].num_moduli == configs[j].num_moduli
+        )
+        plans.append(plan_for_config(m, k, n, configs[j]))
 
         # Accurate mode issues engine GEMMs during scaling; snapshot the
         # ledger so those calls are attributed to this item's counter.
         counter_before = engine.counter.copy()
         t0 = time.perf_counter()
         if not fast:
-            mu, nu = accurate_mode_scales(a, b, table, engine)[:2]
+            mu, nu = accurate_mode_scales(a, b, tables[j], engine)[:2]
         else:
             if a_prep is not None:
                 mu = a_prep.scale
             elif alias_a:
                 mu = mus[seen_a[id(a_in)]]
             else:
-                mu = fast_mode_scale_a(a, table)
+                mu = fast_mode_scale_a(a, tables[j])
             if b_prep is not None:
                 nu = b_prep.scale
             elif alias_b:
                 nu = nus[seen_b[id(b_in)]]
             else:
-                nu = fast_mode_scale_b(b, table)
+                nu = fast_mode_scale_b(b, tables[j])
         times[j].add("scale", time.perf_counter() - t0)
         scale_counters.append(engine.counter.difference(counter_before))
         mus[j], nus[j] = mu, nu
@@ -204,9 +249,9 @@ def _run_batch(
             if fast:
                 seen_b[id(b_in)] = j
 
-    # -- shared residue conversion, one pass per operand shape ---------------
-    a_slices = _grouped_residue_slices(a_primes, table, config, times, "convert_A")
-    b_slices = _grouped_residue_slices(b_primes, table, config, times, "convert_B")
+    # -- shared residue conversion, one pass per (shape, moduli) group -------
+    a_slices = _grouped_residue_slices(a_primes, tables, config, times, "convert_A")
+    b_slices = _grouped_residue_slices(b_primes, tables, config, times, "convert_B")
     for j in range(batch):
         if a_preps[j] is not None:
             a_slices[j] = a_preps[j].slices
@@ -226,11 +271,12 @@ def _run_batch(
             plans[j],
             a_slices[j],
             b_slices[j],
-            table,
-            config,
+            tables[j],
+            configs[j],
             times=times[j],
             trusted=True,
         )
+        engine.counter.record_emulated(configs[j].num_moduli)
         t0 = time.perf_counter()
         c = unscale(c_pp, mus[j], nus[j], out_dtype=out_dtype)
         times[j].add("unscale", time.perf_counter() - t0)
@@ -242,12 +288,13 @@ def _run_batch(
         results.append(
             Ozaki2Result(
                 c=c,
-                config=config,
+                config=configs[j],
                 mu=mus[j],
                 nu=nus[j],
                 phase_times=times[j],
                 int8_counter=item_counter,
                 num_k_blocks=plans[j].num_k_blocks,
+                moduli_selection=selections[j],
             )
         )
     return results
@@ -255,28 +302,30 @@ def _run_batch(
 
 def _grouped_residue_slices(
     primes: List[Optional[np.ndarray]],
-    table: CRTConstantTable,
+    tables: List[CRTConstantTable],
     config: Ozaki2Config,
     times: List[PhaseTimes],
     phase_key: str,
 ) -> List[Optional[np.ndarray]]:
-    """Residue stacks for every item, one conversion pass per shape group.
+    """Residue stacks for every item, one pass per ``(shape, moduli)`` group.
 
-    Items sharing a shape are stacked into a single ``(group, rows, cols)``
-    array so each ``rmod`` kernel runs once per modulus for the whole group
-    (the kernels are elementwise, so the stacked result is bit-identical to
+    Items sharing a shape *and* a (possibly auto-selected, hence per-item)
+    moduli count are stacked into a single ``(group, rows, cols)`` array so
+    each ``rmod`` kernel runs once per modulus for the whole group (the
+    kernels are elementwise, so the stacked result is bit-identical to
     converting items one by one).  The group's conversion time is split
     evenly across its members' phase ledgers.  ``None`` entries (prepared
     or aliased operands) are skipped and stay ``None`` in the output — the
     caller fills them from their source.
     """
-    groups: Dict[Tuple[int, int], List[int]] = {}
+    groups: Dict[Tuple[Tuple[int, int], int], List[int]] = {}
     for j, x in enumerate(primes):
         if x is not None:
-            groups.setdefault(x.shape, []).append(j)
+            groups.setdefault((x.shape, tables[j].num_moduli), []).append(j)
 
     out: List[Optional[np.ndarray]] = [None] * len(primes)
     for members in groups.values():
+        table = tables[members[0]]
         t0 = time.perf_counter()
         if len(members) == 1:
             j = members[0]

@@ -17,6 +17,14 @@ decomposition for one problem:
 Plans are pure data: building one performs no numerical work, so tests can
 assert on the decomposition cheaply, and the scheduler can execute the same
 plan serially or in parallel with bit-identical results.
+
+A note on adaptive moduli selection (``num_moduli="auto"``): the count is
+resolved per *plan* (per GEMM, and per item in the batched runtime), never
+per k-block.  The k-blocks of one product accumulate exact integer
+partials of the **same** residue system, and condition (3) — hence CRT
+uniqueness — is a property of the full-``k`` sum, so every block must use
+the full selection; a cheaper per-block count would make the reassembled
+product ambiguous modulo the smaller ``P``.
 """
 
 from __future__ import annotations
@@ -50,14 +58,19 @@ _BYTES_PER_ELEMENT_PER_MODULUS = 8 + 1 + 8
 _BYTES_PER_ELEMENT_FIXED = 3 * 8
 
 
-def resolve_parallelism(parallelism: Optional[int]) -> int:
+def resolve_parallelism(parallelism: "Optional[int] | str") -> int:
     """Resolve a parallelism knob to a concrete worker count (>= 1).
 
-    ``None`` and ``1`` mean serial execution; ``0`` means one worker per
-    available CPU; any other positive integer is taken literally.
+    ``None`` and ``1`` mean serial execution; ``0`` and ``"auto"`` mean one
+    worker per available CPU (clamped to the host, never over-subscribing);
+    any other positive integer is taken literally.
     """
     if parallelism is None:
         return 1
+    if isinstance(parallelism, str):
+        if parallelism.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        raise ValueError(f"parallelism must be an integer >= 0 or 'auto', got {parallelism!r}")
     workers = int(parallelism)
     if workers < 0:
         raise ValueError(f"parallelism must be >= 0, got {workers}")

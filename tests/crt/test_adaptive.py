@@ -1,0 +1,169 @@
+"""Unit tests of the accuracy-driven moduli selection model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MAX_MODULI, Ozaki2Config
+from repro.crt.adaptive import (
+    DEFAULT_TARGET_ACCURACY,
+    elementwise_error_bound,
+    relative_error_bound,
+    select_num_moduli,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRelativeBound:
+    def test_decreases_with_moduli(self):
+        bounds = [relative_error_bound(256, n, 64) for n in range(2, MAX_MODULI + 1)]
+        assert all(b2 < b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_grows_with_k(self):
+        assert relative_error_bound(4096, 10, 64) > relative_error_bound(16, 10, 64)
+
+    def test_magnitude_invariance_of_absolute_bound(self):
+        # The absolute bound scales exactly with k*max|A|*max|B|.
+        base = elementwise_error_bound(128, 1.0, 1.0, 12, 64)
+        scaled = elementwise_error_bound(128, 8.0, 0.25, 12, 64)
+        assert scaled == pytest.approx(base * 8.0 * 0.25)
+
+    def test_zero_operand_bound_is_zero(self):
+        assert elementwise_error_bound(128, 0.0, 1.0, 12, 64) == 0.0
+
+    @pytest.mark.parametrize("bad_bits", [16, 128, 0])
+    def test_rejects_bad_precision(self, bad_bits):
+        with pytest.raises(ConfigurationError):
+            relative_error_bound(128, 10, bad_bits)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            relative_error_bound(128, 10, 64, mode="turbo")
+
+    def test_modes_share_the_same_margin_shape(self):
+        # Both mode margins derive from the same 0.51*log2(k) law and stay
+        # within a bit of each other, so the selected N rarely differs.
+        for k in (1, 16, 1024):
+            fast = relative_error_bound(k, 10, 64, mode="fast")
+            accu = relative_error_bound(k, 10, 64, mode="accurate")
+            assert fast / 2.0 <= accu <= fast * 2.0
+
+
+class TestSelection:
+    def test_monotone_in_target(self):
+        previous = None
+        for target in (1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12):
+            sel = select_num_moduli(256, 1.0, 1.0, 64, target=target)
+            if previous is not None:
+                assert sel.num_moduli >= previous
+            previous = sel.num_moduli
+
+    def test_never_exceeds_max_moduli(self):
+        sel = select_num_moduli(2**16, 1.0, 1.0, 64, target=1e-15)
+        assert sel.num_moduli <= MAX_MODULI
+        assert not sel.met  # unreachable target clamps instead of raising
+
+    def test_met_selection_bound_meets_target(self):
+        sel = select_num_moduli(512, 3.0, 0.5, 64, target=1e-8)
+        assert sel.met
+        assert sel.relative_bound <= 1e-8
+        assert sel.bound == pytest.approx(sel.relative_bound * 512 * 3.0 * 0.5)
+
+    def test_default_targets_match_precision(self):
+        d = select_num_moduli(128, 1.0, 1.0, 64)
+        s = select_num_moduli(128, 1.0, 1.0, 32)
+        assert d.target == DEFAULT_TARGET_ACCURACY[64]
+        assert s.target == DEFAULT_TARGET_ACCURACY[32]
+        assert s.num_moduli < d.num_moduli
+
+    def test_small_k_selects_fewer_than_dgemm_default(self):
+        sel = select_num_moduli(16, 1.0, 1.0, 64)
+        assert sel.num_moduli < 15
+
+    def test_zero_operand_short_circuits(self):
+        sel = select_num_moduli(128, 0.0, 5.0, 64)
+        assert sel.num_moduli == 2
+        assert sel.met and sel.bound == 0.0
+
+    def test_magnitude_invariant_selection(self):
+        a = select_num_moduli(256, 1.0, 1.0, 64).num_moduli
+        b = select_num_moduli(256, 2.0**40, 2.0**-37, 64).num_moduli
+        assert a == b
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1e-3, 2.0])
+    def test_rejects_bad_target(self, bad):
+        with pytest.raises(ConfigurationError, match="target"):
+            select_num_moduli(128, 1.0, 1.0, 64, target=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_rejects_bad_max_abs(self, bad):
+        with pytest.raises(ConfigurationError, match="max"):
+            select_num_moduli(128, bad, 1.0, 64)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError, match="k must be positive"):
+            select_num_moduli(0, 1.0, 1.0, 64)
+
+
+class TestConfigIntegration:
+    def test_auto_accepted_and_normalised(self):
+        cfg = Ozaki2Config(num_moduli="AUTO")
+        assert cfg.num_moduli == "auto"
+        assert cfg.moduli_is_auto
+        assert cfg.method_name == "OS II-fast-auto"
+
+    def test_resolved_returns_concrete(self):
+        cfg = Ozaki2Config(num_moduli="auto", target_accuracy=1e-8)
+        concrete = cfg.resolved(11)
+        assert concrete.num_moduli == 11
+        assert not concrete.moduli_is_auto
+        assert concrete.target_accuracy == 1e-8
+
+    def test_rejects_unknown_string(self):
+        with pytest.raises(ConfigurationError, match="num_moduli"):
+            Ozaki2Config(num_moduli="automatic")
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_rejects_bad_target_accuracy(self, bad):
+        with pytest.raises(ConfigurationError, match="target_accuracy"):
+            Ozaki2Config(target_accuracy=bad)
+
+    def test_fixed_configs_unchanged(self):
+        cfg = Ozaki2Config(num_moduli=14)
+        assert cfg.num_moduli == 14 and not cfg.moduli_is_auto
+
+
+class TestMeasuredErrorWithinBound:
+    @pytest.mark.parametrize("phi", [0.5, 2.0])
+    @pytest.mark.parametrize("num_moduli", [6, 10, 14])
+    def test_fast_mode_bound_holds(self, phi, num_moduli):
+        from repro.accuracy import reference_gemm
+        from repro.core.gemm import ozaki2_gemm
+        from repro.workloads import phi_pair
+
+        a, b = phi_pair(64, 48, 56, phi=phi, seed=3)
+        c = ozaki2_gemm(a, b, Ozaki2Config(num_moduli=num_moduli))
+        err = float(np.max(np.abs(c - reference_gemm(a, b))))
+        bound = elementwise_error_bound(
+            48, float(np.max(np.abs(a))), float(np.max(np.abs(b))), num_moduli, 64
+        )
+        assert err <= bound
+
+    def test_accurate_mode_bound_holds(self):
+        from repro.accuracy import reference_gemm
+        from repro.core.gemm import ozaki2_gemm
+        from repro.workloads import phi_pair
+
+        a, b = phi_pair(48, 64, 40, phi=1.0, seed=5)
+        c = ozaki2_gemm(a, b, Ozaki2Config(num_moduli=9, mode="accurate"))
+        err = float(np.max(np.abs(c - reference_gemm(a, b))))
+        bound = elementwise_error_bound(
+            64,
+            float(np.max(np.abs(a))),
+            float(np.max(np.abs(b))),
+            9,
+            64,
+            mode="accurate",
+        )
+        assert err <= bound

@@ -82,5 +82,6 @@ class TestOpCounter:
             "elementwise_ops",
             "bytes_read",
             "bytes_written",
+            "emulated_calls",
         }
         assert d["flops"] == 2 * d["mac_ops"]

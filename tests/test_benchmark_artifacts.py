@@ -20,6 +20,7 @@ import re
 _RESULTS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
 KERNEL_FUSION_RESULT = _RESULTS / "kernel_fusion.txt"
 GEMV_FAST_PATH_RESULT = _RESULTS / "gemv_fast_path.txt"
+ADAPTIVE_MODULI_RESULT = _RESULTS / "adaptive_moduli.txt"
 
 
 def _parse_rows(text: str):
@@ -83,3 +84,41 @@ def test_gemv_fast_path_file_exists_and_parses():
     # Every archived row must certify the fast-path guarantees.
     assert all(row["bit_identical"] == "True" for row in rows)
     assert all(row["ledger_equal"] == "True" for row in rows)
+
+
+def test_adaptive_moduli_file_exists_and_parses():
+    assert ADAPTIVE_MODULI_RESULT.exists(), (
+        "benchmarks/results/adaptive_moduli.txt is missing; run "
+        "`pytest benchmarks/test_bench_adaptive_moduli.py` to regenerate it"
+    )
+    text = ADAPTIVE_MODULI_RESULT.read_text()
+    gemm_text, solver_text = text.split("\n\n", 1)
+
+    rows = _parse_rows(gemm_text)
+    assert rows, "no auto-N rows in adaptive_moduli.txt"
+    # Every archived family must certify the adaptive guarantees: measured
+    # error within the model's bound, bitwise equality with the fixed-count
+    # comparator, selection at or below the table ceiling and strictly
+    # below the fixed default.
+    assert all(row["within_bound"] == "True" for row in rows)
+    assert all(row["bit_identical"] == "True" for row in rows)
+    assert all(2 <= int(row["n_auto"]) <= 20 for row in rows)
+    assert all(int(row["n_auto"]) < int(row["n_fixed"]) for row in rows)
+    # The committed headline claim: >= 1.3x end-to-end on the small-k
+    # well-scaled fp64 family at the default accuracy target.
+    headline = rows[0]
+    assert headline["precision"] == "fp64"
+    assert float(headline["speedup"]) >= 1.3
+
+    solver_rows = _parse_rows(solver_text)
+    routes = {row["route"]: row for row in solver_rows}
+    assert {"fixed", "progressive"} <= set(routes)
+    assert all(row["converged"] == "True" for row in solver_rows)
+    prog, fixed = routes["progressive"], routes["fixed"]
+    # Same final residual check, within the fixed-count wall clock.
+    assert float(prog["residual"]) <= float(prog["tol"])
+    assert float(prog["seconds"]) <= float(fixed["seconds"])
+    # The schedule must escalate and end at the fixed count.
+    stages = [int(seg.split("x")[0]) for seg in prog["schedule"].split("->")]
+    assert stages == sorted(stages)
+    assert stages[-1] == int(fixed["schedule"].split("x")[0])
