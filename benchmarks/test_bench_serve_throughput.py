@@ -1,0 +1,91 @@
+"""Serving benchmark: warm fingerprint hits vs cold uploads.
+
+Two experiments back the service layer (:mod:`repro.service`):
+
+* **Reuse-heavy GEMV trace** — one matrix, many right-hand sides, served
+  over HTTP twice: against a cache-disabled server with fingerprinting off
+  (every request uploads the matrix and converts it from scratch) and
+  against a default server with the negotiating client (the matrix is
+  uploaded and prepared once, then referenced by fingerprint).  Both routes
+  must be bit-identical to an in-process :class:`repro.session.Session`,
+  and the warm route must clear the >= 2x requests/sec acceptance floor.
+
+* **Cache-capacity sweep** — a skewed trace over a working set of
+  matrices, replayed against shrinking LRU byte budgets.  Throughput and
+  hit rate must grow monotonically-ish with capacity; the
+  capacity >= working-set row must not evict.
+
+The tables are archived in ``benchmarks/results/serve_throughput.txt``
+(and uploaded as a CI artifact by the smoke job);
+``tests/test_benchmark_artifacts.py`` asserts the committed table stays
+parseable and keeps certifying the claims.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import serve_cache_sweep, serve_throughput_sweep
+from repro.harness.report import format_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+CPUS = os.cpu_count() or 1
+
+SIZE = 512 if FULL else 384
+REQUESTS = 48 if FULL else 24
+REPEATS = 3 if FULL else 2
+
+CACHE_SIZE = 256 if FULL else 192
+CACHE_WORKING_SET = 6
+CACHE_REQUESTS = 48 if FULL else 36
+CACHE_ENTRIES = (1, 2, 4, 6)
+
+
+def test_bench_serve_warm_vs_cold(save_result):
+    rows = serve_throughput_sweep(size=SIZE, requests=REQUESTS, repeats=REPEATS)
+    throughput_table = format_table(
+        rows,
+        float_format=".3e",
+        title=(
+            f"serve throughput: warm fingerprint hits vs cold uploads "
+            f"(GEMV reuse trace, {CPUS} CPUs)"
+        ),
+    )
+
+    cache_rows = serve_cache_sweep(
+        size=CACHE_SIZE,
+        working_set=CACHE_WORKING_SET,
+        requests=CACHE_REQUESTS,
+        cache_entries=CACHE_ENTRIES,
+    )
+    cache_table = format_table(
+        cache_rows,
+        float_format=".3e",
+        title=(
+            f"operand cache capacity sweep (skewed trace, n={CACHE_SIZE}, "
+            f"working set {CACHE_WORKING_SET}, {CPUS} CPUs)"
+        ),
+    )
+    save_result("serve_throughput", throughput_table + "\n\n" + cache_table)
+
+    # A warm fingerprint hit is served from the very operand a cold upload
+    # would have produced — bit-identical to the in-process Session.
+    headline = rows[0]
+    assert headline["bit_identical"]
+    # Warm requests skip both the upload and the conversion: the trace is
+    # reuse-heavy, so almost every request hits.
+    assert headline["hit_rate"] >= 0.9
+    # Headline acceptance: warm-hit requests/sec >= 2x the cold-miss rate.
+    assert headline["speedup"] >= 2.0, (
+        f"warm serving reached only {headline['speedup']:.2f}x the cold "
+        f"rate ({headline['rps_warm']:.1f} vs {headline['rps_cold']:.1f} rps)"
+    )
+
+    # Capacity sweep sanity: hits never decrease as the budget grows, and a
+    # budget covering the working set serves the steady state evictionless.
+    hit_rates = [row["hit_rate"] for row in cache_rows]
+    assert all(b >= a - 1e-9 for a, b in zip(hit_rates, hit_rates[1:])), hit_rates
+    full_row = cache_rows[-1]
+    assert full_row["capacity_entries"] >= CACHE_WORKING_SET
+    assert full_row["evictions"] == 0
+    assert full_row["hit_rate"] > cache_rows[0]["hit_rate"]

@@ -6,36 +6,65 @@ Multiplication using INT8 Matrix Engines" (Uchino, Ozaki, Imamura — SC'25).
 Quick start
 -----------
 >>> import numpy as np
->>> from repro import emulated_dgemm
+>>> import repro
 >>> rng = np.random.default_rng(0)
 >>> a = rng.standard_normal((256, 256))
 >>> b = rng.standard_normal((256, 256))
->>> c = emulated_dgemm(a, b, num_moduli=15)
->>> float(np.max(np.abs(c - a @ b)))  # doctest: +SKIP
+>>> with repro.Session() as session:
+...     result = session.gemm(a, b)
+>>> float(np.max(np.abs(result.value - a @ b)))  # doctest: +SKIP
 1e-13
 
 Main entry points
 -----------------
-* :func:`repro.emulated_dgemm`, :func:`repro.emulated_sgemm`,
-  :func:`repro.ozaki2_gemm` — the paper's contribution.
+* :class:`repro.Session` — the facade: one configuration, one engine
+  ledger, a warm scheduler pool and a transparent prepared-operand cache
+  shared by ``gemm`` / ``gemv`` / ``solve`` / ``gemm_batched`` /
+  ``prepare``.  Every operation returns a :class:`repro.Result` subclass.
+* :mod:`repro.service` — the same Session behind a socket: ``repro serve``
+  (:class:`repro.service.ReproServer`) and
+  :class:`repro.service.ServiceClient` with fingerprint-negotiated operand
+  reuse.
+* :func:`repro.emulated_dgemm`, :func:`repro.emulated_sgemm` — one-shot
+  convenience wrappers (the paper's ``OS II-<mode>-<N>``).
 * :mod:`repro.baselines` — Ozaki scheme I (ozIMMU), cuMpSGEMM-style FP16,
   BF16x9, TF32 and native GEMM baselines.
 * :mod:`repro.engines` — INT8 / FP16 / BF16 / TF32 matrix-engine simulators.
-* :mod:`repro.runtime` — batched / parallel execution runtime
-  (:func:`repro.ozaki2_gemm_batched`, :class:`repro.Scheduler`).
+* :mod:`repro.runtime` — batched / parallel execution runtime.
 * :mod:`repro.perfmodel` — GPU throughput / power model used to regenerate
   the paper's performance figures.
 * :mod:`repro.harness` — one function per paper figure.
+
+Deprecated spellings
+--------------------
+The pre-Session free functions (``repro.ozaki2_gemm``,
+``repro.prepared_gemv``, ``repro.ozaki2_gemm_batched``, ``repro.prepare_a``,
+``repro.prepare_b``) keep working bit-identically but emit one
+:class:`DeprecationWarning` per process pointing at :class:`Session`; the
+defining submodules (e.g. :func:`repro.core.gemm.ozaki2_gemm`) remain the
+supported low-level spelling.
 """
 
+__version__ = "1.3.0"
+
+from ._compat import deprecated_alias as _deprecated_alias
+from ._compat import reset_deprecation_warnings
 from .config import ComputeMode, Ozaki2Config, ResidueKernel
 from .core.blas_like import gemm
-from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm, ozaki2_gemm
-from .core.gemv import GemvResult, prepared_gemv
-from .core.operand import ResidueOperand, prepare_a, prepare_b
+from .core import gemm as _gemm_module
+from .core import gemv as _gemv_module
+from .core import operand as _operand_module
+from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm
+from .core.gemv import GemvResult
+from .core.operand import ResidueOperand, matrix_fingerprint
 from .core.planner import choose_num_moduli
 from .crt.adaptive import AdaptiveSelection, select_num_moduli
-from .runtime import ExecutionPlan, Scheduler, ozaki2_gemm_batched
+from .result import GemmResult, PhaseTimes, Result
+from .runtime import ExecutionPlan, Scheduler
+from .runtime import batched as _batched_module
+from .apps.solvers import SolveResult
+from .session import SOLVE_METHODS, Session
+from .service import ReproServer, ServiceClient
 from .errors import (
     ConfigurationError,
     EngineError,
@@ -47,29 +76,63 @@ from .errors import (
 )
 from .types import BF16, FP16, FP32, FP64, INT8, TF32, Format, get_format
 
-__version__ = "1.2.0"
+# -- deprecated free-function shims (see repro._compat) ----------------------
+ozaki2_gemm = _deprecated_alias(
+    "ozaki2_gemm", "Session.gemm", _gemm_module.ozaki2_gemm
+)
+prepared_gemv = _deprecated_alias(
+    "prepared_gemv", "Session.gemv", _gemv_module.prepared_gemv
+)
+ozaki2_gemm_batched = _deprecated_alias(
+    "ozaki2_gemm_batched", "Session.gemm_batched", _batched_module.ozaki2_gemm_batched
+)
+prepare_a = _deprecated_alias(
+    "prepare_a", "Session.prepare(x, side='A')", _operand_module.prepare_a
+)
+prepare_b = _deprecated_alias(
+    "prepare_b", "Session.prepare(x, side='B')", _operand_module.prepare_b
+)
 
 __all__ = [
     "__version__",
+    # facade
+    "Session",
+    "SOLVE_METHODS",
+    "ReproServer",
+    "ServiceClient",
+    # results
+    "Result",
+    "GemmResult",
+    "GemvResult",
+    "SolveResult",
+    "Ozaki2Result",
+    "PhaseTimes",
+    # configuration
     "ComputeMode",
     "Ozaki2Config",
     "ResidueKernel",
-    "Ozaki2Result",
-    "GemvResult",
+    # one-shot entry points
     "emulated_dgemm",
     "emulated_sgemm",
+    "gemm",
+    # deprecated free functions (shimmed)
     "ozaki2_gemm",
     "prepared_gemv",
     "ozaki2_gemm_batched",
-    "ResidueOperand",
     "prepare_a",
     "prepare_b",
+    "reset_deprecation_warnings",
+    # operands
+    "ResidueOperand",
+    "matrix_fingerprint",
+    # runtime
     "ExecutionPlan",
     "Scheduler",
-    "gemm",
+    # moduli selection
     "choose_num_moduli",
     "AdaptiveSelection",
     "select_num_moduli",
+    # errors
     "ConfigurationError",
     "EngineError",
     "ModuliError",
@@ -77,6 +140,7 @@ __all__ = [
     "PerfModelError",
     "ReproError",
     "ValidationError",
+    # formats
     "BF16",
     "FP16",
     "FP32",

@@ -2,5 +2,7 @@
 
 from .cli import main
 
+__all__ = ["main"]
+
 if __name__ == "__main__":
     raise SystemExit(main())

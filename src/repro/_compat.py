@@ -1,0 +1,67 @@
+"""Deprecation shims for the pre-:class:`~repro.session.Session` surface.
+
+The 1.3 API redesign made :class:`repro.Session` the front door: it owns
+the engine ledger, the warm scheduler pool and the transparent operand
+cache that the free functions each rebuilt (or simply lacked) per call.
+The historical top-level free functions keep working **bit-identically** —
+each shim forwards every argument untouched to the original implementation
+— but announce the move with a single :class:`DeprecationWarning` per name
+per process (not per call: a solver invoking a shim in a loop must not
+flood stderr).
+
+Only the *top-level re-exports* are shimmed.  Internal modules import from
+the defining submodules (``repro.core.gemm`` etc.), so library code never
+triggers the warning; neither do users who deliberately import from the
+submodule, which remains the supported spelling for low-level work.
+
+``reset_deprecation_warnings`` clears the once-per-name registry — a test
+hook, so warning-behaviour tests are order-independent.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import warnings
+from typing import Callable, Set
+
+__all__ = ["deprecated_alias", "reset_deprecation_warnings"]
+
+_WARNED: Set[str] = set()
+_LOCK = threading.Lock()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecated names already warned (test hook)."""
+    with _LOCK:
+        _WARNED.clear()
+
+
+def deprecated_alias(name: str, replacement: str, func: Callable) -> Callable:
+    """Wrap ``func`` to warn once (per process) that ``name`` moved.
+
+    The wrapper forwards ``*args, **kwargs`` verbatim and returns the
+    original's result unchanged, so the shim is bit-identical to calling
+    ``func`` directly — the warning is the only observable difference, and
+    only on the first call.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        with _LOCK:
+            first = name not in _WARNED
+            if first:
+                _WARNED.add(name)
+        if first:
+            warnings.warn(
+                f"repro.{name} is deprecated; use {replacement} — the Session "
+                "facade shares one engine ledger, a warm scheduler pool and a "
+                "transparent operand cache across calls (results are "
+                "bit-identical either way)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return func(*args, **kwargs)
+
+    wrapper.__deprecated_alias__ = name
+    return wrapper

@@ -50,6 +50,7 @@ from ..core.gemv import prepared_gemv
 from ..core.operand import ResidueOperand, prepare_a
 from ..crt.adaptive import select_num_moduli
 from ..errors import ValidationError
+from ..result import Result
 from ..runtime.scheduler import Scheduler
 from ..utils.validation import ensure_2d
 from .preconditioners import Preconditioner, make_preconditioner
@@ -203,13 +204,14 @@ _STALL_WINDOW = 20
 
 
 @dataclasses.dataclass
-class SolveResult:
+class SolveResult(Result):
     """Outcome of one iterative solve.
 
     Attributes
     ----------
-    x:
-        The computed solution vector.
+    value:
+        The computed solution vector (also reachable under the historical
+        name :attr:`x`).
     converged:
         Whether the stopping tolerance was met within ``max_iter``.
     iterations:
@@ -239,17 +241,20 @@ class SolveResult:
         from a full-count residual check.
     """
 
-    x: np.ndarray
-    converged: bool
-    iterations: int
-    residual_norm: float
-    residual_history: List[float]
-    method: str
-    prepare_seconds: float
-    seconds: float
+    converged: bool = False
+    iterations: int = 0
+    residual_norm: float = float("nan")
+    residual_history: List[float] = dataclasses.field(default_factory=list)
+    method: str = ""
+    prepare_seconds: float = 0.0
+    seconds: float = 0.0
     precond: str = "none"
     precond_seconds: float = 0.0
-    moduli_history: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def x(self) -> np.ndarray:
+        """The solution vector (historical alias of :attr:`value`)."""
+        return self.value
 
 
 def prepared_matvec(
@@ -305,6 +310,40 @@ def _check_max_iter(max_iter: int) -> int:
     return max_iter
 
 
+def _adopt_prepared(
+    a: np.ndarray, config: Ozaki2Config, prepared: ResidueOperand
+) -> tuple:
+    """Validate a caller-supplied prepared system matrix and adopt it.
+
+    Callers that already hold ``A``'s :class:`ResidueOperand` — the
+    :class:`~repro.session.Session` facade's transparent operand cache, or a
+    user reusing one system matrix across many right-hand sides — pass it as
+    ``prepared=`` and the solver skips its own :func:`prepare_a` (the
+    one-time conversion was paid elsewhere, so ``prepare_seconds`` reports
+    0).  The operand must be an A-side preparation of this very system
+    matrix; a fixed-count ``config`` at another moduli count re-derives the
+    operand (:meth:`ResidueOperand.resolve_for`, cached, bit-identical to a
+    fresh preparation).  Returns ``(operand, concrete_config)``.
+    """
+    if prepared.side != "A":
+        raise ValidationError(
+            "the prepared system matrix must be an A-side operand "
+            "(per-row scales); use prepare_a / Session.prepare(side='A')"
+        )
+    if tuple(prepared.shape) != tuple(a.shape):
+        raise ValidationError(
+            f"prepared operand shape {tuple(prepared.shape)} does not match "
+            f"the system matrix {tuple(a.shape)}"
+        )
+    if config.moduli_is_auto:
+        prepared.require_compatible(config)
+        return prepared, prepared.config
+    # Mode/precision/kernel must match outright; the count may differ and is
+    # reachable through the operand's cached re-derivation.
+    prepared.require_compatible(config.replace(num_moduli="auto", target_accuracy=None))
+    return prepared.resolve_for(config.num_moduli), config
+
+
 def jacobi_solve(
     a: np.ndarray,
     b: np.ndarray,
@@ -315,6 +354,7 @@ def jacobi_solve(
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
     progressive: bool = False,
+    prepared: Optional[ResidueOperand] = None,
 ) -> SolveResult:
     """Jacobi iteration ``x ← x + D⁻¹(b − A·x)`` with emulated residuals.
 
@@ -362,10 +402,14 @@ def jacobi_solve(
             raise ValidationError("Jacobi requires a zero-free diagonal")
     label = "jacobi" if m_inv is None else f"jacobi+{kind}"
 
-    prep_start = time.perf_counter()
-    prep = prepare_a(a, config=config)
-    config = prep.config  # concrete under num_moduli="auto"
-    prepare_seconds = time.perf_counter() - prep_start
+    if prepared is not None:
+        prep, config = _adopt_prepared(a, config, prepared)
+        prepare_seconds = 0.0
+    else:
+        prep_start = time.perf_counter()
+        prep = prepare_a(a, config=config)
+        config = prep.config  # concrete under num_moduli="auto"
+        prepare_seconds = time.perf_counter() - prep_start
 
     n_full = config.num_moduli
     ladder = _ModuliLadder(a.shape[1], config, tol) if progressive else None
@@ -408,7 +452,8 @@ def jacobi_solve(
             else:
                 x = x + m_inv.apply(residual)
     return SolveResult(
-        x=x,
+        value=x,
+        config=config,
         converged=converged,
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),
@@ -432,6 +477,7 @@ def cg_solve(
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
     progressive: bool = False,
+    prepared: Optional[ResidueOperand] = None,
 ) -> SolveResult:
     """Conjugate gradients for SPD ``A`` with emulated ``A·p`` products.
 
@@ -464,6 +510,7 @@ def cg_solve(
         precond="none" if unpreconditioned else precond,
         omega=omega,
         progressive=progressive,
+        prepared=prepared,
         _method_label="cg" if unpreconditioned else None,
     )
 
@@ -478,6 +525,7 @@ def pcg_solve(
     precond: "str | Preconditioner" = "ilu0",
     omega: float = 1.0,
     progressive: bool = False,
+    prepared: Optional[ResidueOperand] = None,
     _method_label: Optional[str] = None,
 ) -> SolveResult:
     """Preconditioned conjugate gradients with emulated ``A·p`` products.
@@ -523,10 +571,14 @@ def pcg_solve(
     m_inv = make_preconditioner(a, precond, omega=omega)
     precond_seconds = m_inv.factor_seconds
 
-    prep_start = time.perf_counter()
-    prep = prepare_a(a, config=config)
-    config = prep.config  # concrete under num_moduli="auto"
-    prepare_seconds = time.perf_counter() - prep_start
+    if prepared is not None:
+        prep, config = _adopt_prepared(a, config, prepared)
+        prepare_seconds = 0.0
+    else:
+        prep_start = time.perf_counter()
+        prep = prepare_a(a, config=config)
+        config = prep.config  # concrete under num_moduli="auto"
+        prepare_seconds = time.perf_counter() - prep_start
 
     if _method_label is None:
         _method_label = "pcg" if m_inv.kind == "none" else f"pcg+{m_inv.kind}"
@@ -614,7 +666,8 @@ def pcg_solve(
             p = z + (rz_next / rz) * p
             rz = rz_next
     return SolveResult(
-        x=x,
+        value=x,
+        config=config,
         converged=converged,
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),
@@ -637,6 +690,7 @@ def iterative_refinement_solve(
     lu_block: int = 64,
     emulated_factorization: bool = False,
     progressive: bool = False,
+    prepared: Optional[ResidueOperand] = None,
 ) -> SolveResult:
     """LU once, then refinement steps with emulated residuals.
 
@@ -664,9 +718,13 @@ def iterative_refinement_solve(
         max_iter = _check_max_iter(max_iter)
 
     start = time.perf_counter()
-    prep = prepare_a(a, config=config)
-    config = prep.config  # concrete under num_moduli="auto"
-    prepare_seconds = time.perf_counter() - start
+    if prepared is not None:
+        prep, config = _adopt_prepared(a, config, prepared)
+        prepare_seconds = 0.0
+    else:
+        prep = prepare_a(a, config=config)
+        config = prep.config  # concrete under num_moduli="auto"
+        prepare_seconds = time.perf_counter() - start
 
     if emulated_factorization:
         # Convert-once trailing panels: L21 is prepared once per panel and
@@ -717,7 +775,8 @@ def iterative_refinement_solve(
                     prep_cur, cfg_cur = prep.resolve_for(cur_n), config.resolved(cur_n)
             x = x + correction(residual)
     return SolveResult(
-        x=x,
+        value=x,
+        config=config,
         converged=converged,
         iterations=len(history),
         residual_norm=history[-1] if history else float("nan"),

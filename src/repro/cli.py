@@ -21,6 +21,11 @@ Subcommands
 ``gemm``
     Multiply two ``.npy`` matrices with a chosen method and store / check the
     result (handy for quick experiments on real data).
+``serve``
+    Host the residue-GEMM service (:mod:`repro.service`): a long-lived
+    :class:`~repro.session.Session` behind HTTP with transparent
+    prepared-operand caching and request coalescing; ``--stats`` queries a
+    running server's counters instead of serving.
 ``selfcheck``
     Print version/configuration and run a fast end-to-end correctness check
     (used by CI as a post-install smoke test).
@@ -201,6 +206,54 @@ def build_parser() -> argparse.ArgumentParser:
     gemm.add_argument("--out", default=None, help="where to save the product (.npy)")
     gemm.add_argument(
         "--check", action="store_true", help="also report the error vs the high-precision reference"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="host the residue-GEMM service (or query a running one with --stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind / query address")
+    serve.add_argument(
+        "--port", type=int, default=7723, help="bind / query port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=256.0,
+        help="prepared-operand cache budget in MiB (0 disables caching)",
+    )
+    serve.add_argument(
+        "--moduli",
+        default=None,
+        help="default moduli count N, or 'auto' for accuracy-driven selection",
+    )
+    serve.add_argument(
+        "--target-accuracy",
+        type=float,
+        default=None,
+        help="relative accuracy target of --moduli auto",
+    )
+    serve.add_argument("--mode", default="fast", choices=["fast", "accurate"])
+    serve.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
+    serve.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="worker threads of the session scheduler (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=2.0,
+        help="how long to collect concurrent GEMMs into one batched call",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, help="largest coalesced batch"
+    )
+    serve.add_argument(
+        "--stats",
+        action="store_true",
+        help="query a RUNNING server's /v1/stats and print it (does not serve)",
     )
 
     sub.add_parser(
@@ -602,6 +655,84 @@ def _cmd_gemm(args) -> int:
     return 0
 
 
+def _print_serve_stats(stats: dict) -> None:
+    """Render the /v1/stats document the way the other subcommands print."""
+    cache = stats.get("cache", {})
+    ledger = stats.get("ledger", {})
+    coalescer = stats.get("coalescer", {})
+    print(
+        f"repro serve {stats.get('version', '?')} — {stats.get('method', '?')}, "
+        f"up {float(stats.get('server_uptime_seconds', 0.0)):.1f} s, "
+        f"{stats.get('requests', 0)} session requests"
+    )
+    print(
+        "cache:     "
+        f"{cache.get('entries', 0)} entries, "
+        f"{cache.get('current_bytes', 0) / 1e6:.1f}/"
+        f"{cache.get('capacity_bytes', 0) / 1e6:.1f} MB, "
+        f"hits {cache.get('hits', 0)}, misses {cache.get('misses', 0)}, "
+        f"evictions {cache.get('evictions', 0)}, "
+        f"hit rate {100.0 * float(cache.get('hit_rate', 0.0)):.1f}%"
+    )
+    print(
+        "coalescer: "
+        f"{coalescer.get('requests', 0)} requests in "
+        f"{coalescer.get('batches', 0)} batches "
+        f"(largest {coalescer.get('largest_batch', 0)}, "
+        f"mean {float(coalescer.get('mean_batch', 0.0)):.2f})"
+    )
+    print(
+        "ledger:    "
+        f"{ledger.get('matmul_calls', 0)} INT8 GEMMs, "
+        f"{ledger.get('mac_ops', 0):.3e} MACs, "
+        f"emulated calls {ledger.get('emulated_calls', {})}"
+    )
+    endpoints = stats.get("endpoint_requests", {})
+    if endpoints:
+        listing = ", ".join(f"{name}={count}" for name, count in sorted(endpoints.items()))
+        print(f"endpoints: {listing}")
+
+
+def _cmd_serve(args) -> int:
+    if args.stats:
+        from .service import ServiceClient
+
+        client = ServiceClient(host=args.host, port=args.port, timeout=10.0)
+        _print_serve_stats(client.stats())
+        return 0
+
+    from .config import Ozaki2Config
+    from .service import ReproServer
+
+    config = Ozaki2Config(
+        precision=args.precision,
+        num_moduli=_default_moduli(args.precision, args.moduli),
+        mode=args.mode,
+        parallelism=_resolve_workers(args.parallel),
+        target_accuracy=args.target_accuracy,
+    )
+    server = ReproServer(
+        config=config,
+        host=args.host,
+        port=args.port,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        coalesce_window_seconds=args.coalesce_window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    print(
+        f"repro serve listening on {server.host}:{server.port} "
+        f"({config.method_name}, cache {args.cache_mb:.0f} MB) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -613,6 +744,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "accuracy": _cmd_accuracy,
         "throughput": _cmd_throughput,
         "gemm": _cmd_gemm,
+        "serve": _cmd_serve,
         "selfcheck": _cmd_selfcheck,
     }
     try:

@@ -1,40 +1,28 @@
 """Public emulated-GEMM API (Algorithm 1).
 
 :func:`ozaki2_gemm` runs the full pipeline of Algorithm 1 on a pair of
-matrices and returns either the result matrix or an :class:`Ozaki2Result`
-with per-phase timings, operation counts and intermediate diagnostics.  The
-convenience wrappers :func:`emulated_dgemm` / :func:`emulated_sgemm` choose
-sensible defaults for FP64 / FP32 targets.
+matrices and returns either the result matrix or a
+:class:`~repro.result.GemmResult` (historically ``Ozaki2Result``, kept as an
+alias) with per-phase timings, operation counts and intermediate
+diagnostics.  The convenience wrappers :func:`emulated_dgemm` /
+:func:`emulated_sgemm` choose sensible defaults for FP64 / FP32 targets.
 
-The per-phase timing keys follow the line grouping used by the paper's time
-breakdown (Figures 6 and 7):
-
-============  =============================================================
-key           Algorithm 1 lines
-============  =============================================================
-``scale``     1 (scale-vector determination; includes the extra INT8 GEMM
-              of accurate mode)
-``convert_A``  2 and 4 (truncation + residues of A)
-``convert_B``  3 and 5 (truncation + residues of B)
-``matmul``    6 (the N INT8 GEMMs)
-``accumulate`` 7–9 (mod to UINT8 and the two split accumulations)
-``reconstruct`` 10–11 (Q and the FMA combination)
-``unscale``   12 (inverse diagonal scaling)
-============  =============================================================
+The result and phase-time classes live in :mod:`repro.result` (the unified
+result hierarchy shared with the GEMV and solver routes) and are re-exported
+here for backwards compatibility; see that module for the phase-key table.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config
-from ..crt.adaptive import AdaptiveSelection, select_num_moduli
+from ..crt.adaptive import select_num_moduli
 from ..crt.constants import CRTConstantTable, build_constant_table
-from ..engines.base import MatrixEngine, OpCounter
+from ..engines.base import MatrixEngine
+from ..result import GemmResult, Ozaki2Result, PHASE_KEYS, PhaseTimes, _PhaseTimer
 from ..types import result_dtype
 from ..utils.validation import check_gemm_operands, check_operand
 from ..errors import ConfigurationError, ValidationError
@@ -47,7 +35,15 @@ from .scaling import (
     fast_mode_scale_b,
 )
 
-__all__ = ["PhaseTimes", "Ozaki2Result", "ozaki2_gemm", "emulated_dgemm", "emulated_sgemm"]
+__all__ = [
+    "PHASE_KEYS",
+    "PhaseTimes",
+    "GemmResult",
+    "Ozaki2Result",
+    "ozaki2_gemm",
+    "emulated_dgemm",
+    "emulated_sgemm",
+]
 
 #: Why num_moduli="auto" rejects a caller-supplied constant table.
 _AUTO_TABLE_RESTRICTION = (
@@ -101,102 +97,6 @@ def _resolve_auto_moduli(a, b, a_prep, b_prep, k, config):
     if b_prep is not None:
         b_prep = b_prep.resolve_for(config.num_moduli)
     return config, a_prep, b_prep, selection
-
-#: Ordered list of phase keys (matches the breakdown figures).
-PHASE_KEYS = (
-    "scale",
-    "convert_A",
-    "convert_B",
-    "matmul",
-    "accumulate",
-    "reconstruct",
-    "unscale",
-)
-
-
-@dataclasses.dataclass
-class PhaseTimes:
-    """Wall-clock seconds spent in each phase of Algorithm 1 (this CPU run)."""
-
-    seconds: Dict[str, float] = dataclasses.field(
-        default_factory=lambda: {key: 0.0 for key in PHASE_KEYS}
-    )
-
-    def add(self, key: str, dt: float) -> None:
-        """Accumulate ``dt`` seconds into phase ``key``."""
-        self.seconds[key] = self.seconds.get(key, 0.0) + float(dt)
-
-    @property
-    def total(self) -> float:
-        """Total measured seconds across all phases."""
-        return float(sum(self.seconds.values()))
-
-    def fractions(self) -> Dict[str, float]:
-        """Per-phase fraction of the total time (empty phases give 0)."""
-        total = self.total
-        if total <= 0.0:
-            return {key: 0.0 for key in self.seconds}
-        return {key: value / total for key, value in self.seconds.items()}
-
-
-@dataclasses.dataclass
-class Ozaki2Result:
-    """Full result of one emulated GEMM.
-
-    Attributes
-    ----------
-    c:
-        The emulated product, in the target precision's dtype.
-    config:
-        The configuration used.
-    mu / nu:
-        The power-of-two scale vectors actually applied.
-    phase_times:
-        Wall-clock seconds per phase (this process; useful for the CPU
-        wall-clock benchmark, *not* a GPU prediction — that is the job of
-        :mod:`repro.perfmodel`).
-    int8_counter:
-        Operation ledger of the INT8 engine (GEMM calls, MACs, bytes).
-    num_k_blocks:
-        Number of inner-dimension blocks actually used, derived from the
-        execution plan's block ranges (1 unless k-blocking was enabled and
-        required, i.e. ``k > 2^17``).
-    moduli_selection:
-        The :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic when
-        the call ran with ``num_moduli="auto"`` (selected count, guaranteed
-        error bound, whether the target was met); ``None`` for fixed-count
-        runs.  ``config`` always carries the resolved count either way.
-    """
-
-    c: np.ndarray
-    config: Ozaki2Config
-    mu: np.ndarray
-    nu: np.ndarray
-    phase_times: PhaseTimes
-    int8_counter: OpCounter
-    num_k_blocks: int
-    moduli_selection: "AdaptiveSelection | None" = None
-
-    @property
-    def method_name(self) -> str:
-        """Paper-style method name (e.g. ``"OS II-fast-14"``)."""
-        return self.config.method_name
-
-
-class _PhaseTimer:
-    """Tiny context helper accumulating wall-clock time into a PhaseTimes."""
-
-    def __init__(self, times: PhaseTimes, key: str) -> None:
-        self._times = times
-        self._key = key
-        self._start = 0.0
-
-    def __enter__(self) -> "_PhaseTimer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._times.add(self._key, time.perf_counter() - self._start)
 
 
 def _check_prepared_a(a_prep, config) -> None:
@@ -404,15 +304,16 @@ def ozaki2_gemm(
 
     if not return_details:
         return c
-    return Ozaki2Result(
-        c=c,
+    return GemmResult(
+        value=c,
         config=config,
         mu=mu,
         nu=nu,
         phase_times=times,
-        int8_counter=engine.counter,
+        ledger=engine.counter,
         num_k_blocks=plan.num_k_blocks,
         moduli_selection=selection,
+        moduli_history=[config.num_moduli],
     )
 
 

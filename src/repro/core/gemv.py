@@ -40,15 +40,14 @@ from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine, OpCounter
 from ..engines.int8 import Int8MatrixEngine
 from ..errors import ConfigurationError, OverflowRiskError, ValidationError
+from ..result import PhaseTimes, Result, _PhaseTimer
 from ..types import result_dtype
 from ..utils.validation import check_operand
 from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
 from .blocking import k_block_ranges
 from .conversion import residue_slices, truncate_scaled
 from .gemm import (
-    PhaseTimes,
     _AUTO_TABLE_RESTRICTION,
-    _PhaseTimer,
     _check_prepared_a,
     _resolve_auto_moduli,
 )
@@ -59,14 +58,15 @@ __all__ = ["GemvResult", "prepared_gemv"]
 
 
 @dataclasses.dataclass
-class GemvResult:
+class GemvResult(Result):
     """Full result of one emulated matrix–vector product.
 
     Attributes
     ----------
-    c:
+    value:
         The emulated product ``A @ x`` as a 1-D vector in the target
-        precision's dtype.
+        precision's dtype (also reachable under the historical name
+        :attr:`c`).
     config:
         The configuration used.
     mu / nu:
@@ -74,28 +74,30 @@ class GemvResult:
         1 — the vector is the single column of the B side).
     phase_times:
         Wall-clock seconds per phase, under the same keys as
-        :class:`~repro.core.gemm.PhaseTimes` so GEMV and GEMM breakdowns
+        :class:`~repro.result.PhaseTimes` so GEMV and GEMM breakdowns
         compare directly.
-    int8_counter:
+    ledger:
         Operation ledger of the INT8 engine — identical to what the
-        ``n = 1`` GEMM route records for the same product.
+        ``n = 1`` GEMM route records for the same product (also reachable
+        under the historical name :attr:`int8_counter`).
     moduli_selection:
         :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic for
         ``num_moduli="auto"`` runs; ``None`` for fixed counts.
     """
 
-    c: np.ndarray
-    config: Ozaki2Config
-    mu: np.ndarray
-    nu: np.ndarray
-    phase_times: PhaseTimes
-    int8_counter: OpCounter
+    mu: Optional[np.ndarray] = None
+    nu: Optional[np.ndarray] = None
     moduli_selection: object = None
 
     @property
-    def method_name(self) -> str:
-        """Paper-style method name (e.g. ``"OS II-fast-15"``)."""
-        return self.config.method_name
+    def c(self) -> np.ndarray:
+        """The emulated product (historical alias of :attr:`value`)."""
+        return self.value
+
+    @property
+    def int8_counter(self) -> OpCounter:
+        """The engine's op ledger (historical alias of :attr:`ledger`)."""
+        return self.ledger
 
 
 def _resolve_a_side(a, a_prep, config):
@@ -299,11 +301,12 @@ def prepared_gemv(
     if not return_details:
         return c
     return GemvResult(
-        c=c,
+        value=c,
         config=config,
         mu=mu,
         nu=nu,
         phase_times=times,
-        int8_counter=engine.counter,
+        ledger=engine.counter,
         moduli_selection=selection,
+        moduli_history=[config.num_moduli],
     )

@@ -51,6 +51,7 @@ otherwise (see :meth:`ResidueOperand.require_compatible`).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import time
 from typing import Dict, Optional
 
@@ -69,7 +70,36 @@ from .scaling import (
     scale_from_prescale,
 )
 
-__all__ = ["ResidueOperand", "prepare_a", "prepare_b"]
+__all__ = ["ResidueOperand", "matrix_fingerprint", "prepare_a", "prepare_b"]
+
+
+def matrix_fingerprint(x: np.ndarray) -> str:
+    """Content fingerprint of a matrix: 32 hex digits over its logical value.
+
+    Two arrays fingerprint equal **iff** they hold the same dtype, shape and
+    element values — regardless of memory layout.  The hash runs over the
+    row-major (C-order) *logical* element sequence (``ndarray.tobytes`` with
+    its default C order walks the array through its strides), never over the
+    raw buffer, so a transposed view ``A.T``, a sliced view ``A[::2, ::2]``
+    or a Fortran-ordered copy fingerprints identically to its contiguous
+    ``np.ascontiguousarray`` copy.  Hashing the buffer instead would split
+    those — the same logical operand would miss the prepared-operand cache
+    (wasted conversions) or, worse, two different logical matrices sharing a
+    buffer region could collide.
+
+    The digest (BLAKE2b-128) is salted with dtype and shape, so a
+    ``(2, 8)`` and an ``(8, 2)`` matrix with equal buffers differ, as do
+    float32/float64 views of the same bits.  This is the identity the
+    service layer keys its operand cache and wire protocol on
+    (:mod:`repro.service`): clients send the fingerprint in place of the
+    payload once the server has acknowledged it.
+    """
+    x = np.asarray(x)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(x.dtype.str.encode("ascii"))
+    digest.update(repr(tuple(x.shape)).encode("ascii"))
+    digest.update(x.tobytes(order="C"))
+    return digest.hexdigest()
 
 #: Human-readable phrasing of why accurate mode cannot use prepared operands.
 _ACCURATE_RESTRICTION = (
@@ -175,6 +205,35 @@ class ResidueOperand:
     def phase_key(self) -> str:
         """The :class:`~repro.core.gemm.PhaseTimes` key this operand skips."""
         return "convert_A" if self.side == "A" else "convert_B"
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this operand (residues + scales + kept source).
+
+        The figure the operand cache's byte budget accounts in
+        (:class:`repro.service.cache.OperandCache`); derivations cached by
+        :meth:`resolve_for` are *not* included — the cache bounds what it
+        inserted, and derived operands share the source reference.
+        """
+        total = int(self.slices.nbytes) + int(self.scale.nbytes)
+        if self.source is not None:
+            total += int(self.source.nbytes)
+        return total
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the *source* matrix (see
+        :func:`matrix_fingerprint`); requires a retained source."""
+        if self.source is None:
+            raise ConfigurationError(
+                f"this hand-constructed {self.side}-side operand retains no "
+                "source matrix, so it has no content fingerprint"
+            )
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = matrix_fingerprint(self.source)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def require_compatible(self, config: Ozaki2Config) -> None:
         """Raise :class:`ConfigurationError` unless ``config`` can reuse this.

@@ -46,6 +46,16 @@ class OpCounter:
         engine ops), so fused/unfused and GEMV/GEMM execution strategies
         stay ledger-identical; under ``num_moduli="auto"`` this is where
         the per-call selected ``N`` becomes observable.
+    cache_hits / cache_misses / cache_evictions:
+        Prepared-operand cache events (:class:`repro.service.cache.
+        OperandCache`): lookups served from a cached
+        :class:`~repro.core.operand.ResidueOperand`, lookups that had to
+        convert, and entries evicted to stay within the byte budget.  All
+        zero for sessions running without a cache.
+    cache_bytes_inserted / cache_bytes_evicted:
+        Byte traffic of those cache events (an entry's residues + scales +
+        retained source), so the resident footprint of a window is
+        ``inserted − evicted``.
     """
 
     matmul_calls: int = 0
@@ -53,6 +63,11 @@ class OpCounter:
     elementwise_ops: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_bytes_inserted: int = 0
+    cache_bytes_evicted: int = 0
     emulated_calls: Dict[int, int] = dataclasses.field(default_factory=dict)
 
     #: Plain integer counters (the dict field needs per-key arithmetic).
@@ -62,6 +77,11 @@ class OpCounter:
         "elementwise_ops",
         "bytes_read",
         "bytes_written",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_bytes_inserted",
+        "cache_bytes_evicted",
     )
 
     def record_matmul(
@@ -105,6 +125,23 @@ class OpCounter:
         key = int(num_moduli)
         self.emulated_calls[key] = self.emulated_calls.get(key, 0) + int(count)
 
+    def record_cache_hit(self, count: int = 1) -> None:
+        """Record ``count`` operand-cache lookups served from the cache."""
+        self.cache_hits += int(count)
+
+    def record_cache_miss(self, count: int = 1) -> None:
+        """Record ``count`` operand-cache lookups that had to convert."""
+        self.cache_misses += int(count)
+
+    def record_cache_insert(self, nbytes: int) -> None:
+        """Record one entry of ``nbytes`` entering the operand cache."""
+        self.cache_bytes_inserted += int(nbytes)
+
+    def record_cache_eviction(self, nbytes: int, count: int = 1) -> None:
+        """Record ``count`` evictions releasing ``nbytes`` from the cache."""
+        self.cache_evictions += int(count)
+        self.cache_bytes_evicted += int(nbytes)
+
     @property
     def flops(self) -> int:
         """Conventional floating/integer-op count: 2 ops per MAC."""
@@ -112,24 +149,16 @@ class OpCounter:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.matmul_calls = 0
-        self.mac_ops = 0
-        self.elementwise_ops = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
+        for name in self._INT_FIELDS:
+            setattr(self, name, 0)
         self.emulated_calls = {}
 
     def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dictionary (for reports/tests)."""
-        return {
-            "matmul_calls": self.matmul_calls,
-            "mac_ops": self.mac_ops,
-            "flops": self.flops,
-            "elementwise_ops": self.elementwise_ops,
-            "bytes_read": self.bytes_read,
-            "bytes_written": self.bytes_written,
-            "emulated_calls": dict(self.emulated_calls),
-        }
+        out: Dict[str, object] = {name: getattr(self, name) for name in self._INT_FIELDS}
+        out["flops"] = self.flops
+        out["emulated_calls"] = dict(self.emulated_calls)
+        return out
 
     def merge(self, other: "OpCounter") -> "OpCounter":
         """Return a new counter with the sum of both ledgers."""

@@ -19,6 +19,8 @@ from .experiments import (
     prepared_reuse_sweep,
     progressive_solver_sweep,
     runtime_scaling_sweep,
+    serve_cache_sweep,
+    serve_throughput_sweep,
     throughput_sweep,
 )
 from .figures import (
@@ -47,6 +49,8 @@ __all__ = [
     "power_sweep",
     "preconditioner_sweep",
     "prepared_reuse_sweep",
+    "serve_throughput_sweep",
+    "serve_cache_sweep",
     "progressive_solver_sweep",
     "runtime_scaling_sweep",
     "throughput_sweep",

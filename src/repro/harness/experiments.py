@@ -34,6 +34,8 @@ __all__ = [
     "runtime_scaling_sweep",
     "batched_speedup_sweep",
     "prepared_reuse_sweep",
+    "serve_throughput_sweep",
+    "serve_cache_sweep",
 ]
 
 
@@ -750,4 +752,160 @@ def progressive_solver_sweep(
         )
     rows[1]["speedup_vs_fixed"] = rows[0]["seconds"] / rows[1]["seconds"]
     rows[0]["speedup_vs_fixed"] = 1.0
+    return rows
+
+
+def serve_throughput_sweep(
+    size: int = 384,
+    requests: int = 24,
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 2,
+) -> List[Dict[str, object]]:
+    """Served warm-hit vs cold-miss throughput on a reuse-heavy trace.
+
+    The service's value proposition in one number: a trace of ``requests``
+    matrix–vector products against **one** recurring matrix (the iterative-
+    solver/inference shape) is driven through ``repro serve`` twice —
+
+    * **cold-miss route**: caching disabled on the server and fingerprints
+      disabled on the client, so every request uploads the matrix bytes and
+      pays the full residue conversion (the pre-service behaviour), and
+    * **warm-hit route**: the default service configuration — the first
+      request uploads and converts, every later request sends the 32-digit
+      fingerprint and reuses the cached operand.
+
+    Both routes serve over real sockets (loopback HTTP) and both answers
+    are required to be **bit-identical** to each other and to the direct
+    in-process :class:`~repro.session.Session` product.  Rows report
+    best-of-``repeats`` requests/sec for each route, the speedup, and the
+    measured warm hit rate.  The acceptance floor asserted by the
+    benchmark is warm ≥ 2x cold.
+    """
+    from ..config import Ozaki2Config
+    from ..service import ReproServer, ServiceClient
+
+    fmt = precision_for_target(target)
+    config = Ozaki2Config(precision=fmt, num_moduli=num_moduli)
+    a, _ = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    vectors = [rng.standard_normal(size) for _ in range(requests)]
+
+    def run_trace(client: ServiceClient):
+        start = time.perf_counter()
+        values = [client.gemv(a, v).value for v in vectors]
+        return time.perf_counter() - start, values
+
+    cold_seconds = float("inf")
+    cold_values = None
+    with ReproServer(config=config, port=0, cache_bytes=0).start() as server:
+        client = ServiceClient(port=server.port, use_fingerprints=False)
+        for _ in range(max(1, repeats)):
+            elapsed, values = run_trace(client)
+            if elapsed < cold_seconds:
+                cold_seconds, cold_values = elapsed, values
+
+    warm_seconds = float("inf")
+    warm_values = None
+    hit_rate = 0.0
+    with ReproServer(config=config, port=0).start() as server:
+        client = ServiceClient(port=server.port)
+        client.gemv(a, vectors[0])  # the one cold miss: upload + convert
+        for _ in range(max(1, repeats)):
+            elapsed, values = run_trace(client)
+            if elapsed < warm_seconds:
+                warm_seconds, warm_values = elapsed, values
+        stats = client.stats()["cache"]
+        hit_rate = float(stats["hit_rate"])
+
+    from ..session import Session
+
+    with Session(config=config) as session:
+        reference = [session.gemv(a, v).value for v in vectors]
+    identical = all(
+        np.array_equal(c, w) and np.array_equal(w, r)
+        for c, w, r in zip(cold_values, warm_values, reference)
+    )
+    return [
+        {
+            "trace": "gemv-reuse",
+            "n": int(size),
+            "requests": int(requests),
+            "method": config.method_name,
+            "seconds_cold": cold_seconds,
+            "seconds_warm": warm_seconds,
+            "rps_cold": requests / cold_seconds,
+            "rps_warm": requests / warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+            "hit_rate": hit_rate,
+            "bit_identical": bool(identical),
+        }
+    ]
+
+
+def serve_cache_sweep(
+    size: int = 256,
+    working_set: int = 6,
+    requests: int = 36,
+    cache_entries: Sequence[int] = (1, 2, 4, 6),
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Served throughput and hit rate as a function of cache capacity.
+
+    A skewed trace (operand ``i`` of a ``working_set`` drawn with
+    probability ∝ 1/(i+1) — popular matrices recur, cold ones straggle, the
+    canonical serving distribution) of GEMV requests runs against servers
+    whose operand cache holds 1 … ``working_set`` entries.  Rows report
+    requests/sec, the measured hit rate and the evictions per capacity —
+    the curve that tells an operator how to size ``--cache-mb`` for a
+    workload: throughput rises with the hit rate until the cache covers the
+    hot set, after which extra capacity buys nothing.
+    """
+    from ..config import Ozaki2Config
+    from ..core.operand import prepare_a
+    from ..service import ReproServer, ServiceClient
+
+    fmt = precision_for_target(target)
+    config = Ozaki2Config(precision=fmt, num_moduli=num_moduli)
+    matrices = [
+        phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed + j)[0]
+        for j in range(working_set)
+    ]
+    entry_bytes = prepare_a(matrices[0], config=config).nbytes
+
+    rng = np.random.default_rng(seed + 100)
+    weights = np.array([1.0 / (j + 1) for j in range(working_set)])
+    trace = rng.choice(working_set, size=requests, p=weights / weights.sum())
+    vectors = [rng.standard_normal(size) for _ in range(requests)]
+
+    rows: List[Dict[str, object]] = []
+    for capacity in cache_entries:
+        # Budget for exactly `capacity` entries (nbytes varies by a few
+        # hundred bytes between same-shape operands; half an entry of slack
+        # absorbs that without admitting an extra one).
+        cache_bytes = int(entry_bytes * (capacity + 0.5))
+        with ReproServer(config=config, port=0, cache_bytes=cache_bytes).start() as server:
+            client = ServiceClient(port=server.port)
+            start = time.perf_counter()
+            for step, pick in enumerate(trace):
+                client.gemv(matrices[int(pick)], vectors[step])
+            elapsed = time.perf_counter() - start
+            stats = client.stats()["cache"]
+        rows.append(
+            {
+                "capacity_entries": int(capacity),
+                "working_set": int(working_set),
+                "requests": int(requests),
+                "rps": requests / elapsed,
+                "hit_rate": float(stats["hit_rate"]),
+                "hits": int(stats["hits"]),
+                "misses": int(stats["misses"]),
+                "evictions": int(stats["evictions"]),
+            }
+        )
     return rows

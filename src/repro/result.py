@@ -1,0 +1,211 @@
+"""Unified result objects shared by every emulated entry point.
+
+Every public operation of the library — an emulated GEMM, the residue-GEMV
+fast path, an iterative solve — answers with the same four ingredients: the
+computed **value**, the resolved **configuration**, the wall-clock **phase
+times** of Algorithm 1, and the INT8 engine's operation **ledger**.  Before
+the :class:`~repro.session.Session` redesign each entry point carried its
+own result dataclass duplicating those fields under private names
+(``Ozaki2Result.c`` / ``GemvResult.c`` / ``SolveResult.x``,
+``int8_counter`` vs. an absent solver ledger, …).  :class:`Result` is the
+shared base:
+
+* ``value`` — the computed array (product matrix, product vector, or
+  solution vector),
+* ``config`` — the (always concrete) :class:`~repro.config.Ozaki2Config`
+  the computation ran under,
+* ``phase_times`` — the :class:`PhaseTimes` breakdown (``None`` where a
+  composite operation has no single breakdown, e.g. a whole solve),
+* ``ledger`` — the :class:`~repro.engines.base.OpCounter` of the engine
+  that retired the work,
+* ``moduli_history`` — the moduli count(s) the operation actually used:
+  one entry per emulated product for solves (the progressive ladder), a
+  single entry for one-shot products.
+
+The concrete classes — :class:`GemmResult` (née ``Ozaki2Result``, which
+remains as an alias), :class:`~repro.core.gemv.GemvResult`,
+:class:`~repro.apps.solvers.SolveResult` — keep their historical attribute
+names (``c``, ``x``, ``int8_counter``) as read-only properties, so existing
+callers and tests run unchanged.
+
+The per-phase timing keys follow the line grouping used by the paper's time
+breakdown (Figures 6 and 7):
+
+============  =============================================================
+key           Algorithm 1 lines
+============  =============================================================
+``scale``     1 (scale-vector determination; includes the extra INT8 GEMM
+              of accurate mode)
+``convert_A``  2 and 4 (truncation + residues of A)
+``convert_B``  3 and 5 (truncation + residues of B)
+``matmul``    6 (the N INT8 GEMMs)
+``accumulate`` 7–9 (mod to UINT8 and the two split accumulations)
+``reconstruct`` 10–11 (Q and the FMA combination)
+``unscale``   12 (inverse diagonal scaling)
+============  =============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .config import Ozaki2Config
+from .engines.base import OpCounter
+
+__all__ = [
+    "PHASE_KEYS",
+    "PhaseTimes",
+    "Result",
+    "GemmResult",
+    "Ozaki2Result",
+]
+
+#: Ordered list of phase keys (matches the breakdown figures).
+PHASE_KEYS = (
+    "scale",
+    "convert_A",
+    "convert_B",
+    "matmul",
+    "accumulate",
+    "reconstruct",
+    "unscale",
+)
+
+
+@dataclasses.dataclass
+class PhaseTimes:
+    """Wall-clock seconds spent in each phase of Algorithm 1 (this CPU run)."""
+
+    seconds: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {key: 0.0 for key in PHASE_KEYS}
+    )
+
+    def add(self, key: str, dt: float) -> None:
+        """Accumulate ``dt`` seconds into phase ``key``."""
+        self.seconds[key] = self.seconds.get(key, 0.0) + float(dt)
+
+    @property
+    def total(self) -> float:
+        """Total measured seconds across all phases."""
+        return float(sum(self.seconds.values()))
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase fraction of the total time (empty phases give 0)."""
+        total = self.total
+        if total <= 0.0:
+            return {key: 0.0 for key in self.seconds}
+        return {key: value / total for key, value in self.seconds.items()}
+
+
+class _PhaseTimer:
+    """Tiny context helper accumulating wall-clock time into a PhaseTimes."""
+
+    def __init__(self, times: PhaseTimes, key: str) -> None:
+        self._times = times
+        self._key = key
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._times.add(self._key, time.perf_counter() - self._start)
+
+
+@dataclasses.dataclass
+class Result:
+    """Shared base of every emulated-operation result (see module docstring).
+
+    Attributes
+    ----------
+    value:
+        The computed array: the product matrix of a GEMM, the product
+        vector of a GEMV, the solution vector of a solve.
+    config:
+        The (concrete) configuration the computation ran under; under
+        ``num_moduli="auto"`` this carries the resolved count.
+    phase_times:
+        Per-phase wall-clock breakdown, or ``None`` for composite
+        operations without a single Algorithm-1 breakdown.
+    ledger:
+        The engine's operation ledger (GEMM calls, MACs, bytes, emulated
+        calls, operand-cache events), or ``None`` where no engine ledger
+        was collected.
+    moduli_history:
+        Moduli count(s) actually used, one entry per emulated product.
+    """
+
+    value: Optional[np.ndarray] = None
+    config: Optional[Ozaki2Config] = None
+    phase_times: Optional[PhaseTimes] = None
+    ledger: Optional[OpCounter] = None
+    moduli_history: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def method_name(self) -> str:
+        """Paper-style method name (e.g. ``"OS II-fast-14"``)."""
+        if self.config is None:
+            raise AttributeError("result carries no configuration")
+        return self.config.method_name
+
+    @property
+    def moduli_used(self) -> List[int]:
+        """Distinct moduli counts used, ascending (``[]`` if unrecorded)."""
+        return sorted(set(self.moduli_history))
+
+
+@dataclasses.dataclass
+class GemmResult(Result):
+    """Full result of one emulated GEMM (historically ``Ozaki2Result``).
+
+    Attributes
+    ----------
+    value:
+        The emulated product, in the target precision's dtype (also
+        reachable under the historical name :attr:`c`).
+    config:
+        The configuration used.
+    mu / nu:
+        The power-of-two scale vectors actually applied.
+    phase_times:
+        Wall-clock seconds per phase (this process; useful for the CPU
+        wall-clock benchmark, *not* a GPU prediction — that is the job of
+        :mod:`repro.perfmodel`).
+    ledger:
+        Operation ledger of the INT8 engine (GEMM calls, MACs, bytes; also
+        reachable under the historical name :attr:`int8_counter`).
+    num_k_blocks:
+        Number of inner-dimension blocks actually used, derived from the
+        execution plan's block ranges (1 unless k-blocking was enabled and
+        required, i.e. ``k > 2^17``).
+    moduli_selection:
+        The :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic when
+        the call ran with ``num_moduli="auto"`` (selected count, guaranteed
+        error bound, whether the target was met); ``None`` for fixed-count
+        runs.  ``config`` always carries the resolved count either way.
+    """
+
+    mu: Optional[np.ndarray] = None
+    nu: Optional[np.ndarray] = None
+    num_k_blocks: int = 1
+    moduli_selection: object = None
+
+    @property
+    def c(self) -> np.ndarray:
+        """The emulated product (historical alias of :attr:`value`)."""
+        return self.value
+
+    @property
+    def int8_counter(self) -> OpCounter:
+        """The engine's op ledger (historical alias of :attr:`ledger`)."""
+        return self.ledger
+
+
+#: Historical name of :class:`GemmResult`, kept as a full alias (class
+#: identity included) so ``isinstance`` checks and imports keep working.
+Ozaki2Result = GemmResult

@@ -35,12 +35,11 @@ from ..config import ComputeMode, Ozaki2Config
 from ..core.accumulation import unscale
 from ..core.conversion import residue_slices, truncate_scaled
 from ..core.gemm import (
-    Ozaki2Result,
-    PhaseTimes,
     _AUTO_TABLE_RESTRICTION,
     _resolve_auto_moduli,
     _resolve_prepared_sides,
 )
+from ..result import GemmResult, PhaseTimes
 from ..core.operand import ResidueOperand
 from ..core.scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
 from ..crt.constants import CRTConstantTable, build_constant_table
@@ -286,15 +285,16 @@ def _run_batch(
         item_counter = engine.counter.difference(counter_before)
         item_counter.absorb(scale_counters[j])
         results.append(
-            Ozaki2Result(
-                c=c,
+            GemmResult(
+                value=c,
                 config=configs[j],
                 mu=mus[j],
                 nu=nus[j],
                 phase_times=times[j],
-                int8_counter=item_counter,
+                ledger=item_counter,
                 num_k_blocks=plans[j].num_k_blocks,
                 moduli_selection=selections[j],
+                moduli_history=[configs[j].num_moduli],
             )
         )
     return results

@@ -1,0 +1,190 @@
+"""Request coalescing: merge concurrent GEMMs into one batched runtime call.
+
+The batched runtime (:func:`repro.runtime.batched.ozaki2_gemm_batched`)
+amortises conversion and scheduling across a batch — it groups equal-shape
+items into fused stacked engine calls and dedupes repeated operands.  A
+server receiving concurrent single-GEMM requests would leave all of that on
+the table if it executed them one by one; :class:`RequestCoalescer` closes
+the gap by queueing incoming requests and draining them in small batches:
+
+* the drain worker blocks for the first pending request, then keeps
+  collecting for a short window (``window_seconds``) up to ``max_batch``
+  items — a lone request therefore pays at most the window in added
+  latency, while a burst of concurrent requests lands in one batch,
+* items are grouped by configuration (the batched API executes one config
+  per call); each group becomes one ``gemm_batched`` call on the shared
+  :class:`~repro.session.Session`, so the transparent operand cache and
+  the warm scheduler pool apply as usual,
+* a failing batch falls back to per-item execution, so one poisoned
+  request (say, a shape mismatch) fails alone instead of failing its
+  whole batch.
+
+Results are delivered through per-request
+:class:`concurrent.futures.Future` objects — the HTTP handler threads
+submit and block on their own future, which is what turns N server threads
+into one well-formed batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..config import Ozaki2Config
+
+if TYPE_CHECKING:  # session imports service.cache; keep the cycle type-only
+    from ..session import Session
+
+__all__ = ["RequestCoalescer"]
+
+
+class _Item:
+    __slots__ = ("a", "b", "config", "future")
+
+    def __init__(self, a, b, config: Ozaki2Config, future: Future) -> None:
+        self.a = a
+        self.b = b
+        self.config = config
+        self.future = future
+
+
+class RequestCoalescer:
+    """Queue + drain worker turning concurrent GEMMs into batched calls.
+
+    Parameters
+    ----------
+    session:
+        The shared :class:`~repro.session.Session` the batches execute on.
+    max_batch:
+        Largest number of requests merged into one batched call.
+    window_seconds:
+        How long the drain worker keeps collecting after the first request
+        of a batch arrives — the latency/throughput trade-off knob.  ``0``
+        still coalesces whatever is already queued (a genuinely concurrent
+        burst) without adding any wait.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        max_batch: int = 16,
+        window_seconds: float = 0.002,
+    ) -> None:
+        self._session = session
+        self.max_batch = max(1, int(max_batch))
+        self.window_seconds = max(0.0, float(window_seconds))
+        self._queue: "queue.Queue[Optional[_Item]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        self.largest_batch = 0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain_loop, name="repro-coalescer", daemon=True
+        )
+        self._worker.start()
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, a, b, config: Ozaki2Config) -> Future:
+        """Enqueue one GEMM; the returned future resolves to its GemmResult."""
+        future: Future = Future()
+        if self._closed:
+            future.set_exception(RuntimeError("coalescer is closed"))
+            return future
+        self._queue.put(_Item(a, b, config, future))
+        return future
+
+    def close(self) -> None:
+        """Stop the drain worker (pending requests still complete)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=10.0)
+
+    # -- drain worker --------------------------------------------------------
+    def _collect(self) -> List[_Item]:
+        """Block for one item, then drain the window / queue up to max_batch."""
+        first = self._queue.get()
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.window_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = self._queue.get(
+                    timeout=remaining if remaining > 0 else None,
+                    block=remaining > 0,
+                )
+            except queue.Empty:
+                break
+            if item is None:
+                self._queue.put(None)  # keep the sentinel for the outer loop
+                break
+            batch.append(item)
+        return batch
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Item]) -> None:
+        with self._lock:
+            self.coalesced_batches += 1
+            self.coalesced_requests += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+        # One batched call per distinct configuration (the batched API runs
+        # a single config; distinct-config requests rarely coexist anyway).
+        groups: Dict[object, List[_Item]] = {}
+        for item in batch:
+            config = item.config
+            key = None if config is None else (
+                config.precision.name,
+                config.mode.value,
+                config.num_moduli,
+                config.residue_kernel.value,
+                config.target_accuracy,
+            )
+            groups.setdefault(key, []).append(item)
+        for items in groups.values():
+            self._run_group(items)
+
+    def _run_group(self, items: List[_Item]) -> None:
+        config = items[0].config
+        try:
+            results = self._session.gemm_batched(
+                [item.a for item in items],
+                [item.b for item in items],
+                config=config,
+            )
+            for item, result in zip(items, results):
+                item.future.set_result(result)
+        except Exception:
+            # Per-item fallback: a poisoned request fails alone.
+            for item in items:
+                try:
+                    item.future.set_result(
+                        self._session.gemm(item.a, item.b, config=item.config)
+                    )
+                except Exception as exc:  # noqa: BLE001 - delivered to caller
+                    item.future.set_exception(exc)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Coalescing counters for the ``/v1/stats`` endpoint."""
+        with self._lock:
+            requests = self.coalesced_requests
+            batches = self.coalesced_batches
+            return {
+                "batches": batches,
+                "requests": requests,
+                "largest_batch": self.largest_batch,
+                "mean_batch": (requests / batches) if batches else 0.0,
+            }

@@ -1,0 +1,153 @@
+"""Wire protocol of the residue-GEMM service: framed JSON + raw array bytes.
+
+One frame carries one request or one response::
+
+    b"RPR1" | uint32 header length (big-endian) | header JSON | payloads
+
+The header is UTF-8 JSON; its ``"arrays"`` list describes the payload
+section, in order::
+
+    {"name": "a", "dtype": "<f8", "shape": [512, 512]}
+
+and the payloads are the raw C-order element bytes of each listed array,
+concatenated — no base64, no pickling (nothing executable crosses the
+wire), and a float64 matrix costs exactly ``8·m·n`` bytes plus a few dozen
+of header.
+
+Operand references
+------------------
+The whole point of the service's transparent cache is that a *returning*
+operand does not need its bytes sent again.  A request may replace an
+inline array with a reference entry in the header's ``"refs"`` object::
+
+    {"refs": {"a": {"fingerprint": "9f3c…", "side": "A"}}}
+
+naming the content fingerprint (:func:`repro.core.operand.
+matrix_fingerprint`) of a previously-uploaded operand.  The server resolves
+it against the session cache; if the entry has been evicted it answers with
+the ``operand-missing`` error code and the client retries with the full
+bytes (see :class:`repro.service.client.ServiceClient` — the retry is
+automatic and the client un-learns the stale fingerprint).  Responses ack
+newly-cached operands in a ``"learned"`` object, which is what authorises
+the client to go fingerprint-only next time.
+
+Error responses are headers with ``"ok": false`` and an ``"error"`` object
+carrying a machine-readable ``code`` (:data:`ERROR_OPERAND_MISSING`,
+:data:`ERROR_BAD_REQUEST`, :data:`ERROR_INTERNAL`) and a human-readable
+``message``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ERROR_OPERAND_MISSING",
+    "ERROR_BAD_REQUEST",
+    "ERROR_INTERNAL",
+    "encode_frame",
+    "decode_frame",
+    "error_frame",
+]
+
+#: Frame magic: rejects accidental plain-HTTP/garbage bodies cheaply.
+MAGIC = b"RPR1"
+
+#: Protocol revision, echoed by ``/v1/health`` (bump on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: A fingerprint reference named an operand the server no longer holds.
+ERROR_OPERAND_MISSING = "operand-missing"
+#: The request was malformed (bad frame, unknown op, shape mismatch, …).
+ERROR_BAD_REQUEST = "bad-request"
+#: The computation itself raised.
+ERROR_INTERNAL = "internal"
+
+_HEADER_LEN = struct.Struct(">I")
+
+#: Cap on the declared header length (a corrupt length prefix must not
+#: trigger a multi-gigabyte allocation).
+_MAX_HEADER_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(header: Dict, arrays: Optional[Dict[str, np.ndarray]] = None) -> bytes:
+    """Serialise ``header`` plus named ``arrays`` into one wire frame.
+
+    The ``arrays`` entries are appended to (or merged into) the header's
+    ``"arrays"`` list in insertion order; each is sent as its C-order raw
+    bytes.  The header itself must be JSON-serialisable.
+    """
+    arrays = arrays or {}
+    header = dict(header)
+    listing: List[Dict] = []
+    payloads: List[bytes] = []
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        listing.append(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)}
+        )
+        payloads.append(array.tobytes(order="C"))
+    header["arrays"] = listing
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join([MAGIC, _HEADER_LEN.pack(len(header_bytes)), header_bytes] + payloads)
+
+
+def decode_frame(data: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Parse one wire frame back into ``(header, arrays)``.
+
+    Raises :class:`~repro.errors.ValidationError` on any structural problem
+    (bad magic, truncated payload, header/payload length mismatch) — the
+    server maps that to a :data:`ERROR_BAD_REQUEST` response rather than a
+    stack trace.  Returned arrays are writable copies owned by the caller.
+    """
+    if len(data) < len(MAGIC) + _HEADER_LEN.size:
+        raise ValidationError("frame too short for magic + header length")
+    if data[: len(MAGIC)] != MAGIC:
+        raise ValidationError(
+            f"bad frame magic {data[:len(MAGIC)]!r} (expected {MAGIC!r})"
+        )
+    (header_len,) = _HEADER_LEN.unpack_from(data, len(MAGIC))
+    if header_len > _MAX_HEADER_BYTES:
+        raise ValidationError(f"declared header length {header_len} exceeds limit")
+    offset = len(MAGIC) + _HEADER_LEN.size
+    if len(data) < offset + header_len:
+        raise ValidationError("frame truncated inside the header")
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ValidationError("frame header must be a JSON object")
+    offset += header_len
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in header.get("arrays", []):
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed array descriptor {entry!r}") from exc
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+        if len(data) < offset + nbytes:
+            raise ValidationError(f"frame truncated inside payload of {name!r}")
+        flat = np.frombuffer(data, dtype=dtype, count=nbytes // dtype.itemsize, offset=offset)
+        arrays[name] = flat.reshape(shape).copy()
+        offset += nbytes
+    if offset != len(data):
+        raise ValidationError(
+            f"frame carries {len(data) - offset} undeclared trailing bytes"
+        )
+    return header, arrays
+
+
+def error_frame(code: str, message: str) -> bytes:
+    """Build the standard error response frame."""
+    return encode_frame({"ok": False, "error": {"code": code, "message": message}})

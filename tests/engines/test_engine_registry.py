@@ -82,6 +82,11 @@ class TestOpCounter:
             "elementwise_ops",
             "bytes_read",
             "bytes_written",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_bytes_inserted",
+            "cache_bytes_evicted",
             "emulated_calls",
         }
         assert d["flops"] == 2 * d["mac_ops"]

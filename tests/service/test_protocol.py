@@ -1,0 +1,95 @@
+"""Wire-frame codec: round trips and malformed-frame rejection."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.protocol import (
+    ERROR_BAD_REQUEST,
+    MAGIC,
+    decode_frame,
+    encode_frame,
+    error_frame,
+)
+
+
+def test_round_trip_header_and_arrays():
+    header = {"op": "gemm", "config": {"num_moduli": 12}, "refs": {}}
+    arrays = {
+        "a": np.random.default_rng(0).standard_normal((5, 7)),
+        "x": np.arange(11, dtype=np.float64),
+        "mask": np.array([[1, 0], [0, 1]], dtype=np.int64),
+    }
+    got_header, got_arrays = decode_frame(encode_frame(header, arrays))
+    # The codec adds the payload listing under "arrays"; everything the
+    # caller put in the header round-trips untouched.
+    listing = got_header.pop("arrays")
+    assert [entry["name"] for entry in listing] == list(arrays)
+    assert got_header == header
+    assert set(got_arrays) == set(arrays)
+    for name, array in arrays.items():
+        assert got_arrays[name].dtype == array.dtype
+        assert got_arrays[name].shape == array.shape
+        assert np.array_equal(got_arrays[name], array)
+
+
+def test_decoded_arrays_are_writable():
+    _, arrays = decode_frame(encode_frame({}, {"a": np.ones((3, 3))}))
+    arrays["a"][0, 0] = 7.0  # must not raise: decode hands out owned copies
+    assert arrays["a"][0, 0] == 7.0
+
+
+def test_header_only_frame():
+    header, arrays = decode_frame(encode_frame({"ok": True}))
+    assert header == {"ok": True, "arrays": []}
+    assert arrays == {}
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode_frame({"op": "gemm"}))
+    frame[:4] = b"XXXX"
+    with pytest.raises(ValidationError, match="magic"):
+        decode_frame(bytes(frame))
+
+
+def test_truncated_payload_rejected():
+    frame = encode_frame({"op": "gemm"}, {"a": np.ones((4, 4))})
+    with pytest.raises(ValidationError):
+        decode_frame(frame[:-8])
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ValidationError):
+        decode_frame(MAGIC + struct.pack(">I", 100) + b"{}")
+
+
+def test_trailing_bytes_rejected():
+    frame = encode_frame({"op": "gemm"}, {"a": np.ones((2, 2))})
+    with pytest.raises(ValidationError):
+        decode_frame(frame + b"\x00")
+
+
+def test_non_json_header_rejected():
+    payload = b"\xff\xfenot json"
+    frame = MAGIC + struct.pack(">I", len(payload)) + payload
+    with pytest.raises(ValidationError):
+        decode_frame(frame)
+
+
+def test_error_frame_shape():
+    header, arrays = decode_frame(error_frame(ERROR_BAD_REQUEST, "nope"))
+    assert header["ok"] is False
+    assert header["error"]["code"] == ERROR_BAD_REQUEST
+    assert header["error"]["message"] == "nope"
+    assert arrays == {}
+
+
+def test_header_size_is_json_compact():
+    frame = encode_frame({"op": "gemv"})
+    (length,) = struct.unpack(">I", frame[4:8])
+    json.loads(frame[8 : 8 + length].decode("utf-8"))

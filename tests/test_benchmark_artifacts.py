@@ -21,6 +21,7 @@ _RESULTS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results
 KERNEL_FUSION_RESULT = _RESULTS / "kernel_fusion.txt"
 GEMV_FAST_PATH_RESULT = _RESULTS / "gemv_fast_path.txt"
 ADAPTIVE_MODULI_RESULT = _RESULTS / "adaptive_moduli.txt"
+SERVE_THROUGHPUT_RESULT = _RESULTS / "serve_throughput.txt"
 
 
 def _parse_rows(text: str):
@@ -122,3 +123,35 @@ def test_adaptive_moduli_file_exists_and_parses():
     stages = [int(seg.split("x")[0]) for seg in prog["schedule"].split("->")]
     assert stages == sorted(stages)
     assert stages[-1] == int(fixed["schedule"].split("x")[0])
+
+
+def test_serve_throughput_file_exists_and_parses():
+    assert SERVE_THROUGHPUT_RESULT.exists(), (
+        "benchmarks/results/serve_throughput.txt is missing; run "
+        "`pytest benchmarks/test_bench_serve_throughput.py` to regenerate it"
+    )
+    text = SERVE_THROUGHPUT_RESULT.read_text()
+    throughput_text, cache_text = text.split("\n\n", 1)
+
+    rows = _parse_rows(throughput_text)
+    assert rows, "no throughput rows in serve_throughput.txt"
+    headline = rows[0]
+    assert headline["trace"] == "gemv-reuse"
+    # Warm fingerprint hits are served from the very operand a cold upload
+    # would have produced.
+    assert headline["bit_identical"] == "True"
+    assert float(headline["hit_rate"]) >= 0.9
+    # The committed headline claim: warm-hit requests/sec >= 2x the
+    # cold-miss rate on the reuse-heavy trace.
+    assert float(headline["speedup"]) >= 2.0
+    assert float(headline["rps_warm"]) >= 2.0 * float(headline["rps_cold"])
+
+    cache_rows = _parse_rows(cache_text)
+    assert cache_rows, "no cache-capacity rows in serve_throughput.txt"
+    # Hit rate must not decrease as the LRU budget grows, and a budget
+    # covering the working set must serve the steady state evictionless.
+    hit_rates = [float(row["hit_rate"]) for row in cache_rows]
+    assert hit_rates == sorted(hit_rates)
+    full_row = cache_rows[-1]
+    assert int(full_row["capacity_entries"]) >= int(full_row["working_set"])
+    assert int(full_row["evictions"]) == 0
