@@ -45,6 +45,8 @@ defining submodules (e.g. :func:`repro.core.gemm.ozaki2_gemm`) remain the
 supported low-level spelling.
 """
 
+from __future__ import annotations
+
 __version__ = "1.3.0"
 
 from ._compat import deprecated_alias as _deprecated_alias

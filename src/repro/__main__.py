@@ -1,5 +1,7 @@
 """Allow ``python -m repro <subcommand>`` to invoke the CLI."""
 
+from __future__ import annotations
+
 from .cli import main
 
 __all__ = ["main"]

@@ -21,14 +21,15 @@ hook, so warning-behaviour tests are order-independent.
 from __future__ import annotations
 
 import functools
-import threading
 import warnings
 from typing import Callable, Set
+
+from .analysis.lockorder import named_lock
 
 __all__ = ["deprecated_alias", "reset_deprecation_warnings"]
 
 _WARNED: Set[str] = set()
-_LOCK = threading.Lock()
+_LOCK = named_lock("_compat._LOCK")
 
 
 def reset_deprecation_warnings() -> None:

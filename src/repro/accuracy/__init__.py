@@ -6,6 +6,8 @@ provides that reference (a compensated double-double GEMM, ~106 bits) and
 the error metrics used by the harness.
 """
 
+from __future__ import annotations
+
 from .error_bounds import ozaki2_error_bound, required_moduli_for_bound
 from .metrics import ErrorSummary, max_relative_error, relative_errors, summarize_errors
 from .reference import exact_int_gemm, reference_gemm

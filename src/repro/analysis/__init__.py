@@ -1,0 +1,42 @@
+"""Domain-aware static analysis and concurrency instrumentation.
+
+Two halves, one invariant surface:
+
+* ``repro lint`` — AST rules (RPR0xx) enforcing the residue stack's
+  dtype, determinism, ledger and lock disciplines (:func:`run_lint`).
+* the runtime lock-order tracker — :func:`named_lock` /
+  :func:`track_lock_order`, recording nested acquisitions across the
+  library's lock sites and failing on order inversions.
+"""
+
+from __future__ import annotations
+
+from .checker import run_lint
+from .findings import Finding, render_json, render_text
+from .lintconfig import LintConfig, find_pyproject, load_config
+from .lockorder import (
+    LockOrderError,
+    LockOrderTracker,
+    TrackedLock,
+    current_tracker,
+    named_lock,
+    track_lock_order,
+)
+from .rules import RULE_DOCS
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LockOrderError",
+    "LockOrderTracker",
+    "RULE_DOCS",
+    "TrackedLock",
+    "current_tracker",
+    "find_pyproject",
+    "load_config",
+    "named_lock",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "track_lock_order",
+]

@@ -1,0 +1,139 @@
+"""Orchestration of ``repro lint``: file collection, parsing, suppression.
+
+:func:`run_lint` is the programmatic entry point (the CLI verb and the
+``repro selfcheck`` lint step both call it): collect ``.py`` files from
+the given paths, parse each once, classify it against the
+``[tool.reprolint]`` scopes, run every rule and filter findings through
+``# noqa: RPR0xx`` suppressions.  Findings come back sorted and
+de-duplicated; rendering is :mod:`repro.analysis.findings`' job.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .lintconfig import LintConfig, find_pyproject, load_config
+from .rules import ParsedModule, run_rules
+
+__all__ = ["run_lint", "collect_files", "parse_module"]
+
+#: ``# noqa`` (suppress everything) or ``# noqa: RPR001, RPR030`` (listed).
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+def collect_files(paths: Sequence[Path], config: LintConfig) -> List[Path]:
+    """Expand files/directories into the sorted list of analysable files."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            posix = candidate.as_posix()
+            if config.is_excluded(posix):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _noqa_codes(lines: Sequence[str]) -> dict:
+    """Map line number -> frozenset of suppressed codes (empty = all)."""
+    suppressions = {}
+    for number, line in enumerate(lines, start=1):
+        if "#" not in line or "noqa" not in line.lower():
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+            if raw
+            else frozenset()
+        )
+        suppressions[number] = codes
+    return suppressions
+
+
+def parse_module(path: Path, config: LintConfig) -> Optional[ParsedModule]:
+    """Parse one file into a :class:`ParsedModule`, or None on syntax error.
+
+    A file the analyser cannot parse is reported as a finding by the
+    caller (:func:`run_lint`) rather than silently skipped.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    posix = path.as_posix()
+    return ParsedModule(
+        path=posix,
+        tree=tree,
+        lines=source.splitlines(),
+        is_hot_path=config.is_hot_path(posix),
+        is_kernel=config.is_kernel(posix),
+        is_engine=config.is_engine(posix),
+    )
+
+
+def _suppressed(finding: Finding, suppressions: dict) -> bool:
+    codes = suppressions.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.code in codes
+
+
+def run_lint(
+    paths: Sequence[object],
+    config: Optional[LintConfig] = None,
+    select: Sequence[str] = (),
+) -> Tuple[List[Finding], int]:
+    """Analyse ``paths``; return ``(findings, files_checked)``.
+
+    ``config=None`` loads ``[tool.reprolint]`` from the nearest
+    ``pyproject.toml`` above the first path (falling back to the built-in
+    defaults).  ``select`` narrows to the listed code prefixes.
+    """
+    path_objects = [Path(p) for p in paths]
+    if config is None:
+        anchor = path_objects[0] if path_objects else Path.cwd()
+        config = load_config(find_pyproject(anchor), select=select)
+    elif select:
+        config = LintConfig(
+            hot_path_modules=config.hot_path_modules,
+            kernel_modules=config.kernel_modules,
+            engine_modules=config.engine_modules,
+            exclude=config.exclude,
+            select=tuple(select),
+        )
+
+    findings: Set[Finding] = set()
+    files = collect_files(path_objects, config)
+    for path in files:
+        try:
+            module = parse_module(path, config)
+        except SyntaxError as exc:
+            findings.add(
+                Finding(
+                    path=path.as_posix(),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    code="RPR000",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        if module is None:
+            continue
+        suppressions = _noqa_codes(module.lines)
+        for finding in run_rules(module, config):
+            if not _suppressed(finding, suppressions):
+                findings.add(finding)
+    return sorted(findings), len(files)

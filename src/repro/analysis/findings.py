@@ -1,0 +1,69 @@
+"""Finding model of the ``repro lint`` static analyser.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  The
+rendering helpers produce the two CLI output formats: the human ``text``
+form (one ``path:line:col: CODE message`` line per finding, the shape
+editors and CI log scrapers already understand) and the machine ``json``
+form (a stable document with a per-rule summary, consumed by dashboards
+and the fixture tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Sequence
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``.
+
+    Ordering is lexicographic on ``(path, line, col, code)`` so reports are
+    stable regardless of the order rules ran in — the analyser must itself
+    honour the determinism discipline it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON-document form of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Render findings one per line, ending with a one-line summary."""
+    lines: List[str] = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}" for f in findings
+    ]
+    count = len(findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"repro lint: {count} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Render findings as a stable JSON document with a per-rule summary."""
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    doc = {
+        "findings": [f.as_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "by_code": {code: by_code[code] for code in sorted(by_code)},
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

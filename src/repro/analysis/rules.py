@@ -1,0 +1,759 @@
+"""The RPR0xx rule implementations of ``repro lint``.
+
+Every rule is a function ``rule(module) -> Iterator[Finding]`` over a
+:class:`ParsedModule`.  The rules encode invariants of *this* codebase
+that generic linters cannot see:
+
+=======  ==============================================================
+RPR001   dtype-less NumPy array construction in the INT8 hot path
+RPR002   width-ambiguous dtype (builtin ``int``/``float``) in kernels
+RPR010   iteration over a set (order-dependent) in kernel modules
+RPR011   unseeded / global-state RNG in library code
+RPR012   builtin ``sum()`` reduction in kernel modules
+RPR020   engine entry point doing matmul work without ledger recording
+RPR030   lock-inconsistent mutation of a guarded attribute
+RPR031   nested re-acquisition of a non-reentrant lock (self-deadlock)
+RPR032   call under a held lock into a method that re-acquires it
+=======  ==============================================================
+
+The lock rules use *consistency inference* rather than annotations: an
+attribute (or module global) that is mutated under a lock anywhere is
+treated as guarded by that lock everywhere, and any mutation outside the
+lock is a finding.  ``__init__``/``__new__``/``__del__`` are exempt
+(construction and teardown are single-threaded by contract).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .lintconfig import LintConfig
+
+__all__ = ["ParsedModule", "RULES", "run_rules", "RULE_DOCS"]
+
+#: One-line rule documentation (rendered by ``repro lint --explain`` and the
+#: README rule table; kept here so code and docs cannot drift apart).
+RULE_DOCS: Dict[str, str] = {
+    "RPR001": "NumPy array construction without an explicit dtype in the "
+    "INT8 hot path (defaults to float64 and breaks the overflow proofs)",
+    "RPR002": "width-ambiguous dtype (builtin int/float or 'int'/'float') "
+    "in a kernel module (platform-dependent width breaks bit-identity)",
+    "RPR010": "iteration over a set/frozenset in a kernel module (hash order "
+    "is run-dependent; wrap in sorted())",
+    "RPR011": "unseeded or global-state RNG in library code (results must "
+    "be reproducible from an explicit seed)",
+    "RPR012": "builtin sum() in a kernel module (order-sensitive float "
+    "reduction; use np.sum/math.fsum over a fixed-order operand)",
+    "RPR020": "engine entry point performs matmul/matvec work without "
+    "recording it on the OpCounter ledger",
+    "RPR030": "mutation of a lock-guarded attribute outside the lock "
+    "(guarded = mutated under that lock elsewhere)",
+    "RPR031": "nested with-acquisition of the same non-reentrant lock "
+    "(threading.Lock self-deadlocks on re-entry)",
+    "RPR032": "method called under a held lock re-acquires the same lock "
+    "(self-deadlock across methods)",
+}
+
+#: Calls that mutate their receiver in place (the write set of the lock
+#: consistency analysis and the reason dict/list/set state needs a lock).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: NumPy constructors whose dtype defaults to float64.
+_DTYPE_DEFAULTING = frozenset({"zeros", "ones", "empty", "full", "arange"})
+
+#: Legacy global-state RNG entry points of numpy.random.
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "standard_normal",
+        "uniform",
+        "normal",
+        "choice",
+        "shuffle",
+        "permutation",
+        "seed",
+    }
+)
+
+#: Order-producing stdlib ``random`` functions (module-level = global state).
+_STDLIB_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "seed",
+    }
+)
+
+#: Callables that perform matmul/matvec work inside an engine.
+_MATMUL_ATTRS = frozenset({"matmul", "einsum", "tensordot", "dot"})
+
+#: Lock constructors: the stdlib ones plus this repo's instrumented factory.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "named_lock"})
+_REENTRANT_FACTORIES = frozenset({"RLock"})
+
+
+@dataclasses.dataclass
+class ParsedModule:
+    """One analysed source file: path, AST, source lines and scope flags."""
+
+    path: str  # POSIX path as reported in findings
+    tree: ast.Module
+    lines: Sequence[str]
+    is_hot_path: bool
+    is_kernel: bool
+    is_engine: bool
+
+
+def _finding(module: ParsedModule, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+# ---------------------------------------------------------------------------
+# small AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _is_numpy_attr(node: ast.AST, attrs: frozenset) -> Optional[str]:
+    """Return the attribute name when ``node`` is ``np.<attr>``/``numpy.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+def _has_keyword(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _is_set_like(node: ast.AST, set_names: Set[str]) -> bool:
+    """True when ``node`` evaluates to a set (literal, call, op or alias)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_like(node.left, set_names) or _is_set_like(
+            node.right, set_names
+        )
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Return ``X`` when ``node`` is ``self.X`` (possibly nested deeper)."""
+    while isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return node.attr
+        node = node.value
+    return None
+
+
+def _is_lock_call(node: ast.AST) -> Optional[bool]:
+    """Lock construction?  Returns reentrancy (True = RLock) or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "threading" and func.attr in _LOCK_FACTORIES:
+            name = func.attr
+    elif isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        name = func.id
+    if name is None:
+        return None
+    return name in _REENTRANT_FACTORIES
+
+
+# ---------------------------------------------------------------------------
+# RPR001 / RPR002 — dtype discipline
+# ---------------------------------------------------------------------------
+
+
+def rule_dtype_less_construction(module: ParsedModule) -> Iterator[Finding]:
+    """RPR001: dtype-less NumPy construction in the INT8 hot path."""
+    if not module.is_hot_path:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _is_numpy_attr(node.func, _DTYPE_DEFAULTING)
+        if name is None:
+            continue
+        if _has_keyword(node, "dtype"):
+            continue
+        yield _finding(
+            module,
+            node,
+            "RPR001",
+            f"np.{name}(...) without an explicit dtype in the INT8 hot path "
+            "(defaults to float64; pin the dtype the overflow proof assumes)",
+        )
+
+
+def _ambiguous_dtype_expr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name) and node.id in ("int", "float"):
+        return node.id
+    if isinstance(node, ast.Constant) and node.value in ("int", "float"):
+        return repr(node.value)
+    return None
+
+
+def rule_ambiguous_dtype(module: ParsedModule) -> Iterator[Finding]:
+    """RPR002: builtin ``int``/``float`` used as a dtype in kernel modules."""
+    if not module.is_kernel:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        culprit: Optional[str] = None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            culprit = _ambiguous_dtype_expr(node.args[0])
+        if culprit is None:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    culprit = _ambiguous_dtype_expr(kw.value)
+        if culprit is not None:
+            yield _finding(
+                module,
+                node,
+                "RPR002",
+                f"dtype {culprit} is width-ambiguous (builtin int maps to the "
+                "platform C long); spell the exact NumPy dtype (np.int64, "
+                "np.float64, ...)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR010 / RPR011 / RPR012 — determinism discipline
+# ---------------------------------------------------------------------------
+
+
+def _scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    """Yield (scope node, body) for the module and every function in it."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def rule_set_iteration(module: ParsedModule) -> Iterator[Finding]:
+    """RPR010: iterating a set in a kernel module (hash-order dependent)."""
+    if not module.is_kernel:
+        return
+    for _scope, body in _scopes(module.tree):
+        set_names: Set[str] = set()
+        # First pass, to fixpoint: names bound to set-like expressions in
+        # this scope (assignment chains may appear in any lexical order).
+        while True:
+            grew = False
+            for node in _walk_scope(body):
+                if isinstance(node, ast.Assign) and _is_set_like(node.value, set_names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id not in set_names:
+                            set_names.add(target.id)
+                            grew = True
+            if not grew:
+                break
+        # Second pass: iteration points.
+        for node in _walk_scope(body):
+            iters: List[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_like(it, set_names):
+                    yield _finding(
+                        module,
+                        it,
+                        "RPR010",
+                        "iteration over a set is hash-order dependent; results "
+                        "that must be bit-identical need sorted(...) here",
+                    )
+
+
+def rule_unseeded_rng(module: ParsedModule) -> Iterator[Finding]:
+    """RPR011: unseeded ``default_rng()`` / global-state RNG in library code."""
+    has_random_import = any(
+        isinstance(node, ast.Import)
+        and any(alias.name == "random" for alias in node.names)
+        for node in module.tree.body
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield _finding(
+                module,
+                node,
+                "RPR011",
+                "default_rng() without a seed draws OS entropy; library code "
+                "must take an explicit seed for reproducibility",
+            )
+            continue
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _LEGACY_NP_RANDOM
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+        ):
+            yield _finding(
+                module,
+                node,
+                "RPR011",
+                f"np.random.{func.attr}(...) uses the legacy global RNG state; "
+                "pass a seeded np.random.default_rng(seed) through instead",
+            )
+            continue
+        if (
+            has_random_import
+            and isinstance(func, ast.Attribute)
+            and func.attr in _STDLIB_RANDOM
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            yield _finding(
+                module,
+                node,
+                "RPR011",
+                f"random.{func.attr}(...) uses the process-global stdlib RNG; "
+                "library code must derive randomness from an explicit seed",
+            )
+
+
+def rule_builtin_sum(module: ParsedModule) -> Iterator[Finding]:
+    """RPR012: builtin ``sum()`` in kernel modules (order-sensitive floats)."""
+    if not module.is_kernel:
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+        ):
+            yield _finding(
+                module,
+                node,
+                "RPR012",
+                "builtin sum() accumulates in argument order, which is not "
+                "pinned for arbitrary iterables; kernel reductions must use "
+                "np.sum/math.fsum over a fixed-order operand",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR020 — ledger discipline
+# ---------------------------------------------------------------------------
+
+
+def _does_matmul_work(func: ast.FunctionDef) -> Optional[ast.AST]:
+    """Return the first node performing matmul/matvec work, if any."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            return node
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MATMUL_ATTRS:
+                return node
+            if node.func.attr.startswith("_compute") and _self_attr(node.func) is not None:
+                return node
+    return None
+
+
+def _records_ledger(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr.startswith("record_")
+        ):
+            return True
+    return False
+
+
+def rule_ledger_discipline(module: ParsedModule) -> Iterator[Finding]:
+    """RPR020: public engine methods doing matmul work must hit the ledger."""
+    if not module.is_engine:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_"):
+                continue  # entry points only; helpers are covered by callers
+            work = _does_matmul_work(item)
+            if work is not None and not _records_ledger(item):
+                yield _finding(
+                    module,
+                    work,
+                    "RPR020",
+                    f"{node.name}.{item.name} performs matmul/matvec work but "
+                    "never calls an OpCounter.record_* method; the op ledger "
+                    "is the cross-path comparator and must see every product",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR030 / RPR031 / RPR032 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Write:
+    attr: str
+    node: ast.AST
+    held: Tuple[str, ...]
+    method: str
+
+
+@dataclasses.dataclass
+class _Acquire:
+    lock: str
+    node: ast.AST
+    held: Tuple[str, ...]
+    method: str
+
+
+def _lock_name_of_with_item(item: ast.withitem, *, in_class: bool) -> Optional[str]:
+    """The guarded-lock name of ``with self.X:`` / ``with LOCK:`` items."""
+    expr = item.context_expr
+    if in_class:
+        attr = _self_attr(expr)
+        if attr is not None and isinstance(expr, ast.Attribute) and isinstance(
+            expr.value, ast.Name
+        ):
+            return attr
+        return None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _written_names(node: ast.AST, *, in_class: bool) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (name, node) pairs for attribute/global writes at ``node``.
+
+    ``in_class`` selects between ``self.X`` writes (class analysis) and
+    bare-name writes (module-global analysis).  Covered forms: plain and
+    augmented assignment, subscript stores, ``del x[...]`` and in-place
+    mutator calls (``x.append(...)`` and friends).
+    """
+
+    def base_name(target: ast.AST) -> Optional[str]:
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if in_class:
+            return _self_attr(target)
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            elements = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for element in elements:
+                name = base_name(element)
+                if name is not None:
+                    yield name, element
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            name = base_name(target)
+            if name is not None:
+                yield name, target
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATOR_METHODS:
+            name = base_name(node.func.value)
+            if name is not None:
+                yield name, node
+
+
+def _collect_lock_usage(
+    funcs: Sequence[Tuple[str, ast.AST]],
+    lock_names: Set[str],
+    *,
+    in_class: bool,
+) -> Tuple[List[_Write], List[_Acquire]]:
+    """Walk functions tracking the lexical with-held lock stack."""
+    writes: List[_Write] = []
+    acquires: List[_Acquire] = []
+
+    def visit(node: ast.AST, held: Tuple[str, ...], method: str) -> None:
+        if isinstance(node, ast.With):
+            entered = list(held)
+            for item in node.items:
+                lock = _lock_name_of_with_item(item, in_class=in_class)
+                if lock is not None and lock in lock_names:
+                    acquires.append(_Acquire(lock, item.context_expr, tuple(entered), method))
+                    entered.append(lock)
+            for stmt in node.body:
+                visit(stmt, tuple(entered), method)
+            return
+        for name, site in _written_names(node, in_class=in_class):
+            writes.append(_Write(name, site, held, method))
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: fresh held stack (it runs later, not here).
+            for stmt in node.body:
+                visit(stmt, (), method)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, held, method)
+
+    for method_name, func in funcs:
+        body = func.body if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)) else [func]
+        for stmt in body:
+            visit(stmt, (), method_name)
+    return writes, acquires
+
+
+def _consistency_findings(
+    module: ParsedModule,
+    writes: Sequence[_Write],
+    lock_names: Set[str],
+    *,
+    owner: str,
+) -> Iterator[Finding]:
+    """The RPR030 consistency inference over a set of collected writes."""
+    guarded: Dict[str, Set[str]] = {}
+    for write in writes:
+        if write.attr in lock_names:
+            continue
+        for lock in write.held:
+            guarded.setdefault(write.attr, set()).add(lock)
+    for write in writes:
+        if write.method in ("__init__", "__new__", "__del__", "<module>"):
+            continue
+        locks = guarded.get(write.attr)
+        if not locks:
+            continue
+        if not set(write.held) & locks:
+            lock_list = ", ".join(sorted(locks))
+            yield _finding(
+                module,
+                write.node,
+                "RPR030",
+                f"{owner}{write.attr} is mutated under {lock_list} elsewhere "
+                f"but written here without it (in {write.method}); take the "
+                "lock or document the attribute as unshared",
+            )
+
+
+def rule_lock_discipline(module: ParsedModule) -> Iterator[Finding]:
+    """RPR030/RPR031/RPR032 over classes and module-level locks."""
+    # ---- class-level locks -------------------------------------------------
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        methods = [
+            (item.name, item)
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs: Set[str] = set()
+        reentrant: Set[str] = set()
+        for _name, func in methods:
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    kind = _is_lock_call(node.value)
+                    if kind is None:
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            lock_attrs.add(attr)
+                            if kind:
+                                reentrant.add(attr)
+        if not lock_attrs:
+            continue
+        writes, acquires = _collect_lock_usage(methods, lock_attrs, in_class=True)
+        yield from _consistency_findings(
+            module, writes, lock_attrs, owner=f"{cls.name}."
+        )
+        # RPR031: nested lexical re-acquisition of a non-reentrant lock.
+        for acq in acquires:
+            if acq.lock in acq.held and acq.lock not in reentrant:
+                yield _finding(
+                    module,
+                    acq.node,
+                    "RPR031",
+                    f"{cls.name}.{acq.method} re-acquires non-reentrant lock "
+                    f"self.{acq.lock} while already holding it: guaranteed "
+                    "self-deadlock",
+                )
+        # RPR032: held-lock call into a sibling method that re-acquires it.
+        acquired_by_method: Dict[str, Set[str]] = {}
+        for acq in acquires:
+            acquired_by_method.setdefault(acq.method, set()).add(acq.lock)
+        for method_name, func in methods:
+            calls_under: List[Tuple[str, ast.AST, Tuple[str, ...]]] = []
+
+            def visit(node: ast.AST, held: Tuple[str, ...]) -> None:
+                if isinstance(node, ast.With):
+                    entered = list(held)
+                    for item in node.items:
+                        lock = _lock_name_of_with_item(item, in_class=True)
+                        if lock is not None and lock in lock_attrs:
+                            entered.append(lock)
+                    for stmt in node.body:
+                        visit(stmt, tuple(entered))
+                    return
+                if isinstance(node, ast.Call):
+                    callee = None
+                    if isinstance(node.func, ast.Attribute) and isinstance(
+                        node.func.value, ast.Name
+                    ):
+                        if node.func.value.id == "self":
+                            callee = node.func.attr
+                    if callee is not None and held:
+                        calls_under.append((callee, node, held))
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return
+                for child in ast.iter_child_nodes(node):
+                    visit(child, held)
+
+            for stmt in func.body:
+                visit(stmt, ())
+            for callee, node, held in calls_under:
+                needed = acquired_by_method.get(callee, set())
+                clash = needed & set(held) - reentrant
+                if clash:
+                    lock = sorted(clash)[0]
+                    yield _finding(
+                        module,
+                        node,
+                        "RPR032",
+                        f"{cls.name}.{method_name} calls self.{callee}() while "
+                        f"holding self.{lock}, which {callee} re-acquires: "
+                        "self-deadlock",
+                    )
+
+    # ---- module-level locks ------------------------------------------------
+    module_locks: Set[str] = set()
+    module_reentrant: Set[str] = set()
+    module_globals: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            kind = _is_lock_call(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module_globals.add(target.id)
+                    if kind is not None:
+                        module_locks.add(target.id)
+                        if kind:
+                            module_reentrant.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            module_globals.add(node.target.id)
+    if not module_locks:
+        return
+    funcs: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            funcs.append((node.name, node))
+    writes, acquires = _collect_lock_usage(funcs, module_locks, in_class=False)
+    # Only module-global names count as shared state (locals are thread-own).
+    writes = [w for w in writes if w.attr in module_globals]
+    yield from _consistency_findings(module, writes, module_locks, owner="module-level ")
+    for acq in acquires:
+        if acq.lock in acq.held and acq.lock not in module_reentrant:
+            yield _finding(
+                module,
+                acq.node,
+                "RPR031",
+                f"{acq.method} re-acquires non-reentrant module lock "
+                f"{acq.lock} while already holding it: guaranteed self-deadlock",
+            )
+
+
+#: Every rule, in report order.
+RULES = (
+    rule_dtype_less_construction,
+    rule_ambiguous_dtype,
+    rule_set_iteration,
+    rule_unseeded_rng,
+    rule_builtin_sum,
+    rule_ledger_discipline,
+    rule_lock_discipline,
+)
+
+
+def run_rules(module: ParsedModule, config: LintConfig) -> List[Finding]:
+    """Run every enabled rule over one parsed module."""
+    findings: List[Finding] = []
+    for rule in RULES:
+        for finding in rule(module):
+            if config.rule_enabled(finding.code):
+                findings.append(finding)
+    return findings

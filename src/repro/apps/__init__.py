@@ -11,6 +11,8 @@ preconditioners factored once (:mod:`repro.apps.preconditioners`).  The
 examples under ``examples/`` use the same algorithms in script form.
 """
 
+from __future__ import annotations
+
 from .lu import (
     blocked_lu,
     lu_backward_error,

@@ -17,6 +17,8 @@ paper name          implementation
 ==================  ====================================================
 """
 
+from __future__ import annotations
+
 from .bf16x9 import bf16x9_gemm
 from .cumpsgemm import cumpsgemm_fp16tcec
 from .native import native_dgemm, native_sgemm

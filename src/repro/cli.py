@@ -26,9 +26,14 @@ Subcommands
     :class:`~repro.session.Session` behind HTTP with transparent
     prepared-operand caching and request coalescing; ``--stats`` queries a
     running server's counters instead of serving.
+``lint``
+    Run the domain-aware static analyser (:mod:`repro.analysis`): RPR0xx
+    rules enforcing dtype, determinism, ledger and lock discipline, with
+    ``--format text|json`` output; exits nonzero on findings.
 ``selfcheck``
     Print version/configuration and run a fast end-to-end correctness check
-    (used by CI as a post-install smoke test).
+    (used by CI as a post-install smoke test), including a ``repro lint``
+    pass over the installed package.
 """
 
 from __future__ import annotations
@@ -256,6 +261,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a RUNNING server's /v1/stats and print it (does not serve)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analyser (RPR0xx rules) over paths",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule-code prefixes to run (e.g. 'RPR01,RPR030')",
+    )
+
     sub.add_parser(
         "selfcheck",
         help="print version/config and run a fast end-to-end correctness check",
@@ -272,7 +299,7 @@ def _parse_size(text: str) -> tuple:
     try:
         parts = [int(p) for p in _parse_list(text)]
     except ValueError:
-        raise SystemExit(f"--size expects integers ('n' or 'm,k,n'), got {text!r}")
+        raise SystemExit(f"--size expects integers ('n' or 'm,k,n'), got {text!r}") from None
     if len(parts) == 1:
         return parts[0], parts[0], parts[0]
     if len(parts) == 3:
@@ -299,7 +326,9 @@ def _default_moduli(precision: str, moduli) -> "int | str":
         try:
             return int(key)
         except ValueError:
-            raise SystemExit(f"--moduli expects an integer or 'auto', got {moduli!r}")
+            raise SystemExit(
+                f"--moduli expects an integer or 'auto', got {moduli!r}"
+            ) from None
     return moduli
 
 
@@ -477,6 +506,19 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import render_json, render_text, run_lint
+
+    select = _parse_list(args.select) if args.select else ()
+    findings, files_checked = run_lint(args.paths, select=select)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+        print(f"({files_checked} files checked)")
+    return 1 if findings else 0
+
+
 def _cmd_selfcheck(args) -> int:
     import platform
 
@@ -557,6 +599,20 @@ def _cmd_selfcheck(args) -> int:
             "to fixed N",
             bool(np.array_equal(auto.c, auto_fixed)),
             "",
+        )
+    )
+
+    from pathlib import Path
+
+    from .analysis import run_lint
+
+    package_root = Path(__file__).resolve().parent
+    lint_findings, lint_files = run_lint([package_root])
+    checks.append(
+        (
+            "repro lint clean on installed package",
+            not lint_findings,
+            f"{len(lint_findings)} findings in {lint_files} files",
         )
     )
 
@@ -745,6 +801,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "throughput": _cmd_throughput,
         "gemm": _cmd_gemm,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
         "selfcheck": _cmd_selfcheck,
     }
     try:

@@ -11,6 +11,8 @@ The public entry points are:
   accuracy.
 """
 
+from __future__ import annotations
+
 from .accumulation import accumulate_residue_products, reconstruct_crt, unscale
 from .blocking import blocked_residue_products, k_block_ranges
 from .conversion import residue_slices, truncate_scaled

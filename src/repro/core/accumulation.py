@@ -194,7 +194,12 @@ def reconstruct_crt(
     return fma(-table.P2, q, t)
 
 
-def unscale(c_pp: np.ndarray, mu: np.ndarray, nu: np.ndarray, out_dtype=np.float64) -> np.ndarray:
+def unscale(
+    c_pp: np.ndarray,
+    mu: np.ndarray,
+    nu: np.ndarray,
+    out_dtype: "np.dtype | type" = np.float64,
+) -> np.ndarray:
     """Line 12 of Algorithm 1: ``C = diag(μ⁻¹)·C''·diag(ν⁻¹)``.
 
     The scales are powers of two, so the divisions are exact; they are

@@ -14,18 +14,21 @@ here for backwards compatibility; see that module for the phase-key table.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
 from ..config import ComputeMode, MAX_K_WITHOUT_BLOCKING, Ozaki2Config
-from ..crt.adaptive import select_num_moduli
+from ..crt.adaptive import AdaptiveSelection, select_num_moduli
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine
 from ..result import GemmResult, Ozaki2Result, PHASE_KEYS, PhaseTimes, _PhaseTimer
 from ..types import result_dtype
 from ..utils.validation import check_gemm_operands, check_operand
 from ..errors import ConfigurationError, ValidationError
+
+if TYPE_CHECKING:  # runtime imports core; keep the scheduler type import one-way
+    from ..runtime.scheduler import Scheduler
 from .accumulation import unscale
 from .conversion import residue_slices, truncate_scaled
 from .operand import ResidueOperand
@@ -53,7 +56,7 @@ _AUTO_TABLE_RESTRICTION = (
 )
 
 
-def _operand_max_abs(raw, prep) -> float:
+def _operand_max_abs(raw: np.ndarray, prep: Optional[ResidueOperand]) -> float:
     """``max|X|`` of one GEMM side, prepared or raw.
 
     Prepared operands carry the value from their preparation's scaling scan
@@ -72,7 +75,14 @@ def _operand_max_abs(raw, prep) -> float:
     return float(np.max(np.abs(raw))) if raw.size else 0.0
 
 
-def _resolve_auto_moduli(a, b, a_prep, b_prep, k, config):
+def _resolve_auto_moduli(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_prep: Optional[ResidueOperand],
+    b_prep: Optional[ResidueOperand],
+    k: int,
+    config: Ozaki2Config,
+) -> "tuple[Ozaki2Config, Optional[ResidueOperand], Optional[ResidueOperand], AdaptiveSelection]":
     """Resolve ``num_moduli="auto"`` for one call.
 
     Returns ``(config, a_prep, b_prep, selection)``: a concrete
@@ -99,7 +109,7 @@ def _resolve_auto_moduli(a, b, a_prep, b_prep, k, config):
     return config, a_prep, b_prep, selection
 
 
-def _check_prepared_a(a_prep, config) -> None:
+def _check_prepared_a(a_prep: ResidueOperand, config: Ozaki2Config) -> None:
     """Validate a ResidueOperand passed as the left operand.
 
     Shared by the GEMM route and the residue-GEMV fast path
@@ -114,7 +124,13 @@ def _check_prepared_a(a_prep, config) -> None:
     a_prep.require_compatible(config)
 
 
-def _resolve_prepared_sides(a, b, a_prep, b_prep, config):
+def _resolve_prepared_sides(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_prep: Optional[ResidueOperand],
+    b_prep: Optional[ResidueOperand],
+    config: Ozaki2Config,
+) -> "tuple[np.ndarray, np.ndarray]":
     """Validate a GEMM call in which at least one side is a ResidueOperand.
 
     Checks side orientation and configuration compatibility of the prepared
@@ -156,8 +172,8 @@ def ozaki2_gemm(
     engine: Optional[MatrixEngine] = None,
     return_details: bool = False,
     constant_table: Optional[CRTConstantTable] = None,
-    scheduler=None,
-):
+    scheduler: "Scheduler | None" = None,
+) -> "np.ndarray | GemmResult":
     """Emulated matrix product ``A @ B`` via Ozaki scheme II (Algorithm 1).
 
     Parameters
@@ -322,8 +338,8 @@ def emulated_dgemm(
     b: np.ndarray,
     num_moduli: int = 15,
     mode: "ComputeMode | str" = ComputeMode.FAST,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> "np.ndarray | GemmResult":
     """Emulated DGEMM (FP64 target) — the paper's ``OS II-<mode>-<N>``.
 
     Accepts the same extra keyword arguments as :func:`ozaki2_gemm`
@@ -338,8 +354,8 @@ def emulated_sgemm(
     b: np.ndarray,
     num_moduli: int = 8,
     mode: "ComputeMode | str" = ComputeMode.FAST,
-    **kwargs,
-):
+    **kwargs: Any,
+) -> "np.ndarray | GemmResult":
     """Emulated SGEMM (FP32 target) — the paper's ``OS II-<mode>-<N>``."""
     config = Ozaki2Config.for_sgemm(num_moduli=num_moduli, mode=mode)
     return ozaki2_gemm(a, b, config=config, **kwargs)

@@ -100,7 +100,11 @@ class GemvResult(Result):
         return self.ledger
 
 
-def _resolve_a_side(a, a_prep, config):
+def _resolve_a_side(
+    a: np.ndarray,
+    a_prep: Optional[ResidueOperand],
+    config: Ozaki2Config,
+) -> Optional[np.ndarray]:
     """Validate the left operand (prepared or raw) exactly as the GEMM route."""
     if a_prep is not None:
         _check_prepared_a(a_prep, config)
@@ -115,7 +119,7 @@ def prepared_gemv(
     engine: Optional[MatrixEngine] = None,
     return_details: bool = False,
     constant_table: Optional[CRTConstantTable] = None,
-):
+) -> "np.ndarray | GemvResult":
     """Emulated matrix–vector product ``A @ x`` via the residue-GEMV path.
 
     Parameters
@@ -253,14 +257,14 @@ def prepared_gemv(
             else [(0, k)]
         )
         if config.fused_kernels:
-            def _block(start, stop):
+            def _block(start: int, stop: int) -> np.ndarray:
                 return engine.matvec_stack(
                     a_slices[:, :, start:stop], x_slices[:, start:stop], trusted=True
                 )
         else:
             # Pre-fusion comparator: per-modulus 2-D engine calls, exactly
             # the products the unfused GEMM route issues.
-            def _block(start, stop):
+            def _block(start: int, stop: int) -> np.ndarray:
                 return np.stack(
                     [
                         engine.matmul(

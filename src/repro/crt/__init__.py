@@ -14,6 +14,8 @@ This subpackage provides everything Algorithm 1 needs around the CRT:
   (Sections 4.2 and 4.3).
 """
 
+from __future__ import annotations
+
 from .adaptive import (
     AUTO_MODULI,
     DEFAULT_TARGET_ACCURACY,

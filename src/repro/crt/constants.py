@@ -172,7 +172,7 @@ def _build_cached(moduli: Tuple[int, ...], precision_bits: int) -> CRTConstantTa
     if precision_bits == 64:
         P2 = _double(P - int(P1))
         betas = split_weight_bits(weights, n)
-        pairs = [_split_weight(w, b) for w, b in zip(weights, betas)]
+        pairs = [_split_weight(w, b) for w, b in zip(weights, betas, strict=True)]
         s1 = np.array([p[0] for p in pairs], dtype=np.float64)
         s2 = np.array([p[1] for p in pairs], dtype=np.float64)
     else:

@@ -52,7 +52,7 @@ def crt_weights(moduli: Sequence[int]) -> Tuple[int, ...]:
     mods = validate_moduli(moduli)
     total = moduli_product(mods)
     inverses = modular_inverses(mods)
-    return tuple((total // p) * q for p, q in zip(mods, inverses))
+    return tuple((total // p) * q for p, q in zip(mods, inverses, strict=True))
 
 
 def crt_reconstruct_int(residues: Sequence[int], moduli: Sequence[int]) -> int:
@@ -71,7 +71,7 @@ def crt_reconstruct_int(residues: Sequence[int], moduli: Sequence[int]) -> int:
     total = moduli_product(mods)
     weights = crt_weights(mods)
     acc = 0
-    for w, y, p in zip(weights, residues, mods):
+    for w, y, p in zip(weights, residues, mods, strict=True):
         y_int = int(y) % p
         acc += w * y_int
     acc %= total

@@ -27,6 +27,8 @@ Fast kernels
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..errors import ConfigurationError
@@ -182,7 +184,7 @@ def _wrap_to_int8(r: np.ndarray) -> np.ndarray:
 
 def residues_to_int8(
     x: np.ndarray,
-    moduli,
+    moduli: Sequence[int],
     kernel: str = "exact",
     pinv_b: np.ndarray | None = None,
     pinv32: np.ndarray | None = None,
@@ -233,10 +235,10 @@ def residues_to_int8(
 
 def _residues_to_int8_loop(
     x: np.ndarray,
-    mods: list,
+    mods: "list[int]",
     kernel: str,
-    pinv_b,
-    pinv32,
+    pinv_b: np.ndarray | None,
+    pinv32: np.ndarray | None,
     precision_bits: int,
 ) -> np.ndarray:
     """Per-modulus conversion loop (the pre-fusion reference path).
@@ -260,10 +262,10 @@ def _residues_to_int8_loop(
 
 def _residues_to_int8_single_pass(
     x: np.ndarray,
-    mods: list,
+    mods: "list[int]",
     kernel: str,
-    pinv_b,
-    pinv32,
+    pinv_b: np.ndarray | None,
+    pinv32: np.ndarray | None,
     precision_bits: int,
 ) -> np.ndarray:
     """Single-pass conversion of the exact kernel for all ``N`` moduli.
@@ -338,7 +340,7 @@ def uint8_residues(c_int32: np.ndarray, p: int, pinv_prime: int | None = None) -
 
 def uint8_residues_stack(
     c_stack: np.ndarray,
-    moduli,
+    moduli: Sequence[int],
     pinv_prime: np.ndarray | None = None,
     out: np.ndarray | None = None,
 ) -> np.ndarray:

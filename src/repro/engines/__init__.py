@@ -17,6 +17,8 @@ it performed, which the performance model (:mod:`repro.perfmodel`) consumes
 to translate work into modelled GPU time and energy.
 """
 
+from __future__ import annotations
+
 from .base import MatrixEngine, OpCounter
 from .int8 import Int8MatrixEngine
 from .lowprec_fp import Bf16MatrixEngine, Fp16MatrixEngine, Tf32MatrixEngine

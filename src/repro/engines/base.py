@@ -189,7 +189,7 @@ class OpCounter:
         for name in self._INT_FIELDS:
             setattr(delta, name, getattr(self, name) - getattr(earlier, name))
         keys = set(self.emulated_calls) | set(earlier.emulated_calls)
-        for moduli in keys:
+        for moduli in sorted(keys):
             count = self.emulated_calls.get(moduli, 0) - earlier.emulated_calls.get(moduli, 0)
             if count:
                 delta.emulated_calls[moduli] = count

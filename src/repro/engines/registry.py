@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from ..errors import EngineError
 from .base import MatrixEngine
@@ -36,7 +36,7 @@ def available_engines() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def get_engine(name: str, **kwargs) -> MatrixEngine:
+def get_engine(name: str, **kwargs: Any) -> MatrixEngine:
     """Instantiate the engine registered under ``name``.
 
     Keyword arguments are forwarded to the engine constructor (for example

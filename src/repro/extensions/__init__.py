@@ -13,6 +13,8 @@ of the same INT8 engine substrate:
   floating-point formats (e.g. FP32 × FP64, FP16 × FP32).
 """
 
+from __future__ import annotations
+
 from .ddgemm import dd_gemm
 from .mixed import mixed_gemm
 

@@ -7,6 +7,8 @@ keeping the data in float32/float64 NumPy storage, so the *numerical* effect
 of the hardware formats is reproduced bit-for-bit.
 """
 
+from __future__ import annotations
+
 from .lowprec import (
     round_to_bf16,
     round_to_fp16,

@@ -6,6 +6,8 @@ are plain dictionaries (easy to assert on in tests or dump to CSV) and whose
 ``render()`` produces the ASCII table printed by the benchmark harness.
 """
 
+from __future__ import annotations
+
 from .experiments import (
     accuracy_sweep,
     adaptive_moduli_sweep,

@@ -380,7 +380,7 @@ def gemv_fast_path_sweep(
                 outputs[route] = outs
 
     identical = all(
-        np.array_equal(x, y) for x, y in zip(outputs["gemm-n1"], outputs["gemv-fast"])
+        np.array_equal(x, y) for x, y in zip(outputs["gemm-n1"], outputs["gemv-fast"], strict=True)
     )
 
     # Verification pass with fresh engines: the two routes must account for
@@ -518,7 +518,7 @@ def batched_speedup_sweep(
     batched_seconds = time.perf_counter() - start
 
     identical = all(
-        np.array_equal(x, y) for x, y in zip(loop_results, batched_results)
+        np.array_equal(x, y) for x, y in zip(loop_results, batched_results, strict=True)
     )
     common = {
         "n": int(size),
@@ -595,7 +595,7 @@ def prepared_reuse_sweep(
                 prepared_seconds, prepared_results = elapsed, results
 
         identical = all(
-            np.array_equal(x, y) for x, y in zip(plain_results, prepared_results)
+            np.array_equal(x, y) for x, y in zip(plain_results, prepared_results, strict=True)
         )
         rows.append(
             {
@@ -826,7 +826,7 @@ def serve_throughput_sweep(
         reference = [session.gemv(a, v).value for v in vectors]
     identical = all(
         np.array_equal(c, w) and np.array_equal(w, r)
-        for c, w, r in zip(cold_values, warm_values, reference)
+        for c, w, r in zip(cold_values, warm_values, reference, strict=True)
     )
     return [
         {

@@ -19,6 +19,8 @@ The model is calibrated only by public peak numbers; it reproduces the
 crossovers sit), not the absolute TFLOPS of the authors' testbed.
 """
 
+from __future__ import annotations
+
 from .breakdown import phase_breakdown
 from .costmodel import MethodCost, PhaseCost, adaptive_moduli_savings, method_cost
 from .power import power_efficiency, modeled_power

@@ -15,6 +15,8 @@ number of output tiles.  This package exploits that structure:
   per operand shape.
 """
 
+from __future__ import annotations
+
 from .batched import ozaki2_gemm_batched
 from .plan import ExecutionPlan, build_plan, plan_for_config, resolve_parallelism
 from .scheduler import Scheduler, execute_plan

@@ -36,10 +36,12 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config, ResidueKernel
 from ..core.accumulation import accumulate_residue_products, reconstruct_crt
 from ..crt.constants import CRTConstantTable
 from ..engines.base import MatrixEngine
+from ..result import PhaseTimes
 from ..engines.int8 import Int8MatrixEngine
 from .plan import ExecutionPlan, modulus_chunk_ranges, resolve_parallelism
 
@@ -76,14 +78,14 @@ class Scheduler:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._local = threading.local()
         self._clones: List[MatrixEngine] = []
-        self._clones_lock = threading.Lock()
+        self._clones_lock = named_lock("runtime.scheduler._clones_lock")
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
     def __enter__(self) -> "Scheduler":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -148,7 +150,7 @@ def execute_plan(
     b_slices: np.ndarray,
     table: CRTConstantTable,
     config: Ozaki2Config,
-    times=None,
+    times: "PhaseTimes | None" = None,
     trusted: bool = False,
 ) -> np.ndarray:
     """Run lines 6–11 of Algorithm 1 under a plan; return ``C''`` (float64).
@@ -249,7 +251,7 @@ def execute_plan(
             # (the order is irrelevant to the value — integer addition is
             # associative — but keeping it fixed documents the determinism).
             c_stack = np.zeros((n_mod, m1 - m0, n1 - n0), dtype=np.int64)
-            for (lo, hi, _, _), partial in zip(tasks, partials):
+            for (lo, hi, _, _), partial in zip(tasks, partials, strict=True):
                 if fused:
                     c_stack[lo:hi] += partial.astype(np.int64)
                 else:

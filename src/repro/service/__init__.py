@@ -34,6 +34,8 @@ Start a server from the CLI (``repro serve --port 7723``), query it with
         result = client.gemm(a, b)      # warm: fingerprint-only, cache hit
 """
 
+from __future__ import annotations
+
 from .cache import DEFAULT_CAPACITY_BYTES, OperandCache, cache_key
 from .protocol import (
     ERROR_BAD_REQUEST,
@@ -57,7 +59,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     target = _LAZY.get(name)
     if target is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -68,7 +70,7 @@ def __getattr__(name: str):
     return value
 
 
-def __dir__():
+def __dir__() -> "list[str]":
     return sorted(set(globals()) | set(_LAZY))
 
 

@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config
 from ..core.operand import ResidueOperand, matrix_fingerprint, prepare_a, prepare_b
 from ..engines.base import OpCounter
@@ -108,10 +109,10 @@ class OperandCache:
         self._entries: "OrderedDict[Tuple, ResidueOperand]" = OrderedDict()
         self._sizes: Dict[Tuple, int] = {}
         self._current_bytes = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("service.cache._lock")
         self._pending: Dict[Tuple, threading.Event] = {}
         self._counter = OpCounter()
-        self._ledgers = [self._counter] + ([ledger] if ledger is not None else [])
+        self._ledgers = [self._counter, *([ledger] if ledger is not None else [])]
 
     # -- events --------------------------------------------------------------
     def _hit(self) -> None:

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from ..analysis.lockorder import named_lock
 from ..errors import ReproError, ValidationError
 from ..result import Result
 from .protocol import ERROR_OPERAND_MISSING, decode_frame, encode_frame
@@ -105,7 +106,7 @@ class ServiceClient:
         self.use_fingerprints = bool(use_fingerprints)
         self._known: Set[Tuple[str, str]] = set()
         self._fingerprints: Dict[int, str] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("service.client._lock")
         self._local = threading.local()
 
     # -- connection management ----------------------------------------------
@@ -134,7 +135,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def _roundtrip(self, path: str, body: bytes) -> bytes:
@@ -293,7 +294,7 @@ class ServiceClient:
         b: np.ndarray,
         method: str = "cg",
         config: Optional[Dict] = None,
-        **options,
+        **options: object,
     ) -> RemoteResult:
         """Iteratively solve ``A x = b`` on the server."""
         header: Dict = {"op": "solve", "method": method}

@@ -33,6 +33,9 @@ import time
 from concurrent.futures import Future
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+import numpy as np
+
+from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config
 
 if TYPE_CHECKING:  # session imports service.cache; keep the cycle type-only
@@ -44,7 +47,9 @@ __all__ = ["RequestCoalescer"]
 class _Item:
     __slots__ = ("a", "b", "config", "future")
 
-    def __init__(self, a, b, config: Ozaki2Config, future: Future) -> None:
+    def __init__(
+        self, a: np.ndarray, b: np.ndarray, config: Ozaki2Config, future: Future
+    ) -> None:
         self.a = a
         self.b = b
         self.config = config
@@ -77,7 +82,7 @@ class RequestCoalescer:
         self.max_batch = max(1, int(max_batch))
         self.window_seconds = max(0.0, float(window_seconds))
         self._queue: "queue.Queue[Optional[_Item]]" = queue.Queue()
-        self._lock = threading.Lock()
+        self._lock = named_lock("service.coalescer._lock")
         self.coalesced_batches = 0
         self.coalesced_requests = 0
         self.largest_batch = 0
@@ -88,7 +93,7 @@ class RequestCoalescer:
         self._worker.start()
 
     # -- submission ----------------------------------------------------------
-    def submit(self, a, b, config: Ozaki2Config) -> Future:
+    def submit(self, a: np.ndarray, b: np.ndarray, config: Ozaki2Config) -> Future:
         """Enqueue one GEMM; the returned future resolves to its GemmResult."""
         future: Future = Future()
         if self._closed:
@@ -164,7 +169,7 @@ class RequestCoalescer:
                 [item.b for item in items],
                 config=config,
             )
-            for item, result in zip(items, results):
+            for item, result in zip(items, results, strict=True):
                 item.future.set_result(result)
         except Exception:
             # Per-item fallback: a poisoned request fails alone.
@@ -173,7 +178,7 @@ class RequestCoalescer:
                     item.future.set_result(
                         self._session.gemm(item.a, item.b, config=item.config)
                     )
-                except Exception as exc:  # noqa: BLE001 - delivered to caller
+                except Exception as exc:  # delivered to the caller via the future
                     item.future.set_exception(exc)
 
     # -- introspection -------------------------------------------------------

@@ -39,8 +39,11 @@ from typing import Dict, Optional
 import numpy as np
 
 from .. import __version__
+from ..analysis.lockorder import named_lock
 from ..config import ComputeMode, Ozaki2Config
+from ..core.operand import ResidueOperand
 from ..errors import ReproError, ValidationError
+from ..result import Result
 from ..session import SOLVE_METHODS, Session
 from .cache import DEFAULT_CAPACITY_BYTES, cache_key
 from .coalescer import RequestCoalescer
@@ -126,7 +129,7 @@ class ReproServer:
         )
         self._started = time.perf_counter()
         self._requests: Dict[str, int] = {}
-        self._requests_lock = threading.Lock()
+        self._requests_lock = named_lock("service.server._requests_lock")
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -172,7 +175,7 @@ class ReproServer:
     def __enter__(self) -> "ReproServer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- request accounting --------------------------------------------------
@@ -205,7 +208,7 @@ class ReproServer:
         arrays: Dict[str, np.ndarray],
         config: Ozaki2Config,
         learned: Dict[str, str],
-    ):
+    ) -> "np.ndarray | ResidueOperand":
         """Resolve one request operand: inline bytes or fingerprint reference.
 
         Inline matrices are pushed through the session cache (when eligible)
@@ -260,14 +263,14 @@ class ReproServer:
             return error_frame(ERROR_OPERAND_MISSING, str(exc))
         except (ValidationError, ReproError) as exc:
             return error_frame(ERROR_BAD_REQUEST, str(exc))
-        except Exception as exc:  # noqa: BLE001 - the server must answer
+        except Exception as exc:  # the server must answer, never raise
             return error_frame(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
 
     def _request_config(self, header: Dict) -> Ozaki2Config:
         return _apply_config_overrides(self.session.config, header.get("config") or {})
 
     @staticmethod
-    def _result_meta(result) -> Dict[str, object]:
+    def _result_meta(result: Result) -> Dict[str, object]:
         """The JSON-safe result metadata shared by gemm/gemv responses."""
         meta: Dict[str, object] = {
             "method": result.config.method_name,
@@ -365,7 +368,7 @@ class ReproServer:
         )
 
 
-def _make_handler(server: ReproServer):
+def _make_handler(server: ReproServer) -> "type[BaseHTTPRequestHandler]":
     """Build the request-handler class bound to one :class:`ReproServer`."""
 
     class Handler(BaseHTTPRequestHandler):
@@ -377,7 +380,7 @@ def _make_handler(server: ReproServer):
 
         # The default handler logs every request to stderr; the serve loop
         # is long-lived, so stay quiet unless something goes wrong.
-        def log_message(self, fmt, *args):  # noqa: D102
+        def log_message(self, fmt: str, *args: object) -> None:
             pass
 
         def _send(self, status: int, body: bytes, content_type: str) -> None:
@@ -387,7 +390,7 @@ def _make_handler(server: ReproServer):
             self.end_headers()
             self.wfile.write(body)
 
-        def do_GET(self) -> None:  # noqa: N802 - http.server API
+        def do_GET(self) -> None:  # http.server spells handlers do_VERB
             if self.path == "/v1/health":
                 server._count("health")
                 doc = {
@@ -405,7 +408,7 @@ def _make_handler(server: ReproServer):
                 return
             self._send(200, json.dumps(doc).encode("utf-8"), "application/json")
 
-        def do_POST(self) -> None:  # noqa: N802 - http.server API
+        def do_POST(self) -> None:  # http.server spells handlers do_VERB
             length = int(self.headers.get("Content-Length", 0))
             if length <= 0 or length > _MAX_BODY_BYTES:
                 self._send(

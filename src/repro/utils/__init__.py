@@ -14,6 +14,8 @@ Submodules
     Input validation shared by all public entry points.
 """
 
+from __future__ import annotations
+
 from .fma import fast_two_sum, fma, split, two_prod, two_sum
 from .fp import (
     exponent_floor,

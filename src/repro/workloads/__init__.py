@@ -1,5 +1,7 @@
 """Workload generators used in the paper's evaluation."""
 
+from __future__ import annotations
+
 from .generators import (
     WorkloadSpec,
     adversarial_cancellation_matrix,

@@ -1,0 +1,10 @@
+"""A violation on every line, each suppressed a different way."""
+
+
+def merge(ours, theirs):
+    out = []
+    for key in set(ours) | set(theirs):  # noqa: RPR010
+        out.append(key)
+    for key in set(ours) & set(theirs):  # noqa
+        out.append(key)
+    return out

@@ -1,0 +1,10 @@
+"""Bad: dtype-less NumPy construction in the hot path (RPR001)."""
+
+import numpy as np
+
+
+def make_workspace(m, n):
+    out = np.zeros((m, n))
+    scratch = np.empty(n)
+    ramp = np.arange(n)
+    return out, scratch, ramp

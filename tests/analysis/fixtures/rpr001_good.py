@@ -1,0 +1,10 @@
+"""Good: every construction pins its dtype (RPR001 clean)."""
+
+import numpy as np
+
+
+def make_workspace(m, n):
+    out = np.zeros((m, n), dtype=np.int64)
+    scratch = np.empty(n, dtype=np.int32)
+    ramp = np.arange(n, dtype=np.float64)
+    return out, scratch, ramp

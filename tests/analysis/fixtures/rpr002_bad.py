@@ -1,0 +1,9 @@
+"""Bad: width-ambiguous builtin dtypes in a kernel module (RPR002)."""
+
+import numpy as np
+
+
+def widen(r, k):
+    wide = r.astype(int)
+    table = np.asarray(k, dtype=float)
+    return wide, table

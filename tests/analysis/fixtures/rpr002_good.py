@@ -1,0 +1,9 @@
+"""Good: exact NumPy dtypes everywhere (RPR002 clean)."""
+
+import numpy as np
+
+
+def widen(r, k):
+    wide = r.astype(np.int64)
+    table = np.asarray(k, dtype=np.float64)
+    return wide, table

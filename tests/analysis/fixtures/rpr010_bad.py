@@ -1,0 +1,13 @@
+"""Bad: set iteration in a kernel module (RPR010)."""
+
+
+def merge_histograms(ours, theirs):
+    merged = {}
+    keys = set(ours) | set(theirs)
+    for key in keys:
+        merged[key] = ours.get(key, 0) + theirs.get(key, 0)
+    return merged
+
+
+def directly(ours, theirs):
+    return [k for k in set(ours) & set(theirs)]

@@ -1,0 +1,13 @@
+"""Good: set unions are sorted before iteration (RPR010 clean)."""
+
+
+def merge_histograms(ours, theirs):
+    merged = {}
+    keys = set(ours) | set(theirs)
+    for key in sorted(keys):
+        merged[key] = ours.get(key, 0) + theirs.get(key, 0)
+    return merged
+
+
+def directly(ours, theirs):
+    return [k for k in sorted(set(ours) & set(theirs))]

@@ -1,0 +1,12 @@
+"""Bad: unseeded and global-state RNG in library code (RPR011)."""
+
+import random
+
+import numpy as np
+
+
+def noise(n):
+    rng = np.random.default_rng()
+    legacy = np.random.rand(n)
+    jitter = random.random()
+    return rng.standard_normal(n), legacy, jitter

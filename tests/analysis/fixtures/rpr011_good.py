@@ -1,0 +1,8 @@
+"""Good: all randomness flows from an explicit seed (RPR011 clean)."""
+
+import numpy as np
+
+
+def noise(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)

@@ -1,0 +1,5 @@
+"""Bad: builtin sum() reduction in a kernel module (RPR012)."""
+
+
+def total_error(partials):
+    return sum(partials)

@@ -1,0 +1,7 @@
+"""Good: fixed-order NumPy reduction (RPR012 clean)."""
+
+import numpy as np
+
+
+def total_error(partials):
+    return np.sum(np.asarray(partials, dtype=np.float64))

@@ -1,0 +1,11 @@
+"""Bad: engine entry point doing matmul work off the ledger (RPR020)."""
+
+import numpy as np
+
+
+class SneakyEngine:
+    def matmul(self, a, b):
+        return np.matmul(a, b)
+
+    def matvec(self, a, x):
+        return a @ x

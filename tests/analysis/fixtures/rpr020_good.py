@@ -1,0 +1,20 @@
+"""Good: every public matmul entry point records on the ledger (RPR020 clean)."""
+
+import numpy as np
+
+
+class HonestEngine:
+    def __init__(self, counter):
+        self.counter = counter
+
+    def matmul(self, a, b):
+        self.counter.record_matmul(a.shape[0], a.shape[1], b.shape[1])
+        return np.matmul(a, b)
+
+    def matvec(self, a, x):
+        self.counter.record_matmul(a.shape[0], a.shape[1], 1)
+        return a @ x
+
+    def _compute(self, a, b):
+        # Private helpers are exempt: the public caller records for them.
+        return np.matmul(a, b)

@@ -1,0 +1,28 @@
+"""Bad: lock-inconsistent mutation of a guarded attribute (RPR030)."""
+
+import threading
+
+_ITEMS = []
+_GUARD = threading.Lock()
+
+
+def record(item):
+    with _GUARD:
+        _ITEMS.append(item)
+
+
+def record_racy(item):
+    _ITEMS.append(item)
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_racy(self):
+        self._count += 1

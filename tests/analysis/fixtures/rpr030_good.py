@@ -1,0 +1,25 @@
+"""Good: every mutation of guarded state happens under the lock (RPR030 clean)."""
+
+import threading
+
+_ITEMS = []
+_GUARD = threading.Lock()
+
+
+def record(item):
+    with _GUARD:
+        _ITEMS.append(item)
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # __init__ is exempt: construction is single-threaded
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        with self._lock:
+            self._count = 0

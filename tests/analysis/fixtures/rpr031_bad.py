@@ -1,0 +1,15 @@
+"""Bad: nested re-acquisition of a non-reentrant lock (RPR031)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def add_twice(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            with self._lock:
+                self._entries[key] = value

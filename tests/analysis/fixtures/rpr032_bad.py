@@ -1,0 +1,18 @@
+"""Bad: call under a held lock into a method that re-acquires it (RPR032)."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def replace_all(self, entries):
+        with self._lock:
+            self.clear()
+            self._entries.update(entries)

@@ -1,0 +1,18 @@
+"""Good lock discipline: RLock re-entry and lock-free private helpers."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.RLock()  # reentrant: nested acquisition is fine
+        self._entries = {}
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def replace_all(self, entries):
+        with self._lock:
+            self.clear()
+            self._entries.update(entries)

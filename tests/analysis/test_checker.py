@@ -1,0 +1,198 @@
+"""Checker orchestration: config loading, rendering, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    find_pyproject,
+    load_config,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# -- [tool.reprolint] loading -----------------------------------------------
+
+
+def test_defaults_without_pyproject():
+    config = load_config(None)
+    assert config.is_hot_path("src/repro/crt/residues.py")
+    assert config.is_hot_path("src/repro/engines/int8.py")
+    assert not config.is_hot_path("src/repro/harness/figures.py")
+    assert config.is_kernel("src/repro/runtime/scheduler.py")
+    assert config.is_engine("src/repro/engines/native.py")
+    assert config.is_excluded("src/repro/__pycache__/x.py")
+
+
+def test_load_config_from_pyproject(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.reprolint]\n"
+        'hot-path-modules = ["mylib/hot/"]\n'
+        'kernel-modules = ["mylib/"]\n'
+        'exclude = ["generated/"]\n'
+    )
+    config = load_config(pyproject)
+    assert config.hot_path_modules == ("mylib/hot/",)
+    assert config.kernel_modules == ("mylib/",)
+    assert config.exclude == ("generated/",)
+    # unspecified keys keep their defaults
+    assert config.engine_modules == ("repro/engines/",)
+
+
+def test_load_config_rejects_unknown_keys(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.reprolint]\ntypo-key = [1]\n")
+    with pytest.raises(ValueError, match="typo-key"):
+        load_config(pyproject)
+
+
+def test_load_config_rejects_non_string_lists(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.reprolint]\nexclude = [1, 2]\n")
+    with pytest.raises(ValueError, match="list of strings"):
+        load_config(pyproject)
+
+
+def test_find_pyproject_walks_up(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+def test_repo_pyproject_scopes_match_lintconfig_defaults():
+    # The [tool.reprolint] table spells out the built-in defaults; the two
+    # must not drift apart.
+    pyproject = find_pyproject(Path(__file__))
+    assert pyproject is not None
+    assert load_config(pyproject) == LintConfig(
+        exclude=("__pycache__", "tests/analysis/fixtures")
+    )
+
+
+# -- run_lint mechanics ------------------------------------------------------
+
+
+def test_syntax_error_becomes_rpr000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings, checked = run_lint([bad], config=LintConfig())
+    assert checked == 1
+    assert [f.code for f in findings] == ["RPR000"]
+    assert "does not parse" in findings[0].message
+
+
+def test_exclude_fragments_skip_files(tmp_path):
+    skipped = tmp_path / "generated"
+    skipped.mkdir()
+    (skipped / "x.py").write_text("import random\nrandom.random()\n")
+    findings, checked = run_lint(
+        [tmp_path], config=LintConfig(exclude=("generated/",))
+    )
+    assert checked == 0
+    assert findings == []
+
+
+def test_duplicate_paths_deduplicate(tmp_path):
+    f = tmp_path / "m.py"
+    f.write_text("x = 1\n")
+    _, checked = run_lint([f, f, tmp_path], config=LintConfig())
+    assert checked == 1
+
+
+def test_findings_are_sorted():
+    config = LintConfig(
+        hot_path_modules=("fixtures/",),
+        kernel_modules=("fixtures/",),
+        engine_modules=("fixtures/",),
+    )
+    findings, _ = run_lint([FIXTURES], config=config)
+    assert findings == sorted(findings)
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def sample_findings():
+    return [
+        Finding(path="a.py", line=3, col=5, code="RPR010", message="set order"),
+        Finding(path="b.py", line=1, col=1, code="RPR030", message="lock miss"),
+    ]
+
+
+def test_render_text_shape():
+    text = render_text(sample_findings())
+    lines = text.splitlines()
+    assert lines[0] == "a.py:3:5: RPR010 set order"
+    assert lines[1] == "b.py:1:1: RPR030 lock miss"
+    assert lines[2] == "repro lint: 2 findings"
+    assert render_text([]).splitlines() == ["repro lint: 0 findings"]
+    assert render_text(sample_findings()[:1]).endswith("1 finding")
+
+
+def test_render_json_document():
+    doc = json.loads(render_json(sample_findings()))
+    assert doc["summary"] == {"total": 2, "by_code": {"RPR010": 1, "RPR030": 1}}
+    assert doc["findings"][0] == {
+        "path": "a.py",
+        "line": 3,
+        "col": 5,
+        "code": "RPR010",
+        "message": "set order",
+    }
+    assert json.loads(render_json([])) == {
+        "findings": [],
+        "summary": {"total": 0, "by_code": {}},
+    }
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def bad_kernel_copy(tmp_path) -> Path:
+    """A bad fixture placed on a path the *default* scopes classify as kernel."""
+    target = tmp_path / "repro" / "crt"
+    target.mkdir(parents=True)
+    copy = target / "bad.py"
+    copy.write_text((FIXTURES / "rpr010_bad.py").read_text())
+    return copy
+
+
+def test_cli_lint_exits_nonzero_on_findings(tmp_path, capsys):
+    copy = bad_kernel_copy(tmp_path)
+    assert main(["lint", str(copy)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR010" in out
+    assert "repro lint: 2 findings" in out
+
+
+def test_cli_lint_json_format(tmp_path, capsys):
+    copy = bad_kernel_copy(tmp_path)
+    assert main(["lint", str(copy), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["by_code"] == {"RPR010": 2}
+
+
+def test_cli_lint_select(tmp_path, capsys):
+    copy = bad_kernel_copy(tmp_path)
+    # Selecting an unrelated code family silences the RPR010 findings.
+    assert main(["lint", str(copy), "--select", "RPR030"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_clean_on_repo_source(capsys):
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    assert main(["lint", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint: 0 findings" in out

@@ -1,0 +1,112 @@
+"""Per-rule fixture tests: every bad fixture fires, every good one is clean.
+
+The fixtures live in ``tests/analysis/fixtures/`` (excluded from ruff and
+from the repo's own ``[tool.reprolint]`` scope — they are deliberately
+broken).  The tests lint them with an explicit :class:`LintConfig` whose
+scopes all match the fixtures directory, so every domain rule applies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: All scopes point at the fixtures dir: every rule applies to every fixture.
+CONFIG = LintConfig(
+    hot_path_modules=("fixtures/",),
+    kernel_modules=("fixtures/",),
+    engine_modules=("fixtures/",),
+    exclude=("__pycache__",),
+)
+
+
+def lint_fixture(name: str):
+    findings, checked = run_lint([FIXTURES / name], config=CONFIG)
+    assert checked == 1
+    return findings
+
+
+BAD_CASES = [
+    ("rpr001_bad.py", "RPR001", 3),  # zeros, empty, arange
+    ("rpr002_bad.py", "RPR002", 2),  # astype(int), dtype=float
+    ("rpr010_bad.py", "RPR010", 2),  # for over union, comprehension over &
+    ("rpr011_bad.py", "RPR011", 3),  # default_rng(), np.random.rand, random.random
+    ("rpr012_bad.py", "RPR012", 1),
+    ("rpr020_bad.py", "RPR020", 2),  # matmul and matvec entry points
+    ("rpr030_bad.py", "RPR030", 2),  # module-global and class attribute
+    ("rpr031_bad.py", "RPR031", 1),
+    ("rpr032_bad.py", "RPR032", 1),
+]
+
+GOOD_FIXTURES = [
+    "rpr001_good.py",
+    "rpr002_good.py",
+    "rpr010_good.py",
+    "rpr011_good.py",
+    "rpr012_good.py",
+    "rpr020_good.py",
+    "rpr030_good.py",
+    "rpr03x_good.py",
+]
+
+
+@pytest.mark.parametrize("name,code,count", BAD_CASES)
+def test_bad_fixture_fires(name, code, count):
+    findings = lint_fixture(name)
+    codes = [f.code for f in findings]
+    assert codes == [code] * count, findings
+
+
+@pytest.mark.parametrize("name", GOOD_FIXTURES)
+def test_good_fixture_is_clean(name):
+    assert lint_fixture(name) == []
+
+
+def test_findings_carry_position_and_message():
+    (finding,) = lint_fixture("rpr012_bad.py")
+    assert finding.path.endswith("rpr012_bad.py")
+    assert finding.line == 5
+    assert finding.col >= 1
+    assert "sum()" in finding.message
+
+
+def test_rules_respect_scope_classification():
+    # The same bad file linted outside every scope yields nothing: the
+    # scoped rules (dtype/determinism/ledger) do not apply to, say, the
+    # harness or the CLI.
+    config = LintConfig(
+        hot_path_modules=("nowhere/",),
+        kernel_modules=("nowhere/",),
+        engine_modules=("nowhere/",),
+    )
+    for name in ("rpr001_bad.py", "rpr010_bad.py", "rpr012_bad.py", "rpr020_bad.py"):
+        findings, _ = run_lint([FIXTURES / name], config=config)
+        assert findings == [], name
+    # ... while the lock rules and the RNG rule are scope-independent.
+    findings, _ = run_lint([FIXTURES / "rpr030_bad.py"], config=config)
+    assert [f.code for f in findings] == ["RPR030", "RPR030"]
+    findings, _ = run_lint([FIXTURES / "rpr011_bad.py"], config=config)
+    assert len(findings) == 3
+
+
+def test_select_narrows_to_listed_codes():
+    findings, _ = run_lint(
+        [FIXTURES], config=CONFIG, select=("RPR030", "RPR031", "RPR032")
+    )
+    assert findings, "lock findings expected across the fixture tree"
+    assert {f.code for f in findings} <= {"RPR030", "RPR031", "RPR032"}
+
+
+def test_noqa_suppression():
+    findings = lint_fixture("noqa_suppressed.py")
+    assert findings == []
+
+
+def test_sorted_wrapper_exempts_set_iteration():
+    findings = lint_fixture("rpr010_good.py")
+    assert findings == []

@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError
 class TestRelativeBound:
     def test_decreases_with_moduli(self):
         bounds = [relative_error_bound(256, n, 64) for n in range(2, MAX_MODULI + 1)]
-        assert all(b2 < b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert all(b2 < b1 for b1, b2 in zip(bounds, bounds[1:], strict=False))
 
     def test_grows_with_k(self):
         assert relative_error_bound(4096, 10, 64) > relative_error_bound(16, 10, 64)

@@ -103,7 +103,7 @@ class TestSplitWeights:
         betas = split_weight_bits(weights, 16)
         exps = [w.bit_length() - 1 for w in weights]
         e_max = max(exps)
-        for beta, e in zip(betas, exps):
+        for beta, e in zip(betas, exps, strict=True):
             assert beta == min(53, 53 - 8 - math.ceil(math.log2(16)) + e - e_max)
 
     def test_error_free_accumulation_property(self):

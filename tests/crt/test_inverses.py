@@ -28,7 +28,7 @@ class TestProductAndInverses:
     def test_inverses_satisfy_defining_congruence(self, n):
         mods = select_moduli(n)
         total = moduli_product(mods)
-        for p, q in zip(mods, modular_inverses(mods)):
+        for p, q in zip(mods, modular_inverses(mods), strict=True):
             assert (total // p * q) % p == 1
             assert 0 < q < p
 
@@ -36,7 +36,7 @@ class TestProductAndInverses:
     def test_weights_are_one_mod_own_prime_zero_mod_others(self, n):
         mods = select_moduli(n)
         weights = crt_weights(mods)
-        for i, (p_i, w_i) in enumerate(zip(mods, weights)):
+        for i, (p_i, w_i) in enumerate(zip(mods, weights, strict=True)):
             assert w_i % p_i == 1
             for j, p_j in enumerate(mods):
                 if i != j:

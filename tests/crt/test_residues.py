@@ -190,7 +190,7 @@ class TestNonnegModInt64SafeLimit:
         )
         r = _nonneg_mod_integer_valued(x, p)
         assert np.all((r >= 0) & (r < p))
-        for xi, ri in zip(x, r):
+        for xi, ri in zip(x, r, strict=True):
             assert (int(xi) - int(ri)) % p == 0
 
     def test_mixed_array_uses_wide_path_consistently(self):
@@ -201,7 +201,7 @@ class TestNonnegModInt64SafeLimit:
         x = np.array([0.0, 1.0, -1.0, 12345.0, _INT64_SAFE_LIMIT * 4])
         for p in (256, 251):
             r = _nonneg_mod_integer_valued(x, p)
-            for xi, ri in zip(x, r):
+            for xi, ri in zip(x, r, strict=True):
                 assert (int(xi) - int(ri)) % p == 0
                 assert 0 <= ri < p
 
@@ -210,7 +210,7 @@ class TestNonnegModInt64SafeLimit:
 
         x = np.array([2.0**61, 2.0**61 + 512.0, -(2.0**61)])
         r = _nonneg_mod_integer_valued(x, 251)
-        for xi, ri in zip(x, r):
+        for xi, ri in zip(x, r, strict=True):
             assert (int(xi) - int(ri)) % 251 == 0
 
 
@@ -229,7 +229,7 @@ class TestModFastMulhi:
     def test_extreme_int32_values(self):
         table = build_constant_table(5, 64)
         c = np.array([-(2**31), 2**31 - 1, 0, -1, 1], dtype=np.int32)
-        for p, pinv_prime in zip(table.moduli, table.pinv_prime):
+        for p, pinv_prime in zip(table.moduli, table.pinv_prime, strict=True):
             got = mod_fast_mulhi(c, p, int(pinv_prime))
             want = np.mod(c.astype(np.int64), p)
             np.testing.assert_array_equal(got, want)

@@ -47,7 +47,7 @@ class TestBatchedAuto:
         counts = [r.config.num_moduli for r in results]
         assert all(2 <= c <= MAX_MODULI for c in counts)
         # Each item must be bitwise the fixed-count run at its own count.
-        for (a, b), result in zip([(a1, b1), (a2, b2)], results):
+        for (a, b), result in zip([(a1, b1), (a2, b2)], results, strict=True):
             fixed = ozaki2_gemm(a, b, Ozaki2Config(num_moduli=result.config.num_moduli))
             assert np.array_equal(result.c, fixed)
         # Per-item ledgers carry the per-call count histogram.
@@ -67,7 +67,7 @@ class TestBatchedAuto:
         prep = prepare_a(a, config=AUTO)
         results = ozaki2_gemm_batched([prep, prep], [b1, b2], config=AUTO)
         loop = [ozaki2_gemm(a, bx, config=AUTO) for bx in (b1, b2)]
-        assert all(np.array_equal(x, y) for x, y in zip(results, loop))
+        assert all(np.array_equal(x, y) for x, y in zip(results, loop, strict=True))
 
 
 class TestEmulatedLedger:
@@ -198,7 +198,7 @@ class TestAccumulationWorkspace:
         reference = [
             accumulate_residue_products(s, table, vectorized=False) for s in stacks
         ]
-        for (c1v, c2v), (c1r, c2r) in zip(vectorized, reference):
+        for (c1v, c2v), (c1r, c2r) in zip(vectorized, reference, strict=True):
             assert np.array_equal(c1v, c1r)
             if c2r is None:
                 assert c2v is None

@@ -38,7 +38,7 @@ class TestBatchedEquivalence:
         config = Ozaki2Config.for_dgemm(15)
         batched = ozaki2_gemm_batched(As, Bs, config=config)
         assert len(batched) == 8
-        for a, b, c in zip(As, Bs, batched):
+        for a, b, c in zip(As, Bs, batched, strict=True):
             np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
 
     def test_batched_parallel_bit_identical(self):
@@ -46,7 +46,7 @@ class TestBatchedEquivalence:
         config = Ozaki2Config.for_dgemm(10, parallelism=4)
         serial_cfg = config.replace(parallelism=1)
         batched = ozaki2_gemm_batched(As, Bs, config=config)
-        for a, b, c in zip(As, Bs, batched):
+        for a, b, c in zip(As, Bs, batched, strict=True):
             np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=serial_cfg))
 
     def test_batched_sgemm(self):
@@ -57,7 +57,7 @@ class TestBatchedEquivalence:
             Bs.append(b)
         config = Ozaki2Config.for_sgemm(8)
         batched = ozaki2_gemm_batched(As, Bs, config=config)
-        for a, b, c in zip(As, Bs, batched):
+        for a, b, c in zip(As, Bs, batched, strict=True):
             assert c.dtype == np.float32
             np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
 
@@ -66,7 +66,7 @@ class TestBatchedEquivalence:
         As, Bs = As[:3], Bs[:3]
         config = Ozaki2Config.for_dgemm(12, mode="accurate")
         batched = ozaki2_gemm_batched(As, Bs, config=config)
-        for a, b, c in zip(As, Bs, batched):
+        for a, b, c in zip(As, Bs, batched, strict=True):
             np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=config))
 
     def test_batched_with_memory_budget(self):
@@ -74,7 +74,7 @@ class TestBatchedEquivalence:
         config = Ozaki2Config.for_dgemm(8, memory_budget_mb=0.01)
         reference_cfg = config.replace(memory_budget_mb=None)
         batched = ozaki2_gemm_batched(As, Bs, config=config)
-        for a, b, c in zip(As, Bs, batched):
+        for a, b, c in zip(As, Bs, batched, strict=True):
             np.testing.assert_array_equal(c, ozaki2_gemm(a, b, config=reference_cfg))
 
 
@@ -84,7 +84,7 @@ class TestBatchedDetails:
         config = Ozaki2Config.for_dgemm(9, parallelism=2)
         results = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
         assert all(isinstance(r, Ozaki2Result) for r in results)
-        for a, b, r in zip(As, Bs, results):
+        for a, b, r in zip(As, Bs, results, strict=True):
             assert r.c.shape == (a.shape[0], b.shape[1])
             # Fast mode, no k-blocking: exactly N INT8 GEMMs per item.
             assert r.int8_counter.matmul_calls == 9
@@ -99,7 +99,7 @@ class TestBatchedDetails:
         As, Bs = As[:3], Bs[:3]
         config = Ozaki2Config.for_dgemm(8, mode="accurate")
         batched = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
-        for a, b, r in zip(As, Bs, batched):
+        for a, b, r in zip(As, Bs, batched, strict=True):
             loop = ozaki2_gemm(a, b, config=config, return_details=True)
             assert r.int8_counter.as_dict() == loop.int8_counter.as_dict()
             assert r.int8_counter.matmul_calls == 9  # N GEMMs + 1 scale GEMM
@@ -133,7 +133,7 @@ class TestBatchedPrepared:
         a2, b2 = phi_pair(24, 32, 20, phi=0.5, seed=41)
         pa, pb = prepare_a(a, config), prepare_b(b, config)
         batched = ozaki2_gemm_batched([pa, pa, a2], [pb, b2, pb], config=config)
-        for (x, y), c in zip([(a, b), (a, b2), (a2, b)], batched):
+        for (x, y), c in zip([(a, b), (a, b2), (a2, b)], batched, strict=True):
             np.testing.assert_array_equal(c, ozaki2_gemm(x, y, config=config))
 
     def test_prepared_items_report_zero_convert(self):
@@ -250,5 +250,5 @@ class TestBatchedValidation:
             second = ozaki2_gemm_batched(
                 As[:2], Bs[:2], config=Ozaki2Config.for_dgemm(6), scheduler=sched
             )
-        for c1, c2 in zip(first, second):
+        for c1, c2 in zip(first, second, strict=True):
             np.testing.assert_array_equal(c1, c2)

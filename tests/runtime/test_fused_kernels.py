@@ -129,6 +129,6 @@ class TestFusedBitIdentity:
             config=config.replace(fused_kernels=False),
             return_details=True,
         )
-        for f, l in zip(fused, loop):
+        for f, l in zip(fused, loop, strict=True):
             np.testing.assert_array_equal(f.c, l.c)
             assert f.int8_counter.as_dict() == l.int8_counter.as_dict()

@@ -108,7 +108,7 @@ class TestModulusChunks:
         chunks = modulus_chunk_ranges(n_mod, workers)
         # Contiguous, ordered, exhaustive, no empty chunks.
         assert chunks[0][0] == 0 and chunks[-1][1] == n_mod
-        for (lo, hi), (lo2, _) in zip(chunks, chunks[1:]):
+        for (lo, hi), (lo2, _) in zip(chunks, chunks[1:], strict=False):
             assert hi == lo2
         assert all(hi > lo for lo, hi in chunks)
         assert len(chunks) == min(n_mod, max(1, workers))

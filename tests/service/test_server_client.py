@@ -207,7 +207,7 @@ class TestCoalescing:
                 t.join()
             assert not errors
             stats = srv.stats()["coalescer"]
-        for got, want in zip(results, references):
+        for got, want in zip(results, references, strict=True):
             assert np.array_equal(got, want)
         # The burst arrived concurrently: fewer batches than requests.
         assert stats["requests"] == len(bs)

@@ -53,7 +53,7 @@ def test_all_names_resolve_and_are_public(name):
 
 def test_star_import_leaks_nothing_private():
     namespace: dict = {}
-    exec("from repro import *", namespace)  # noqa: S102 - the point of the test
+    exec("from repro import *", namespace)  # star-import surface is the point
     leaked = [
         key
         for key in namespace

@@ -42,7 +42,7 @@ def _parse_rows(text: str):
         cells = split.split(line.strip())
         if len(cells) != len(header):
             continue
-        rows.append(dict(zip(header, cells)))
+        rows.append(dict(zip(header, cells, strict=True)))
     return rows
 
 

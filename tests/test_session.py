@@ -60,7 +60,7 @@ class TestSessionBitIdentity:
         with repro.Session(cfg) as session:
             batch = session.gemm_batched([shared] * 3, bs)
             singles = [session.gemm(shared, b) for b in bs]
-        for got, want in zip(batch, singles):
+        for got, want in zip(batch, singles, strict=True):
             assert np.array_equal(got.value, want.value)
 
     def test_solve_matches_free_function(self, cfg, rng):

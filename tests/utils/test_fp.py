@@ -20,7 +20,7 @@ class TestPow2:
     def test_exact_for_wide_exponent_range(self):
         exps = np.array([-1000, -60, -1, 0, 1, 53, 500, 1023])
         values = pow2(exps)
-        for e, v in zip(exps, values):
+        for e, v in zip(exps, values, strict=True):
             assert v == 2.0 ** int(e)
 
     def test_scalar_input(self):
