@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro import Ozaki2Config, ozaki2_gemm
 from repro.harness import batched_speedup_sweep, runtime_scaling_sweep
 from repro.harness.report import format_table
@@ -49,6 +51,10 @@ def test_bench_runtime_parallel_scaling(save_result):
         num_moduli=15,
         repeats=2 if not FULL else 1,
     )
+    # Record the host so archived tables are interpretable: a speedup of
+    # 0.9x means something entirely different on 1 vCPU than on 8 cores.
+    for row in rows:
+        row["host_cpus"] = CPUS
     table = format_table(
         rows,
         float_format=".3e",
@@ -62,6 +68,14 @@ def test_bench_runtime_parallel_scaling(save_result):
     ]
     assert parallel_speedups, "sweep produced no parallel rows"
     best_speedup = max(parallel_speedups)
+    if CPUS < 2:
+        # A skip, not a silent pass: on a single-CPU host no pool can beat
+        # serial, so asserting any speedup floor would either flake or
+        # vacuously succeed.  Bit-identity (above) is still enforced.
+        pytest.skip(
+            f"speedup assertion needs >= 2 CPUs (host has {CPUS}); "
+            "bit-identity was still asserted"
+        )
     # The paper-motivated >=1.5x scaling claim only holds where the matmul
     # phase dominates (large problems) and real cores back the workers, so
     # it is enforced only in the explicit REPRO_BENCH_FULL run: at small

@@ -424,7 +424,9 @@ def jacobi_solve(
     history: List[float] = []
     moduli: List[int] = []
     converged = False
-    with Scheduler(parallelism=config.parallelism) as sched:
+    with Scheduler(
+        parallelism=config.parallelism, executor=config.executor
+    ) as sched:
         for _ in range(max_iter):
             residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
             rel = float(np.linalg.norm(residual)) / b_norm
@@ -596,7 +598,9 @@ def pcg_solve(
     history: List[float] = []
     moduli: List[int] = []
     converged = False
-    with Scheduler(parallelism=config.parallelism) as sched:
+    with Scheduler(
+        parallelism=config.parallelism, executor=config.executor
+    ) as sched:
 
         def _restart():
             """(Re)start the recurrence from x at the current count."""
@@ -754,7 +758,9 @@ def iterative_refinement_solve(
     history: List[float] = []
     moduli: List[int] = []
     converged = False
-    with Scheduler(parallelism=config.parallelism) as sched:
+    with Scheduler(
+        parallelism=config.parallelism, executor=config.executor
+    ) as sched:
         for _ in range(max_iter):
             residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
             rel = float(np.linalg.norm(residual)) / b_norm

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the residue GEMMs (0 = one per CPU)",
     )
     run.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process", "auto"],
+        help="worker pool backend: 'thread' (GIL-bound), 'process' "
+        "(shared-memory worker processes), or 'auto' (processes whenever "
+        "--parallel > 1)",
+    )
+    run.add_argument(
         "--moduli",
         default=None,
         help="number of CRT moduli N, or 'auto' for accuracy-driven selection",
@@ -155,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--parallel", type=int, default=1,
         help="worker threads for the residue GEMMs (0 = one per CPU)",
+    )
+    solve.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process", "auto"],
+        help="worker pool backend for the residue GEMMs",
     )
     solve.add_argument(
         "--precond", default=None, choices=["none", "ilu0", "ssor"],
@@ -245,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker threads of the session scheduler (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process", "auto"],
+        help="worker pool backend of the session scheduler",
     )
     serve.add_argument(
         "--coalesce-window-ms",
@@ -347,6 +367,7 @@ def _cmd_run(args) -> int:
         num_moduli=_default_moduli(args.precision, args.moduli),
         mode=args.mode,
         parallelism=_resolve_workers(args.parallel),
+        executor=args.executor,
         memory_budget_mb=args.memory_budget_mb,
         fused_kernels=not args.no_fused,
         target_accuracy=args.target_accuracy,
@@ -389,6 +410,8 @@ def _cmd_run(args) -> int:
         label for label, on in (("A", args.prepare_a), ("B", args.prepare_b)) if on
     )
     title = f"repro run (batch={len(results)}, parallel={config.parallelism}"
+    if config.executor != "thread":
+        title += f", executor={config.executor}"
     if prepared:
         title += f", prepared={prepared}"
     print(format_table(rows, float_format=".3e", title=title + ")"))
@@ -431,6 +454,7 @@ def _cmd_solve(args) -> int:
         precision=args.precision,
         num_moduli=_default_moduli(args.precision, args.moduli),
         parallelism=_resolve_workers(args.parallel),
+        executor=args.executor,
         gemv_fast_path=not args.no_gemv_fast,
         target_accuracy=args.target_accuracy,
     )
@@ -549,8 +573,45 @@ def _cmd_selfcheck(args) -> int:
         ("parallel result bit-identical", bool(np.array_equal(serial, parallel)), "")
     )
 
+    process = ozaki2_gemm(
+        a, b, config=Ozaki2Config(parallelism=2, executor="process")
+    )
+    checks.append(
+        (
+            "process-executor result bit-identical",
+            bool(np.array_equal(serial, process)),
+            "",
+        )
+    )
+
     tiled = ozaki2_gemm(a, b, config=Ozaki2Config(memory_budget_mb=0.25))
     checks.append(("tiled result bit-identical", bool(np.array_equal(serial, tiled)), ""))
+
+    from .runtime import TileSource, live_segment_names
+
+    with TileSource() as tiles:
+        ooc_config = Ozaki2Config(
+            parallelism=2, executor="process", memory_budget_mb=0.25
+        )
+        out_of_core = ozaki2_gemm(
+            tiles.prepare_a(a, ooc_config),
+            tiles.prepare_b(b, ooc_config),
+            config=ooc_config,
+        )
+    checks.append(
+        (
+            "out-of-core streamed tiles bit-identical",
+            bool(np.array_equal(serial, out_of_core)),
+            "",
+        )
+    )
+    checks.append(
+        (
+            "no leaked shared-memory segments",
+            not live_segment_names(),
+            "",
+        )
+    )
 
     batched = ozaki2_gemm_batched([a, a], [b, b], config=Ozaki2Config(parallelism=2))
     checks.append(
@@ -765,6 +826,7 @@ def _cmd_serve(args) -> int:
         num_moduli=_default_moduli(args.precision, args.moduli),
         mode=args.mode,
         parallelism=_resolve_workers(args.parallel),
+        executor=args.executor,
         target_accuracy=args.target_accuracy,
     )
     server = ReproServer(

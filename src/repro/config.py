@@ -152,6 +152,17 @@ class Ozaki2Config:
         count): oversubscribed pools are *slower* than serial on small
         hosts (see ``benchmarks/results/runtime_scaling.txt``).  Results
         are bit-identical for every setting.
+    executor:
+        Which kind of worker pool the runtime fans out over when
+        ``parallelism > 1``.  ``"thread"`` (default) uses a
+        ``ThreadPoolExecutor`` — only the GIL-releasing BLAS calls scale.
+        ``"process"`` uses the persistent worker-process pool of
+        :mod:`repro.runtime.process`: residue stacks travel through shared
+        memory (never pickled), and residue conversion, CRT accumulation
+        and reconstruction parallelise too.  ``"auto"`` picks processes
+        whenever more than one worker is configured (and the platform has
+        a ``multiprocessing`` start method), threads otherwise.  Results
+        and merged op ledgers are **bit-identical** for every setting.
     memory_budget_mb:
         Optional cap (in MiB) on the residue-product workspace.  When set,
         the runtime tiles the output over m/n so that the transient
@@ -188,6 +199,7 @@ class Ozaki2Config:
     block_k: bool = True
     validate: bool = True
     parallelism: Union[int, str] = 1
+    executor: str = "thread"
     memory_budget_mb: Optional[float] = None
     fused_kernels: bool = True
     gemv_fast_path: bool = True
@@ -258,6 +270,13 @@ class Ozaki2Config:
                     stacklevel=3,
                 )
         object.__setattr__(self, "parallelism", workers)
+        executor = str(self.executor).strip().lower()
+        if executor not in ("thread", "process", AUTO):
+            raise ConfigurationError(
+                f"executor must be 'thread', 'process' or {AUTO!r}, "
+                f"got {self.executor!r}"
+            )
+        object.__setattr__(self, "executor", executor)
         object.__setattr__(self, "fused_kernels", bool(self.fused_kernels))
         object.__setattr__(self, "gemv_fast_path", bool(self.gemv_fast_path))
         if self.memory_budget_mb is not None:

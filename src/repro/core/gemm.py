@@ -30,7 +30,6 @@ from ..errors import ConfigurationError, ValidationError
 if TYPE_CHECKING:  # runtime imports core; keep the scheduler type import one-way
     from ..runtime.scheduler import Scheduler
 from .accumulation import unscale
-from .conversion import residue_slices, truncate_scaled
 from .operand import ResidueOperand
 from .scaling import (
     accurate_mode_scales,
@@ -254,9 +253,12 @@ def ozaki2_gemm(
     plan = plan_for_config(m, k, n, config, max_block_k=MAX_K_WITHOUT_BLOCKING)
 
     own_scheduler = scheduler is None
-    scheduler = scheduler or Scheduler(parallelism=plan.parallelism, engine=engine)
+    scheduler = scheduler or Scheduler(
+        parallelism=plan.parallelism, engine=engine, executor=config.executor
+    )
     engine = scheduler.engine
     times = PhaseTimes()
+    a_slices = b_slices = None
 
     try:
         # Line 1: scale vectors.  Fast mode derives each side's scales from
@@ -272,18 +274,15 @@ def ozaki2_gemm(
                 )
 
         # Lines 2 and 4: A' and its residues (skipped when A is prepared).
+        # Conversion routes through the scheduler so the process backend can
+        # band the rows across workers (bit-identical to the inline path,
+        # which serial/thread schedulers run unchanged).
         if a_prep is not None:
             a_slices = a_prep.slices
             times.add("convert_A", 0.0)
         else:
             with _PhaseTimer(times, "convert_A"):
-                a_prime = truncate_scaled(a, mu, side="left")
-                a_slices = residue_slices(
-                    a_prime,
-                    table,
-                    config.residue_kernel,
-                    single_pass=config.fused_kernels,
-                )
+                a_slices = scheduler.convert_residues(a, mu, "left", table, config)
 
         # Lines 3 and 5: B' and its residues (skipped when B is prepared).
         if b_prep is not None:
@@ -291,13 +290,7 @@ def ozaki2_gemm(
             times.add("convert_B", 0.0)
         else:
             with _PhaseTimer(times, "convert_B"):
-                b_prime = truncate_scaled(b, nu, side="right")
-                b_slices = residue_slices(
-                    b_prime,
-                    table,
-                    config.residue_kernel,
-                    single_pass=config.fused_kernels,
-                )
+                b_slices = scheduler.convert_residues(b, nu, "right", table, config)
 
         # Lines 6-11: the N INT8 GEMMs (fanned out over the scheduler's
         # workers, blocked over k and tiled over m/n per the plan) and the
@@ -317,6 +310,12 @@ def ozaki2_gemm(
     finally:
         if own_scheduler:
             scheduler.close()
+        else:
+            # Shared scheduler: free any shared-memory conversion outputs
+            # now rather than at the owner's close (prepared-operand slices
+            # are not scheduler-owned, so release is a no-op for them).
+            scheduler.release(a_slices)
+            scheduler.release(b_slices)
 
     if not return_details:
         return c

@@ -19,6 +19,7 @@ from .experiments import (
     power_sweep,
     preconditioner_sweep,
     prepared_reuse_sweep,
+    process_scaling_sweep,
     progressive_solver_sweep,
     runtime_scaling_sweep,
     serve_cache_sweep,
@@ -51,6 +52,7 @@ __all__ = [
     "power_sweep",
     "preconditioner_sweep",
     "prepared_reuse_sweep",
+    "process_scaling_sweep",
     "serve_throughput_sweep",
     "serve_cache_sweep",
     "progressive_solver_sweep",

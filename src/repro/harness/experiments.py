@@ -251,6 +251,77 @@ def runtime_scaling_sweep(
     return rows
 
 
+def process_scaling_sweep(
+    size: int,
+    workers: Sequence[int] = (1, 2, 4),
+    executors: Sequence[str] = ("thread", "process"),
+    num_moduli: int = 15,
+    target: "Format | str" = FP64,
+    phi: float = 0.5,
+    seed: int = 0,
+    repeats: int = 1,
+) -> List[Dict[str, object]]:
+    """Thread pool vs process pool wall clock for one emulated GEMM.
+
+    One ``size^3`` emulated GEMM runs per ``(executor, workers)`` pair —
+    the process executor dispatches the residue work to worker *processes*
+    over shared-memory stacks, so (unlike threads) the INT8 conversion and
+    accumulation phases escape the GIL.  Every row reports the
+    best-of-``repeats`` wall time, the speedup over the strictly serial
+    baseline (first row), bitwise equality with that baseline and op-ledger
+    equality — both guaranteed by the runtime regardless of backend — plus
+    the per-phase seconds (``phase_<key>``) of the best run, which is where
+    the de-serialised convert/accumulate shows up.  ``workers == 1`` rows
+    are forced onto the thread path (a one-worker process pool only adds
+    IPC overhead), so exactly one serial baseline appears.
+    """
+    from ..config import Ozaki2Config
+    from ..core.gemm import ozaki2_gemm
+
+    fmt = precision_for_target(target)
+    a, b = phi_pair(size, size, size, phi=phi, precision=fmt, seed=seed)
+    serial_seconds: Optional[float] = None
+    serial_result = None
+    rows: List[Dict[str, object]] = []
+    counts = list(workers)
+    if not counts or counts[0] != 1:
+        counts = [1] + counts
+    for count in counts:
+        backends = ("thread",) if count == 1 else tuple(executors)
+        for executor in backends:
+            config = Ozaki2Config(
+                precision=fmt,
+                num_moduli=num_moduli,
+                parallelism=int(count),
+                executor=executor,
+            )
+            best = float("inf")
+            result = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                candidate = ozaki2_gemm(a, b, config=config, return_details=True)
+                elapsed = time.perf_counter() - start
+                if elapsed < best:
+                    best, result = elapsed, candidate
+            if serial_result is None:
+                serial_seconds, serial_result = best, result
+            row: Dict[str, object] = {
+                "n": int(size),
+                "method": result.method_name,
+                "executor": executor,
+                "workers": int(count),
+                "seconds": best,
+                "speedup_vs_serial": serial_seconds / best,
+                "bit_identical": bool(np.array_equal(result.c, serial_result.c)),
+                "ledger_equal": result.int8_counter.as_dict()
+                == serial_result.int8_counter.as_dict(),
+            }
+            for key, value in result.phase_times.seconds.items():
+                row[f"phase_{key}"] = value
+            rows.append(row)
+    return rows
+
+
 def kernel_fusion_sweep(
     size: int,
     num_moduli: int = 15,
@@ -371,7 +442,9 @@ def gemv_fast_path_sweep(
     for route, config in configs.items():
         best[route] = float("inf")
         for _ in range(max(1, repeats)):
-            with Scheduler(parallelism=config.parallelism) as sched:
+            with Scheduler(
+                parallelism=config.parallelism, executor=config.executor
+            ) as sched:
                 start = time.perf_counter()
                 outs = [prepared_matvec(prep, v, config, sched) for v in vectors]
                 elapsed = time.perf_counter() - start

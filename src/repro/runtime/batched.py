@@ -61,6 +61,7 @@ def ozaki2_gemm_batched(
     return_details: bool = False,
     constant_table: Optional[CRTConstantTable] = None,
     scheduler: Optional[Scheduler] = None,
+    memory_budgets_mb: Optional[Sequence[Optional[float]]] = None,
 ):
     """Emulate ``As[j] @ Bs[j]`` for every item of a batch (Algorithm 1).
 
@@ -86,7 +87,15 @@ def ozaki2_gemm_batched(
         Precomputed constant table (otherwise built/cached from the config).
     scheduler:
         Existing :class:`Scheduler` to reuse; by default one is created for
-        the call and closed before returning.
+        the call (worker count from ``config.parallelism``, backend from
+        ``config.executor``) and closed before returning.
+    memory_budgets_mb:
+        Optional per-item workspace caps (MiB), overriding
+        ``config.memory_budget_mb`` item by item — mixed-size batches can
+        keep small items untiled while the large ones stream through
+        budgeted tiles.  ``None`` entries inherit the config's budget.
+        Results are bit-identical for every budget (tiling never reorders
+        a floating-point operation).
 
     Returns
     -------
@@ -95,6 +104,11 @@ def ozaki2_gemm_batched(
     """
     if len(As) != len(Bs):
         raise ValueError(f"batch length mismatch: {len(As)} A's vs {len(Bs)} B's")
+    if memory_budgets_mb is not None and len(memory_budgets_mb) != len(As):
+        raise ValueError(
+            f"memory_budgets_mb has {len(memory_budgets_mb)} entries for a "
+            f"batch of {len(As)}"
+        )
     config = config or Ozaki2Config()
     if len(As) == 0:
         # An empty batch is a no-op, not an error: no scheduler, plan or
@@ -116,9 +130,13 @@ def ozaki2_gemm_batched(
     out_dtype = result_dtype(config.precision)
 
     own_scheduler = scheduler is None
-    sched = scheduler or Scheduler(parallelism=config.parallelism, engine=engine)
+    sched = scheduler or Scheduler(
+        parallelism=config.parallelism, engine=engine, executor=config.executor
+    )
     try:
-        return _run_batch(As, Bs, config, table, out_dtype, sched, return_details)
+        return _run_batch(
+            As, Bs, config, table, out_dtype, sched, return_details, memory_budgets_mb
+        )
     finally:
         if own_scheduler:
             sched.close()
@@ -132,6 +150,7 @@ def _run_batch(
     out_dtype,
     sched: Scheduler,
     return_details: bool,
+    memory_budgets_mb: Optional[Sequence[Optional[float]]] = None,
 ) -> List:
     batch = len(As)
     engine = sched.engine
@@ -202,6 +221,10 @@ def _run_batch(
             fast and b_prep is None and id(b_in) in seen_b
             and configs[seen_b[id(b_in)]].num_moduli == configs[j].num_moduli
         )
+        # Per-item memory budget: override the config's cap before the plan
+        # is built, so mixed-size batches tile each item to its own budget.
+        if memory_budgets_mb is not None and memory_budgets_mb[j] is not None:
+            configs[j] = configs[j].replace(memory_budget_mb=memory_budgets_mb[j])
         plans.append(plan_for_config(m, k, n, configs[j]))
 
         # Accurate mode issues engine GEMMs during scaling; snapshot the
@@ -248,56 +271,108 @@ def _run_batch(
             if fast:
                 seen_b[id(b_in)] = j
 
-    # -- shared residue conversion, one pass per (shape, moduli) group -------
-    a_slices = _grouped_residue_slices(a_primes, tables, config, times, "convert_A")
-    b_slices = _grouped_residue_slices(b_primes, tables, config, times, "convert_B")
-    for j in range(batch):
-        if a_preps[j] is not None:
-            a_slices[j] = a_preps[j].slices
-        elif a_slices[j] is None:
-            a_slices[j] = a_slices[a_src[j]]
-        if b_preps[j] is not None:
-            b_slices[j] = b_preps[j].slices
-        elif b_slices[j] is None:
-            b_slices[j] = b_slices[b_src[j]]
-
-    # -- execution: items retired in order, tasks fanned out per item --------
-    results = []
-    for j in range(batch):
-        counter_before = engine.counter.copy()
-        c_pp = execute_plan(
-            sched,
-            plans[j],
-            a_slices[j],
-            b_slices[j],
-            tables[j],
-            configs[j],
-            times=times[j],
-            trusted=True,
-        )
-        engine.counter.record_emulated(configs[j].num_moduli)
-        t0 = time.perf_counter()
-        c = unscale(c_pp, mus[j], nus[j], out_dtype=out_dtype)
-        times[j].add("unscale", time.perf_counter() - t0)
-        if not return_details:
-            results.append(c)
-            continue
-        item_counter = engine.counter.difference(counter_before)
-        item_counter.absorb(scale_counters[j])
-        results.append(
-            GemmResult(
-                value=c,
-                config=configs[j],
-                mu=mus[j],
-                nu=nus[j],
-                phase_times=times[j],
-                ledger=item_counter,
-                num_k_blocks=plans[j].num_k_blocks,
-                moduli_selection=selections[j],
-                moduli_history=[configs[j].num_moduli],
+    # -- shared residue conversion -------------------------------------------
+    # Thread/serial schedulers run one pass per (shape, moduli) group; the
+    # process backend converts per item through the scheduler instead — the
+    # INT8 stacks land in scheduler-owned shared memory (grouped stacking
+    # would yield non-contiguous per-item views no worker can attach), the
+    # rows band across the worker processes, and the result is bit-identical
+    # (residue conversion is elementwise).
+    a_slices = b_slices = None
+    try:
+        if sched.uses_processes:
+            a_slices = _scheduler_residue_slices(
+                a_primes, tables, config, times, "convert_A", sched
             )
-        )
-    return results
+            b_slices = _scheduler_residue_slices(
+                b_primes, tables, config, times, "convert_B", sched
+            )
+        else:
+            a_slices = _grouped_residue_slices(
+                a_primes, tables, config, times, "convert_A"
+            )
+            b_slices = _grouped_residue_slices(
+                b_primes, tables, config, times, "convert_B"
+            )
+        for j in range(batch):
+            if a_preps[j] is not None:
+                a_slices[j] = a_preps[j].slices
+            elif a_slices[j] is None:
+                a_slices[j] = a_slices[a_src[j]]
+            if b_preps[j] is not None:
+                b_slices[j] = b_preps[j].slices
+            elif b_slices[j] is None:
+                b_slices[j] = b_slices[b_src[j]]
+
+        # -- execution: items retired in order, tasks fanned out per item ----
+        results = []
+        for j in range(batch):
+            counter_before = engine.counter.copy()
+            c_pp = execute_plan(
+                sched,
+                plans[j],
+                a_slices[j],
+                b_slices[j],
+                tables[j],
+                configs[j],
+                times=times[j],
+                trusted=True,
+            )
+            engine.counter.record_emulated(configs[j].num_moduli)
+            t0 = time.perf_counter()
+            c = unscale(c_pp, mus[j], nus[j], out_dtype=out_dtype)
+            times[j].add("unscale", time.perf_counter() - t0)
+            if not return_details:
+                results.append(c)
+                continue
+            item_counter = engine.counter.difference(counter_before)
+            item_counter.absorb(scale_counters[j])
+            results.append(
+                GemmResult(
+                    value=c,
+                    config=configs[j],
+                    mu=mus[j],
+                    nu=nus[j],
+                    phase_times=times[j],
+                    ledger=item_counter,
+                    num_k_blocks=plans[j].num_k_blocks,
+                    moduli_selection=selections[j],
+                    moduli_history=[configs[j].num_moduli],
+                )
+            )
+        return results
+    finally:
+        # Free scheduler-owned conversion segments now (the whole batch is
+        # retired; aliased items shared them).  No-ops for grouped/prepared
+        # arrays, and duplicates release once — `release` pops by identity.
+        for arrays in (a_slices, b_slices):
+            for arr in arrays or ():
+                sched.release(arr)
+
+
+def _scheduler_residue_slices(
+    primes: List[Optional[np.ndarray]],
+    tables: List[CRTConstantTable],
+    config: Ozaki2Config,
+    times: List[PhaseTimes],
+    phase_key: str,
+    sched: Scheduler,
+) -> List[Optional[np.ndarray]]:
+    """Per-item residue stacks via the scheduler (process backend).
+
+    Operands are already truncate-scaled (``scale=None``); each item's rows
+    band across the worker processes and the INT8 stack comes back as a
+    scheduler-shared view that plan execution passes to workers zero-copy.
+    ``None`` entries (prepared or aliased) stay ``None`` for the caller.
+    """
+    out: List[Optional[np.ndarray]] = [None] * len(primes)
+    for j, x in enumerate(primes):
+        if x is None:
+            continue
+        t0 = time.perf_counter()
+        out[j] = sched.convert_residues(x, None, "left", tables[j], config)
+        times[j].add(phase_key, time.perf_counter() - t0)
+    return out
 
 
 def _grouped_residue_slices(

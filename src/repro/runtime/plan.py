@@ -43,6 +43,7 @@ __all__ = [
     "build_plan",
     "modulus_chunk_ranges",
     "plan_for_config",
+    "resolve_executor",
     "resolve_parallelism",
 ]
 
@@ -77,6 +78,33 @@ def resolve_parallelism(parallelism: "Optional[int] | str") -> int:
     if workers == 0:
         return max(1, os.cpu_count() or 1)
     return workers
+
+
+def resolve_executor(executor: str, workers: int) -> str:
+    """Resolve an executor knob to a concrete backend name.
+
+    ``"thread"`` and ``"process"`` are taken literally; ``"auto"`` picks the
+    process backend whenever it would actually help — more than one worker
+    and a platform with a usable ``multiprocessing`` start method — and the
+    thread backend otherwise (a serial run gains nothing from forking, and
+    the thread path has no pool start-up cost).
+    """
+    key = str(executor).strip().lower()
+    if key not in ("thread", "process", "auto"):
+        raise ValueError(
+            f"executor must be 'thread', 'process' or 'auto', got {executor!r}"
+        )
+    if key != "auto":
+        return key
+    if workers <= 1:
+        return "thread"
+    try:
+        import multiprocessing
+
+        available = bool(multiprocessing.get_all_start_methods())
+    except Exception:  # pragma: no cover - restricted platforms only
+        available = False
+    return "process" if available else "thread"
 
 
 def modulus_chunk_ranges(num_moduli: int, workers: int) -> Tuple[Range, ...]:

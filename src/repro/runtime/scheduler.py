@@ -14,17 +14,26 @@ the value.  The scheduler therefore guarantees
 
     ``execute_plan(parallelism=W) == execute_plan(parallelism=1)``  (bitwise)
 
-for every worker count ``W``.
+for every worker count ``W`` — and for every executor backend.
 
-Threads, not processes: each task is one large NumPy matmul / ufunc chain,
-which releases the GIL, so a ``ThreadPoolExecutor`` scales on multi-core
-hosts without pickling matrices across process boundaries.
+Two backends share that contract:
 
-Engine ledgers: each worker thread lazily receives ``engine.clone()`` (same
-settings, fresh :class:`~repro.engines.base.OpCounter`), so concurrent calls
-never race on a shared counter.  :meth:`Scheduler.merge_counters` folds the
-clone ledgers back into the primary engine, after which the op accounting is
-indistinguishable from a serial run.
+* ``executor="thread"`` — a ``ThreadPoolExecutor``.  Each task is one large
+  NumPy matmul, which releases the GIL, so the BLAS calls scale; residue
+  conversion and CRT accumulation stay serialised under the GIL.
+* ``executor="process"`` — a persistent pool of worker processes
+  (:mod:`repro.runtime.process`).  Residue stacks live in shared memory
+  (:mod:`repro.runtime.shm`), workers write partial ``c_stack`` chunks and
+  reconstructed rows in place, and conversion/accumulation parallelise
+  too.  ``executor="auto"`` picks processes whenever ``workers > 1``.
+
+Engine ledgers: thread workers lazily receive ``engine.clone()`` (same
+settings, fresh :class:`~repro.engines.base.OpCounter`) and
+:meth:`Scheduler.merge_counters` folds the clone ledgers back; process
+workers ship a per-task counter delta home with every result, absorbed as
+waves complete — including failed tasks', so the ledger stays faithful on
+error paths.  Either way the op accounting is indistinguishable from a
+serial run.
 """
 
 from __future__ import annotations
@@ -32,18 +41,27 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config, ResidueKernel
 from ..core.accumulation import accumulate_residue_products, reconstruct_crt
+from ..core.conversion import residue_slices, truncate_scaled
 from ..crt.constants import CRTConstantTable
 from ..engines.base import MatrixEngine
 from ..result import PhaseTimes
 from ..engines.int8 import Int8MatrixEngine
-from .plan import ExecutionPlan, modulus_chunk_ranges, resolve_parallelism
+from .plan import ExecutionPlan, modulus_chunk_ranges, resolve_executor, resolve_parallelism
+from .process import (
+    ProcessPool,
+    WorkerError,
+    WorkerTaskError,
+    execute_plan_process,
+    table_spec,
+)
+from .shm import SharedArray
 
 __all__ = ["Scheduler", "execute_plan"]
 
@@ -52,7 +70,7 @@ R = TypeVar("R")
 
 
 class Scheduler:
-    """Reusable worker pool mapping tasks over per-thread engine clones.
+    """Reusable worker pool mapping tasks over per-worker engine clones.
 
     Parameters
     ----------
@@ -62,23 +80,39 @@ class Scheduler:
     engine:
         Primary matrix engine.  The serial path uses it directly; parallel
         workers use clones whose ledgers are merged back into it.
+    executor:
+        ``"thread"`` (default), ``"process"``, or ``"auto"`` (processes
+        whenever more than one worker was requested).  Serial schedulers
+        never start a pool of either kind.
 
     A scheduler may be shared across many GEMMs (this is how the batched API
     amortises pool start-up); use it as a context manager or call
-    :meth:`close` to shut the pool down.
+    :meth:`close` to shut the pool down.  A worker failure does not poison
+    the scheduler: task-level errors leave the pool running, and a dead
+    worker process tears the pool down for a lazy restart on the next
+    dispatch — in both cases with the completed tasks' ledgers merged.
     """
 
     def __init__(
         self,
         parallelism: Optional[int] = None,
         engine: Optional[MatrixEngine] = None,
+        executor: str = "thread",
     ) -> None:
         self.engine = engine if engine is not None else Int8MatrixEngine()
         self.workers = resolve_parallelism(parallelism)
+        self.executor = resolve_executor(executor, self.workers)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPool] = None
         self._local = threading.local()
         self._clones: List[MatrixEngine] = []
         self._clones_lock = named_lock("runtime.scheduler._clones_lock")
+        #: Shared-memory segments this scheduler owns, keyed by ``id()`` of
+        #: the parent-side view handed to callers (conversion outputs,
+        #: adopted operands).  Lets ``execute_plan`` recognise an operand
+        #: that already lives in shared memory and skip the copy.
+        self._shared: Dict[int, SharedArray] = {}
+        self._shared_lock = named_lock("runtime.scheduler._shared_lock")
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -89,19 +123,31 @@ class Scheduler:
         self.close()
 
     def close(self) -> None:
-        """Merge outstanding worker ledgers and shut the pool down."""
+        """Merge outstanding worker ledgers, shut pools down, free segments.
+
+        Idempotent, and safe to call after a worker error: whatever ledgers
+        and shared-memory segments are still outstanding are merged and
+        unlinked regardless of how the last dispatch ended.
+        """
         if self._closed:
             return
         self.merge_counters()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._teardown_process_pool()
+        self.release_shared()
         self._closed = True
 
     @property
     def is_parallel(self) -> bool:
-        """True when tasks run on pool threads rather than inline."""
+        """True when tasks run on pool workers rather than inline."""
         return self.workers > 1
+
+    @property
+    def uses_processes(self) -> bool:
+        """True when parallel tasks run on worker *processes*."""
+        return self.executor == "process" and self.workers > 1
 
     # -- engine management ---------------------------------------------------
     def _worker_engine(self) -> MatrixEngine:
@@ -117,8 +163,10 @@ class Scheduler:
         """Fold every worker clone's ledger into the primary engine's.
 
         Clone ledgers are reset after merging, so calling this repeatedly
-        (e.g. between items of a batch) never double-counts.  Must not be
-        called while tasks are in flight.
+        (e.g. between items of a batch, or on an error path) never
+        double-counts.  Must not be called while tasks are in flight.
+        Process workers need no equivalent: their per-task counter deltas
+        are absorbed as each dispatch wave completes.
         """
         with self._clones_lock:
             for clone in self._clones:
@@ -130,7 +178,9 @@ class Scheduler:
         """Apply ``fn(engine, item)`` to every item, preserving input order.
 
         Serial schedulers run inline on the primary engine; parallel ones
-        fan out over the pool with per-thread engine clones.
+        fan out over the thread pool with per-thread engine clones.  (The
+        process backend does not route through ``map`` — its tasks are the
+        shared-memory descriptors of :meth:`run_process_tasks`.)
         """
         if self._closed:
             raise RuntimeError("scheduler has been closed")
@@ -141,6 +191,158 @@ class Scheduler:
                 max_workers=self.workers, thread_name_prefix="repro-runtime"
             )
         return list(self._pool.map(lambda item: fn(self._worker_engine(), item), items))
+
+    # -- process backend -----------------------------------------------------
+    def _ensure_process_pool(self) -> ProcessPool:
+        if self._closed:
+            raise RuntimeError("scheduler has been closed")
+        if self._process_pool is None:
+            self._process_pool = ProcessPool(self.workers, self.engine)
+        return self._process_pool
+
+    def _teardown_process_pool(self, hard: bool = False) -> None:
+        pool = self._process_pool
+        self._process_pool = None
+        if pool is not None:
+            if hard:
+                pool.terminate()
+            else:
+                pool.close()
+
+    def run_process_tasks(self, tasks: Sequence[Tuple[str, Dict[str, Any]]]) -> List[Any]:
+        """Dispatch one wave of tasks to the worker processes.
+
+        Absorbs every returned :class:`~repro.engines.base.OpCounter` delta
+        into the primary engine — for failed tasks too, so partial work
+        stays on the ledger — then raises :class:`WorkerTaskError` if any
+        task failed (pool kept alive) or :class:`WorkerError` if a worker
+        process died (pool torn down; the next dispatch starts a fresh one).
+        """
+        pool = self._ensure_process_pool()
+        try:
+            results = pool.run(tasks)
+        except WorkerError:
+            self._teardown_process_pool(hard=True)
+            raise
+        values: List[Any] = []
+        failures: List[str] = []
+        for ok, value, counter in results:
+            if counter is not None:
+                self.engine.counter.absorb(counter)
+            if ok:
+                values.append(value)
+            else:
+                failures.append(str(value))
+        if failures:
+            raise WorkerTaskError(
+                f"{len(failures)} runtime worker task(s) failed; first "
+                f"traceback:\n{failures[0]}"
+            )
+        return values
+
+    # -- shared-memory registry ----------------------------------------------
+    def adopt_shared(self, handle: SharedArray) -> np.ndarray:
+        """Take ownership of a segment; return the parent-side view.
+
+        The view is recognised by :meth:`shared_descriptor` (so plan
+        execution passes it to workers without copying) and the segment is
+        unlinked by :meth:`release` / :meth:`close`.
+        """
+        with self._shared_lock:
+            self._shared[id(handle.array)] = handle
+        return handle.array
+
+    def shared_descriptor(self, arr: np.ndarray) -> Optional[Tuple[Any, ...]]:
+        """The worker descriptor for a view this scheduler shares, else None."""
+        with self._shared_lock:
+            handle = self._shared.get(id(arr))
+        if handle is None:
+            return None
+        return ("shm", *handle.descriptor)
+
+    def release(self, arr: Optional[np.ndarray]) -> None:
+        """Unlink the segment behind ``arr`` if this scheduler owns one.
+
+        A no-op for ``None`` and for arrays that are not scheduler-shared,
+        so callers can release unconditionally.
+        """
+        if arr is None:
+            return
+        with self._shared_lock:
+            handle = self._shared.pop(id(arr), None)
+        if handle is not None:
+            handle.close()
+
+    def release_shared(self) -> None:
+        """Unlink every segment still registered (close-time sweep)."""
+        with self._shared_lock:
+            handles = list(self._shared.values())
+            self._shared.clear()
+        for handle in handles:
+            handle.close()
+
+    # -- residue conversion ---------------------------------------------------
+    def convert_residues(
+        self,
+        x: np.ndarray,
+        scale: Optional[np.ndarray],
+        side: str,
+        table: CRTConstantTable,
+        config: Ozaki2Config,
+    ) -> np.ndarray:
+        """Truncate-scale ``x`` (optional) and convert to INT8 residues.
+
+        The thread/serial path runs the exact inline pipeline
+        (:func:`~repro.core.conversion.truncate_scaled` +
+        :func:`~repro.core.conversion.residue_slices`).  Under the process
+        backend the rows are banded across workers — both steps are
+        elementwise in the rows, so the result is bitwise identical — and
+        the INT8 stack comes back as a scheduler-owned shared-memory view
+        that plan execution hands to workers zero-copy.  Callers should
+        :meth:`release` the returned stack when done (close() sweeps any
+        stragglers).
+        """
+        if not self.uses_processes or x.ndim != 2 or x.shape[0] < 2:
+            x_prime = x if scale is None else truncate_scaled(x, scale, side)
+            return residue_slices(
+                x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
+            )
+        source = SharedArray.copy_from(np.ascontiguousarray(x, dtype=np.float64))
+        out = SharedArray.create((table.num_moduli,) + x.shape, np.int8)
+        try:
+            spec = table_spec(table)
+            tasks = []
+            for r0, r1 in modulus_chunk_ranges(x.shape[0], self.workers):
+                if scale is None:
+                    scale_band = None
+                elif side == "left":
+                    # Row scales band with the rows; column scales ("right")
+                    # apply whole to every band.
+                    scale_band = np.ascontiguousarray(scale[r0:r1])
+                else:
+                    scale_band = np.ascontiguousarray(scale)
+                tasks.append(
+                    (
+                        "convert",
+                        {
+                            "x": ("shm", *source.descriptor),
+                            "out": ("shm", *out.descriptor),
+                            "rows": (r0, r1),
+                            "scale": scale_band,
+                            "side": side,
+                            "table": spec,
+                            "kernel": config.residue_kernel,
+                            "single_pass": config.fused_kernels,
+                        },
+                    )
+                )
+            self.run_process_tasks(tasks)
+        except BaseException:
+            out.close()
+            raise
+        finally:
+            source.close()
+        return self.adopt_shared(out)
 
 
 def execute_plan(
@@ -158,11 +360,15 @@ def execute_plan(
     Parameters
     ----------
     scheduler:
-        Worker pool (serial or parallel — the result is bit-identical).
+        Worker pool (serial, thread- or process-parallel — the result is
+        bit-identical across all of them).
     plan:
         Task decomposition from :func:`~repro.runtime.plan.build_plan`.
     a_slices / b_slices:
         Full INT8 residue stacks of shape ``(N, m, k)`` / ``(N, k, n)``.
+        Under the process backend these may be scheduler-shared views (no
+        copy), memory-maps (streamed out-of-core), or plain arrays (copied
+        into a transient segment for the call).
     table:
         CRT constant table matching ``config``.
     config:
@@ -201,6 +407,11 @@ def execute_plan(
             f"{(n_mod, plan.k, plan.n)}"
         )
 
+    if scheduler.uses_processes:
+        return execute_plan_process(
+            scheduler, plan, a_slices, b_slices, table, config, times, trusted
+        )
+
     blocked = plan.num_k_blocks > 1
     fused = config.fused_kernels
     if fused:
@@ -228,55 +439,58 @@ def execute_plan(
         ]
     c_pp = np.empty((plan.m, plan.n), dtype=np.float64)
 
-    for (m0, m1), (n0, n1) in plan.tiles():
+    try:
+        for (m0, m1), (n0, n1) in plan.tiles():
 
-        def _matmul(engine: MatrixEngine, task, _m0=m0, _m1=m1, _n0=n0, _n1=n1):
-            lo, hi, start, stop = task
-            if fused:
-                return engine.matmul_stack(
-                    a_slices[lo:hi, _m0:_m1, start:stop],
-                    b_slices[lo:hi, start:stop, _n0:_n1],
-                    trusted=trusted,
-                )
-            return engine.matmul(
-                a_slices[lo, _m0:_m1, start:stop], b_slices[lo, start:stop, _n0:_n1]
-            )
-
-        t0 = time.perf_counter()
-        partials = scheduler.map(_matmul, tasks)
-        t1 = time.perf_counter()
-
-        if blocked:
-            # Exact INT64 accumulation over k-blocks, in ascending-k order
-            # (the order is irrelevant to the value — integer addition is
-            # associative — but keeping it fixed documents the determinism).
-            c_stack = np.zeros((n_mod, m1 - m0, n1 - n0), dtype=np.int64)
-            for (lo, hi, _, _), partial in zip(tasks, partials, strict=True):
+            def _matmul(engine: MatrixEngine, task, _m0=m0, _m1=m1, _n0=n0, _n1=n1):
+                lo, hi, start, stop = task
                 if fused:
-                    c_stack[lo:hi] += partial.astype(np.int64)
-                else:
-                    c_stack[lo] += partial.astype(np.int64)
-        elif fused:
-            # One k-block: tasks are the chunks in modulus order already.
-            c_stack = partials[0] if len(partials) == 1 else np.concatenate(partials)
-        else:
-            c_stack = np.asarray(partials)
+                    return engine.matmul_stack(
+                        a_slices[lo:hi, _m0:_m1, start:stop],
+                        b_slices[lo:hi, start:stop, _n0:_n1],
+                        trusted=trusted,
+                    )
+                return engine.matmul(
+                    a_slices[lo, _m0:_m1, start:stop], b_slices[lo, start:stop, _n0:_n1]
+                )
 
-        use_mulhi = (
-            config.residue_kernel is ResidueKernel.FAST_FMA
-            and c_stack.dtype == np.int32
-        )
-        c1, c2 = accumulate_residue_products(
-            c_stack, table, use_mulhi=use_mulhi, vectorized=fused
-        )
-        t2 = time.perf_counter()
-        c_pp[m0:m1, n0:n1] = reconstruct_crt(c1, c2, table)
-        t3 = time.perf_counter()
+            t0 = time.perf_counter()
+            partials = scheduler.map(_matmul, tasks)
+            t1 = time.perf_counter()
 
-        if times is not None:
-            times.add("matmul", t1 - t0)
-            times.add("accumulate", t2 - t1)
-            times.add("reconstruct", t3 - t2)
+            if blocked:
+                # Exact INT64 accumulation over k-blocks, in ascending-k order
+                # (the order is irrelevant to the value — integer addition is
+                # associative — but keeping it fixed documents the determinism).
+                c_stack = np.zeros((n_mod, m1 - m0, n1 - n0), dtype=np.int64)
+                for (lo, hi, _, _), partial in zip(tasks, partials, strict=True):
+                    if fused:
+                        c_stack[lo:hi] += partial.astype(np.int64)
+                    else:
+                        c_stack[lo] += partial.astype(np.int64)
+            elif fused:
+                # One k-block: tasks are the chunks in modulus order already.
+                c_stack = partials[0] if len(partials) == 1 else np.concatenate(partials)
+            else:
+                c_stack = np.asarray(partials)
 
-    scheduler.merge_counters()
+            use_mulhi = (
+                config.residue_kernel is ResidueKernel.FAST_FMA
+                and c_stack.dtype == np.int32
+            )
+            c1, c2 = accumulate_residue_products(
+                c_stack, table, use_mulhi=use_mulhi, vectorized=fused
+            )
+            t2 = time.perf_counter()
+            c_pp[m0:m1, n0:n1] = reconstruct_crt(c1, c2, table)
+            t3 = time.perf_counter()
+
+            if times is not None:
+                times.add("matmul", t1 - t0)
+                times.add("accumulate", t2 - t1)
+                times.add("reconstruct", t3 - t2)
+    finally:
+        # Merge on the error path too, so a failing task never strands the
+        # completed tasks' ledgers in the clones.
+        scheduler.merge_counters()
     return c_pp

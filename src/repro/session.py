@@ -94,7 +94,9 @@ class Session:
         self.config = config or Ozaki2Config.for_dgemm()
         self._engine = engine if engine is not None else Int8MatrixEngine()
         self._scheduler = Scheduler(
-            parallelism=self.config.parallelism, engine=self._engine
+            parallelism=self.config.parallelism,
+            engine=self._engine,
+            executor=self.config.executor,
         )
         self._cache = OperandCache(cache_bytes, ledger=self._engine.counter)
         self._started = time.perf_counter()

@@ -2,10 +2,10 @@
 
 This is the runtime counterpart of the static lock rules and the gate for
 the process-parallel scheduler refactor (ROADMAP item 2): driving the
-parallel runtime, the serve stack and the deprecation shims under
-:func:`track_lock_order` must visit all six ``named_lock`` sites, and the
-observed acquisition-order graph must be acyclic — proof that no exercised
-nesting can deadlock.
+parallel runtime (both executor backends), the serve stack and the
+deprecation shims under :func:`track_lock_order` must visit every
+``named_lock`` site, and the observed acquisition-order graph must be
+acyclic — proof that no exercised nesting can deadlock.
 """
 
 from __future__ import annotations
@@ -24,6 +24,8 @@ from repro.session import Session
 #: Every named_lock site in the library, by its stable dotted name.
 ALL_LOCKS = {
     "runtime.scheduler._clones_lock",
+    "runtime.scheduler._shared_lock",
+    "runtime.shm._live_lock",
     "service.cache._lock",
     "service.coalescer._lock",
     "service.client._lock",
@@ -33,7 +35,7 @@ ALL_LOCKS = {
 
 
 @pytest.mark.slow
-def test_all_six_lock_sites_observed_and_acyclic():
+def test_all_lock_sites_observed_and_acyclic():
     rng = np.random.default_rng(7)
     a = rng.standard_normal((48, 40))
     b = rng.standard_normal((40, 32))
@@ -46,6 +48,12 @@ def test_all_six_lock_sites_observed_and_acyclic():
                 session.gemm(a, b)
                 # cache lock: prepared-operand hit path
                 session.prepare(a, side="A")
+                session.gemm(a, b)
+            # process backend: shm registry lock + scheduler shared-segment
+            # lock (operand stacks pinned in shared memory for the workers)
+            with Session(
+                config=Ozaki2Config(parallelism=2, executor="process")
+            ) as session:
                 session.gemm(a, b)
 
         # serve stack: server requests lock, coalescer lock, client lock

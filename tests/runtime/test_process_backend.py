@@ -1,0 +1,189 @@
+"""Process-parallel scheduler: bit-identity, ledgers, failure paths, shm.
+
+The process executor must be a drop-in replacement for the thread pool:
+for any problem, any worker count and either kernel path, the result is
+bitwise equal to the strictly serial run and the merged op ledger is
+indistinguishable from it.  The property test sweeps that whole grid.
+
+The failure-path tests pin the hardening guarantees: a task that raises
+inside a worker surfaces as :class:`WorkerTaskError` and leaves the
+scheduler usable; dead worker processes surface as :class:`WorkerError`
+and the next use lazily rebuilds the pool; shared-memory segments never
+outlive the run (no ``resource_tracker`` leak warnings).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.core.operand import prepare_a, prepare_b
+from repro.errors import ConfigurationError
+from repro.runtime import TileSource, live_segment_names
+from repro.runtime.plan import resolve_executor
+from repro.runtime.process import WorkerError, WorkerTaskError
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.shm import SharedArray, attach_view
+from repro.workloads.generators import phi_matrix
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:parallelism=:RuntimeWarning"  # CI hosts are small; that is the point
+)
+
+dims = st.integers(min_value=1, max_value=24)
+
+
+@given(
+    m=dims,
+    k=dims,
+    n=dims,
+    executor=st.sampled_from(["thread", "process"]),
+    parallelism=st.sampled_from([1, 2, 4]),
+    fused=st.booleans(),
+    prepared=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=12, deadline=None)
+def test_executors_bit_identical_with_equal_ledgers(
+    m, k, n, executor, parallelism, fused, prepared, seed
+):
+    a = phi_matrix(m, k, phi=0.5, seed=seed)
+    b = phi_matrix(k, n, phi=0.5, seed=seed + 1)
+    base = Ozaki2Config(num_moduli=15, fused_kernels=fused)
+    config = base.replace(parallelism=parallelism, executor=executor)
+
+    if prepared:
+        operands = (prepare_a(a, base), prepare_b(b, base))
+    else:
+        operands = (a, b)
+    serial = ozaki2_gemm(*operands, config=base, return_details=True)
+    result = ozaki2_gemm(*operands, config=config, return_details=True)
+
+    np.testing.assert_array_equal(result.c, serial.c)
+    assert result.ledger.as_dict() == serial.ledger.as_dict(), (
+        f"op ledger diverged for executor={executor} "
+        f"parallelism={parallelism} fused={fused} prepared={prepared}"
+    )
+    assert live_segment_names() == ()
+
+
+def test_out_of_core_streams_past_the_memory_budget():
+    """Stacks bigger than the budget stream through tiles, bit-identically."""
+    a = phi_matrix(160, 120, phi=0.5, seed=5)
+    b = phi_matrix(120, 140, phi=0.5, seed=6)
+    reference = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+
+    budget_mb = 0.05
+    for executor in ("thread", "process"):
+        config = Ozaki2Config(
+            num_moduli=15,
+            parallelism=2,
+            executor=executor,
+            memory_budget_mb=budget_mb,
+        )
+        with TileSource(strip_elements=2048) as tiles:
+            oa = tiles.prepare_a(a, config)
+            ob = tiles.prepare_b(b, config)
+            # The point of the exercise: the staged stacks do NOT fit the
+            # budget, so execution must tile/stream rather than materialise.
+            assert isinstance(oa.slices, np.memmap)
+            assert oa.slices.nbytes + ob.slices.nbytes > budget_mb * 2**20
+            staged = list(tiles._files)
+            result = ozaki2_gemm(oa, ob, config=config)
+        np.testing.assert_array_equal(result, reference)
+        assert all(not os.path.exists(path) for path in staged)
+    assert live_segment_names() == ()
+
+
+def test_tilesource_preparation_is_bit_identical_to_in_core():
+    a = phi_matrix(90, 70, phi=0.5, seed=9)
+    config = Ozaki2Config(num_moduli=15)
+    in_core = prepare_a(a, config)
+    with TileSource(strip_elements=512) as tiles:  # many strips
+        staged = tiles.prepare_a(a, config)
+        np.testing.assert_array_equal(np.asarray(staged.slices), in_core.slices)
+        np.testing.assert_array_equal(staged.scale, in_core.scale)
+
+
+def test_tilesource_rejects_accurate_mode_and_bad_operands():
+    with TileSource() as tiles:
+        with pytest.raises(ConfigurationError):
+            tiles.prepare_a(np.ones((4, 4)), Ozaki2Config(mode="accurate"))
+        with pytest.raises(ConfigurationError):
+            tiles.prepare_a(np.ones((4, 4), dtype=np.float32), Ozaki2Config())
+    with pytest.raises(ConfigurationError):
+        tiles.prepare_a(np.ones((4, 4)), Ozaki2Config())  # closed
+
+
+def test_worker_task_error_leaves_scheduler_usable():
+    a = phi_matrix(40, 32, phi=0.5, seed=1)
+    b = phi_matrix(32, 28, phi=0.5, seed=2)
+    config = Ozaki2Config(num_moduli=15, parallelism=2, executor="process")
+    serial = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+    with Scheduler(parallelism=2, executor="process") as sched:
+        with pytest.raises(WorkerTaskError):
+            sched.run_process_tasks([("no-such-task", {})])
+        # The pool survived the in-task failure: the same scheduler still
+        # serves a full GEMM, bit-identically.
+        again = ozaki2_gemm(a, b, config=config, scheduler=sched)
+    np.testing.assert_array_equal(again, serial)
+    assert live_segment_names() == ()
+
+
+def test_dead_workers_raise_and_the_pool_is_rebuilt():
+    a = phi_matrix(36, 30, phi=0.5, seed=3)
+    b = phi_matrix(30, 26, phi=0.5, seed=4)
+    config = Ozaki2Config(num_moduli=15, parallelism=2, executor="process")
+    serial = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+    with Scheduler(parallelism=2, executor="process") as sched:
+        pool = sched._ensure_process_pool()
+        for proc in pool._procs:
+            proc.terminate()
+            proc.join()
+        with pytest.raises(WorkerError):
+            sched.run_process_tasks([("no-such-task", {})])
+        # The next use rebuilds the pool lazily.
+        again = ozaki2_gemm(a, b, config=config, scheduler=sched)
+    np.testing.assert_array_equal(again, serial)
+    assert live_segment_names() == ()
+
+
+def test_scheduler_close_is_idempotent_and_final():
+    sched = Scheduler(parallelism=2, executor="process")
+    sched._ensure_process_pool()
+    sched.close()
+    sched.close()
+    with pytest.raises(RuntimeError):
+        sched._ensure_process_pool()
+    assert live_segment_names() == ()
+
+
+def test_shared_array_roundtrip_and_unlink():
+    payload = np.arange(24, dtype=np.int8).reshape(2, 3, 4)
+    handle = SharedArray.copy_from(payload)
+    assert handle.name in live_segment_names()
+    with attach_view(handle.descriptor) as view:
+        np.testing.assert_array_equal(view, payload)
+    handle.close()
+    handle.close()  # idempotent
+    assert handle.name not in live_segment_names()
+
+
+def test_resolve_executor():
+    assert resolve_executor("thread", 4) == "thread"
+    assert resolve_executor("process", 4) == "process"
+    assert resolve_executor("auto", 1) == "thread"
+    assert resolve_executor("auto", 4) == "process"
+    with pytest.raises(ValueError):
+        resolve_executor("greenlet", 2)
+
+
+def test_config_validates_executor():
+    assert Ozaki2Config(executor="auto").executor == "auto"
+    with pytest.raises(ConfigurationError):
+        Ozaki2Config(executor="fibers")

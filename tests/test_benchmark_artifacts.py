@@ -22,6 +22,8 @@ KERNEL_FUSION_RESULT = _RESULTS / "kernel_fusion.txt"
 GEMV_FAST_PATH_RESULT = _RESULTS / "gemv_fast_path.txt"
 ADAPTIVE_MODULI_RESULT = _RESULTS / "adaptive_moduli.txt"
 SERVE_THROUGHPUT_RESULT = _RESULTS / "serve_throughput.txt"
+PROCESS_SCALING_RESULT = _RESULTS / "process_scaling.txt"
+RUNTIME_SCALING_RESULT = _RESULTS / "runtime_scaling.txt"
 
 
 def _parse_rows(text: str):
@@ -123,6 +125,42 @@ def test_adaptive_moduli_file_exists_and_parses():
     stages = [int(seg.split("x")[0]) for seg in prog["schedule"].split("->")]
     assert stages == sorted(stages)
     assert stages[-1] == int(fixed["schedule"].split("x")[0])
+
+
+def test_process_scaling_file_exists_and_parses():
+    assert PROCESS_SCALING_RESULT.exists(), (
+        "benchmarks/results/process_scaling.txt is missing; run "
+        "`pytest benchmarks/test_bench_process_scaling.py` to regenerate it"
+    )
+    rows = _parse_rows(PROCESS_SCALING_RESULT.read_text())
+    executors = {row["executor"] for row in rows}
+    assert {"thread", "process"} <= executors
+    # Every archived row must certify the runtime's backend-independence
+    # guarantees against the serial baseline.
+    assert all(row["bit_identical"] == "True" for row in rows)
+    assert all(row["ledger_equal"] == "True" for row in rows)
+    # The host the numbers came from must be recorded — a sub-1x process
+    # speedup on a 1-CPU container and on a 16-core box mean different
+    # things, and the >=1.5x acceptance floor only binds on >=4 CPUs.
+    assert all(int(row["host_cpus"]) >= 1 for row in rows)
+    # The phase breakdown that motivated the backend must be present.
+    headline = rows[0]
+    for phase in ("phase_convert_A", "phase_matmul", "phase_accumulate"):
+        assert float(headline[phase]) >= 0.0
+
+
+def test_runtime_scaling_file_exists_and_parses():
+    assert RUNTIME_SCALING_RESULT.exists(), (
+        "benchmarks/results/runtime_scaling.txt is missing; run "
+        "`pytest benchmarks/test_bench_runtime_scaling.py` to regenerate it"
+    )
+    text = RUNTIME_SCALING_RESULT.read_text()
+    rows = _parse_rows(text.split("\n\n", 1)[0])
+    assert rows, "no scaling rows in runtime_scaling.txt"
+    assert all(row["bit_identical"] == "True" for row in rows)
+    assert all(int(row["host_cpus"]) >= 1 for row in rows)
+    workers = {int(row["workers"]) for row in rows}
+    assert 1 in workers and any(w > 1 for w in workers)
 
 
 def test_serve_throughput_file_exists_and_parses():
