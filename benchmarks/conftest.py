@@ -56,10 +56,18 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def save_result(results_dir):
-    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    """Write a rendered table to ``benchmarks/results/<name>.txt``.
+
+    Every artifact is prefixed with the machine-readable provenance stamp
+    (:mod:`repro.harness.provenance`): host, CPU count, git revision,
+    library versions.  The stamp lines stay glued to the first table (no
+    blank line) so the artifact tests' blank-line section splitting keeps
+    working.
+    """
+    from repro.harness.provenance import stamp
 
     def _save(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        path.write_text(stamp({"artifact": name}) + text + "\n")
 
     return _save

@@ -1,0 +1,136 @@
+"""Calibration QC benchmark: bound tightness, margins and negative controls.
+
+Three sections back the calibrated selection model
+(:mod:`repro.crt.calibration`), archived with provenance in
+``benchmarks/results/calibration_qc.txt``:
+
+* **Sensitivity sweep** — measured error vs the rigorous a-priori bound
+  across workload families at the selection-relevant moduli counts.  The
+  rigorous bound must hold on *every* cell (a single violation falsifies
+  the bound derivation, not just the calibration).
+
+* **Fitted margins vs shipped calibration** — the per-band margin minima
+  re-fit from this run's sweep next to the shipped
+  :data:`~repro.crt.calibration.DEFAULT_CALIBRATION` entries.  A shipped
+  entry claiming more margin than this run observes plus the guard is a
+  stale calibration: the fit must be re-run (see the table's provenance
+  field for the exact command) before the calibrated model can be trusted.
+
+* **Negative controls** — deliberately broken configurations (far too few
+  moduli) that must *exceed* a loosened target.  A control that lands
+  within target means the harness cannot tell a broken configuration from
+  a working one — the controls gate this benchmark, and a green sweep
+  with red controls fails the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.accuracy import qc
+from repro.crt.calibration import DEFAULT_CALIBRATION, K_BANDS
+from repro.harness.report import format_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+CPUS = os.cpu_count() or 1
+
+#: Quick mode sweeps a representative k per band at the selection
+#: neighbourhood; full mode covers every band with two seeds.
+KS = (16, 64, 256, 1024) if FULL else (16, 256)
+SEEDS = (0, 1) if FULL else (0,)
+
+
+def test_bench_calibration_qc(save_result):
+    controls = qc.negative_controls(k=64 if not FULL else 256)
+    control_table = format_table(
+        controls,
+        float_format=".3e",
+        title=(
+            f"negative controls: deliberately broken configs must exceed the "
+            f"loosened target ({CPUS} CPUs)"
+        ),
+    )
+
+    rows = qc.sensitivity_sweep(ks=KS, seeds=SEEDS)
+    sweep_table = format_table(
+        rows,
+        columns=[
+            "precision_bits",
+            "mode",
+            "family",
+            "k",
+            "seed",
+            "num_moduli",
+            "measured_rel_error",
+            "rigorous_rel_bound",
+            "within_bound",
+            "observed_margin_bits",
+            "trunc_dominated",
+        ],
+        float_format=".3e",
+        title=(
+            "sensitivity sweep: measured error vs rigorous bound "
+            "(selection-neighbourhood moduli counts)"
+        ),
+    )
+
+    fitted = qc.fit_margin_bits(rows)
+    margin_rows = []
+    for (bits, mode), bands in sorted(fitted.items()):
+        for lo, hi, margin in bands:
+            shipped = DEFAULT_CALIBRATION.entry_for(lo, bits, mode)
+            margin_rows.append(
+                {
+                    "precision_bits": bits,
+                    "mode": mode,
+                    "k_lo": lo,
+                    "k_hi": hi,
+                    "fit_margin_bits": round(margin, 2),
+                    "shipped_margin_bits": (
+                        shipped.observed_margin_bits if shipped else float("nan")
+                    ),
+                    "guard_bits": shipped.guard_bits if shipped else float("nan"),
+                    "shipped_not_stale": bool(
+                        shipped is not None
+                        and shipped.observed_margin_bits - shipped.guard_bits
+                        <= margin
+                    ),
+                }
+            )
+    margin_table = format_table(
+        margin_rows,
+        float_format=".2f",
+        title="fitted margins (this run) vs shipped DEFAULT_CALIBRATION",
+    )
+
+    save_result(
+        "calibration_qc",
+        control_table + "\n\n" + sweep_table + "\n\n" + margin_table,
+    )
+
+    # The controls gate everything: a "broken" configuration passing its
+    # loosened target means the error metric itself is broken.
+    assert all(row["control_ok"] for row in controls), [
+        (row["family"], row["mode"], row["measured_rel_error"])
+        for row in controls
+        if not row["control_ok"]
+    ]
+    # The rigorous bound is a theorem about this code; one violation kills.
+    assert all(row["within_bound"] for row in rows), [
+        (row["family"], row["k"], row["num_moduli"]) for row in rows
+        if not row["within_bound"]
+    ]
+    # The shipped calibration must stay honest against this run: the margin
+    # it *claims* (observed minus guard) may never exceed what this run
+    # measured on the same band.
+    assert margin_rows, "sensitivity sweep produced no truncation-dominated cells"
+    assert all(row["shipped_not_stale"] for row in margin_rows), [
+        row for row in margin_rows if not row["shipped_not_stale"]
+    ]
+    # Every swept band must be covered by a shipped calibration entry.
+    swept_bands = {
+        (row["precision_bits"], row["mode"], row["k_lo"]) for row in margin_rows
+    }
+    for bits, mode, lo in swept_bands:
+        assert DEFAULT_CALIBRATION.entry_for(lo, bits, mode) is not None
+    assert all(lo >= K_BANDS[0][0] for _, _, lo in swept_bands)

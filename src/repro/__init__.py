@@ -58,9 +58,15 @@ from .core import gemv as _gemv_module
 from .core import operand as _operand_module
 from .core.gemm import Ozaki2Result, emulated_dgemm, emulated_sgemm
 from .core.gemv import GemvResult
-from .core.operand import ResidueOperand, matrix_fingerprint
+from .core.operand import (
+    AccurateOperand,
+    PreparedOperand,
+    ResidueOperand,
+    matrix_fingerprint,
+)
 from .core.planner import choose_num_moduli
 from .crt.adaptive import AdaptiveSelection, select_num_moduli
+from .crt.calibration import DEFAULT_CALIBRATION, CalibrationEntry, CalibrationTable
 from .result import GemmResult, PhaseTimes, Result
 from .runtime import ExecutionPlan, Scheduler
 from .runtime import batched as _batched_module
@@ -125,7 +131,9 @@ __all__ = [
     "prepare_b",
     "reset_deprecation_warnings",
     # operands
+    "PreparedOperand",
     "ResidueOperand",
+    "AccurateOperand",
     "matrix_fingerprint",
     # runtime
     "ExecutionPlan",
@@ -134,6 +142,9 @@ __all__ = [
     "choose_num_moduli",
     "AdaptiveSelection",
     "select_num_moduli",
+    "CalibrationEntry",
+    "CalibrationTable",
+    "DEFAULT_CALIBRATION",
     # errors
     "ConfigurationError",
     "EngineError",

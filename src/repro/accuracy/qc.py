@@ -1,0 +1,368 @@
+"""Quality-control harness: sensitivity sweeps and negative controls.
+
+The calibrated selection model (:mod:`repro.crt.calibration`) rests on a
+measured claim — "the rigorous bound's truncation term is at least
+``margin + guard`` bits conservative on this band" — and measured claims
+rot.  This module makes them machine-checkable per run:
+
+sensitivity sweep
+    :func:`sensitivity_sweep` measures the error of fixed-``N`` emulations
+    against the double-double reference across workload families, seeds
+    and moduli counts, and reports the observed conservatism of the
+    rigorous truncation bound per case.  :func:`fit_margin_bits` reduces a
+    sweep to per-(precision, mode, k-band) minima — the exact quantity the
+    shipped :data:`~repro.crt.calibration.DEFAULT_CALIBRATION` entries
+    record — so re-fitting after a scaling change is one function call.
+
+negative controls
+    :func:`negative_controls` runs configurations *designed to fail* (far
+    too few moduli for the target) and checks that the measured error
+    exceeds a loosened target.  If a control passes its target, the
+    harness itself is broken — an error metric comparing a result to
+    itself, a reference shortcut, a family generating zero matrices —
+    and every green sensitivity number is meaningless.  The controls
+    therefore gate the sweep: ``benchmarks/test_bench_calibration_qc.py``
+    fails the run when any control unexpectedly meets its target.
+
+Both feed the provenance-stamped artifact
+``benchmarks/results/calibration_qc.txt`` (host, CPU count, git sha — see
+:mod:`repro.harness.provenance`), so bound tightness is a machine-readable
+trajectory across PRs, not a one-off table in a commit message.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import MAX_MODULI, Ozaki2Config
+from ..core.gemm import ozaki2_gemm
+from ..crt.adaptive import (
+    DEFAULT_TARGET_ACCURACY,
+    floor_relative_bound,
+    select_num_moduli,
+    truncation_relative_bound,
+)
+from ..crt.calibration import K_BANDS
+from .reference import reference_gemm
+
+__all__ = [
+    "WORKLOAD_FAMILIES",
+    "measured_relative_error",
+    "measure_case",
+    "sensitivity_sweep",
+    "fit_margin_bits",
+    "negative_controls",
+]
+
+#: How far (in bits) the truncation term must sit above the roundoff floor
+#: for a case to count toward the fitted margin: below this the measured
+#: error reflects the floor (which calibration never touches), not the
+#: truncation conservatism being fit.
+_TRUNC_DOMINANCE_BITS = 4.0
+
+#: Factor by which :func:`negative_controls` loosens the default target,
+#: per precision; a deliberately broken configuration must still exceed
+#: the loosened value or the measurement plumbing is suspect.  fp32's
+#: factor is smaller because the gap between a broken (N=2) and a working
+#: configuration is only ~2 decades on the normalised metric — a 1e3
+#: loosening would put the control target *above* the broken error.
+_CONTROL_LOOSENING = {64: 1.0e3, 32: 1.0e1}
+
+#: Families used as negative controls: well-scaled data only.  The phi
+#: families are *not* valid controls — their exponential dynamic range
+#: deflates the normalised error metric (most entries are tiny against
+#: ``max|A|·max|B|``), so a broken configuration can sit near the metric
+#: floor without the harness being broken.
+_CONTROL_FAMILIES = ("gaussian", "uniform")
+
+Generator = Callable[
+    [np.random.Generator, int, int, int], Tuple[np.ndarray, np.ndarray]
+]
+
+
+def _gaussian(
+    rng: np.random.Generator, m: int, k: int, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+def _uniform(
+    rng: np.random.Generator, m: int, k: int, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    return rng.uniform(-1.0, 1.0, (m, k)), rng.uniform(-1.0, 1.0, (k, n))
+
+
+def _phi_family(phi: float) -> Generator:
+    """The paper's ``(rand − 0.5)·exp(phi·randn)`` dynamic-range family."""
+
+    def generate(
+        rng: np.random.Generator, m: int, k: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        a = (rng.random((m, k)) - 0.5) * np.exp(phi * rng.standard_normal((m, k)))
+        b = (rng.random((k, n)) - 0.5) * np.exp(phi * rng.standard_normal((k, n)))
+        return a, b
+
+    return generate
+
+
+#: The QC workload families: well-scaled dense data plus the paper's
+#: exponential dynamic-range family at three severities.  The calibration
+#: margins are minima over these — a new family belongs here first, and in
+#: the calibration table only after the sweep has seen it.
+WORKLOAD_FAMILIES: Dict[str, Generator] = {
+    "gaussian": _gaussian,
+    "uniform": _uniform,
+    "phi0.5": _phi_family(0.5),
+    "phi1": _phi_family(1.0),
+    "phi2": _phi_family(2.0),
+}
+
+
+def measured_relative_error(
+    a: np.ndarray, b: np.ndarray, value: np.ndarray
+) -> float:
+    """Max element error against the double-double reference, over
+    ``k·max|A|·max|B|`` — the exact scale the adaptive bound is stated in.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    scale = (
+        float(a.shape[1])
+        * (float(np.max(np.abs(a))) if a.size else 0.0)
+        * (float(np.max(np.abs(b))) if b.size else 0.0)
+    )
+    if scale == 0.0:
+        return 0.0
+    exact = reference_gemm(a, b)
+    err = float(np.max(np.abs(exact - np.asarray(value, dtype=np.float64))))
+    return err / scale
+
+
+def _generate(
+    family: str, m: int, k: int, n: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    try:
+        generate = WORKLOAD_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown QC family {family!r}; known: {sorted(WORKLOAD_FAMILIES)}"
+        ) from None
+    rng = np.random.default_rng(seed)
+    return generate(rng, int(m), int(k), int(n))
+
+
+def _case_rows(
+    family: str,
+    k: int,
+    counts: Sequence[int],
+    precision_bits: int,
+    mode: str,
+    m: int,
+    n: int,
+    seed: int,
+) -> List[Dict[str, object]]:
+    """Measure one (family, seed) cell at several moduli counts.
+
+    The operands and the double-double reference are computed once per
+    cell and shared across the counts — the reference is the expensive
+    part of a sweep, and it does not depend on ``N``.
+    """
+    a, b = _generate(family, m, k, n, seed)
+    scale = (
+        float(k)
+        * (float(np.max(np.abs(a))) if a.size else 0.0)
+        * (float(np.max(np.abs(b))) if b.size else 0.0)
+    )
+    exact = reference_gemm(a, b) if scale > 0.0 else None
+    floor = floor_relative_bound(k, precision_bits)
+    rows: List[Dict[str, object]] = []
+    for num_moduli in counts:
+        config = Ozaki2Config(
+            precision="fp64" if int(precision_bits) == 64 else "fp32",
+            num_moduli=int(num_moduli),
+            mode=mode,
+        )
+        value = ozaki2_gemm(a, b, config=config)
+        if exact is None:
+            measured = 0.0
+        else:
+            err = float(np.max(np.abs(exact - np.asarray(value, dtype=np.float64))))
+            measured = err / scale
+        trunc = truncation_relative_bound(k, num_moduli, precision_bits, mode)
+        rigorous = trunc + floor
+        margin = math.log2(trunc / measured) if measured > 0.0 else math.inf
+        rows.append(
+            {
+                "family": family,
+                "precision_bits": int(precision_bits),
+                "mode": mode,
+                "m": int(m),
+                "k": int(k),
+                "n": int(n),
+                "seed": int(seed),
+                "num_moduli": int(num_moduli),
+                "measured_rel_error": measured,
+                "rigorous_rel_bound": rigorous,
+                "trunc_rel_bound": trunc,
+                "floor_rel_bound": floor,
+                "within_bound": measured <= rigorous,
+                "observed_margin_bits": margin,
+                "trunc_dominated": trunc >= floor * 2.0**_TRUNC_DOMINANCE_BITS,
+            }
+        )
+    return rows
+
+
+def measure_case(
+    family: str,
+    k: int,
+    num_moduli: int,
+    precision_bits: int = 64,
+    mode: str = "fast",
+    m: int = 64,
+    n: int = 64,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measure one (family, k, N) cell: error, bounds, observed margin.
+
+    The returned row carries the measured relative error, the rigorous
+    bound and its truncation/floor split, ``within_bound`` (the rigorous
+    bound held — it always must), the observed truncation margin in bits,
+    and ``trunc_dominated`` (whether the cell is usable for margin
+    fitting, see ``_TRUNC_DOMINANCE_BITS``).
+    """
+    return _case_rows(
+        family, k, [int(num_moduli)], precision_bits, mode, m, n, seed
+    )[0]
+
+
+def _selection_counts(
+    k: int, precision_bits: int, mode: str, span: int
+) -> List[int]:
+    """Moduli counts around the rigorous selection at the default target."""
+    target = DEFAULT_TARGET_ACCURACY[int(precision_bits)]
+    selected = select_num_moduli(
+        k, 1.0, 1.0, precision_bits, target=target, mode=mode
+    ).num_moduli
+    low = max(2, selected - span)
+    high = min(MAX_MODULI, selected + 1)
+    return list(range(low, high + 1))
+
+
+def sensitivity_sweep(
+    families: Optional[Sequence[str]] = None,
+    ks: Sequence[int] = (16, 64, 256, 1024),
+    precisions: Sequence[int] = (64, 32),
+    modes: Sequence[str] = ("fast", "accurate"),
+    seeds: Sequence[int] = (0, 1),
+    counts: Optional[Iterable[int]] = None,
+    count_span: int = 3,
+    m: int = 64,
+    n: int = 64,
+) -> List[Dict[str, object]]:
+    """Measured error vs predicted bound across the workload families.
+
+    One row per (precision, mode, k, family, seed, N) via
+    :func:`measure_case`.  ``counts=None`` sweeps a neighbourhood of the
+    rigorous selection at the default target (``count_span`` below it,
+    one above); pass an explicit iterable to fit over a custom range.
+    """
+    families = list(families) if families is not None else list(WORKLOAD_FAMILIES)
+    rows: List[Dict[str, object]] = []
+    for bits in precisions:
+        for mode in modes:
+            for k in ks:
+                ns = (
+                    list(counts)
+                    if counts is not None
+                    else _selection_counts(k, bits, mode, count_span)
+                )
+                for family in families:
+                    for seed in seeds:
+                        rows.extend(
+                            _case_rows(family, k, ns, bits, mode, m, n, seed)
+                        )
+    return rows
+
+
+def fit_margin_bits(
+    rows: Iterable[Dict[str, object]],
+) -> Dict[Tuple[int, str], List[Tuple[int, int, float]]]:
+    """Reduce a sweep to per-(precision, mode, k-band) margin minima.
+
+    Only truncation-dominated cells participate (the floor is charged in
+    full by both models, so cells at the floor measure nothing about the
+    truncation conservatism).  Bands with no usable cell are omitted.
+    The values are what :data:`repro.crt.calibration.DEFAULT_CALIBRATION`
+    records as ``observed_margin_bits`` — the guard is applied at lookup
+    time, not here.
+    """
+    minima: Dict[Tuple[int, str, int], float] = {}
+    for row in rows:
+        if not row["trunc_dominated"]:
+            continue
+        k = int(row["k"])  # type: ignore[arg-type]
+        band = next(
+            (i for i, (lo, hi) in enumerate(K_BANDS) if lo <= k <= hi), None
+        )
+        if band is None:
+            continue
+        key = (int(row["precision_bits"]), str(row["mode"]), band)  # type: ignore[arg-type]
+        margin = float(row["observed_margin_bits"])  # type: ignore[arg-type]
+        minima[key] = min(minima.get(key, math.inf), margin)
+    fitted: Dict[Tuple[int, str], List[Tuple[int, int, float]]] = {}
+    for (bits, mode, band), margin in sorted(minima.items()):
+        lo, hi = K_BANDS[band]
+        fitted.setdefault((bits, mode), []).append((lo, hi, margin))
+    return fitted
+
+
+def negative_controls(
+    families: Optional[Sequence[str]] = None,
+    k: int = 256,
+    precisions: Sequence[int] = (64, 32),
+    modes: Sequence[str] = ("fast", "accurate"),
+    m: int = 64,
+    n: int = 64,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Deliberately broken runs that *must* exceed a loosened target.
+
+    Each control emulates with ``num_moduli=2`` — far below any selection
+    for the default target at this ``k`` — and requires the measured
+    error to exceed the default target loosened by the per-precision
+    ``_CONTROL_LOOSENING`` factor.  Only the well-scaled
+    ``_CONTROL_FAMILIES`` participate by default (see that constant for
+    why the phi families cannot serve as controls).
+    ``control_ok=False`` on any row means the harness cannot distinguish
+    a broken configuration from a working one: fix the harness before
+    trusting any sensitivity number.
+    """
+    families = (
+        list(families) if families is not None else list(_CONTROL_FAMILIES)
+    )
+    rows: List[Dict[str, object]] = []
+    for bits in precisions:
+        loosened = DEFAULT_TARGET_ACCURACY[int(bits)] * _CONTROL_LOOSENING[int(bits)]
+        for mode in modes:
+            for family in families:
+                case = measure_case(
+                    family, k, 2, precision_bits=bits, mode=mode, m=m, n=n, seed=seed
+                )
+                measured = float(case["measured_rel_error"])  # type: ignore[arg-type]
+                rows.append(
+                    {
+                        "family": family,
+                        "precision_bits": int(bits),
+                        "mode": mode,
+                        "k": int(k),
+                        "num_moduli": 2,
+                        "measured_rel_error": measured,
+                        "loosened_target": loosened,
+                        "control_ok": measured > loosened,
+                    }
+                )
+    return rows

@@ -47,7 +47,7 @@ import numpy as np
 from ..config import Ozaki2Config
 from ..core.gemm import ozaki2_gemm
 from ..core.gemv import prepared_gemv
-from ..core.operand import ResidueOperand, prepare_a
+from ..core.operand import PreparedOperand, prepare_a
 from ..crt.adaptive import select_num_moduli
 from ..errors import ValidationError
 from ..result import Result
@@ -118,6 +118,7 @@ class _ModuliLadder:
         self.n_full = int(config.num_moduli)
         self.bits = 64 if config.is_dgemm else 32
         self.mode = config.mode.value
+        self.model = config.selection_model
         self.tol = float(tol)
         self._window: List[float] = []
 
@@ -127,7 +128,8 @@ class _ModuliLadder:
             return self.n_full
         target = min(_BOUND_SLACK_CREDIT * rel_residual, 0.099)
         want = select_num_moduli(
-            self.k, 1.0, 1.0, self.bits, target=target, mode=self.mode
+            self.k, 1.0, 1.0, self.bits, target=target, mode=self.mode,
+            model=self.model,
         ).num_moduli
         want = min(self.n_full, want)
         if want <= current:
@@ -258,7 +260,7 @@ class SolveResult(Result):
 
 
 def prepared_matvec(
-    operand: ResidueOperand,
+    operand: PreparedOperand,
     v: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     scheduler: Optional[Scheduler] = None,
@@ -311,19 +313,21 @@ def _check_max_iter(max_iter: int) -> int:
 
 
 def _adopt_prepared(
-    a: np.ndarray, config: Ozaki2Config, prepared: ResidueOperand
+    a: np.ndarray, config: Ozaki2Config, prepared: PreparedOperand
 ) -> tuple:
     """Validate a caller-supplied prepared system matrix and adopt it.
 
-    Callers that already hold ``A``'s :class:`ResidueOperand` — the
+    Callers that already hold ``A``'s prepared operand (fast-mode
+    :class:`~repro.core.operand.ResidueOperand` or accurate-mode
+    :class:`~repro.core.operand.AccurateOperand`) — the
     :class:`~repro.session.Session` facade's transparent operand cache, or a
     user reusing one system matrix across many right-hand sides — pass it as
     ``prepared=`` and the solver skips its own :func:`prepare_a` (the
     one-time conversion was paid elsewhere, so ``prepare_seconds`` reports
     0).  The operand must be an A-side preparation of this very system
     matrix; a fixed-count ``config`` at another moduli count re-derives the
-    operand (:meth:`ResidueOperand.resolve_for`, cached, bit-identical to a
-    fresh preparation).  Returns ``(operand, concrete_config)``.
+    operand (``resolve_for``, cached, bit-identical to a fresh
+    preparation).  Returns ``(operand, concrete_config)``.
     """
     if prepared.side != "A":
         raise ValidationError(
@@ -354,7 +358,7 @@ def jacobi_solve(
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
     progressive: bool = False,
-    prepared: Optional[ResidueOperand] = None,
+    prepared: Optional[PreparedOperand] = None,
 ) -> SolveResult:
     """Jacobi iteration ``x ← x + D⁻¹(b − A·x)`` with emulated residuals.
 
@@ -479,7 +483,7 @@ def cg_solve(
     precond: "str | Preconditioner | None" = None,
     omega: float = 1.0,
     progressive: bool = False,
-    prepared: Optional[ResidueOperand] = None,
+    prepared: Optional[PreparedOperand] = None,
 ) -> SolveResult:
     """Conjugate gradients for SPD ``A`` with emulated ``A·p`` products.
 
@@ -527,7 +531,7 @@ def pcg_solve(
     precond: "str | Preconditioner" = "ilu0",
     omega: float = 1.0,
     progressive: bool = False,
-    prepared: Optional[ResidueOperand] = None,
+    prepared: Optional[PreparedOperand] = None,
     _method_label: Optional[str] = None,
 ) -> SolveResult:
     """Preconditioned conjugate gradients with emulated ``A·p`` products.
@@ -694,7 +698,7 @@ def iterative_refinement_solve(
     lu_block: int = 64,
     emulated_factorization: bool = False,
     progressive: bool = False,
-    prepared: Optional[ResidueOperand] = None,
+    prepared: Optional[PreparedOperand] = None,
 ) -> SolveResult:
     """LU once, then refinement steps with emulated residuals.
 

@@ -91,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative accuracy target of --moduli auto (default: 1e-10 "
         "for fp64, 1e-5 for fp32)",
     )
+    run.add_argument(
+        "--selection-model",
+        default="calibrated",
+        choices=["calibrated", "rigorous"],
+        help="error model of --moduli auto: 'calibrated' (measured margins, "
+        "rigorous fallback) or 'rigorous' (a-priori bound only)",
+    )
     run.add_argument("--mode", default="fast", choices=["fast", "accurate"])
     run.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
     run.add_argument(
@@ -147,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="relative accuracy target of --moduli auto (default: 1e-10 "
         "for fp64, 1e-5 for fp32)",
+    )
+    solve.add_argument(
+        "--selection-model",
+        default="calibrated",
+        choices=["calibrated", "rigorous"],
+        help="error model of --moduli auto: 'calibrated' (measured margins, "
+        "rigorous fallback) or 'rigorous' (a-priori bound only)",
     )
     solve.add_argument(
         "--progressive",
@@ -251,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="relative accuracy target of --moduli auto",
+    )
+    serve.add_argument(
+        "--selection-model",
+        default="calibrated",
+        choices=["calibrated", "rigorous"],
+        help="error model of --moduli auto: 'calibrated' (measured margins, "
+        "rigorous fallback) or 'rigorous' (a-priori bound only)",
     )
     serve.add_argument("--mode", default="fast", choices=["fast", "accurate"])
     serve.add_argument("--precision", default="fp64", choices=["fp64", "fp32"])
@@ -371,6 +392,7 @@ def _cmd_run(args) -> int:
         memory_budget_mb=args.memory_budget_mb,
         fused_kernels=not args.no_fused,
         target_accuracy=args.target_accuracy,
+        selection_model=args.selection_model,
     )
     batch = max(1, args.batch)
     pairs = [
@@ -457,6 +479,7 @@ def _cmd_solve(args) -> int:
         executor=args.executor,
         gemv_fast_path=not args.no_gemv_fast,
         target_accuracy=args.target_accuracy,
+        selection_model=args.selection_model,
     )
     if solver == "pcg":
         kind = "ill_spd"
@@ -652,6 +675,21 @@ def _cmd_selfcheck(args) -> int:
         )
     )
 
+    accurate_cfg = Ozaki2Config(mode="accurate", parallelism=1)
+    accurate_fresh = ozaki2_gemm(a, b, config=accurate_cfg)
+    accurate_prepared = ozaki2_gemm(
+        prepare_a(a, config=accurate_cfg),
+        prepare_b(b, config=accurate_cfg),
+        config=accurate_cfg,
+    )
+    checks.append(
+        (
+            "accurate-mode prepared operands bit-identical to fresh prepare",
+            bool(np.array_equal(accurate_fresh, accurate_prepared)),
+            "",
+        )
+    )
+
     auto = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli="auto"), return_details=True)
     auto_fixed = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=auto.config.num_moduli))
     checks.append(
@@ -659,6 +697,25 @@ def _cmd_selfcheck(args) -> int:
             f"auto moduli selection (N={auto.config.num_moduli}) bit-identical "
             "to fixed N",
             bool(np.array_equal(auto.c, auto_fixed)),
+            "",
+        )
+    )
+
+    rigorous = ozaki2_gemm(
+        a,
+        b,
+        config=Ozaki2Config(num_moduli="auto", selection_model="rigorous"),
+        return_details=True,
+    )
+    selection = auto.moduli_selection
+    checks.append(
+        (
+            f"calibrated selection (N={auto.config.num_moduli}, decided by "
+            f"{selection.decided_by}) never above rigorous "
+            f"(N={rigorous.config.num_moduli}), bound met",
+            auto.config.num_moduli <= rigorous.config.num_moduli
+            and auto.bound_met
+            and rigorous.bound_met,
             "",
         )
     )
@@ -828,6 +885,7 @@ def _cmd_serve(args) -> int:
         parallelism=_resolve_workers(args.parallel),
         executor=args.executor,
         target_accuracy=args.target_accuracy,
+        selection_model=args.selection_model,
     )
     server = ReproServer(
         config=config,

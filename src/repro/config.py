@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import math
 import os
 import warnings
 from typing import Optional, Union
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ValidationError
 from .types import FP32, FP64, Format, get_format
 
 __all__ = [
@@ -127,6 +128,19 @@ class Ozaki2Config:
         uses :data:`repro.crt.adaptive.DEFAULT_TARGET_ACCURACY` for the
         precision (1e-10 for fp64, 1e-5 for fp32 — the library's solver
         tolerances).  Ignored when ``num_moduli`` is a fixed count.
+        Degenerate values — zero, negative, NaN, infinite, or ≥ 1 — raise
+        :class:`~repro.errors.ValidationError` at construction; they must
+        never reach the selection math.
+    selection_model:
+        Which error model auto selection consults: ``"calibrated"``
+        (default) may lower the moduli count past the rigorous selection
+        when the measured calibration's margin test passes
+        (:mod:`repro.crt.calibration`), falling back to the rigorous
+        bound otherwise; ``"rigorous"`` uses the guaranteed a-priori
+        bound alone.  Both are magnitude-invariant and bit-identical to a
+        fixed-``N`` run at the selected count; results record which model
+        decided (``moduli_selection.decided_by``).  Ignored when
+        ``num_moduli`` is a fixed count.
     mode:
         ``ComputeMode.FAST`` or ``ComputeMode.ACCURATE`` (Section 4.2).
     residue_kernel:
@@ -204,6 +218,7 @@ class Ozaki2Config:
     fused_kernels: bool = True
     gemv_fast_path: bool = True
     target_accuracy: Optional[float] = None
+    selection_model: str = "calibrated"
 
     def __post_init__(self) -> None:
         fmt = get_format(self.precision)
@@ -232,12 +247,37 @@ class Ozaki2Config:
                     f"num_moduli must be between 2 and {MAX_MODULI}, got {n}"
                 )
         if self.target_accuracy is not None:
+            # Degenerate targets are rejected here, with the degenerate
+            # class named, so they can never reach the selection math
+            # (where a NaN would silently fail every comparison and a 0
+            # would clamp to MAX_MODULI with met=False "by accident").
             target = float(self.target_accuracy)
-            if not (0.0 < target < 1.0):
-                raise ConfigurationError(
-                    f"target_accuracy must lie in (0, 1), got {target}"
+            if math.isnan(target):
+                raise ValidationError(
+                    "target_accuracy must lie in (0, 1), got NaN"
+                )
+            if math.isinf(target):
+                raise ValidationError(
+                    f"target_accuracy must lie in (0, 1), got {target} (infinite)"
+                )
+            if target <= 0.0:
+                raise ValidationError(
+                    f"target_accuracy must lie in (0, 1), got {target} "
+                    "(zero or negative targets are unreachable by construction)"
+                )
+            if target >= 1.0:
+                raise ValidationError(
+                    f"target_accuracy must lie in (0, 1), got {target} "
+                    "(a relative target of 1 or more asks for no accuracy at all)"
                 )
             object.__setattr__(self, "target_accuracy", target)
+        selection_model = str(self.selection_model).strip().lower()
+        if selection_model not in ("rigorous", "calibrated"):
+            raise ConfigurationError(
+                "selection_model must be 'rigorous' or 'calibrated', got "
+                f"{self.selection_model!r}"
+            )
+        object.__setattr__(self, "selection_model", selection_model)
         cpus = max(1, os.cpu_count() or 1)
         if isinstance(self.parallelism, str):
             key = self.parallelism.strip().lower()

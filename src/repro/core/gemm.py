@@ -30,9 +30,10 @@ from ..errors import ConfigurationError, ValidationError
 if TYPE_CHECKING:  # runtime imports core; keep the scheduler type import one-way
     from ..runtime.scheduler import Scheduler
 from .accumulation import unscale
-from .operand import ResidueOperand
+from .operand import AccurateOperand, PreparedOperand, ResidueOperand
 from .scaling import (
-    accurate_mode_scales,
+    accurate_mode_prescale,
+    accurate_scales_from_prescale,
     fast_mode_scale_a,
     fast_mode_scale_b,
 )
@@ -55,7 +56,7 @@ _AUTO_TABLE_RESTRICTION = (
 )
 
 
-def _operand_max_abs(raw: np.ndarray, prep: Optional[ResidueOperand]) -> float:
+def _operand_max_abs(raw: np.ndarray, prep: Optional[PreparedOperand]) -> float:
     """``max|X|`` of one GEMM side, prepared or raw.
 
     Prepared operands carry the value from their preparation's scaling scan
@@ -77,11 +78,11 @@ def _operand_max_abs(raw: np.ndarray, prep: Optional[ResidueOperand]) -> float:
 def _resolve_auto_moduli(
     a: np.ndarray,
     b: np.ndarray,
-    a_prep: Optional[ResidueOperand],
-    b_prep: Optional[ResidueOperand],
+    a_prep: Optional[PreparedOperand],
+    b_prep: Optional[PreparedOperand],
     k: int,
     config: Ozaki2Config,
-) -> "tuple[Ozaki2Config, Optional[ResidueOperand], Optional[ResidueOperand], AdaptiveSelection]":
+) -> "tuple[Ozaki2Config, Optional[PreparedOperand], Optional[PreparedOperand], AdaptiveSelection]":
     """Resolve ``num_moduli="auto"`` for one call.
 
     Returns ``(config, a_prep, b_prep, selection)``: a concrete
@@ -90,7 +91,9 @@ def _resolve_auto_moduli(
     and the :class:`~repro.crt.adaptive.AdaptiveSelection` diagnostic.  The
     resolved call is bit-identical to a fixed-``num_moduli`` call at the
     selected count — auto selection chooses the configuration, never the
-    arithmetic.
+    arithmetic.  ``config.selection_model`` picks between the rigorous
+    bound and the calibrated model (which falls back to rigorous whenever
+    its margin test fails; see :mod:`repro.crt.calibration`).
     """
     selection = select_num_moduli(
         k,
@@ -99,6 +102,7 @@ def _resolve_auto_moduli(
         64 if config.is_dgemm else 32,
         target=config.target_accuracy,
         mode=config.mode.value,
+        model=config.selection_model,
     )
     config = config.resolved(selection.num_moduli)
     if a_prep is not None:
@@ -108,8 +112,8 @@ def _resolve_auto_moduli(
     return config, a_prep, b_prep, selection
 
 
-def _check_prepared_a(a_prep: ResidueOperand, config: Ozaki2Config) -> None:
-    """Validate a ResidueOperand passed as the left operand.
+def _check_prepared_a(a_prep: PreparedOperand, config: Ozaki2Config) -> None:
+    """Validate a prepared operand passed as the left operand.
 
     Shared by the GEMM route and the residue-GEMV fast path
     (:mod:`repro.core.gemv`), whose contract is exact error parity with
@@ -117,7 +121,7 @@ def _check_prepared_a(a_prep: ResidueOperand, config: Ozaki2Config) -> None:
     """
     if a_prep.side != "A":
         raise ValidationError(
-            "a ResidueOperand prepared for the B side (per-column scales) "
+            "an operand prepared for the B side (per-column scales) "
             "was passed as the left operand; use prepare_a for A"
         )
     a_prep.require_compatible(config)
@@ -126,11 +130,11 @@ def _check_prepared_a(a_prep: ResidueOperand, config: Ozaki2Config) -> None:
 def _resolve_prepared_sides(
     a: np.ndarray,
     b: np.ndarray,
-    a_prep: Optional[ResidueOperand],
-    b_prep: Optional[ResidueOperand],
+    a_prep: Optional[PreparedOperand],
+    b_prep: Optional[PreparedOperand],
     config: Ozaki2Config,
 ) -> "tuple[np.ndarray, np.ndarray]":
-    """Validate a GEMM call in which at least one side is a ResidueOperand.
+    """Validate a GEMM call in which at least one side is prepared.
 
     Checks side orientation and configuration compatibility of the prepared
     side(s), applies the usual per-operand validation to the raw side (if
@@ -142,7 +146,7 @@ def _resolve_prepared_sides(
     if b_prep is not None:
         if b_prep.side != "B":
             raise ValidationError(
-                "a ResidueOperand prepared for the A side (per-row scales) "
+                "an operand prepared for the A side (per-row scales) "
                 "was passed as the right operand; use prepare_b for B"
             )
         b_prep.require_compatible(config)
@@ -165,8 +169,8 @@ def _resolve_prepared_sides(
 
 
 def ozaki2_gemm(
-    a: "np.ndarray | ResidueOperand",
-    b: "np.ndarray | ResidueOperand",
+    a: "np.ndarray | PreparedOperand",
+    b: "np.ndarray | PreparedOperand",
     config: Optional[Ozaki2Config] = None,
     engine: Optional[MatrixEngine] = None,
     return_details: bool = False,
@@ -179,13 +183,16 @@ def ozaki2_gemm(
     ----------
     a, b:
         Input matrices with a matching inner dimension.  Either side may be
-        a precomputed :class:`~repro.core.operand.ResidueOperand` (from
-        :func:`~repro.core.operand.prepare_a` /
-        :func:`~repro.core.operand.prepare_b`); the corresponding convert
-        phase is then skipped — reported as 0 in :class:`PhaseTimes` — and
-        the result is bit-identical to the unprepared call.  Prepared
-        operands require ``ComputeMode.FAST`` (accurate mode couples the
-        two sides' scale determination).
+        a precomputed operand from :func:`~repro.core.operand.prepare_a` /
+        :func:`~repro.core.operand.prepare_b`: a fast-mode
+        :class:`~repro.core.operand.ResidueOperand` (the corresponding
+        convert phase is skipped entirely — reported as 0 in
+        :class:`PhaseTimes`) or an accurate-mode
+        :class:`~repro.core.operand.AccurateOperand` (the per-side half of
+        the scale phase is skipped; the coupled bound product and the
+        conversion still run per partner).  Either way the result is
+        bit-identical to the unprepared call.  The operand's mode must
+        match ``config.mode``.
     config:
         :class:`~repro.config.Ozaki2Config`; defaults to DGEMM emulation
         with 15 moduli in fast mode.  ``config.parallelism`` fans the
@@ -217,8 +224,8 @@ def ozaki2_gemm(
     config = config or Ozaki2Config()
     out_dtype = result_dtype(config.precision)
 
-    a_prep = a if isinstance(a, ResidueOperand) else None
-    b_prep = b if isinstance(b, ResidueOperand) else None
+    a_prep = a if isinstance(a, PreparedOperand) else None
+    b_prep = b if isinstance(b, PreparedOperand) else None
     if a_prep is None and b_prep is None:
         if config.validate:
             a, b = check_gemm_operands(a, b, dtype=np.float64)
@@ -263,34 +270,50 @@ def ozaki2_gemm(
     try:
         # Line 1: scale vectors.  Fast mode derives each side's scales from
         # that side alone, so a prepared operand simply contributes its
-        # cached vector.
+        # cached vector; accurate mode finalises from the two sides'
+        # pre-scales (cached on AccurateOperands, computed here otherwise)
+        # through the coupled bound product.
         with _PhaseTimer(times, "scale"):
             if config.mode is ComputeMode.FAST:
                 mu = a_prep.scale if a_prep is not None else fast_mode_scale_a(a, table)
                 nu = b_prep.scale if b_prep is not None else fast_mode_scale_b(b, table)
             else:
-                mu, nu, _ = accurate_mode_scales(
-                    a, b, table, engine, MAX_K_WITHOUT_BLOCKING
+                pa = (
+                    a_prep.prescale
+                    if isinstance(a_prep, AccurateOperand)
+                    else accurate_mode_prescale(a, axis=1)
+                )
+                pb = (
+                    b_prep.prescale
+                    if isinstance(b_prep, AccurateOperand)
+                    else accurate_mode_prescale(b, axis=0)
+                )
+                mu, nu, _ = accurate_scales_from_prescale(
+                    pa, pb, table, engine, MAX_K_WITHOUT_BLOCKING
                 )
 
-        # Lines 2 and 4: A' and its residues (skipped when A is prepared).
+        # Lines 2 and 4: A' and its residues (skipped when A carries a
+        # fast-mode residue stack; an accurate prepared operand converts
+        # from its retained source — the scales are partner-coupled).
         # Conversion routes through the scheduler so the process backend can
         # band the rows across workers (bit-identical to the inline path,
         # which serial/thread schedulers run unchanged).
-        if a_prep is not None:
+        if isinstance(a_prep, ResidueOperand):
             a_slices = a_prep.slices
             times.add("convert_A", 0.0)
         else:
+            a_src = a_prep.source if a_prep is not None else a
             with _PhaseTimer(times, "convert_A"):
-                a_slices = scheduler.convert_residues(a, mu, "left", table, config)
+                a_slices = scheduler.convert_residues(a_src, mu, "left", table, config)
 
         # Lines 3 and 5: B' and its residues (skipped when B is prepared).
-        if b_prep is not None:
+        if isinstance(b_prep, ResidueOperand):
             b_slices = b_prep.slices
             times.add("convert_B", 0.0)
         else:
+            b_src = b_prep.source if b_prep is not None else b
             with _PhaseTimer(times, "convert_B"):
-                b_slices = scheduler.convert_residues(b, nu, "right", table, config)
+                b_slices = scheduler.convert_residues(b_src, nu, "right", table, config)
 
         # Lines 6-11: the N INT8 GEMMs (fanned out over the scheduler's
         # workers, blocked over k and tiled over m/n per the plan) and the

@@ -51,8 +51,13 @@ from .gemm import (
     _check_prepared_a,
     _resolve_auto_moduli,
 )
-from .operand import ResidueOperand
-from .scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
+from .operand import AccurateOperand, PreparedOperand, ResidueOperand
+from .scaling import (
+    accurate_mode_prescale,
+    accurate_scales_from_prescale,
+    fast_mode_scale_a,
+    fast_mode_scale_b,
+)
 
 __all__ = ["GemvResult", "prepared_gemv"]
 
@@ -102,7 +107,7 @@ class GemvResult(Result):
 
 def _resolve_a_side(
     a: np.ndarray,
-    a_prep: Optional[ResidueOperand],
+    a_prep: Optional[PreparedOperand],
     config: Ozaki2Config,
 ) -> Optional[np.ndarray]:
     """Validate the left operand (prepared or raw) exactly as the GEMM route."""
@@ -113,7 +118,7 @@ def _resolve_a_side(
 
 
 def prepared_gemv(
-    a: "np.ndarray | ResidueOperand",
+    a: "np.ndarray | PreparedOperand",
     x: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     engine: Optional[MatrixEngine] = None,
@@ -125,13 +130,14 @@ def prepared_gemv(
     Parameters
     ----------
     a:
-        The matrix side: either a precomputed
-        :class:`~repro.core.operand.ResidueOperand` from
-        :func:`~repro.core.operand.prepare_a` (the convert-once solver
-        pattern — the ``convert_A`` phase is skipped and reported as 0) or
-        a raw ``(m, k)`` matrix (converted on the spot; required for
-        ``ComputeMode.ACCURATE``, whose scale determination couples the two
-        sides).
+        The matrix side: a precomputed operand from
+        :func:`~repro.core.operand.prepare_a` — a fast-mode
+        :class:`~repro.core.operand.ResidueOperand` (the convert-once
+        solver pattern: the ``convert_A`` phase is skipped and reported as
+        0) or an accurate-mode :class:`~repro.core.operand.AccurateOperand`
+        (the per-side half of the scale phase is skipped; truncation and
+        residues rerun per vector under the coupled scales) — or a raw
+        ``(m, k)`` matrix converted on the spot.
     x:
         1-D vector of length ``k``.  Validation mirrors the GEMM route's
         treatment of the equivalent ``(k, 1)`` column bit for bit: empty
@@ -163,7 +169,7 @@ def prepared_gemv(
     ``c`` (1-D ndarray in the target dtype) or :class:`GemvResult` —
     bit-identical to ``ozaki2_gemm(a, x[:, None], config).ravel()``.
     """
-    a_prep = a if isinstance(a, ResidueOperand) else None
+    a_prep = a if isinstance(a, PreparedOperand) else None
     config = config or (a_prep.config if a_prep is not None else Ozaki2Config())
     out_dtype = result_dtype(config.precision)
     engine = engine or Int8MatrixEngine()
@@ -209,25 +215,35 @@ def prepared_gemv(
         config.num_moduli, 64 if config.is_dgemm else 32
     )
 
-    # Line 1: scale vectors.  A prepared operand contributes its cached μ;
-    # accurate mode needs both raw sides (operand.require_compatible already
-    # rejected the prepared case above).
+    # Line 1: scale vectors.  A fast prepared operand contributes its cached
+    # μ; accurate mode finalises from the matrix side's pre-scale (cached on
+    # an AccurateOperand, computed here otherwise) and the vector's, through
+    # the coupled bound product — exactly the GEMM route's arithmetic.
     with _PhaseTimer(times, "scale"):
         if config.mode is ComputeMode.FAST:
             mu = a_prep.scale if a_prep is not None else fast_mode_scale_a(a_mat, table)
             nu = fast_mode_scale_b(x_col, table)
         else:
-            mu, nu, _ = accurate_mode_scales(
-                a_mat, x_col, table, engine, MAX_K_WITHOUT_BLOCKING
+            pa = (
+                a_prep.prescale
+                if isinstance(a_prep, AccurateOperand)
+                else accurate_mode_prescale(a_mat, axis=1)
+            )
+            pb = accurate_mode_prescale(x_col, axis=0)
+            mu, nu, _ = accurate_scales_from_prescale(
+                pa, pb, table, engine, MAX_K_WITHOUT_BLOCKING
             )
 
-    # Lines 2 and 4: A' and its residues (skipped when A is prepared).
-    if a_prep is not None:
+    # Lines 2 and 4: A' and its residues (skipped when A carries a fast-mode
+    # residue stack; an accurate prepared operand converts from its retained
+    # source under the partner-coupled scales).
+    if isinstance(a_prep, ResidueOperand):
         a_slices = a_prep.slices
         times.add("convert_A", 0.0)
     else:
+        a_conv_src = a_prep.source if a_prep is not None else a_mat
         with _PhaseTimer(times, "convert_A"):
-            a_prime = truncate_scaled(a_mat, mu, side="left")
+            a_prime = truncate_scaled(a_conv_src, mu, side="left")
             a_slices = residue_slices(
                 a_prime,
                 table,

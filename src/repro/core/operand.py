@@ -42,10 +42,19 @@ that count — and caches the result, so solvers escalating through a ladder
 pay each stage's conversion once.
 
 Accurate mode is different — its scale determination couples the two sides
-through the bound matrix ``C̄ = Ā·B̄`` (Section 4.2), so residues cannot be
-fixed before the partner is known.  Preparation is therefore restricted to
-``ComputeMode.FAST`` and raises :class:`~repro.errors.ConfigurationError`
-otherwise (see :meth:`ResidueOperand.require_compatible`).
+through the bound matrix ``C̄ = Ā·B̄`` (Section 4.2), so *residues* cannot
+be fixed before the partner is known.  But everything per-side and
+``N``-independent **can**: the pre-scales ``μ' = 2^(5−⌊log2 max_h|a_ih|⌋)``
+and the rounded-up magnitude matrix ``Ā = ceil(diag(μ')·|A|)`` that feed
+the bound product.  :class:`AccurateOperand` captures exactly that
+(:func:`~repro.core.scaling.accurate_mode_prescale`): multiplications
+against it skip the per-side half of the scale phase and are bit-identical
+to the unprepared call, because the one-shot path is *implemented as* the
+same two-phase split.  The coupled half — the ``C̄`` product, truncation
+and residues — still runs per partner; :class:`ResidueOperand` (fast mode)
+and :class:`AccurateOperand` (accurate mode) share the
+:class:`PreparedOperand` interface so entry points, the service-layer
+operand cache and the solvers treat both uniformly.
 """
 
 from __future__ import annotations
@@ -53,7 +62,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
-from typing import Dict, Optional
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -64,13 +74,30 @@ from ..errors import ConfigurationError
 from ..utils.validation import check_operand
 from .conversion import residue_slices, truncate_scaled
 from .scaling import (
+    AccuratePrescale,
     PrescaleBounds,
+    accurate_mode_prescale,
     fast_mode_prescale,
     scale_exponent_budget,
     scale_from_prescale,
 )
 
-__all__ = ["ResidueOperand", "matrix_fingerprint", "prepare_a", "prepare_b"]
+__all__ = [
+    "PreparedOperand",
+    "ResidueOperand",
+    "AccurateOperand",
+    "matrix_fingerprint",
+    "prepare_a",
+    "prepare_b",
+]
+
+#: Maximum number of re-derived moduli counts a prepared operand keeps
+#: alive at once (:meth:`ResidueOperand.resolve_for`).  The progressive
+#: solvers escalate through 3–4 ladder stages, so four cached counts keep
+#: every ladder hot while bounding the residue-stack memory a long-lived
+#: operand can accumulate to ~4x one stack (previously unbounded: one
+#: stack per distinct count ever requested).
+_RESOLVE_CACHE_ENTRIES = 4
 
 
 def matrix_fingerprint(x: np.ndarray) -> str:
@@ -101,17 +128,67 @@ def matrix_fingerprint(x: np.ndarray) -> str:
     digest.update(x.tobytes(order="C"))
     return digest.hexdigest()
 
-#: Human-readable phrasing of why accurate mode cannot use prepared operands.
-_ACCURATE_RESTRICTION = (
-    "accurate-mode scale determination couples the two sides (the bound "
-    "matrix C-bar = A-bar * B-bar of Section 4.2 depends on both operands), "
-    "so residues cannot be fixed before the partner is known; use "
-    "ComputeMode.FAST, or pass raw matrices in accurate mode"
+#: Why a prepared operand cannot serve a multiplication in the other mode.
+#: Fast residues are truncated under per-side Cauchy–Schwarz scales;
+#: accurate preparation caches the pre-scales of the coupled bound-product
+#: construction — the two are different arithmetic, never interchangeable.
+_MODE_MISMATCH = (
+    "fast and accurate mode use different scale constructions (per-side "
+    "Cauchy-Schwarz vs. the coupled bound matrix C-bar = A-bar * B-bar of "
+    "Section 4.2), so an operand prepared in one mode cannot serve a "
+    "multiplication in the other; prepare the operand under a "
+    "configuration with the matching mode"
 )
 
 
+class PreparedOperand:
+    """Common interface of prepared one-side operands (fast or accurate).
+
+    Entry points accept either concrete class wherever a prepared side is
+    allowed; ``isinstance(x, PreparedOperand)`` is the dispatch test.  The
+    concrete classes are :class:`ResidueOperand` (fast mode: scale vector +
+    INT8 residue stack, partner-independent) and :class:`AccurateOperand`
+    (accurate mode: the ``N``-independent pre-scale half of the coupled
+    scale construction).  Subclasses provide ``side``, ``config``,
+    ``source``, ``shape``, ``num_moduli``, ``max_abs``, ``nbytes``,
+    ``convert_seconds``, ``require_compatible`` and ``resolve_for``.
+    """
+
+    side: str
+    source: Optional[np.ndarray]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    @property
+    def inner_dim(self) -> int:
+        """The GEMM inner dimension ``k`` this operand contributes."""
+        return int(self.shape[1] if self.side == "A" else self.shape[0])
+
+    @property
+    def phase_key(self) -> str:
+        """The :class:`~repro.core.gemm.PhaseTimes` key this operand feeds."""
+        return "convert_A" if self.side == "A" else "convert_B"
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the *source* matrix (see
+        :func:`matrix_fingerprint`); requires a retained source."""
+        if self.source is None:
+            raise ConfigurationError(
+                f"this hand-constructed {self.side}-side operand retains no "
+                "source matrix, so it has no content fingerprint"
+            )
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = matrix_fingerprint(self.source)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+
 @dataclasses.dataclass(frozen=True)
-class ResidueOperand:
+class ResidueOperand(PreparedOperand):
     """One GEMM side converted once, reusable against many partners.
 
     Attributes
@@ -157,8 +234,8 @@ class ResidueOperand:
     convert_seconds: float = 0.0
     prescale: Optional[PrescaleBounds] = None
     source: Optional[np.ndarray] = None
-    _resolved_cache: Dict[int, "ResidueOperand"] = dataclasses.field(
-        default_factory=dict, repr=False, compare=False
+    _resolved_cache: "OrderedDict[int, ResidueOperand]" = dataclasses.field(
+        default_factory=OrderedDict, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -177,7 +254,7 @@ class ResidueOperand:
         self._resolved_cache.setdefault(self.num_moduli, self)
 
     @property
-    def shape(self) -> tuple:
+    def shape(self) -> Tuple[int, ...]:
         """Shape ``(rows, cols)`` of the underlying matrix."""
         return tuple(self.slices.shape[1:])
 
@@ -185,11 +262,6 @@ class ResidueOperand:
     def num_moduli(self) -> int:
         """Number of residue slices ``N``."""
         return int(self.slices.shape[0])
-
-    @property
-    def inner_dim(self) -> int:
-        """The GEMM inner dimension ``k`` this operand contributes."""
-        return int(self.shape[1] if self.side == "A" else self.shape[0])
 
     @property
     def max_abs(self) -> Optional[float]:
@@ -200,11 +272,6 @@ class ResidueOperand:
         operand costs nothing.
         """
         return None if self.prescale is None else self.prescale.global_max_abs
-
-    @property
-    def phase_key(self) -> str:
-        """The :class:`~repro.core.gemm.PhaseTimes` key this operand skips."""
-        return "convert_A" if self.side == "A" else "convert_B"
 
     @property
     def nbytes(self) -> int:
@@ -220,21 +287,6 @@ class ResidueOperand:
             total += int(self.source.nbytes)
         return total
 
-    @property
-    def fingerprint(self) -> str:
-        """Content fingerprint of the *source* matrix (see
-        :func:`matrix_fingerprint`); requires a retained source."""
-        if self.source is None:
-            raise ConfigurationError(
-                f"this hand-constructed {self.side}-side operand retains no "
-                "source matrix, so it has no content fingerprint"
-            )
-        cached = getattr(self, "_fingerprint", None)
-        if cached is None:
-            cached = matrix_fingerprint(self.source)
-            object.__setattr__(self, "_fingerprint", cached)
-        return cached
-
     def require_compatible(self, config: Ozaki2Config) -> None:
         """Raise :class:`ConfigurationError` unless ``config`` can reuse this.
 
@@ -249,8 +301,9 @@ class ResidueOperand:
         """
         if config.mode is not ComputeMode.FAST:
             raise ConfigurationError(
-                f"prepared operand ({self.side} side) cannot be used in "
-                f"{config.mode.value!r} mode: {_ACCURATE_RESTRICTION}"
+                f"prepared operand ({self.side} side) carries fast-mode "
+                f"residues but the multiplication requests "
+                f"{config.mode.value!r} mode: {_MODE_MISMATCH}"
             )
         checks = [
             ("precision", self.config.precision.name, config.precision.name),
@@ -279,16 +332,21 @@ class ResidueOperand:
         :func:`~repro.core.scaling.fast_mode_scale_a` — see
         :func:`~repro.core.scaling.scale_from_prescale`) and the truncation
         + residue passes rerun against the stored source.  Derivations are
-        cached on the operand, so a solver escalating through a moduli
-        ladder — or a batch multiplying one operand under several targets —
-        pays each count's conversion once.  Works in both directions
-        (narrowing *and* widening).
+        cached on the operand — LRU-bounded to the
+        :data:`_RESOLVE_CACHE_ENTRIES` most recently used counts, so a
+        solver escalating through a moduli ladder pays each stage's
+        conversion once while a long-lived operand cycling through many
+        counts cannot accumulate unbounded residue stacks.  An evicted
+        count is simply re-derived on the next request (bit-identical; the
+        cache is an amortisation, never an identity).  Works in both
+        directions (narrowing *and* widening).
         """
         num_moduli = int(num_moduli)
         if num_moduli == self.num_moduli:
             return self
         cached = self._resolved_cache.get(num_moduli)
         if cached is not None:
+            self._resolved_cache.move_to_end(num_moduli)
             return cached
         if self.prescale is None or self.source is None:
             raise ConfigurationError(
@@ -323,7 +381,135 @@ class ResidueOperand:
             _resolved_cache=self._resolved_cache,
         )
         self._resolved_cache[num_moduli] = derived
+        while len(self._resolved_cache) > _RESOLVE_CACHE_ENTRIES:
+            self._resolved_cache.popitem(last=False)
         return derived
+
+
+@dataclasses.dataclass(frozen=True)
+class AccurateOperand(PreparedOperand):
+    """One GEMM side's ``N``-independent accurate-mode preparation.
+
+    Accurate mode finalises its scales from the coupled bound product
+    ``C̄ = Ā·B̄``, so — unlike :class:`ResidueOperand` — the truncated
+    residues cannot be cached before the partner is known.  What *is*
+    partner- and ``N``-independent is each side's pre-scale half
+    (:class:`~repro.core.scaling.AccuratePrescale`): the ``μ'``/``ν'``
+    vectors and the rounded-up magnitude matrix that feeds the bound
+    product.  Multiplying against an :class:`AccurateOperand` therefore
+    skips the per-side magnitude scan and round-up of the scale phase (the
+    ``C̄`` product and the conversion still run per partner) and is
+    **bit-identical** to passing the raw matrix: the one-shot path is
+    implemented as the same two-phase split
+    (:func:`~repro.core.scaling.accurate_scales_from_prescale`).
+
+    Attributes
+    ----------
+    side:
+        ``"A"`` (per-row pre-scales) or ``"B"`` (per-column).
+    prescale:
+        The cached :class:`~repro.core.scaling.AccuratePrescale`.
+    config:
+        The (always concrete) accurate-mode configuration prepared under;
+        ``num_moduli="auto"`` resolves at preparation time exactly as the
+        fast-mode preparation does.
+    source:
+        The validated float64 source matrix (required — truncation and
+        residues run from it on every multiplication).
+    convert_seconds:
+        One-time wall-clock cost of the preparation.
+    """
+
+    side: str
+    prescale: AccuratePrescale
+    config: Ozaki2Config
+    source: np.ndarray
+    convert_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.side not in ("A", "B"):
+            raise ConfigurationError(
+                f"AccurateOperand side must be 'A' or 'B', got {self.side!r}"
+            )
+        if self.config.mode is not ComputeMode.ACCURATE:
+            raise ConfigurationError(
+                "AccurateOperand.config must be an accurate-mode "
+                f"configuration, got mode {self.config.mode.value!r}"
+            )
+        if self.config.moduli_is_auto:
+            raise ConfigurationError(
+                "AccurateOperand.config must be concrete; preparation "
+                "resolves auto configurations before constructing the operand"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape ``(rows, cols)`` of the underlying matrix."""
+        return tuple(self.source.shape)
+
+    @property
+    def num_moduli(self) -> int:
+        """The moduli count the operand was prepared (or resolved) at."""
+        return int(self.config.num_moduli)
+
+    @property
+    def max_abs(self) -> float:
+        """``max|X|`` of the source matrix (from the preparation's scan)."""
+        return self.prescale.global_max_abs
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes (pre-scale arrays + kept source); the figure the
+        operand cache's byte budget accounts in."""
+        total = int(self.prescale.magnitude.nbytes)
+        total += int(self.prescale.scale_prime.nbytes)
+        total += int(self.prescale.max_abs.nbytes)
+        total += int(self.source.nbytes)
+        return total
+
+    def require_compatible(self, config: Ozaki2Config) -> None:
+        """Raise :class:`ConfigurationError` unless ``config`` can reuse this.
+
+        Mirrors :meth:`ResidueOperand.require_compatible`: mode, precision,
+        residue kernel and (for concrete configurations) moduli count must
+        match; runtime knobs may differ freely.
+        """
+        if config.mode is not ComputeMode.ACCURATE:
+            raise ConfigurationError(
+                f"prepared operand ({self.side} side) carries accurate-mode "
+                f"pre-scales but the multiplication requests "
+                f"{config.mode.value!r} mode: {_MODE_MISMATCH}"
+            )
+        checks = [
+            ("precision", self.config.precision.name, config.precision.name),
+            ("residue_kernel", self.config.residue_kernel.value,
+             config.residue_kernel.value),
+        ]
+        if not config.moduli_is_auto:
+            checks.insert(1, ("num_moduli", self.config.num_moduli, config.num_moduli))
+        mismatches = [
+            f"{name}: prepared with {ours!r}, multiplication requests {theirs!r}"
+            for name, ours, theirs in checks
+            if ours != theirs
+        ]
+        if mismatches:
+            raise ConfigurationError(
+                "prepared operand is incompatible with this configuration — "
+                + "; ".join(mismatches)
+            )
+
+    def resolve_for(self, num_moduli: int) -> "AccurateOperand":
+        """Return this operand re-targeted at another moduli count.
+
+        Nothing cached here depends on ``N`` (the pre-scales are
+        ``N``-independent by construction), so re-targeting is a
+        configuration swap, not a re-derivation — trivially bit-identical
+        to a fresh preparation at the requested count.
+        """
+        num_moduli = int(num_moduli)
+        if num_moduli == self.num_moduli:
+            return self
+        return dataclasses.replace(self, config=self.config.resolved(num_moduli))
 
 
 def _prepare(
@@ -331,13 +517,8 @@ def _prepare(
     side: str,
     config: Optional[Ozaki2Config],
     constant_table: Optional[CRTConstantTable],
-) -> ResidueOperand:
+) -> "ResidueOperand | AccurateOperand":
     config = config or Ozaki2Config()
-    if config.mode is not ComputeMode.FAST:
-        raise ConfigurationError(
-            f"cannot prepare the {side} side in {config.mode.value!r} mode: "
-            + _ACCURATE_RESTRICTION
-        )
     if config.moduli_is_auto and constant_table is not None:
         raise ConfigurationError(
             "num_moduli='auto' selects the count (and with it the moduli "
@@ -349,6 +530,8 @@ def _prepare(
         x = check_operand(x, side, dtype=np.float64)
     else:
         x = np.asarray(x, dtype=np.float64)
+    if config.mode is ComputeMode.ACCURATE:
+        return _prepare_accurate(x, side, config)
 
     start = time.perf_counter()
     prescale = fast_mode_prescale(x, axis=1 if side == "A" else 0)
@@ -366,6 +549,7 @@ def _prepare(
             64 if config.is_dgemm else 32,
             target=config.target_accuracy,
             mode=config.mode.value,
+            model=config.selection_model,
         )
         config = config.resolved(selection.num_moduli)
         table = build_constant_table(
@@ -393,17 +577,51 @@ def _prepare(
     )
 
 
+def _prepare_accurate(
+    x: np.ndarray, side: str, config: Ozaki2Config
+) -> AccurateOperand:
+    """Accurate-mode preparation: cache the ``N``-independent pre-scale half."""
+    start = time.perf_counter()
+    prescale = accurate_mode_prescale(x, axis=1 if side == "A" else 0)
+    if config.moduli_is_auto:
+        # Same resolution as the fast path: the relative model is
+        # magnitude-invariant, so the operand's own scan decides the count
+        # every same-target multiplication will request.
+        inner = x.shape[1] if side == "A" else x.shape[0]
+        selection = select_num_moduli(
+            inner,
+            prescale.global_max_abs,
+            prescale.global_max_abs,
+            64 if config.is_dgemm else 32,
+            target=config.target_accuracy,
+            mode=config.mode.value,
+            model=config.selection_model,
+        )
+        config = config.resolved(selection.num_moduli)
+    elapsed = time.perf_counter() - start
+    return AccurateOperand(
+        side=side,
+        prescale=prescale,
+        config=config,
+        source=x,
+        convert_seconds=elapsed,
+    )
+
+
 def prepare_a(
     a: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     constant_table: Optional[CRTConstantTable] = None,
-) -> ResidueOperand:
-    """Prepare the left operand: cache ``μ`` and the residues of ``A'``.
+) -> "ResidueOperand | AccurateOperand":
+    """Prepare the left operand for repeated multiplication.
 
-    The returned :class:`ResidueOperand` can be passed to
+    Fast mode returns a :class:`ResidueOperand` (cached ``μ`` and the
+    residues of ``A'``; the ``convert_A`` phase is skipped entirely on
+    reuse); accurate mode returns an :class:`AccurateOperand` (cached
+    pre-scale half of the coupled scale construction; the per-side scan of
+    the scale phase is skipped).  Either can be passed to
     :func:`~repro.core.gemm.ozaki2_gemm` in place of ``a`` any number of
-    times; every such call skips the ``convert_A`` phase and is bit-identical
-    to the unprepared call.  Fast mode only (see the module docstring).
+    times, and every such call is bit-identical to the unprepared call.
     Under ``num_moduli="auto"`` the moduli count is resolved here, from the
     operand's own magnitudes (see the module docstring).
     """
@@ -414,6 +632,6 @@ def prepare_b(
     b: np.ndarray,
     config: Optional[Ozaki2Config] = None,
     constant_table: Optional[CRTConstantTable] = None,
-) -> ResidueOperand:
-    """Prepare the right operand: cache ``ν`` and the residues of ``B'``."""
+) -> "ResidueOperand | AccurateOperand":
+    """Prepare the right operand; see :func:`prepare_a`."""
     return _prepare(b, "B", config, constant_table)

@@ -56,11 +56,14 @@ from ..utils.fp import exponent_floor, pow2, round_up_sum_of_squares
 __all__ = [
     "scale_exponent_budget",
     "PrescaleBounds",
+    "AccuratePrescale",
     "fast_mode_prescale",
     "scale_from_prescale",
     "fast_mode_scales",
     "fast_mode_scale_a",
     "fast_mode_scale_b",
+    "accurate_mode_prescale",
+    "accurate_scales_from_prescale",
     "accurate_mode_scales",
     "check_condition3",
 ]
@@ -218,6 +221,115 @@ def _ceil_scaled_magnitude(x: np.ndarray, scale: np.ndarray, axis: int) -> np.nd
     return np.ceil(scaled)
 
 
+@dataclasses.dataclass(frozen=True)
+class AccuratePrescale:
+    """The per-side, ``N``-independent half of the accurate-mode scaling.
+
+    Accurate mode couples the two sides through the bound product
+    ``C̄ = Ā·B̄``, so a single side cannot finish its scale vector alone —
+    but everything *before* the product is per-side and independent of the
+    moduli count: the pre-scales ``μ' = 2^(5−⌊log2 max_h|a_ih|⌋)`` and the
+    rounded-up magnitude matrix ``Ā = ceil(diag(μ')·|A|)``.  Capturing them
+    at preparation time lets a prepared accurate-mode operand skip its half
+    of the magnitude scan and round-up on every reuse — bit-identically to
+    a fresh pass, because :func:`accurate_scales_from_prescale` performs
+    exactly the arithmetic the one-shot path used to.
+
+    Attributes
+    ----------
+    axis:
+        Reduction axis of the magnitude scan: 1 for the A side (per-row),
+        0 for the B side (per-column).
+    scale_prime:
+        The pre-scale vector ``μ'`` (A side) or ``ν'`` (B side), float64
+        powers of two.
+    magnitude:
+        ``Ā`` / ``B̄`` — ``ceil`` of the pre-scaled magnitudes, entries in
+        ``[0, 2^6]``, ready for the INT8 bound product.
+    max_abs:
+        Per-row/column largest magnitudes of the raw data.
+    """
+
+    axis: int
+    scale_prime: np.ndarray
+    magnitude: np.ndarray
+    max_abs: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("scale_prime", "magnitude", "max_abs"):
+            getattr(self, name).setflags(write=False)
+
+    @property
+    def global_max_abs(self) -> float:
+        """``max|X|`` over the whole operand (0 for an all-zero operand)."""
+        return float(np.max(self.max_abs)) if self.max_abs.size else 0.0
+
+
+def accurate_mode_prescale(x: np.ndarray, axis: int) -> AccuratePrescale:
+    """Compute one side's ``N``-independent accurate-mode pre-scale.
+
+    ``axis=1`` treats ``x`` as the A side (per-row pre-scales), ``axis=0``
+    as the B side (per-column).  The arithmetic is lifted verbatim from the
+    one-shot :func:`accurate_mode_scales` so the split is bit-identical.
+    """
+    max_abs = np.max(np.abs(x), axis=axis)
+    exp_prime = np.where(max_abs > 0, 5 - exponent_floor(max_abs), 0)
+    scale_prime = pow2(exp_prime.astype(np.int64))
+    magnitude = _ceil_scaled_magnitude(x, scale_prime, axis=1 - axis)
+    return AccuratePrescale(
+        axis=axis, scale_prime=scale_prime, magnitude=magnitude, max_abs=max_abs
+    )
+
+
+def accurate_scales_from_prescale(
+    prescale_a: AccuratePrescale,
+    prescale_b: AccuratePrescale,
+    table: CRTConstantTable,
+    engine: MatrixEngine | None = None,
+    max_block_k: int = 2**17,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Finalise accurate-mode scales from two cached per-side pre-scales.
+
+    Runs the coupled half of accurate mode: the blocked INT8 bound product
+    ``C̄ = Ā·B̄`` followed by the row/column-max exponent formula.  Returns
+    ``(μ, ν, C̄)`` exactly as :func:`accurate_mode_scales` does.
+    """
+    if prescale_a.axis != 1 or prescale_b.axis != 0:
+        raise ValidationError(
+            "accurate_scales_from_prescale needs an A-side prescale (axis=1) "
+            f"and a B-side prescale (axis=0), got axes {prescale_a.axis} "
+            f"and {prescale_b.axis}"
+        )
+    engine = engine or Int8MatrixEngine()
+    alpha = scale_exponent_budget(table, "accurate")
+
+    a_bar = prescale_a.magnitude
+    b_bar = prescale_b.magnitude
+    if a_bar.shape[1] != b_bar.shape[0]:
+        raise ValidationError(
+            f"prescale inner dimensions differ: A side has k={a_bar.shape[1]}, "
+            f"B side has k={b_bar.shape[0]}"
+        )
+
+    # C̄ = Ā·B̄ on the INT8 engine, blocked over k so the INT32 accumulator
+    # cannot overflow (entries are at most 2^6, so a block of 2^17 columns
+    # stays below 2^29 < 2^31).
+    k = a_bar.shape[1]
+    c_bar = np.zeros((a_bar.shape[0], b_bar.shape[1]), dtype=np.float64)
+    for start in range(0, k, max_block_k):
+        stop = min(start + max_block_k, k)
+        c_bar += engine.matmul(a_bar[:, start:stop], b_bar[start:stop, :]).astype(np.float64)
+
+    row_max = np.maximum(np.max(c_bar, axis=1), 1.0)
+    col_max = np.maximum(np.max(c_bar, axis=0), 1.0)
+
+    exp_a = np.floor(alpha - 0.51 * np.log2(row_max))
+    exp_b = np.floor(alpha - 0.51 * np.log2(col_max))
+    mu = prescale_a.scale_prime * pow2(exp_a.astype(np.int64))
+    nu = prescale_b.scale_prime * pow2(exp_b.astype(np.int64))
+    return mu, nu, c_bar
+
+
 def accurate_mode_scales(
     a: np.ndarray,
     b: np.ndarray,
@@ -236,37 +348,18 @@ def accurate_mode_scales(
         ν_j = ν'_j · 2^⌊α − 0.51·log2(max_h c̄_hj)⌋
 
     Returns ``(μ, ν, C̄)``; the last is exposed for diagnostics and tests.
+    Implemented as :func:`accurate_mode_prescale` per side followed by
+    :func:`accurate_scales_from_prescale`, the same two-phase split that
+    prepared operands use — so prepared reuse is bit-identical by
+    construction.
     """
-    engine = engine or Int8MatrixEngine()
-    alpha = scale_exponent_budget(table, "accurate")
-
-    max_abs_a = np.max(np.abs(a), axis=1)
-    max_abs_b = np.max(np.abs(b), axis=0)
-    exp_a_prime = np.where(max_abs_a > 0, 5 - exponent_floor(max_abs_a), 0)
-    exp_b_prime = np.where(max_abs_b > 0, 5 - exponent_floor(max_abs_b), 0)
-    mu_prime = pow2(exp_a_prime.astype(np.int64))
-    nu_prime = pow2(exp_b_prime.astype(np.int64))
-
-    a_bar = _ceil_scaled_magnitude(a, mu_prime, axis=0)
-    b_bar = _ceil_scaled_magnitude(b, nu_prime, axis=1)
-
-    # C̄ = Ā·B̄ on the INT8 engine, blocked over k so the INT32 accumulator
-    # cannot overflow (entries are at most 2^6, so a block of 2^17 columns
-    # stays below 2^29 < 2^31).
-    k = a_bar.shape[1]
-    c_bar = np.zeros((a_bar.shape[0], b_bar.shape[1]), dtype=np.float64)
-    for start in range(0, k, max_block_k):
-        stop = min(start + max_block_k, k)
-        c_bar += engine.matmul(a_bar[:, start:stop], b_bar[start:stop, :]).astype(np.float64)
-
-    row_max = np.maximum(np.max(c_bar, axis=1), 1.0)
-    col_max = np.maximum(np.max(c_bar, axis=0), 1.0)
-
-    exp_a = np.floor(alpha - 0.51 * np.log2(row_max))
-    exp_b = np.floor(alpha - 0.51 * np.log2(col_max))
-    mu = mu_prime * pow2(exp_a.astype(np.int64))
-    nu = nu_prime * pow2(exp_b.astype(np.int64))
-    return mu, nu, c_bar
+    return accurate_scales_from_prescale(
+        accurate_mode_prescale(a, axis=1),
+        accurate_mode_prescale(b, axis=0),
+        table,
+        engine=engine,
+        max_block_k=max_block_k,
+    )
 
 
 def check_condition3(

@@ -60,18 +60,25 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
+from typing import Optional
 
 from ..config import MAX_MODULI
 from ..errors import ConfigurationError
 from ..utils.fp import upper_bound_inflation
+from .calibration import DEFAULT_CALIBRATION, CalibrationTable
 from .constants import build_constant_table
 
 __all__ = [
     "AUTO_MODULI",
     "DEFAULT_TARGET_ACCURACY",
+    "SELECTION_MODELS",
     "AdaptiveSelection",
     "truncation_margin_exponent",
+    "truncation_relative_bound",
+    "floor_relative_bound",
     "relative_error_bound",
+    "calibrated_relative_bound",
     "elementwise_error_bound",
     "select_num_moduli",
 ]
@@ -99,6 +106,23 @@ _SLACK_BITS = 0.1
 #: Accumulation/reconstruction unit roundoff per table bit width (matches
 #: :mod:`repro.accuracy.error_bounds`).
 _U_ACC = {64: 2.0**-52, 32: 2.0**-36}
+
+#: Output-precision rounding floor: the final :func:`~repro.core.
+#: accumulation.unscale` rounds the reconstructed product into the target
+#: dtype, committing up to one unit roundoff of the *result* format
+#: relative to the natural scale ``k·max|A|·max|B|``.  For fp64 targets
+#: this is absorbed by ``u_acc·k``; for fp32 targets (2^-24) it dominates
+#: the floor at every k — without it the model would promise targets
+#: tighter than float32 can represent, and a tight-target selection would
+#: report ``met=True`` for an error the output rounding alone exceeds.
+_U_OUT = {64: 2.0**-52, 32: 2.0**-24}
+
+#: Selection models accepted by :func:`select_num_moduli` and
+#: ``Ozaki2Config.selection_model``.
+SELECTION_MODELS = ("rigorous", "calibrated")
+
+#: Once-per-process latch of the clamp warning (see ``_warn_clamped``).
+_CLAMP_WARNING_EMITTED = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -132,6 +156,21 @@ class AdaptiveSelection:
         64 (DGEMM emulation) or 32 (SGEMM emulation).
     mode:
         ``"fast"`` or ``"accurate"`` — selects the margin constant.
+    model:
+        The selection model that was *requested* (``"rigorous"`` or
+        ``"calibrated"``).
+    decided_by:
+        The model that actually fixed ``num_moduli``.  Under
+        ``model="calibrated"`` this is ``"calibrated"`` only when the
+        margin test passed *and* the calibrated bound lowered the count;
+        otherwise the guaranteed-safe rigorous selection decided and this
+        reads ``"rigorous"`` (the fallback engaging is observable here).
+    rigorous_num_moduli:
+        The count the rigorous model selects for the same inputs — equal to
+        ``num_moduli`` unless the calibrated model lowered it.
+    calibration_margin_bits:
+        The margin (bits) the calibrated bound claimed when it decided;
+        0.0 when the rigorous model decided.
     """
 
     num_moduli: int
@@ -144,6 +183,10 @@ class AdaptiveSelection:
     max_abs_b: float
     precision_bits: int
     mode: str
+    model: str = "rigorous"
+    decided_by: str = "rigorous"
+    rigorous_num_moduli: Optional[int] = None
+    calibration_margin_bits: float = 0.0
 
     @property
     def scale(self) -> float:
@@ -174,13 +217,15 @@ def truncation_margin_exponent(k: int, mode: str = "fast") -> float:
     raise ConfigurationError(f"unknown compute mode {mode!r}")
 
 
-def relative_error_bound(
+def truncation_relative_bound(
     k: int, num_moduli: int, precision_bits: int = 64, mode: str = "fast"
 ) -> float:
-    """Relative bound ``ρ(N, k)``: max element error over ``k·max|A|·max|B|``.
+    """The truncation term of ``ρ(N, k)`` alone (no accumulation floor).
 
-    Magnitude-invariant (see the module docstring): this is the quantity
-    the selection compares against ``target_accuracy``.
+    This is the part of the bound the worst-case derivation inflates — and
+    therefore the only part the calibrated model is allowed to tighten
+    (:func:`calibrated_relative_bound`); the roundoff floor of
+    :func:`floor_relative_bound` is charged in full by both models.
     """
     if precision_bits not in _U_ACC:
         raise ConfigurationError(
@@ -189,8 +234,67 @@ def relative_error_bound(
     table = build_constant_table(int(num_moduli), int(precision_bits))
     alpha = 0.5 * float(table.P_fast)
     c = truncation_margin_exponent(k, mode)
-    trunc = 2.0 ** (c - alpha + 1.0) + 2.0 ** (2.0 * (c - alpha))
-    return trunc + _U_ACC[precision_bits] * float(k)
+    return 2.0 ** (c - alpha + 1.0) + 2.0 ** (2.0 * (c - alpha))
+
+
+def floor_relative_bound(k: int, precision_bits: int = 64) -> float:
+    """The N-independent roundoff floor of ``ρ``: ``u_acc·k + u_out``.
+
+    ``u_acc·k`` is the accumulation/reconstruction roundoff of the split
+    tables; ``u_out`` is the final rounding into the target dtype (see
+    ``_U_OUT`` — material for fp32 targets, negligible for fp64).  No
+    moduli count can push the error below this floor, so targets beneath
+    it report ``met=False`` instead of promising the impossible.
+    """
+    if precision_bits not in _U_ACC:
+        raise ConfigurationError(
+            f"precision_bits must be 32 or 64, got {precision_bits}"
+        )
+    k = int(k)
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    bits = int(precision_bits)
+    return _U_ACC[bits] * float(k) + _U_OUT[bits]
+
+
+def relative_error_bound(
+    k: int, num_moduli: int, precision_bits: int = 64, mode: str = "fast"
+) -> float:
+    """Relative bound ``ρ(N, k)``: max element error over ``k·max|A|·max|B|``.
+
+    Magnitude-invariant (see the module docstring): this is the quantity
+    the selection compares against ``target_accuracy``.  The sum of
+    :func:`truncation_relative_bound` and :func:`floor_relative_bound`.
+    """
+    return truncation_relative_bound(
+        k, num_moduli, precision_bits, mode
+    ) + floor_relative_bound(k, precision_bits)
+
+
+def calibrated_relative_bound(
+    k: int,
+    num_moduli: int,
+    precision_bits: int = 64,
+    mode: str = "fast",
+    calibration: Optional[CalibrationTable] = None,
+) -> Optional[float]:
+    """Calibrated relative bound, or ``None`` when the margin test fails.
+
+    The truncation term is tightened by the band's claimed margin
+    (observed conservatism minus the guard — see
+    :mod:`repro.crt.calibration`); the roundoff floor is charged in full.
+    ``None`` means no calibration entry covers ``(precision, mode, k)`` or
+    its observed margin is consumed by the guard: callers must fall back
+    to :func:`relative_error_bound`.
+    """
+    table = calibration if calibration is not None else DEFAULT_CALIBRATION
+    entry = table.entry_for(k, precision_bits, mode)
+    if entry is None or not entry.margin_test_passes:
+        return None
+    trunc = truncation_relative_bound(k, num_moduli, precision_bits, mode)
+    return trunc * 2.0**-entry.margin_bits + floor_relative_bound(
+        k, precision_bits
+    )
 
 
 def elementwise_error_bound(
@@ -224,6 +328,30 @@ def _check_max_abs(value: float, which: str) -> float:
     return value
 
 
+def _warn_clamped(target: float, max_moduli: int, relative_bound: float) -> None:
+    """Once-per-process warning when selection clamps with ``met=False``.
+
+    Silent clamping was a bug: every caller (GEMM, GEMV, batches, the
+    solvers) received a result missing its requested ``target_accuracy``
+    with no signal.  The warning fires once per process (a solver loop
+    re-selecting every iteration must not spam); programmatic callers read
+    ``AdaptiveSelection.met`` / ``Result.bound_met`` instead.
+    """
+    global _CLAMP_WARNING_EMITTED
+    if _CLAMP_WARNING_EMITTED:
+        return
+    _CLAMP_WARNING_EMITTED = True
+    warnings.warn(
+        f"target_accuracy={target:g} is unreachable: even num_moduli="
+        f"{max_moduli} only guarantees a relative bound of "
+        f"{relative_bound:g}; proceeding with the clamped count "
+        "(selection.met / Result.bound_met report False; this warning is "
+        "emitted once per process)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 def select_num_moduli(
     k: int,
     max_abs_a: float,
@@ -232,6 +360,8 @@ def select_num_moduli(
     target: "float | None" = None,
     mode: str = "fast",
     max_moduli: int = MAX_MODULI,
+    model: str = "rigorous",
+    calibration: Optional[CalibrationTable] = None,
 ) -> AdaptiveSelection:
     """Smallest ``N`` whose a-priori bound meets the accuracy target.
 
@@ -256,8 +386,21 @@ def select_num_moduli(
         Upper clamp (:data:`repro.config.MAX_MODULI` by default).  A target
         unreachable even at the clamp returns ``met=False`` with the clamp
         value rather than raising — auto selection degrades to the most
-        accurate supported configuration, and the returned ``bound`` states
-        what is actually guaranteed.
+        accurate supported configuration, the returned ``bound`` states
+        what is actually guaranteed, and a once-per-process
+        ``RuntimeWarning`` flags the shortfall.
+    model:
+        ``"rigorous"`` (default) selects from the guaranteed a-priori
+        bound alone.  ``"calibrated"`` additionally consults the measured
+        calibration (:mod:`repro.crt.calibration`): when the margin test
+        passes, the count may be *lowered* to the smallest ``N`` whose
+        calibrated bound meets the target — never raised, and never past
+        a failed margin test (uncovered ``k``, missing entry, guard-
+        consumed margin), where the rigorous selection stands unchanged.
+        ``decided_by`` on the result records which model fixed the count.
+    calibration:
+        Calibration table override for ``model="calibrated"``; defaults to
+        the shipped :data:`repro.crt.calibration.DEFAULT_CALIBRATION`.
     """
     k = int(k)
     if k < 1:
@@ -278,6 +421,11 @@ def select_num_moduli(
         raise ConfigurationError(
             f"max_moduli must lie in [{_MIN_MODULI}, {MAX_MODULI}], got {max_moduli}"
         )
+    model = str(model).strip().lower()
+    if model not in SELECTION_MODELS:
+        raise ConfigurationError(
+            f"selection model must be one of {SELECTION_MODELS}, got {model!r}"
+        )
     max_abs_a = _check_max_abs(max_abs_a, "A")
     max_abs_b = _check_max_abs(max_abs_b, "B")
 
@@ -295,6 +443,9 @@ def select_num_moduli(
             max_abs_b=max_abs_b,
             precision_bits=int(precision_bits),
             mode=mode,
+            model=model,
+            decided_by="rigorous",
+            rigorous_num_moduli=_MIN_MODULI,
         )
 
     chosen, met, rel = max_moduli, False, relative_error_bound(
@@ -305,6 +456,32 @@ def select_num_moduli(
         if candidate <= target:
             chosen, met, rel = n, True, candidate
             break
+    if not met:
+        _warn_clamped(target, max_moduli, rel)
+
+    rigorous_chosen = chosen
+    decided_by = "rigorous"
+    margin_bits = 0.0
+    if model == "calibrated" and met:
+        # The calibrated model may only *lower* the count, and only when
+        # the margin test passes (calibrated_relative_bound returns None
+        # otherwise — the guaranteed-safe fallback is the selection above).
+        for n in range(_MIN_MODULI, rigorous_chosen):
+            candidate = calibrated_relative_bound(
+                k, n, precision_bits, mode, calibration
+            )
+            if candidate is None:
+                break
+            if candidate <= target:
+                table = (
+                    calibration if calibration is not None else DEFAULT_CALIBRATION
+                )
+                entry = table.entry_for(k, precision_bits, mode)
+                assert entry is not None  # candidate is not None above
+                chosen, rel = n, candidate
+                decided_by = "calibrated"
+                margin_bits = entry.margin_bits
+                break
     return AdaptiveSelection(
         num_moduli=chosen,
         target=target,
@@ -316,4 +493,8 @@ def select_num_moduli(
         max_abs_b=max_abs_b,
         precision_bits=int(precision_bits),
         mode=mode,
+        model=model,
+        decided_by=decided_by,
+        rigorous_num_moduli=rigorous_chosen,
+        calibration_margin_bits=margin_bits,
     )

@@ -39,6 +39,7 @@ from .figures import (
     figure9,
     headline_claims,
 )
+from .provenance import parse_provenance, stamp
 from .report import format_table, rows_to_csv
 
 __all__ = [
@@ -70,5 +71,7 @@ __all__ = [
     "figure9",
     "headline_claims",
     "format_table",
+    "parse_provenance",
     "rows_to_csv",
+    "stamp",
 ]

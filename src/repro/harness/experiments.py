@@ -767,6 +767,8 @@ def adaptive_moduli_sweep(
                 "target": selection.target,
                 "n_fixed": n_fixed,
                 "n_auto": auto.config.num_moduli,
+                "n_rigorous": int(selection.rigorous_num_moduli or auto.config.num_moduli),
+                "decided_by": str(selection.decided_by),
                 "target_met": bool(selection.met),
                 "seconds_fixed": best["fixed"],
                 "seconds_auto": best["auto"],

@@ -1,0 +1,135 @@
+"""Provenance stamps for archived benchmark artifacts.
+
+Every table under ``benchmarks/results/`` is a *measurement*, and a
+measurement without its conditions is a rumor: a 1.4x speedup means one
+thing on the 1-CPU CI container and another on a 16-core workstation, and
+a bound-tightness table fit at one git revision silently rots when the
+scaling code changes underneath it.  This module stamps each artifact
+with machine-readable headers::
+
+    # schema: repro-benchmark-artifact/1
+    # generated: 2026-08-07T12:00:00+00:00
+    # host: ci-container
+    # cpus: 1
+    # git_sha: 85b123e...
+    ...
+
+:func:`stamp` renders the header block (one ``# key: value`` line per
+field, no blank line after — the artifact tests split sections on blank
+lines, so the stamp must stay glued to the first table);
+:func:`parse_provenance` recovers the dictionary from an artifact's text.
+``benchmarks/conftest.py`` applies the stamp in its ``save_result``
+fixture, so every benchmark inherits it without per-file changes, and
+``tests/test_benchmark_artifacts.py`` asserts every committed artifact
+carries one.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+import platform
+import subprocess
+from typing import Dict, Mapping, Optional
+
+__all__ = ["SCHEMA", "PROVENANCE_PREFIX", "stamp", "parse_provenance"]
+
+#: Schema tag of the header block; bump when the field set changes
+#: incompatibly.
+SCHEMA = "repro-benchmark-artifact/1"
+
+#: Line prefix of every provenance header.
+PROVENANCE_PREFIX = "# "
+
+
+def _git_revision() -> Dict[str, str]:
+    """Best-effort git revision of the repository containing this package.
+
+    Benchmarks also run from installed wheels and in containers without
+    git; the stamp then records ``unknown`` rather than failing — the
+    provenance must never break the benchmark producing it.
+    """
+    root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=True,
+        ).stdout.strip()
+        return {"git_sha": sha or "unknown", "git_dirty": str(bool(dirty))}
+    except (OSError, subprocess.SubprocessError):
+        return {"git_sha": "unknown", "git_dirty": "unknown"}
+
+
+def stamp(extra: Optional[Mapping[str, object]] = None) -> str:
+    """Render the provenance header block for one benchmark artifact.
+
+    The block records the schema tag, generation time (UTC), host name,
+    CPU count, platform, Python/NumPy/repro versions and the git revision
+    (plus whether the working tree was dirty).  ``extra`` appends
+    artifact-specific fields (e.g. the benchmark's configuration knobs);
+    keys must not contain ``:`` or newlines.  Returns the header lines
+    ending in exactly one newline — callers concatenate it directly in
+    front of the first table.
+    """
+    import numpy
+
+    from .. import __version__
+
+    import os
+
+    fields: Dict[str, object] = {
+        "schema": SCHEMA,
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": platform.node() or "unknown",
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro_version": __version__,
+    }
+    fields.update(_git_revision())
+    for key, value in dict(extra or {}).items():
+        key = str(key)
+        if ":" in key or "\n" in key or "\n" in str(value):
+            raise ValueError(
+                f"provenance keys/values must be single-line and colon-free "
+                f"in the key, got {key!r}"
+            )
+        fields[key] = value
+    return "".join(
+        f"{PROVENANCE_PREFIX}{key}: {value}\n" for key, value in fields.items()
+    )
+
+
+def parse_provenance(text: str) -> Dict[str, str]:
+    """Recover the provenance dictionary from an artifact's text.
+
+    Reads the leading ``# key: value`` lines (parsing stops at the first
+    non-header line, so table content can never bleed into the result).
+    Returns an empty dict for artifacts predating the stamp — callers
+    decide whether that is acceptable.
+    """
+    fields: Dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.startswith(PROVENANCE_PREFIX):
+            break
+        body = line[len(PROVENANCE_PREFIX) :]
+        key, sep, value = body.partition(":")
+        if not sep:
+            break
+        fields[key.strip()] = value.strip()
+    return fields

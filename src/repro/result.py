@@ -158,6 +158,24 @@ class Result:
         """Distinct moduli counts used, ascending (``[]`` if unrecorded)."""
         return sorted(set(self.moduli_history))
 
+    @property
+    def bound_met(self) -> bool:
+        """Whether the selection's error bound met the accuracy target.
+
+        ``num_moduli="auto"`` clamps to ``MAX_MODULI`` when even the full
+        moduli set cannot guarantee the requested ``target_accuracy`` —
+        the call still runs (and emits a once-per-process
+        :class:`RuntimeWarning`), but the result is *not* certified to the
+        target.  This property makes that machine-checkable: ``False``
+        exactly when a clamped selection decided this result.  Fixed-count
+        runs carry no selection diagnostic and report ``True`` (nothing was
+        requested, so nothing was missed).
+        """
+        selection = getattr(self, "moduli_selection", None)
+        if selection is None:
+            return True
+        return bool(selection.met)
+
 
 @dataclasses.dataclass
 class GemmResult(Result):

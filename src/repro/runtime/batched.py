@@ -40,8 +40,13 @@ from ..core.gemm import (
     _resolve_prepared_sides,
 )
 from ..result import GemmResult, PhaseTimes
-from ..core.operand import ResidueOperand
-from ..core.scaling import accurate_mode_scales, fast_mode_scale_a, fast_mode_scale_b
+from ..core.operand import AccurateOperand, PreparedOperand, ResidueOperand
+from ..core.scaling import (
+    accurate_mode_prescale,
+    accurate_scales_from_prescale,
+    fast_mode_scale_a,
+    fast_mode_scale_b,
+)
 from ..crt.constants import CRTConstantTable, build_constant_table
 from ..engines.base import MatrixEngine
 from ..errors import ConfigurationError
@@ -71,8 +76,10 @@ def ozaki2_gemm_batched(
         Equal-length sequences of operand matrices; item ``j`` must have a
         matching inner dimension.  Shapes may differ between items — equal
         shapes are detected and share one conversion pass.  Entries may
-        also be precomputed :class:`~repro.core.operand.ResidueOperand`
-        objects (fast mode only), and items passing the *same* array object
+        also be precomputed operands — fast-mode
+        :class:`~repro.core.operand.ResidueOperand` or accurate-mode
+        :class:`~repro.core.operand.AccurateOperand` objects, matching
+        ``config.mode`` — and items passing the *same* array object
         on a side share a single conversion in fast mode.
     config:
         One :class:`~repro.config.Ozaki2Config` applied to every item
@@ -165,8 +172,8 @@ def _run_batch(
     # scales from that side alone, so identical inputs convert identically).
     a_primes: List[Optional[np.ndarray]] = [None] * batch
     b_primes: List[Optional[np.ndarray]] = [None] * batch
-    a_preps: List[Optional[ResidueOperand]] = [None] * batch
-    b_preps: List[Optional[ResidueOperand]] = [None] * batch
+    a_preps: List[Optional[PreparedOperand]] = [None] * batch
+    b_preps: List[Optional[PreparedOperand]] = [None] * batch
     a_src = list(range(batch))
     b_src = list(range(batch))
     mus: List[np.ndarray] = [None] * batch  # type: ignore[list-item]
@@ -180,8 +187,8 @@ def _run_batch(
     seen_b: Dict[int, int] = {}
     for j in range(batch):
         a_in, b_in = As[j], Bs[j]
-        a_prep = a_in if isinstance(a_in, ResidueOperand) else None
-        b_prep = b_in if isinstance(b_in, ResidueOperand) else None
+        a_prep = a_in if isinstance(a_in, PreparedOperand) else None
+        b_prep = b_in if isinstance(b_in, PreparedOperand) else None
 
         if a_prep is not None or b_prep is not None:
             a, b = _resolve_prepared_sides(a_in, b_in, a_prep, b_prep, config)
@@ -232,7 +239,17 @@ def _run_batch(
         counter_before = engine.counter.copy()
         t0 = time.perf_counter()
         if not fast:
-            mu, nu = accurate_mode_scales(a, b, tables[j], engine)[:2]
+            pa = (
+                a_prep.prescale
+                if isinstance(a_prep, AccurateOperand)
+                else accurate_mode_prescale(a, axis=1)
+            )
+            pb = (
+                b_prep.prescale
+                if isinstance(b_prep, AccurateOperand)
+                else accurate_mode_prescale(b, axis=0)
+            )
+            mu, nu = accurate_scales_from_prescale(pa, pb, tables[j], engine)[:2]
         else:
             if a_prep is not None:
                 mu = a_prep.scale
@@ -250,25 +267,30 @@ def _run_batch(
         scale_counters.append(engine.counter.difference(counter_before))
         mus[j], nus[j] = mu, nu
 
-        if a_prep is not None or alias_a:
+        # Fast-mode ResidueOperands skip truncation entirely (their residues
+        # are cached); accurate prepared operands truncate from their
+        # retained source — the scales above are partner-coupled.
+        if isinstance(a_prep, ResidueOperand) or alias_a:
             times[j].add("convert_A", 0.0)
             if alias_a:
                 a_src[j] = a_src[seen_a[id(a_in)]]
         else:
+            a_arr = a_prep.source if a_prep is not None else a
             t0 = time.perf_counter()
-            a_primes[j] = truncate_scaled(a, mu, side="left")
+            a_primes[j] = truncate_scaled(a_arr, mu, side="left")
             times[j].add("convert_A", time.perf_counter() - t0)
-            if fast:
+            if fast and a_prep is None:
                 seen_a[id(a_in)] = j
-        if b_prep is not None or alias_b:
+        if isinstance(b_prep, ResidueOperand) or alias_b:
             times[j].add("convert_B", 0.0)
             if alias_b:
                 b_src[j] = b_src[seen_b[id(b_in)]]
         else:
+            b_arr = b_prep.source if b_prep is not None else b
             t0 = time.perf_counter()
-            b_primes[j] = truncate_scaled(b, nu, side="right")
+            b_primes[j] = truncate_scaled(b_arr, nu, side="right")
             times[j].add("convert_B", time.perf_counter() - t0)
-            if fast:
+            if fast and b_prep is None:
                 seen_b[id(b_in)] = j
 
     # -- shared residue conversion -------------------------------------------
@@ -295,11 +317,11 @@ def _run_batch(
                 b_primes, tables, config, times, "convert_B"
             )
         for j in range(batch):
-            if a_preps[j] is not None:
+            if isinstance(a_preps[j], ResidueOperand):
                 a_slices[j] = a_preps[j].slices
             elif a_slices[j] is None:
                 a_slices[j] = a_slices[a_src[j]]
-            if b_preps[j] is not None:
+            if isinstance(b_preps[j], ResidueOperand):
                 b_slices[j] = b_preps[j].slices
             elif b_slices[j] is None:
                 b_slices[j] = b_slices[b_src[j]]

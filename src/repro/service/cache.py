@@ -40,7 +40,7 @@ import numpy as np
 
 from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config
-from ..core.operand import ResidueOperand, matrix_fingerprint, prepare_a, prepare_b
+from ..core.operand import PreparedOperand, matrix_fingerprint, prepare_a, prepare_b
 from ..engines.base import OpCounter
 from ..errors import ValidationError
 
@@ -54,23 +54,28 @@ DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
 def cache_key(side: str, fingerprint: str, config: Ozaki2Config) -> Tuple:
     """Cache key of one prepared operand: content identity + residue recipe.
 
-    The residues are a function of the matrix contents (the fingerprint),
-    the side (row vs. column scales), the precision (constant-table bit
-    width), the residue kernel, and the moduli request — a fixed count, or
-    the auto marker with its accuracy target (auto resolves the count from
-    the operand's own magnitudes, so equal-content operands under the same
-    target always resolve alike and may share an entry).  Runtime knobs
-    (parallelism, blocking, validation) do not affect the residues and are
+    The cached state is a function of the matrix contents (the
+    fingerprint), the side (row vs. column scales), the compute mode (fast
+    operands cache residues, accurate operands cache pre-scales — different
+    objects entirely), the precision (constant-table bit width), the
+    residue kernel, and the moduli request — a fixed count, or the auto
+    marker with its accuracy target *and selection model* (auto resolves
+    the count from the operand's own magnitudes, so equal-content operands
+    under the same target and model always resolve alike and may share an
+    entry; the calibrated and rigorous models can resolve different counts
+    from identical inputs, so they must not).  Runtime knobs (parallelism,
+    blocking, validation) do not affect the cached state and are
     deliberately absent: sessions differing only in those share entries.
     """
     moduli: object
     if config.moduli_is_auto:
-        moduli = ("auto", config.target_accuracy)
+        moduli = ("auto", config.target_accuracy, config.selection_model)
     else:
         moduli = int(config.num_moduli)
     return (
         side,
         fingerprint,
+        config.mode.value,
         config.precision.name,
         config.residue_kernel.value,
         moduli,
@@ -106,7 +111,7 @@ class OperandCache:
                 f"capacity_bytes must be non-negative, got {capacity_bytes}"
             )
         self.capacity_bytes = capacity_bytes
-        self._entries: "OrderedDict[Tuple, ResidueOperand]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, PreparedOperand]" = OrderedDict()
         self._sizes: Dict[Tuple, int] = {}
         self._current_bytes = 0
         self._lock = named_lock("service.cache._lock")
@@ -132,7 +137,7 @@ class OperandCache:
             ledger.record_cache_eviction(nbytes)
 
     # -- core lookup ---------------------------------------------------------
-    def get(self, key: Tuple) -> Optional[ResidueOperand]:
+    def get(self, key: Tuple) -> Optional[PreparedOperand]:
         """Return the cached operand for ``key`` (refreshing recency), or None.
 
         Counts a hit or a miss; callers that convert on a miss should insert
@@ -147,12 +152,12 @@ class OperandCache:
             self._miss()
             return None
 
-    def peek(self, key: Tuple) -> Optional[ResidueOperand]:
+    def peek(self, key: Tuple) -> Optional[PreparedOperand]:
         """Like :meth:`get` but counts nothing and keeps recency untouched."""
         with self._lock:
             return self._entries.get(key)
 
-    def put(self, key: Tuple, operand: ResidueOperand) -> None:
+    def put(self, key: Tuple, operand: PreparedOperand) -> None:
         """Insert ``operand`` under ``key``, evicting LRU entries past budget."""
         nbytes = operand.nbytes
         if nbytes > self.capacity_bytes:
@@ -175,10 +180,12 @@ class OperandCache:
 
     def get_or_prepare(
         self, x: np.ndarray, side: str, config: Ozaki2Config
-    ) -> ResidueOperand:
+    ) -> PreparedOperand:
         """The cache's main entry: return a prepared ``side`` operand for ``x``.
 
-        A hit returns the cached :class:`~repro.core.operand.ResidueOperand`
+        A hit returns the cached operand — a fast-mode
+        :class:`~repro.core.operand.ResidueOperand` or an accurate-mode
+        :class:`~repro.core.operand.AccurateOperand`, per ``config.mode``
         (bit-identical to converting ``x`` afresh); a miss converts via
         :func:`~repro.core.operand.prepare_a` / ``prepare_b`` and inserts.
         Concurrent misses on the same key wait for the first conversion

@@ -14,12 +14,13 @@ services multiplying *recurring* operands under *one* configuration.
   call (GEMM work *and* operand-cache events — one ledger to read),
 * a warm :class:`~repro.runtime.scheduler.Scheduler` pool sized from
   ``config.parallelism`` (pool start-up is paid once, not per call),
-* a transparent :class:`~repro.service.cache.OperandCache`: fast-mode
-  matrix operands are recognised by *content fingerprint*
-  (:func:`~repro.core.operand.matrix_fingerprint`) and their residue
-  conversions reused across calls — bit-identical to converting afresh, so
-  ``session.gemm(a, b)`` equals ``ozaki2_gemm(a, b)`` bitwise whether the
-  cache hit or missed.
+* a transparent :class:`~repro.service.cache.OperandCache`: matrix
+  operands are recognised by *content fingerprint*
+  (:func:`~repro.core.operand.matrix_fingerprint`) and their prepared
+  state reused across calls — fast mode caches residue conversions,
+  accurate mode the ``N``-independent pre-scale half — bit-identical to
+  converting afresh, so ``session.gemm(a, b)`` equals ``ozaki2_gemm(a, b)``
+  bitwise whether the cache hit or missed.
 
 Every operation returns a :class:`~repro.result.Result` subclass —
 :class:`~repro.result.GemmResult`, :class:`~repro.core.gemv.GemvResult`,
@@ -45,10 +46,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .config import ComputeMode, Ozaki2Config
+from .config import Ozaki2Config
 from .core.gemm import ozaki2_gemm
 from .core.gemv import GemvResult, prepared_gemv
-from .core.operand import ResidueOperand
+from .core.operand import PreparedOperand
 from .engines.base import MatrixEngine, OpCounter
 from .engines.int8 import Int8MatrixEngine
 from .errors import ValidationError
@@ -129,14 +130,15 @@ class Session:
     def _operand(self, x, side: str, config: Ozaki2Config):
         """Route a raw matrix through the cache; pass everything else through.
 
-        Only fast-mode 2-D float operands are cacheable (accurate mode's
-        scales couple the two sides, vectors are cheaper to convert than to
-        fingerprint-and-hold); a caller-prepared
-        :class:`~repro.core.operand.ResidueOperand` is used as-is.
+        2-D float operands in either mode are cacheable — fast mode caches
+        the residue stack, accurate mode the ``N``-independent pre-scale
+        half (see :mod:`repro.core.operand`); vectors are cheaper to
+        convert than to fingerprint-and-hold.  A caller-prepared operand is
+        used as-is.
         """
-        if isinstance(x, ResidueOperand):
+        if isinstance(x, PreparedOperand):
             return x
-        if config.mode is not ComputeMode.FAST or self._cache.capacity_bytes == 0:
+        if self._cache.capacity_bytes == 0:
             return x
         arr = np.asarray(x)
         if arr.ndim != 2 or arr.shape[0] < 2 or arr.shape[1] < 2:
@@ -145,7 +147,7 @@ class Session:
 
     def prepare(
         self, x: np.ndarray, side: str = "A", config: Optional[Ozaki2Config] = None
-    ) -> ResidueOperand:
+    ) -> PreparedOperand:
         """Prepare (or fetch from cache) one operand's residue conversion.
 
         The explicit form of what :meth:`gemm` / :meth:`gemv` do
@@ -175,8 +177,8 @@ class Session:
     ) -> GemmResult:
         """Emulated ``A @ B`` through the session; returns a full result.
 
-        Fast-mode matrix operands hit the transparent cache (bit-identical
-        either way); the product array is ``result.value``.
+        Matrix operands hit the transparent cache in either mode
+        (bit-identical either way); the product array is ``result.value``.
         """
         self._require_open()
         self._requests += 1
@@ -243,10 +245,10 @@ class Session:
         (:func:`~repro.apps.solvers.jacobi_solve`) or ``"ir"``
         (:func:`~repro.apps.solvers.iterative_refinement_solve`); extra
         keyword arguments (``tol``, ``max_iter``, ``precond``,
-        ``progressive``, …) pass through.  The system matrix's residue
-        conversion goes through the session cache (fast mode, fixed count),
-        so repeated solves against one matrix — or a solve after a
-        :meth:`gemm` with the same left operand — skip the preparation.
+        ``progressive``, …) pass through.  The system matrix's preparation
+        goes through the session cache, so repeated solves against one
+        matrix — or a solve after a :meth:`gemm` with the same left
+        operand — skip the preparation.
         """
         from .apps import solvers
 
@@ -263,11 +265,7 @@ class Session:
             raise ValidationError(
                 f"unknown solve method {method!r}; expected one of {SOLVE_METHODS}"
             )
-        if (
-            "prepared" not in kwargs
-            and config.mode is ComputeMode.FAST
-            and self._cache.capacity_bytes > 0
-        ):
+        if "prepared" not in kwargs and self._cache.capacity_bytes > 0:
             arr = np.asarray(a)
             if arr.ndim == 2 and arr.shape[0] == arr.shape[1] and arr.shape[0] >= 2:
                 kwargs["prepared"] = self._cache.get_or_prepare(arr, "A", config)

@@ -1,0 +1,165 @@
+"""Unit tests of the calibration QC harness (sweep, fit, controls).
+
+The QC harness is itself load-bearing: the shipped calibration table was
+fit by :func:`repro.accuracy.qc.fit_margin_bits` over
+:func:`~repro.accuracy.qc.sensitivity_sweep` rows, and the negative
+controls are the only thing standing between a broken error metric and a
+green benchmark.  These tests pin the harness mechanics on problem sizes
+small enough for the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accuracy import qc
+from repro.config import Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.crt.calibration import K_BANDS
+
+
+class TestMeasuredRelativeError:
+    def test_exact_product_measures_zero(self):
+        # Small integer operands: the emulation is exact, the metric is 0.
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(6.0).reshape(3, 2)
+        c = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+        assert qc.measured_relative_error(a, b, c) == 0.0
+
+    def test_zero_operand_measures_zero(self):
+        a = np.zeros((2, 3))
+        b = np.ones((3, 2))
+        assert qc.measured_relative_error(a, b, np.zeros((2, 2))) == 0.0
+
+    def test_normalisation_matches_bound_scale(self):
+        # Injecting a known absolute error yields err / (k*max|A|*max|B|).
+        a = np.full((2, 4), 2.0)
+        b = np.full((4, 2), 0.5)
+        exact = a @ b
+        wrong = exact.copy()
+        wrong[0, 0] += 1.0
+        expected = 1.0 / (4.0 * 2.0 * 0.5)
+        assert qc.measured_relative_error(a, b, wrong) == pytest.approx(expected)
+
+
+class TestMeasureCase:
+    def test_row_fields_and_bound_split(self):
+        row = qc.measure_case("gaussian", k=32, num_moduli=6, m=16, n=16)
+        assert row["family"] == "gaussian"
+        assert row["k"] == 32 and row["num_moduli"] == 6
+        assert row["rigorous_rel_bound"] == pytest.approx(
+            row["trunc_rel_bound"] + row["floor_rel_bound"]
+        )
+        assert row["within_bound"]
+        measured = row["measured_rel_error"]
+        assert measured > 0.0
+        assert row["observed_margin_bits"] == pytest.approx(
+            math.log2(row["trunc_rel_bound"] / measured)
+        )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown QC family"):
+            qc.measure_case("lognormal", k=16, num_moduli=4)
+
+    def test_deep_count_is_floor_dominated(self):
+        # At N=16 the truncation term sits far below the floor: the cell is
+        # unusable for margin fitting and must be flagged as such.
+        row = qc.measure_case("gaussian", k=16, num_moduli=16, m=8, n=8)
+        assert not row["trunc_dominated"]
+        shallow = qc.measure_case("gaussian", k=16, num_moduli=4, m=8, n=8)
+        assert shallow["trunc_dominated"]
+
+
+class TestSensitivitySweep:
+    def test_sweep_covers_the_grid(self):
+        rows = qc.sensitivity_sweep(
+            families=["gaussian"],
+            ks=(16,),
+            precisions=(64,),
+            modes=("fast",),
+            seeds=(0, 1),
+            counts=(4, 6),
+            m=8,
+            n=8,
+        )
+        assert len(rows) == 4  # 2 seeds x 2 counts
+        assert {row["seed"] for row in rows} == {0, 1}
+        assert {row["num_moduli"] for row in rows} == {4, 6}
+        assert all(row["within_bound"] for row in rows)
+
+    def test_default_counts_track_the_selection(self):
+        rows = qc.sensitivity_sweep(
+            families=["gaussian"],
+            ks=(64,),
+            precisions=(64,),
+            modes=("fast",),
+            seeds=(0,),
+            count_span=1,
+            m=8,
+            n=8,
+        )
+        from repro.crt.adaptive import DEFAULT_TARGET_ACCURACY, select_num_moduli
+
+        selected = select_num_moduli(
+            64, 1.0, 1.0, 64, target=DEFAULT_TARGET_ACCURACY[64]
+        ).num_moduli
+        counts = sorted({row["num_moduli"] for row in rows})
+        assert counts == [selected - 1, selected, selected + 1]
+
+
+class TestFitMarginBits:
+    def test_reduces_to_band_minima(self):
+        def row(k, margin, dominated=True):
+            return {
+                "precision_bits": 64,
+                "mode": "fast",
+                "k": k,
+                "observed_margin_bits": margin,
+                "trunc_dominated": dominated,
+            }
+
+        fitted = qc.fit_margin_bits(
+            [
+                row(8, 5.0),
+                row(16, 3.5),           # same band, smaller: the minimum
+                row(16, 2.0, False),    # floor-dominated: ignored
+                row(64, 6.0),           # next band
+                row(10**6, 1.0),        # beyond the bands: ignored
+            ]
+        )
+        bands = fitted[(64, "fast")]
+        assert bands[0] == (K_BANDS[0][0], K_BANDS[0][1], 3.5)
+        assert bands[1] == (K_BANDS[1][0], K_BANDS[1][1], 6.0)
+        assert len(bands) == 2
+
+    def test_empty_sweep_fits_nothing(self):
+        assert qc.fit_margin_bits([]) == {}
+
+
+class TestNegativeControls:
+    def test_controls_fail_loudly_when_broken(self):
+        # k=64 keeps the tier-1 cost low; the benchmark runs the real size.
+        rows = qc.negative_controls(k=64, m=16, n=16)
+        assert len(rows) == 8  # 2 precisions x 2 modes x 2 control families
+        assert all(row["control_ok"] for row in rows)
+        for row in rows:
+            assert row["num_moduli"] == 2
+            assert row["measured_rel_error"] > row["loosened_target"]
+
+    def test_phi_families_are_excluded_by_default(self):
+        rows = qc.negative_controls(k=64, m=16, n=16)
+        assert {row["family"] for row in rows} == set(qc._CONTROL_FAMILIES)
+        assert not any(row["family"].startswith("phi") for row in rows)
+
+    def test_working_config_would_not_pass_as_control(self):
+        # Sanity of the control design: a *working* configuration measures
+        # far below the loosened target, so control_ok correctly demands
+        # the broken one to exceed it.
+        case = qc.measure_case("gaussian", k=64, num_moduli=15, m=16, n=16)
+        from repro.crt.adaptive import DEFAULT_TARGET_ACCURACY
+
+        loosened = DEFAULT_TARGET_ACCURACY[64] * qc._CONTROL_LOOSENING[64]
+        assert case["measured_rel_error"] < loosened

@@ -113,10 +113,31 @@ class TestJacobi:
         with pytest.raises(ValidationError, match="right-hand side"):
             jacobi_solve(np.eye(4), np.ones(5))
 
-    def test_accurate_mode_rejected(self):
+    def test_accurate_mode_supported(self):
+        # Historically rejected: accurate-mode scales couple both operands,
+        # so a prepared system matrix could not be reused.  The pre-scale
+        # split (repro.core.scaling.accurate_mode_prescale) lifted that —
+        # solvers now run accurate mode, and injecting a prepared operand
+        # stays bit-identical to the unprepared solve.
+        a, b, x_true = linear_system(8, seed=0)
+        config = Ozaki2Config.for_dgemm(15, mode="accurate")
+        plain = jacobi_solve(a, b, config=config)
+        assert plain.converged
+        assert np.max(np.abs(plain.x - x_true)) < 1e-8
+        prepared = jacobi_solve(
+            a, b, config=config, prepared=prepare_a(a, config=config)
+        )
+        assert np.array_equal(plain.x, prepared.x)
+
+    def test_fast_prepared_rejected_for_accurate_solve(self):
         a, b, _ = linear_system(8, seed=0)
-        with pytest.raises(ConfigurationError, match="accurate"):
-            jacobi_solve(a, b, config=Ozaki2Config.for_dgemm(15, mode="accurate"))
+        with pytest.raises(ConfigurationError, match="mode"):
+            jacobi_solve(
+                a,
+                b,
+                config=Ozaki2Config.for_dgemm(15, mode="accurate"),
+                prepared=prepare_a(a, config=Ozaki2Config.for_dgemm(15)),
+            )
 
 
 class TestConjugateGradients:

@@ -8,7 +8,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import ComputeMode, Ozaki2Config
 from repro.core.gemm import ozaki2_gemm
-from repro.core.operand import ResidueOperand, prepare_a, prepare_b
+from repro.core.operand import (
+    AccurateOperand,
+    ResidueOperand,
+    prepare_a,
+    prepare_b,
+)
 from repro.core.scaling import fast_mode_scales
 from repro.crt.constants import build_constant_table
 from repro.errors import ConfigurationError, ValidationError
@@ -47,10 +52,28 @@ class TestPrepare:
         with pytest.raises(ValidationError):
             prepare_a(np.array([[np.inf, 1.0]]))
 
-    def test_prepare_rejects_accurate_mode(self, small_pair):
+    def test_prepare_accurate_mode_returns_accurate_operand(self, small_pair):
+        # Historically rejected: accurate-mode final scales couple both
+        # operands.  The prescale split stores the N-independent half
+        # (mu', A-bar) at preparation time instead.
         a, _ = small_pair
-        with pytest.raises(ConfigurationError, match="accurate"):
-            prepare_a(a, config=Ozaki2Config.for_dgemm(12, mode="accurate"))
+        config = Ozaki2Config.for_dgemm(12, mode="accurate")
+        prep = prepare_a(a, config=config)
+        assert isinstance(prep, AccurateOperand)
+        assert prep.side == "A"
+        assert prep.shape == a.shape
+        assert prep.num_moduli == 12
+        assert prep.prescale.scale_prime.shape == (a.shape[0],)
+        assert not prep.prescale.magnitude.flags.writeable
+
+    def test_accurate_prepared_mode_mismatch_rejected(self, small_pair):
+        a, b = small_pair
+        accurate = Ozaki2Config.for_dgemm(12, mode="accurate")
+        fast = Ozaki2Config.for_dgemm(12)
+        with pytest.raises(ConfigurationError, match="mode"):
+            ozaki2_gemm(prepare_a(a, config=accurate), b, config=fast)
+        with pytest.raises(ConfigurationError, match="mode"):
+            ozaki2_gemm(prepare_a(a, config=fast), b, config=accurate)
 
     def test_invalid_side_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -100,6 +123,33 @@ class TestBitIdentity:
         rhs = prepare_b(b, config) if "B" in prepare_side else b
         assert ozaki2_gemm(lhs, rhs, config=config).tobytes() == reference.tobytes()
 
+    @given(
+        m=st.integers(1, 16),
+        k=st.integers(1, 24),
+        n=st.integers(1, 16),
+        num_moduli=st.integers(2, 16),
+        executor=st.sampled_from(["thread", "process"]),
+        parallelism=st.sampled_from([1, 2]),
+        prepare_side=st.sampled_from(["A", "B", "AB"]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_accurate_prepared_byte_identical_across_executors(
+        self, m, k, n, num_moduli, executor, parallelism, prepare_side, seed
+    ):
+        """Accurate-mode prepared operands return output byte-identical to
+        the unprepared call under every executor — the prescale split
+        stores exactly what a fresh preparation would compute, and the
+        coupled finalize runs the same arithmetic either way."""
+        a, b = phi_pair(m, k, n, phi=0.5, seed=seed)
+        config = Ozaki2Config.for_dgemm(
+            num_moduli, mode="accurate", executor=executor, parallelism=parallelism
+        )
+        reference = ozaki2_gemm(a, b, config=config)
+        lhs = prepare_a(a, config) if "A" in prepare_side else a
+        rhs = prepare_b(b, config) if "B" in prepare_side else b
+        assert ozaki2_gemm(lhs, rhs, config=config).tobytes() == reference.tobytes()
+
     def test_prepared_with_runtime_knobs(self, small_pair):
         """Runtime knobs (parallelism, tiling) may differ from the preparing
         config — they do not affect the cached residues."""
@@ -125,6 +175,70 @@ class TestBitIdentity:
         assert reference.num_k_blocks == 3
         c = ozaki2_gemm(prepare_a(a, config), b, config=config)
         np.testing.assert_array_equal(c, reference.c)
+
+
+class TestResolveCache:
+    """The resolve_for derivation cache is an LRU bounded in memory, not
+    an identity: eviction must never change bits, only cost."""
+
+    def test_cache_never_exceeds_bound(self, small_pair):
+        from repro.core.operand import _RESOLVE_CACHE_ENTRIES
+
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        for count in range(2, 15):
+            prep.resolve_for(count)
+            assert len(prep._resolved_cache) <= _RESOLVE_CACHE_ENTRIES
+
+    def test_hit_returns_cached_object(self, small_pair):
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        first = prep.resolve_for(8)
+        assert prep.resolve_for(8) is first
+
+    def test_self_count_short_circuits(self, small_pair):
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        # Even after the seed entry is evicted by churn, resolving back to
+        # the operand's own count is an identity, never a re-derivation.
+        for count in range(2, 12):
+            prep.resolve_for(count)
+        assert prep.resolve_for(15) is prep
+
+    def test_evicted_count_rederives_bit_identical(self, small_pair):
+        from repro.core.operand import _RESOLVE_CACHE_ENTRIES
+
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        first = prep.resolve_for(4)
+        # Churn enough distinct counts to evict 4 from the LRU.
+        for count in range(5, 5 + _RESOLVE_CACHE_ENTRIES + 1):
+            prep.resolve_for(count)
+        assert 4 not in prep._resolved_cache
+        again = prep.resolve_for(4)
+        assert again is not first
+        np.testing.assert_array_equal(again.scale, first.scale)
+        np.testing.assert_array_equal(again.slices, first.slices)
+
+    def test_lru_keeps_recently_used(self, small_pair):
+        from repro.core.operand import _RESOLVE_CACHE_ENTRIES
+
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        prep.resolve_for(4)
+        for count in range(5, 4 + _RESOLVE_CACHE_ENTRIES):
+            prep.resolve_for(4)  # touch 4: it stays most-recently-used
+            prep.resolve_for(count)
+        assert 4 in prep._resolved_cache
+
+    def test_derived_operands_share_one_cache(self, small_pair):
+        a, _ = small_pair
+        prep = prepare_a(a, config=Ozaki2Config.for_dgemm(15))
+        derived = prep.resolve_for(8)
+        assert derived._resolved_cache is prep._resolved_cache
+        # A ladder walking through the derived operand fills the same
+        # bounded cache, not a second unbounded one.
+        assert derived.resolve_for(6) is prep.resolve_for(6)
 
 
 class TestPhaseReporting:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -12,7 +14,7 @@ from repro.crt.adaptive import (
     relative_error_bound,
     select_num_moduli,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 
 class TestRelativeBound:
@@ -106,6 +108,61 @@ class TestSelection:
             select_num_moduli(0, 1.0, 1.0, 64)
 
 
+class TestClampWarning:
+    @pytest.fixture(autouse=True)
+    def _reset_latch(self, monkeypatch):
+        # The warning is once-per-process; each test gets a fresh latch.
+        import repro.crt.adaptive as adaptive_mod
+
+        monkeypatch.setattr(adaptive_mod, "_CLAMP_WARNING_EMITTED", False)
+
+    def test_clamped_selection_warns_once_per_process(self):
+        with pytest.warns(RuntimeWarning, match="unreachable"):
+            sel = select_num_moduli(2**16, 1.0, 1.0, 64, target=1e-15)
+        assert not sel.met and sel.num_moduli == MAX_MODULI
+        # Second clamped selection: latched, silent (a solver loop
+        # re-selecting every iteration must not spam).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = select_num_moduli(2**16, 1.0, 1.0, 64, target=1e-15)
+        assert not again.met
+
+    def test_met_selection_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sel = select_num_moduli(256, 1.0, 1.0, 64, target=1e-8)
+        assert sel.met
+
+    def test_result_bound_met_false_on_clamp(self):
+        from repro.core.gemm import ozaki2_gemm
+        from repro.workloads import phi_pair
+
+        a, b = phi_pair(6, 8, 6, phi=0.5, seed=1)
+        config = Ozaki2Config(num_moduli="auto", target_accuracy=1e-15)
+        with pytest.warns(RuntimeWarning, match="unreachable"):
+            result = ozaki2_gemm(a, b, config=config, return_details=True)
+        assert result.bound_met is False
+        assert result.config.num_moduli == MAX_MODULI
+
+    def test_result_bound_met_true_paths(self):
+        from repro.core.gemm import ozaki2_gemm
+        from repro.workloads import phi_pair
+
+        a, b = phi_pair(6, 8, 6, phi=0.5, seed=1)
+        auto = ozaki2_gemm(
+            a,
+            b,
+            config=Ozaki2Config(num_moduli="auto", target_accuracy=1e-8),
+            return_details=True,
+        )
+        assert auto.bound_met is True
+        # Fixed-count runs carry no selection diagnostic: vacuously met.
+        fixed = ozaki2_gemm(
+            a, b, config=Ozaki2Config(num_moduli=10), return_details=True
+        )
+        assert fixed.bound_met is True
+
+
 class TestConfigIntegration:
     def test_auto_accepted_and_normalised(self):
         cfg = Ozaki2Config(num_moduli="AUTO")
@@ -124,10 +181,25 @@ class TestConfigIntegration:
         with pytest.raises(ConfigurationError, match="num_moduli"):
             Ozaki2Config(num_moduli="automatic")
 
-    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
-    def test_rejects_bad_target_accuracy(self, bad):
-        with pytest.raises(ConfigurationError, match="target_accuracy"):
+    @pytest.mark.parametrize(
+        "bad, degenerate_class",
+        [
+            (0.0, "zero or negative"),
+            (-0.5, "zero or negative"),
+            (1.0, "no accuracy at all"),
+            (float("nan"), "NaN"),
+            (float("inf"), "infinite"),
+            (float("-inf"), "infinite"),
+        ],
+    )
+    def test_rejects_degenerate_target_accuracy(self, bad, degenerate_class):
+        # Degenerate targets are a *validation* failure (caller handed a
+        # nonsensical value) and the message names the degenerate class —
+        # a NaN reaching the selection math would silently fail every
+        # comparison, a zero would clamp to MAX_MODULI "by accident".
+        with pytest.raises(ValidationError, match="target_accuracy") as exc:
             Ozaki2Config(target_accuracy=bad)
+        assert degenerate_class in str(exc.value)
 
     def test_fixed_configs_unchanged(self):
         cfg = Ozaki2Config(num_moduli=14)

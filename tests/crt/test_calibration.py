@@ -1,0 +1,203 @@
+"""Unit tests of the calibrated-bound subsystem (entries, tables, selection).
+
+The calibrated model is a *claim about data* (measured margins) layered on
+a theorem (the rigorous bound).  These tests pin the layering: the claimed
+margin is observed-minus-guard and never negative, the margin test gates
+every tightening, the calibrated bound never touches the roundoff floor,
+and selection under ``model="calibrated"`` can only lower the count — with
+the rigorous selection standing whenever the margin test fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MAX_MODULI
+from repro.crt.adaptive import (
+    calibrated_relative_bound,
+    floor_relative_bound,
+    relative_error_bound,
+    select_num_moduli,
+    truncation_relative_bound,
+)
+from repro.crt.calibration import (
+    DEFAULT_CALIBRATION,
+    GUARD_BITS,
+    K_BANDS,
+    CalibrationEntry,
+    CalibrationTable,
+)
+from repro.errors import ConfigurationError
+
+
+def make_table(observed: float, guard: float = GUARD_BITS) -> CalibrationTable:
+    """A single-band table covering every k the tests use, for both modes."""
+    entry = CalibrationEntry(
+        k_lo=1, k_hi=4096, observed_margin_bits=observed, guard_bits=guard
+    )
+    return CalibrationTable(
+        entries={
+            (64, "fast"): (entry,),
+            (64, "accurate"): (entry,),
+            (32, "fast"): (entry,),
+            (32, "accurate"): (entry,),
+        },
+        provenance="synthetic (unit test)",
+    )
+
+
+class TestCalibrationEntry:
+    def test_claimed_margin_is_observed_minus_guard(self):
+        entry = CalibrationEntry(k_lo=1, k_hi=64, observed_margin_bits=5.0)
+        assert entry.margin_bits == pytest.approx(5.0 - GUARD_BITS)
+        assert entry.margin_test_passes
+
+    def test_guard_consumes_margin(self):
+        # Observed margin at or below the guard claims nothing: the margin
+        # test fails and the calibrated model must fall back.
+        for observed in (0.0, GUARD_BITS / 2, GUARD_BITS):
+            entry = CalibrationEntry(k_lo=1, k_hi=64, observed_margin_bits=observed)
+            assert entry.margin_bits == 0.0
+            assert not entry.margin_test_passes
+
+    @pytest.mark.parametrize("lo, hi", [(0, 16), (-1, 4), (17, 16)])
+    def test_rejects_bad_band(self, lo, hi):
+        with pytest.raises(ConfigurationError, match="k_lo"):
+            CalibrationEntry(k_lo=lo, k_hi=hi, observed_margin_bits=4.0)
+
+    def test_rejects_negative_guard(self):
+        with pytest.raises(ConfigurationError, match="guard_bits"):
+            CalibrationEntry(
+                k_lo=1, k_hi=16, observed_margin_bits=4.0, guard_bits=-0.5
+            )
+
+
+class TestCalibrationTable:
+    def test_entry_for_band_boundaries(self):
+        for lo, hi in K_BANDS:
+            for k in (lo, hi):
+                entry = DEFAULT_CALIBRATION.entry_for(k, 64, "fast")
+                assert entry is not None
+                assert entry.k_lo == lo and entry.k_hi == hi
+
+    def test_entry_for_uncovered_k_is_none(self):
+        beyond = K_BANDS[-1][1] + 1
+        assert DEFAULT_CALIBRATION.entry_for(beyond, 64, "fast") is None
+
+    def test_entry_for_unknown_precision_or_mode_is_none(self):
+        assert DEFAULT_CALIBRATION.entry_for(64, 16, "fast") is None
+        assert DEFAULT_CALIBRATION.entry_for(64, 64, "turbo") is None
+
+
+class TestDefaultCalibration:
+    def test_covers_every_precision_mode_and_band(self):
+        for bits in (64, 32):
+            for mode in ("fast", "accurate"):
+                bands = DEFAULT_CALIBRATION.entries[(bits, mode)]
+                assert tuple((e.k_lo, e.k_hi) for e in bands) == K_BANDS
+
+    def test_bands_are_contiguous_and_margins_grow_with_k(self):
+        # The conservatism of the sum bound grows with k; a shipped table
+        # where a larger band claims *less* margin than a smaller one would
+        # mean the fit regressed (or the bands were transposed).
+        for bands in DEFAULT_CALIBRATION.entries.values():
+            for left, right in zip(bands, bands[1:], strict=False):
+                assert right.k_lo == left.k_hi + 1
+                assert right.observed_margin_bits > left.observed_margin_bits
+
+    def test_every_shipped_band_passes_the_margin_test(self):
+        for bands in DEFAULT_CALIBRATION.entries.values():
+            for entry in bands:
+                assert entry.guard_bits == GUARD_BITS
+                assert entry.margin_test_passes
+
+    def test_provenance_is_recorded(self):
+        assert "sensitivity_sweep" in DEFAULT_CALIBRATION.provenance
+
+
+class TestCalibratedRelativeBound:
+    def test_tightens_only_the_truncation_term(self):
+        k, n = 256, 8
+        cal = calibrated_relative_bound(k, n, 64, "fast")
+        rig = relative_error_bound(k, n, 64, "fast")
+        floor = floor_relative_bound(k, 64)
+        entry = DEFAULT_CALIBRATION.entry_for(k, 64, "fast")
+        assert cal is not None and entry is not None
+        assert cal < rig
+        assert cal > floor  # the floor is charged in full, never tightened
+        expected = (
+            truncation_relative_bound(k, n, 64, "fast") * 2.0**-entry.margin_bits
+            + floor
+        )
+        assert cal == pytest.approx(expected, rel=1e-12)
+
+    def test_none_beyond_calibrated_range(self):
+        assert calibrated_relative_bound(K_BANDS[-1][1] + 1, 8, 64, "fast") is None
+
+    def test_none_when_guard_consumes_margin(self):
+        table = make_table(observed=GUARD_BITS)  # claims exactly nothing
+        assert calibrated_relative_bound(64, 8, 64, "fast", table) is None
+
+    def test_custom_table_margin_applied(self):
+        table = make_table(observed=GUARD_BITS + 3.0)
+        cal = calibrated_relative_bound(64, 8, 64, "fast", table)
+        floor = floor_relative_bound(64, 64)
+        trunc = truncation_relative_bound(64, 8, 64, "fast")
+        assert cal == pytest.approx(trunc * 2.0**-3.0 + floor, rel=1e-12)
+
+
+class TestCalibratedSelection:
+    def test_never_raises_the_count(self):
+        for k in (8, 64, 256, 1024, 4096):
+            for bits, mode in ((64, "fast"), (64, "accurate"), (32, "fast")):
+                sel = select_num_moduli(k, 1.0, 1.0, bits, mode=mode, model="calibrated")
+                assert sel.rigorous_num_moduli is not None
+                assert sel.num_moduli <= sel.rigorous_num_moduli
+
+    def test_decided_by_bookkeeping(self):
+        # k=1024 at a target just below the rigorous N=10 boundary: the
+        # shipped band's margin licenses a two-modulus drop (the benchmark
+        # headline), and the diagnostics must say so.
+        sel = select_num_moduli(1024, 1.0, 1.0, 64, target=5e-10, model="calibrated")
+        assert sel.decided_by == "calibrated"
+        assert sel.model == "calibrated"
+        assert sel.num_moduli < sel.rigorous_num_moduli
+        assert sel.calibration_margin_bits > 0.0
+        assert sel.relative_bound <= 5e-10
+
+    def test_rigorous_decides_when_nothing_claimable(self):
+        table = make_table(observed=0.0)  # margin test always fails
+        sel = select_num_moduli(
+            1024, 1.0, 1.0, 64, target=5e-10, model="calibrated", calibration=table
+        )
+        rig = select_num_moduli(1024, 1.0, 1.0, 64, target=5e-10, model="rigorous")
+        assert sel.decided_by == "rigorous"
+        assert sel.num_moduli == rig.num_moduli == sel.rigorous_num_moduli
+        assert sel.calibration_margin_bits == 0.0
+
+    def test_uncalibrated_k_falls_back(self):
+        beyond = K_BANDS[-1][1] + 1
+        cal = select_num_moduli(beyond, 1.0, 1.0, 64, model="calibrated")
+        rig = select_num_moduli(beyond, 1.0, 1.0, 64, model="rigorous")
+        assert cal.decided_by == "rigorous"
+        assert cal.num_moduli == rig.num_moduli
+
+    def test_huge_custom_margin_drops_to_minimum_but_never_below(self):
+        table = make_table(observed=200.0)
+        sel = select_num_moduli(
+            256, 1.0, 1.0, 64, target=1e-6, model="calibrated", calibration=table
+        )
+        assert sel.num_moduli >= 2
+        assert sel.decided_by == "calibrated"
+
+    def test_unreachable_target_never_consults_calibration(self):
+        # met=False (clamped) selections must not be "rescued" by the
+        # calibrated model: the rigorous clamp stands.
+        sel = select_num_moduli(2**16, 1.0, 1.0, 64, target=1e-15, model="calibrated")
+        assert not sel.met
+        assert sel.decided_by == "rigorous"
+        assert sel.num_moduli == MAX_MODULI
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ConfigurationError, match="selection model"):
+            select_num_moduli(64, 1.0, 1.0, 64, model="vibes")

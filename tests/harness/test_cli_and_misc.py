@@ -40,6 +40,31 @@ class TestCliParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_selection_model_flag(self):
+        args = build_parser().parse_args(["run", "--moduli", "auto"])
+        assert args.selection_model == "calibrated"
+        args = build_parser().parse_args(
+            ["run", "--moduli", "auto", "--selection-model", "rigorous"]
+        )
+        assert args.selection_model == "rigorous"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--selection-model", "vibes"])
+
+
+class TestCliErrorExit:
+    @pytest.mark.parametrize("bad", ["0", "-1e-3", "nan", "inf"])
+    def test_degenerate_target_is_one_line_error_exit_2(self, bad, capsys):
+        # A degenerate target must not traceback: main() maps ReproError
+        # to a single stderr line and exit code 2 (scriptable failure).
+        from repro.cli import main
+
+        code = main(["run", "--moduli", "auto", f"--target-accuracy={bad}"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "target_accuracy" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
 
 class TestPhaseNamingConsistency:
     def test_cost_model_phases_subset_of_breakdown_order(self):

@@ -1,0 +1,113 @@
+"""Property tests: the calibrated selection model is safe in practice.
+
+Two guarantees, swept by hypothesis over workload families, inner
+dimensions, precisions, modes and targets:
+
+* **Measured safety** — whenever the calibrated model *decides* the count
+  (``decided_by == "calibrated"``), the error actually measured against
+  the double-double reference at that count stays within the requested
+  target.  This is the empirical claim the calibration table makes; a
+  counterexample here means the shipped margins are stale (re-fit via the
+  QC harness, see ``benchmarks/test_bench_calibration_qc.py``).
+
+* **Fallback engagement** — a calibration whose margin test cannot pass
+  (guard-consumed margin, or ``k`` beyond the calibrated bands) must leave
+  the rigorous selection untouched: same count, ``decided_by ==
+  "rigorous"``, zero claimed margin.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ComputeMode, Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.crt.adaptive import select_num_moduli
+from repro.crt.calibration import (
+    GUARD_BITS,
+    K_BANDS,
+    CalibrationEntry,
+    CalibrationTable,
+)
+from repro.accuracy.qc import WORKLOAD_FAMILIES, _generate
+
+COMMON_SETTINGS = dict(max_examples=25, deadline=None)
+
+families = st.sampled_from(sorted(WORKLOAD_FAMILIES))
+#: Inner dimensions spanning every calibrated band (kept small enough that
+#: the double-double reference stays fast on one CPU).
+ks = st.sampled_from([8, 16, 48, 64, 200, 256, 700, 1024])
+modes = st.sampled_from([ComputeMode.FAST, ComputeMode.ACCURATE])
+precisions = st.sampled_from([64, 32])
+
+
+@given(
+    family=families,
+    k=ks,
+    mode=modes,
+    bits=precisions,
+    target_exp=st.integers(4, 11),
+    seed=st.integers(0, 2**10),
+)
+@settings(**COMMON_SETTINGS)
+def test_calibrated_decision_is_measured_safe(
+    family, k, mode, bits, target_exp, seed
+):
+    if bits == 32:
+        # Keep targets in the 32-bit tables' reach (the floor sits at
+        # ~2^-24); deeper targets clamp and never consult the calibration.
+        target_exp = min(target_exp, 5)
+    target = 10.0**-target_exp
+    sel = select_num_moduli(k, 1.0, 1.0, bits, target=target, mode=mode.value,
+                            model="calibrated")
+    if sel.decided_by != "calibrated":
+        # Nothing claimed — rigorous safety is covered elsewhere.
+        return
+    assert sel.num_moduli < sel.rigorous_num_moduli
+    assert sel.calibration_margin_bits > 0.0
+
+    from repro.accuracy.qc import measured_relative_error
+
+    a, b = _generate(family, 16, k, 16, seed)
+    precision = "fp64" if bits == 64 else "fp32"
+    config = Ozaki2Config(
+        precision=precision, num_moduli=sel.num_moduli, mode=mode
+    )
+    c = ozaki2_gemm(a, b, config=config)
+    assert measured_relative_error(a, b, c) <= target
+
+
+@given(
+    k=ks,
+    mode=modes,
+    bits=precisions,
+    observed=st.floats(min_value=0.0, max_value=GUARD_BITS),
+    seed=st.integers(0, 2**10),
+)
+@settings(**COMMON_SETTINGS)
+def test_fallback_engages_when_margin_test_fails(k, mode, bits, observed, seed):
+    # A table whose observed margin is consumed by the guard claims nothing.
+    entry = CalibrationEntry(k_lo=1, k_hi=4096, observed_margin_bits=observed)
+    table = CalibrationTable(
+        entries={(bits, mode.value): (entry,)}, provenance="synthetic"
+    )
+    assert not entry.margin_test_passes
+    cal = select_num_moduli(
+        k, 1.0, 1.0, bits, mode=mode.value, model="calibrated", calibration=table
+    )
+    rig = select_num_moduli(k, 1.0, 1.0, bits, mode=mode.value, model="rigorous")
+    assert cal.decided_by == "rigorous"
+    assert cal.num_moduli == rig.num_moduli == cal.rigorous_num_moduli
+    assert cal.calibration_margin_bits == 0.0
+
+
+@given(mode=modes, bits=precisions)
+@settings(max_examples=8, deadline=None)
+def test_fallback_engages_beyond_calibrated_range(mode, bits):
+    beyond = K_BANDS[-1][1] + 1
+    cal = select_num_moduli(beyond, 1.0, 1.0, bits, mode=mode.value,
+                            model="calibrated")
+    rig = select_num_moduli(beyond, 1.0, 1.0, bits, mode=mode.value,
+                            model="rigorous")
+    assert cal.decided_by == "rigorous"
+    assert cal.num_moduli == rig.num_moduli

@@ -14,7 +14,7 @@ hold for serial and parallel configurations alike).
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.config import ComputeMode, Ozaki2Config
 from repro.core.gemm import ozaki2_gemm
@@ -46,10 +46,6 @@ workers = st.sampled_from([1, 4])
 def test_gemv_fast_path_is_bit_identical_to_n1_gemm(
     m, k, num_moduli, mode, precision, prepared, parallelism, seed
 ):
-    # Accurate mode couples the two sides' scales, so operands cannot be
-    # prepared there (both routes reject that combination identically —
-    # pinned by test_prepared_operand_rejects_accurate_mode).
-    assume(not (prepared and mode is ComputeMode.ACCURATE))
     if precision == "fp32":
         num_moduli = min(num_moduli, 10)
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 import pathlib
 import re
 
+import pytest
+
 _RESULTS = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
 KERNEL_FUSION_RESULT = _RESULTS / "kernel_fusion.txt"
 GEMV_FAST_PATH_RESULT = _RESULTS / "gemv_fast_path.txt"
@@ -46,6 +48,52 @@ def _parse_rows(text: str):
             continue
         rows.append(dict(zip(header, cells, strict=True)))
     return rows
+
+
+def _all_result_files():
+    return sorted(_RESULTS.glob("*.txt"))
+
+
+@pytest.mark.parametrize(
+    "path", _all_result_files(), ids=lambda p: p.stem if p else "none"
+)
+def test_every_artifact_carries_provenance(path):
+    """Every committed results file opens with a machine-readable
+    provenance stamp: where, when and from which revision the numbers
+    came (``repro.harness.provenance``).  An artifact without one cannot
+    be audited — regenerate it via its benchmark."""
+    from repro.harness.provenance import SCHEMA, parse_provenance
+
+    fields = parse_provenance(path.read_text())
+    assert fields, f"{path.name} carries no provenance header"
+    for key in (
+        "schema",
+        "generated",
+        "host",
+        "cpus",
+        "python",
+        "numpy",
+        "repro_version",
+        "git_sha",
+        "artifact",
+    ):
+        assert key in fields, f"{path.name} provenance is missing {key!r}"
+    assert fields["schema"] == SCHEMA
+    assert fields["artifact"] == path.stem
+    assert int(fields["cpus"]) >= 1
+
+
+def test_results_directory_is_populated():
+    names = {p.stem for p in _all_result_files()}
+    assert {
+        "kernel_fusion",
+        "gemv_fast_path",
+        "adaptive_moduli",
+        "calibration_qc",
+        "process_scaling",
+        "runtime_scaling",
+        "serve_throughput",
+    } <= names
 
 
 def test_kernel_fusion_speedup_file_exists_and_parses():
@@ -112,6 +160,16 @@ def test_adaptive_moduli_file_exists_and_parses():
     headline = rows[0]
     assert headline["precision"] == "fp64"
     assert float(headline["speedup"]) >= 1.3
+    # The calibrated model's committed claims: no family ever selects
+    # above its rigorous count; the deep-k family is lowered by the
+    # calibration (the two-modulus headline) while the small-k family
+    # documents the guaranteed-safe fallback deciding.
+    assert all(int(row["n_auto"]) <= int(row["n_rigorous"]) for row in rows)
+    by_family = {row["family"]: row for row in rows}
+    deepk = by_family["fp64-deepk"]
+    assert deepk["decided_by"] == "calibrated"
+    assert int(deepk["n_auto"]) <= 9 < int(deepk["n_rigorous"])
+    assert by_family["fp64-smallk"]["decided_by"] == "rigorous"
 
     solver_rows = _parse_rows(solver_text)
     routes = {row["route"]: row for row in solver_rows}
@@ -125,6 +183,30 @@ def test_adaptive_moduli_file_exists_and_parses():
     stages = [int(seg.split("x")[0]) for seg in prog["schedule"].split("->")]
     assert stages == sorted(stages)
     assert stages[-1] == int(fixed["schedule"].split("x")[0])
+
+
+def test_calibration_qc_file_exists_and_parses():
+    path = _RESULTS / "calibration_qc.txt"
+    assert path.exists(), (
+        "benchmarks/results/calibration_qc.txt is missing; run "
+        "`pytest benchmarks/test_bench_calibration_qc.py` to regenerate it"
+    )
+    control_text, sweep_text, margin_text = path.read_text().split("\n\n", 2)
+
+    controls = _parse_rows(control_text)
+    assert controls, "no negative-control rows in calibration_qc.txt"
+    # Red controls invalidate every other number in the file.
+    assert all(row["control_ok"] == "True" for row in controls)
+
+    sweep = _parse_rows(sweep_text)
+    assert sweep, "no sensitivity rows in calibration_qc.txt"
+    assert all(row["within_bound"] == "True" for row in sweep)
+
+    margins = _parse_rows(margin_text)
+    assert margins, "no margin rows in calibration_qc.txt"
+    # The shipped calibration must not claim more margin than the archived
+    # run measured on the same band.
+    assert all(row["shipped_not_stale"] == "True" for row in margins)
 
 
 def test_process_scaling_file_exists_and_parses():
