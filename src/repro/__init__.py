@@ -67,6 +67,8 @@ from .core.operand import (
 from .core.planner import choose_num_moduli
 from .crt.adaptive import AdaptiveSelection, select_num_moduli
 from .crt.calibration import DEFAULT_CALIBRATION, CalibrationEntry, CalibrationTable
+from . import faults
+from .faults import FaultPlan, InjectedFault
 from .result import GemmResult, PhaseTimes, Result
 from .runtime import ExecutionPlan, Scheduler
 from .runtime import batched as _batched_module
@@ -138,6 +140,10 @@ __all__ = [
     # runtime
     "ExecutionPlan",
     "Scheduler",
+    # fault injection / resilience
+    "faults",
+    "FaultPlan",
+    "InjectedFault",
     # moduli selection
     "choose_num_moduli",
     "AdaptiveSelection",

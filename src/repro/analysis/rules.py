@@ -14,6 +14,7 @@ RPR020   engine entry point doing matmul work without ledger recording
 RPR030   lock-inconsistent mutation of a guarded attribute
 RPR031   nested re-acquisition of a non-reentrant lock (self-deadlock)
 RPR032   call under a held lock into a method that re-acquires it
+RPR040   fault-path exception absorbed without ledger re-recording
 =======  ==============================================================
 
 The lock rules use *consistency inference* rather than annotations: an
@@ -55,6 +56,9 @@ RULE_DOCS: Dict[str, str] = {
     "(threading.Lock self-deadlocks on re-entry)",
     "RPR032": "method called under a held lock re-acquires the same lock "
     "(self-deadlock across methods)",
+    "RPR040": "except block absorbing a fault-path exception (WorkerError/"
+    "WorkerTaskError/InjectedFault) without re-recording ledger deltas or "
+    "re-raising (resilience must never be silent on the op ledger)",
 }
 
 #: Calls that mutate their receiver in place (the write set of the lock
@@ -468,6 +472,70 @@ def rule_ledger_discipline(module: ParsedModule) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# RPR040 — fault-path ledger discipline
+# ---------------------------------------------------------------------------
+
+#: Exceptions raised by the resilience machinery (an injection site firing,
+#: a worker task failing, a worker process dying).  Catching one of these
+#: IS the recovery path, and recoveries must reach the op ledger.
+_FAULT_EXC_NAMES = frozenset({"WorkerError", "WorkerTaskError", "InjectedFault"})
+
+#: Ledger entry points that re-record what a handled fault cost or skipped:
+#: the fault_events histogram, counter absorption, or clone-ledger merging.
+_FAULT_RECORDERS = frozenset({"record_fault_event", "absorb", "merge_counters"})
+
+
+def _exception_names(type_expr: Optional[ast.AST]) -> Iterator[str]:
+    """Names of the exception classes an ``except`` clause catches."""
+    if type_expr is None:
+        return
+    nodes = type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def rule_fault_ledger_discipline(module: ParsedModule) -> Iterator[Finding]:
+    """RPR040: handlers absorbing fault exceptions must hit the ledger.
+
+    An ``except`` clause catching a fault-path exception is a *recovery
+    decision*: either the handler accounts for it on the op ledger (a
+    ``record_fault_event``/``absorb``/``merge_counters`` call somewhere in
+    its body) or it re-raises (possibly translated).  A handler doing
+    neither swallows an infrastructure failure silently — exactly the
+    failure mode the resilience layer promises cannot happen.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = sorted(
+            name for name in _exception_names(node.type) if name in _FAULT_EXC_NAMES
+        )
+        if not caught:
+            continue
+        body_nodes = [sub for stmt in node.body for sub in ast.walk(stmt)]
+        reraises = any(isinstance(sub, ast.Raise) for sub in body_nodes)
+        records = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _FAULT_RECORDERS
+            for sub in body_nodes
+        )
+        if not reraises and not records:
+            yield _finding(
+                module,
+                node,
+                "RPR040",
+                f"except block catching {', '.join(caught)} absorbs a "
+                "fault-path exception without re-recording ledger deltas "
+                "(record_fault_event/absorb/merge_counters) or re-raising; "
+                "recoveries must never be silent on the op ledger",
+            )
+
+
+# ---------------------------------------------------------------------------
 # RPR030 / RPR031 / RPR032 — lock discipline
 # ---------------------------------------------------------------------------
 
@@ -745,6 +813,7 @@ RULES = (
     rule_unseeded_rng,
     rule_builtin_sum,
     rule_ledger_discipline,
+    rule_fault_ledger_discipline,
     rule_lock_discipline,
 )
 

@@ -429,7 +429,9 @@ def jacobi_solve(
     moduli: List[int] = []
     converged = False
     with Scheduler(
-        parallelism=config.parallelism, executor=config.executor
+        parallelism=config.parallelism,
+        executor=config.executor,
+        max_pool_rebuilds=config.max_pool_rebuilds,
     ) as sched:
         for _ in range(max_iter):
             residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)
@@ -603,7 +605,9 @@ def pcg_solve(
     moduli: List[int] = []
     converged = False
     with Scheduler(
-        parallelism=config.parallelism, executor=config.executor
+        parallelism=config.parallelism,
+        executor=config.executor,
+        max_pool_rebuilds=config.max_pool_rebuilds,
     ) as sched:
 
         def _restart():
@@ -763,7 +767,9 @@ def iterative_refinement_solve(
     moduli: List[int] = []
     converged = False
     with Scheduler(
-        parallelism=config.parallelism, executor=config.executor
+        parallelism=config.parallelism,
+        executor=config.executor,
+        max_pool_rebuilds=config.max_pool_rebuilds,
     ) as sched:
         for _ in range(max_iter):
             residual = b - prepared_matvec(prep_cur, x, cfg_cur, sched)

@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the per-modulus loop path instead of the fused stacked "
         "kernels (bit-identical; for verification and benchmarking)",
     )
+    run.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="arm seeded fault injection for this run, e.g. "
+        "'worker.crash:times=1;shm.alloc:rate=0.5' (see repro.faults); "
+        "the run must still produce bit-identical results",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault plan's per-site RNGs (with --inject-faults)",
+    )
 
     solve = sub.add_parser(
         "solve", help="iterative solvers reusing a prepared system matrix"
@@ -297,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batch", type=int, default=16, help="largest coalesced batch"
     )
     serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="shed GEMM requests (HTTP 503 + Retry-After) once the "
+        "coalescer backlog reaches this many queued requests (0 = never)",
+    )
+    serve.add_argument(
         "--stats",
         action="store_true",
         help="query a RUNNING server's /v1/stats and print it (does not serve)",
@@ -374,8 +395,10 @@ def _default_moduli(precision: str, moduli) -> "int | str":
 
 
 def _cmd_run(args) -> int:
+    import contextlib
     import time
 
+    from . import faults
     from .config import Ozaki2Config
     from .core.operand import prepare_a, prepare_b
     from .harness import format_table
@@ -406,10 +429,19 @@ def _cmd_run(args) -> int:
     if args.prepare_b:
         pairs = [(a, pairs[0][1]) for a, _ in pairs]
 
+    # --inject-faults arms the seeded chaos plan for exactly the prepared +
+    # batched execution below; the resilience layers must absorb every fire
+    # and the results must still be bit-identical to a fault-free run.
+    armed = (
+        faults.inject(args.inject_faults, seed=args.fault_seed)
+        if args.inject_faults
+        else contextlib.nullcontext()
+    )
     start = time.perf_counter()
-    As = [prepare_a(pairs[0][0], config)] * batch if args.prepare_a else [a for a, _ in pairs]
-    Bs = [prepare_b(pairs[0][1], config)] * batch if args.prepare_b else [b for _, b in pairs]
-    results = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
+    with armed as plan:
+        As = [prepare_a(pairs[0][0], config)] * batch if args.prepare_a else [a for a, _ in pairs]
+        Bs = [prepare_b(pairs[0][1], config)] * batch if args.prepare_b else [b for _, b in pairs]
+        results = ozaki2_gemm_batched(As, Bs, config=config, return_details=True)
     elapsed = time.perf_counter() - start
 
     rows = []
@@ -439,6 +471,19 @@ def _cmd_run(args) -> int:
     print(format_table(rows, float_format=".3e", title=title + ")"))
     mnk = 2.0 * m * k * n * len(results)
     print(f"wall time {elapsed:.3f} s  ({mnk / elapsed / 1e9:.2f} effective GFLOP/s)")
+    if plan is not None:
+        listing = ", ".join(
+            f"{site} {stat['fired']}/{stat['hits']}"
+            for site, stat in plan.report().items()
+        )
+        print(f"fault plan (seed {plan.seed}): fired/hits per site — {listing}")
+        events: dict = {}
+        for result in results:
+            for event, count in result.fault_events.items():
+                events[event] = events.get(event, 0) + count
+        if events:
+            survived = ", ".join(f"{k}={v}" for k, v in sorted(events.items()))
+            print(f"recovered on the ledger: {survived}")
     return 0
 
 
@@ -720,6 +765,42 @@ def _cmd_selfcheck(args) -> int:
         )
     )
 
+    from . import faults
+
+    # The site fires inside the worker processes (per-process counters), so
+    # the parent-side evidence is the ledger's task_retry histogram.
+    with faults.inject("worker.task_error:times=1", seed=7):
+        injected = ozaki2_gemm(
+            a, b, config=Ozaki2Config(parallelism=2, executor="process"),
+            return_details=True,
+        )
+    checks.append(
+        (
+            "fault injection (worker task error) recovered bit-identically",
+            bool(np.array_equal(serial, injected.c))
+            and injected.fault_events.get("task_retry", 0) >= 1,
+            "",
+        )
+    )
+
+    with faults.inject("pool.spawn:times=99", seed=7):
+        degraded = ozaki2_gemm(
+            a, b, config=Ozaki2Config(
+                parallelism=2, executor="process", max_pool_rebuilds=0
+            ),
+            return_details=True,
+        )
+    checks.append(
+        (
+            "fault injection (pool spawn) degraded to threads, bit-identical "
+            "and on the ledger",
+            bool(np.array_equal(serial, degraded.c))
+            and degraded.degraded
+            and degraded.fault_events.get("degraded_to_thread", 0) >= 1,
+            "",
+        )
+    )
+
     from pathlib import Path
 
     from .analysis import run_lint
@@ -894,6 +975,7 @@ def _cmd_serve(args) -> int:
         cache_bytes=int(args.cache_mb * 1024 * 1024),
         coalesce_window_seconds=args.coalesce_window_ms / 1000.0,
         max_batch=args.max_batch,
+        max_queue=args.max_queue,
     )
     print(
         f"repro serve listening on {server.host}:{server.port} "

@@ -177,6 +177,15 @@ class Ozaki2Config:
         whenever more than one worker is configured (and the platform has
         a ``multiprocessing`` start method), threads otherwise.  Results
         and merged op ledgers are **bit-identical** for every setting.
+    max_pool_rebuilds:
+        How many worker-*pool* failures (a worker process dying mid-wave,
+        pool construction failing) the process executor survives by
+        rebuilding the pool and re-executing the lost dispatch wave before
+        it *degrades* to the thread path for the rest of the scheduler's
+        life.  Degradation is bit-identical, recorded in the op-ledger
+        (``fault_events["degraded_to_thread"]``) and on
+        :attr:`Result.degraded <repro.result.Result.degraded>` — never
+        silent.  Default 2; 0 degrades on the first pool failure.
     memory_budget_mb:
         Optional cap (in MiB) on the residue-product workspace.  When set,
         the runtime tiles the output over m/n so that the transient
@@ -214,6 +223,7 @@ class Ozaki2Config:
     validate: bool = True
     parallelism: Union[int, str] = 1
     executor: str = "thread"
+    max_pool_rebuilds: int = 2
     memory_budget_mb: Optional[float] = None
     fused_kernels: bool = True
     gemv_fast_path: bool = True
@@ -317,6 +327,12 @@ class Ozaki2Config:
                 f"got {self.executor!r}"
             )
         object.__setattr__(self, "executor", executor)
+        rebuilds = int(self.max_pool_rebuilds)
+        if rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds!r}"
+            )
+        object.__setattr__(self, "max_pool_rebuilds", rebuilds)
         object.__setattr__(self, "fused_kernels", bool(self.fused_kernels))
         object.__setattr__(self, "gemv_fast_path", bool(self.gemv_fast_path))
         if self.memory_budget_mb is not None:

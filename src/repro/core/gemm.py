@@ -261,7 +261,10 @@ def ozaki2_gemm(
 
     own_scheduler = scheduler is None
     scheduler = scheduler or Scheduler(
-        parallelism=plan.parallelism, engine=engine, executor=config.executor
+        parallelism=plan.parallelism,
+        engine=engine,
+        executor=config.executor,
+        max_pool_rebuilds=config.max_pool_rebuilds,
     )
     engine = scheduler.engine
     times = PhaseTimes()

@@ -56,6 +56,16 @@ class OpCounter:
         Byte traffic of those cache events (an entry's residues + scales +
         retained source), so the resident footprint of a window is
         ``inserted − evicted``.
+    fault_events:
+        Histogram ``{event: count}`` of resilience events the runtime
+        survived while producing this ledger — e.g. ``task_retry``,
+        ``wave_retry``, ``pool_failure``, ``shm_fallback``,
+        ``degraded_to_thread``, ``stage_retry``.  Recorded by the recovery
+        paths (:mod:`repro.runtime.scheduler` and friends), never by the
+        engine ops, so a fault-free run has an empty histogram and its
+        integer counters compare equal to a faulted-but-recovered run of
+        the same product.  This is how degradations surface in
+        :class:`~repro.result.Result` instead of happening silently.
     """
 
     matmul_calls: int = 0
@@ -69,6 +79,7 @@ class OpCounter:
     cache_bytes_inserted: int = 0
     cache_bytes_evicted: int = 0
     emulated_calls: Dict[int, int] = dataclasses.field(default_factory=dict)
+    fault_events: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     #: Plain integer counters (the dict field needs per-key arithmetic).
     _INT_FIELDS = (
@@ -142,6 +153,17 @@ class OpCounter:
         self.cache_evictions += int(count)
         self.cache_bytes_evicted += int(nbytes)
 
+    def record_fault_event(self, event: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of a survived resilience ``event``.
+
+        Called by the recovery paths (task/wave retries, pool rebuilds,
+        shared-memory fallbacks, process→thread degradation) so that no
+        fault is absorbed silently: the merged ledger of a run that hit
+        faults differs from a fault-free run exactly here, and nowhere in
+        the work counters.
+        """
+        self.fault_events[event] = self.fault_events.get(event, 0) + int(count)
+
     @property
     def flops(self) -> int:
         """Conventional floating/integer-op count: 2 ops per MAC."""
@@ -152,12 +174,14 @@ class OpCounter:
         for name in self._INT_FIELDS:
             setattr(self, name, 0)
         self.emulated_calls = {}
+        self.fault_events = {}
 
     def as_dict(self) -> Dict[str, object]:
         """Return the counters as a plain dictionary (for reports/tests)."""
         out: Dict[str, object] = {name: getattr(self, name) for name in self._INT_FIELDS}
         out["flops"] = self.flops
         out["emulated_calls"] = dict(self.emulated_calls)
+        out["fault_events"] = dict(self.fault_events)
         return out
 
     def merge(self, other: "OpCounter") -> "OpCounter":
@@ -172,11 +196,14 @@ class OpCounter:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for moduli, count in other.emulated_calls.items():
             self.emulated_calls[moduli] = self.emulated_calls.get(moduli, 0) + count
+        for event, count in other.fault_events.items():
+            self.fault_events[event] = self.fault_events.get(event, 0) + count
 
     def copy(self) -> "OpCounter":
         """Return an independent snapshot of this ledger."""
         snapshot = dataclasses.replace(self)
         snapshot.emulated_calls = dict(self.emulated_calls)
+        snapshot.fault_events = dict(self.fault_events)
         return snapshot
 
     def difference(self, earlier: "OpCounter") -> "OpCounter":
@@ -193,6 +220,11 @@ class OpCounter:
             count = self.emulated_calls.get(moduli, 0) - earlier.emulated_calls.get(moduli, 0)
             if count:
                 delta.emulated_calls[moduli] = count
+        events = set(self.fault_events) | set(earlier.fault_events)
+        for event in sorted(events):
+            count = self.fault_events.get(event, 0) - earlier.fault_events.get(event, 0)
+            if count:
+                delta.fault_events[event] = count
         return delta
 
 

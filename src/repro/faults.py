@@ -1,0 +1,386 @@
+"""Deterministic, seeded fault injection for the runtime and service stack.
+
+Production failures — a worker process OOM-killed mid-wave, ``/dev/shm``
+exhausted, a response frame stalled or dropped on the wire, a cache flushed
+under memory pressure — are exactly the paths the reproduction's
+bit-identity guarantee must survive, and exactly the paths ordinary tests
+never reach.  This module makes them *reachable on purpose*: a
+:class:`FaultPlan` arms a set of named **injection sites** (the table
+below) that library code consults at the moment the corresponding real
+failure would strike.  Every decision is deterministic given the plan's
+seed, so a chaos scenario that fails replays identically under the same
+spec string.
+
+==========================  ==============================================
+site                        effect when armed
+==========================  ==============================================
+``worker.crash``            a runtime worker process exits hard
+                            (``os._exit``) before running its next task
+``worker.task_error``       a task raises :class:`InjectedFault` inside
+                            the worker (reported, pool stays alive)
+``pool.spawn``              :class:`~repro.runtime.process.ProcessPool`
+                            construction fails before workers start
+``shm.alloc``               :meth:`SharedArray.create
+                            <repro.runtime.shm.SharedArray.create>` raises
+                            instead of allocating a segment
+``tile.read``               opening a memory-mapped operand descriptor in
+                            a worker raises (out-of-core read error)
+``tile.stage``              :class:`~repro.runtime.tilesource.TileSource`
+                            staging raises mid-strip (retried once)
+``service.slow_frame``      the server delays its response frame by
+                            ``delay`` seconds
+``service.drop_frame``      the server closes the connection without
+                            answering (client sees a dead socket)
+``cache.evict_storm``       the operand cache evicts every entry right
+                            before a lookup (forces ``operand-missing``)
+==========================  ==============================================
+
+Spec strings arm sites with per-site knobs, semicolon-separated::
+
+    worker.crash:times=1; service.slow_frame:delay=0.25,after=2
+
+* ``times`` — maximum number of fires (default unlimited),
+* ``after`` — skip the first N eligible hits before firing,
+* ``rate``  — fire probability per eligible hit, decided by a
+  per-site ``random.Random`` seeded from ``(plan seed, site)``,
+* ``delay`` — seconds for delay-style sites (``service.slow_frame``).
+
+Hit/fire counters are **per process**: worker processes receive the spec
+string over the task pipe and install their own plan, so ``times=1``
+bounds each worker independently (documented behaviour the chaos suite
+relies on).
+
+Arming: :func:`install` / :func:`uninstall`, the :func:`inject` context
+manager, the ``repro run --inject-faults`` CLI flag, or the
+``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED`` environment variables (read once,
+lazily — how ``repro serve`` and spawned tooling are armed without code
+changes).  With no plan installed every check is a cheap ``None`` test.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Union
+
+from .analysis.lockorder import named_lock
+from .errors import ConfigurationError
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "inject",
+    "install",
+    "raise_if",
+    "should_fire",
+    "sleep_if",
+    "uninstall",
+]
+
+#: Every injection site the library consults, with a one-line description
+#: (rendered in the README's fault-site table; unknown sites are rejected
+#: at parse time so a typo cannot silently arm nothing).
+FAULT_SITES: Dict[str, str] = {
+    "worker.crash": "runtime worker process exits hard before its next task",
+    "worker.task_error": "task raises InjectedFault inside the worker",
+    "pool.spawn": "ProcessPool construction fails before workers start",
+    "shm.alloc": "shared-memory segment allocation raises",
+    "tile.read": "opening a memory-mapped operand descriptor raises",
+    "tile.stage": "TileSource staging raises mid-strip",
+    "service.slow_frame": "server delays its response frame by `delay` seconds",
+    "service.drop_frame": "server closes the connection without answering",
+    "cache.evict_storm": "operand cache evicts every entry before a lookup",
+}
+
+
+class InjectedFault(RuntimeError):
+    """An armed injection site fired.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: the resilience
+    layers must treat an injected failure exactly like the infrastructure
+    failure it simulates (an ``OSError``, a dead process, an OOM), and the
+    service maps it to an *internal* error — never to a client mistake.
+    """
+
+
+class FaultSpec:
+    """One armed site: ``times`` / ``after`` / ``rate`` / ``delay`` knobs.
+
+    Immutable value object; the mutable hit/fire counters live on the
+    owning :class:`FaultPlan` so one spec can be shared/round-tripped.
+    """
+
+    __slots__ = ("site", "times", "after", "rate", "delay")
+
+    def __init__(
+        self,
+        site: str,
+        times: Optional[int] = None,
+        after: int = 0,
+        rate: float = 1.0,
+        delay: float = 0.0,
+    ) -> None:
+        if site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {site!r}; known sites: "
+                f"{', '.join(sorted(FAULT_SITES))}"
+            )
+        if times is not None and int(times) < 0:
+            raise ConfigurationError(f"fault site {site!r}: times must be >= 0")
+        if int(after) < 0:
+            raise ConfigurationError(f"fault site {site!r}: after must be >= 0")
+        if not 0.0 <= float(rate) <= 1.0:
+            raise ConfigurationError(f"fault site {site!r}: rate must be in [0, 1]")
+        if float(delay) < 0.0:
+            raise ConfigurationError(f"fault site {site!r}: delay must be >= 0")
+        self.site = site
+        self.times = None if times is None else int(times)
+        self.after = int(after)
+        self.rate = float(rate)
+        self.delay = float(delay)
+
+    def spec(self) -> str:
+        """The canonical spec-string fragment for this site."""
+        parts = []
+        if self.times is not None:
+            parts.append(f"times={self.times}")
+        if self.after:
+            parts.append(f"after={self.after}")
+        if self.rate != 1.0:
+            parts.append(f"rate={self.rate}")
+        if self.delay:
+            parts.append(f"delay={self.delay}")
+        return self.site + (":" + ",".join(parts) if parts else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultSpec {self.spec()!r}>"
+
+
+def _parse_site(fragment: str) -> FaultSpec:
+    """Parse one ``site[:key=val,...]`` fragment of a spec string."""
+    site, _, params = fragment.partition(":")
+    site = site.strip()
+    kwargs: Dict[str, Union[int, float]] = {}
+    for pair in params.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ConfigurationError(
+                f"fault spec {fragment!r}: expected key=value, got {pair!r}"
+            )
+        try:
+            if key in ("times", "after"):
+                kwargs[key] = int(value)
+            elif key in ("rate", "delay"):
+                kwargs[key] = float(value)
+            else:
+                raise ConfigurationError(
+                    f"fault spec {fragment!r}: unknown knob {key!r} "
+                    "(expected times/after/rate/delay)"
+                )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault spec {fragment!r}: bad value for {key!r}: {exc}"
+            ) from exc
+    return FaultSpec(site, **kwargs)  # type: ignore[arg-type]
+
+
+class FaultPlan:
+    """A seeded set of armed injection sites with per-site hit accounting.
+
+    Thread-safe: the hit/fire counters (and the per-site ``rate`` RNGs) are
+    guarded by a ``named_lock``, so concurrent server threads hitting the
+    same site make one globally-ordered sequence of decisions.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self._specs:
+                raise ConfigurationError(
+                    f"fault site {spec.site!r} armed twice in one plan"
+                )
+            self._specs[spec.site] = spec
+        # Per-site RNG seeded from (plan seed, site name): rate decisions
+        # are independent across sites and reproducible across runs.
+        self._rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{self.seed}:{site}") for site in self._specs
+        }
+        self._hits: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._lock = named_lock("faults.plan._lock")
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a ``site:key=val,...;site2:...`` spec string."""
+        specs = [
+            _parse_site(fragment)
+            for fragment in text.split(";")
+            if fragment.strip()
+        ]
+        if not specs:
+            raise ConfigurationError(f"fault spec {text!r} arms no sites")
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan armed by ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``, if any."""
+        env = os.environ if environ is None else environ
+        text = env.get("REPRO_FAULTS", "").strip()
+        if not text:
+            return None
+        try:
+            seed = int(env.get("REPRO_FAULTS_SEED", "0"))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"REPRO_FAULTS_SEED must be an integer: {exc}"
+            ) from exc
+        return cls.parse(text, seed=seed)
+
+    def spec(self) -> str:
+        """Canonical spec string (parses back to an equivalent plan).
+
+        This is how the plan crosses the process boundary: the scheduler
+        ships ``(plan.spec(), plan.seed)`` with the worker bootstrap and
+        each worker installs its own freshly-counted copy.
+        """
+        return ";".join(self._specs[site].spec() for site in sorted(self._specs))
+
+    # -- firing decisions ----------------------------------------------------
+    def should_fire(self, site: str) -> bool:
+        """Record one hit at ``site``; decide whether the fault fires."""
+        spec = self._specs.get(site)
+        if spec is None:
+            return False
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            if hit < spec.after:
+                return False
+            if spec.times is not None and self._fired.get(site, 0) >= spec.times:
+                return False
+            if spec.rate < 1.0 and self._rngs[site].random() >= spec.rate:
+                return False
+            self._fired[site] = self._fired.get(site, 0) + 1
+            return True
+
+    def delay(self, site: str) -> float:
+        """The armed ``delay`` seconds of ``site`` (0.0 when unarmed)."""
+        spec = self._specs.get(site)
+        return 0.0 if spec is None else spec.delay
+
+    # -- introspection -------------------------------------------------------
+    def hits(self, site: str) -> int:
+        """How many times ``site`` was consulted in this process."""
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def fired(self, site: str) -> int:
+        """How many times ``site`` actually fired in this process."""
+        with self._lock:
+            return self._fired.get(site, 0)
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"hits": n, "fired": n}`` snapshot (parent process)."""
+        with self._lock:
+            return {
+                site: {
+                    "hits": self._hits.get(site, 0),
+                    "fired": self._fired.get(site, 0),
+                }
+                for site in sorted(self._specs)
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultPlan seed={self.seed} {self.spec()!r}>"
+
+
+#: The process-wide armed plan (None = fault-free; the overwhelmingly
+#: common case costs one lock-free attribute read per site check).
+_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_LOCK = named_lock("faults._active_lock")
+#: Whether the environment has been consulted yet (read lazily, once).
+_ENV_LOADED = False
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide (replacing any previous plan)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Disarm fault injection in this process entirely.
+
+    Also marks the environment as consumed: a later :func:`active_plan`
+    will *not* re-arm from ``REPRO_FAULTS``.  Worker processes rely on
+    this to normalise ``fork`` (plan inherited) and ``spawn`` (env
+    re-read) semantics — a worker is armed only by the spec the parent
+    ships over the task pipe.
+    """
+    global _ACTIVE, _ENV_LOADED
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+        _ENV_LOADED = True
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed plan, if any — consulting ``REPRO_FAULTS`` on first call."""
+    global _ACTIVE, _ENV_LOADED
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if _ENV_LOADED:
+        return None
+    with _ACTIVE_LOCK:
+        if not _ENV_LOADED:
+            _ENV_LOADED = True
+            plan = FaultPlan.from_env()
+            if plan is not None and _ACTIVE is None:
+                _ACTIVE = plan
+        return _ACTIVE
+
+
+@contextmanager
+def inject(spec: Union[str, FaultPlan], seed: int = 0) -> Iterator[FaultPlan]:
+    """Arm a plan (or spec string) for the duration of the block."""
+    plan = spec if isinstance(spec, FaultPlan) else FaultPlan.parse(spec, seed=seed)
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def should_fire(site: str) -> bool:
+    """Whether the armed plan (if any) fires at ``site`` on this hit."""
+    plan = active_plan()
+    return plan is not None and plan.should_fire(site)
+
+
+def raise_if(site: str) -> None:
+    """Raise :class:`InjectedFault` when ``site`` fires (the common wiring)."""
+    if should_fire(site):
+        raise InjectedFault(f"injected fault at {site!r}")
+
+
+def sleep_if(site: str) -> float:
+    """Sleep the site's armed ``delay`` when it fires; return seconds slept."""
+    plan = active_plan()
+    if plan is None or not plan.should_fire(site):
+        return 0.0
+    delay = plan.delay(site)
+    if delay > 0.0:
+        time.sleep(delay)
+    return delay

@@ -443,7 +443,9 @@ def gemv_fast_path_sweep(
         best[route] = float("inf")
         for _ in range(max(1, repeats)):
             with Scheduler(
-                parallelism=config.parallelism, executor=config.executor
+                parallelism=config.parallelism,
+                executor=config.executor,
+                max_pool_rebuilds=config.max_pool_rebuilds,
             ) as sched:
                 start = time.perf_counter()
                 outs = [prepared_matvec(prep, v, config, sched) for v in vectors]

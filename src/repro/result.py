@@ -176,6 +176,33 @@ class Result:
             return True
         return bool(selection.met)
 
+    @property
+    def fault_events(self) -> Dict[str, int]:
+        """Resilience events survived while computing this result.
+
+        The ledger's ``fault_events`` histogram (``task_retry``,
+        ``wave_retry``, ``pool_failure``, ``shm_fallback``,
+        ``degraded_to_thread``, …) — empty for a fault-free run or when no
+        ledger was collected.  Recoveries are recorded here instead of
+        perturbing the work counters, so a recovered run stays
+        ledger-comparable to a fault-free one.
+        """
+        if self.ledger is None:
+            return {}
+        return dict(self.ledger.fault_events)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the process executor degraded to the thread path.
+
+        The scheduler records ``degraded_to_thread`` after surviving more
+        pool failures than ``config.max_pool_rebuilds`` allows; the value
+        is still bit-identical, but the run no longer used worker
+        processes.  Never silent: this flag, the ledger histogram, and a
+        ``repro.runtime.scheduler`` log record all carry the event.
+        """
+        return self.fault_events.get("degraded_to_thread", 0) > 0
+
 
 @dataclasses.dataclass
 class GemmResult(Result):

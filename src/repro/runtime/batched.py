@@ -138,7 +138,10 @@ def ozaki2_gemm_batched(
 
     own_scheduler = scheduler is None
     sched = scheduler or Scheduler(
-        parallelism=config.parallelism, engine=engine, executor=config.executor
+        parallelism=config.parallelism,
+        engine=engine,
+        executor=config.executor,
+        max_pool_rebuilds=config.max_pool_rebuilds,
     )
     try:
         return _run_batch(
@@ -301,6 +304,11 @@ def _run_batch(
     # rows band across the worker processes, and the result is bit-identical
     # (residue conversion is elementwise).
     a_slices = b_slices = None
+    # Recoveries during the shared conversion phase (shm fallbacks, pool
+    # rebuilds, degradation) belong to the whole batch, not any one item's
+    # execution window; attribute them to the first detailed result so they
+    # stay visible on some ledger instead of falling between snapshots.
+    convert_before = engine.counter.copy()
     try:
         if sched.uses_processes:
             a_slices = _scheduler_residue_slices(
@@ -326,6 +334,10 @@ def _run_batch(
             elif b_slices[j] is None:
                 b_slices[j] = b_slices[b_src[j]]
 
+        shared_fault_events = dict(
+            engine.counter.difference(convert_before).fault_events
+        )
+
         # -- execution: items retired in order, tasks fanned out per item ----
         results = []
         for j in range(batch):
@@ -349,6 +361,9 @@ def _run_batch(
                 continue
             item_counter = engine.counter.difference(counter_before)
             item_counter.absorb(scale_counters[j])
+            if j == 0:
+                for event, count in shared_fault_events.items():
+                    item_counter.record_fault_event(event, count)
             results.append(
                 GemmResult(
                     value=c,

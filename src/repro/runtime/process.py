@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import mmap
+import os
 import pickle
 import time
 import traceback
@@ -43,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import multiprocessing
 import numpy as np
 
+from .. import faults
 from ..core.accumulation import accumulate_residue_products, reconstruct_crt
 from ..core.conversion import residue_slices, truncate_scaled
 from ..crt.constants import CRTConstantTable, build_constant_table
@@ -131,6 +133,9 @@ def _open_operand(desc: OperandDescriptor, stack: ExitStack) -> np.ndarray:
     if desc[0] == "shm":
         return stack.enter_context(attach_view(desc[1:]))
     if desc[0] == "mmap":
+        # The ``tile.read`` injection site models an out-of-core tile whose
+        # backing file fails to page in (disk error, truncated stage file).
+        faults.raise_if("tile.read")
         _, path, shape, dtype_str, offset = desc
         return np.memmap(
             path,
@@ -248,24 +253,40 @@ def _worker_main(
     result_queue: "multiprocessing.queues.Queue",
     engine_bytes: bytes,
     start_method: str,
+    fault_spec: Optional[Tuple[str, int]] = None,
 ) -> None:
     """Worker loop: pull tasks until the ``None`` sentinel, report results.
 
     Every result carries the task's :class:`OpCounter` delta (the engine
     counter is reset before each task) — including failed tasks, so partial
     work stays accounted for in the merged ledger.
+
+    ``fault_spec`` is the parent's armed ``(spec_string, seed)`` fault plan,
+    if any: the worker installs its own freshly-counted copy (counters are
+    per process), and explicitly disarms otherwise so ``fork`` workers do
+    not inherit the parent's live plan object.
     """
     from .shm import configure_worker
 
     configure_worker(start_method)
+    if fault_spec is not None:
+        faults.install(faults.FaultPlan.parse(fault_spec[0], seed=fault_spec[1]))
+    else:
+        faults.uninstall()
     engine: MatrixEngine = pickle.loads(engine_bytes)
     while True:
         task = task_queue.get()
         if task is None:
             return
+        if faults.should_fire("worker.crash"):
+            # Simulate an OOM kill / segfault: die without reporting.  The
+            # parent's collection loop notices the dead process and raises
+            # WorkerError, exactly as for the real thing.
+            os._exit(3)
         task_id, kind, payload = task
         engine.counter.reset()
         try:
+            faults.raise_if("worker.task_error")
             value = _TASK_HANDLERS[kind](engine, payload)
             ok, report = True, value
         except Exception:
@@ -286,7 +307,15 @@ class ProcessPool:
     needs.
     """
 
-    def __init__(self, workers: int, engine: MatrixEngine) -> None:
+    def __init__(
+        self,
+        workers: int,
+        engine: MatrixEngine,
+        fault_spec: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        # The ``pool.spawn`` injection site models process creation failing
+        # outright (fork EAGAIN, pid exhaustion) — before any worker starts.
+        faults.raise_if("pool.spawn")
         self.workers = int(workers)
         self.start_method = preferred_start_method()
         self._ctx = multiprocessing.get_context(self.start_method)
@@ -298,7 +327,13 @@ class ProcessPool:
         self._procs = [
             self._ctx.Process(
                 target=_worker_main,
-                args=(self._tasks, self._results, engine_bytes, self.start_method),
+                args=(
+                    self._tasks,
+                    self._results,
+                    engine_bytes,
+                    self.start_method,
+                    fault_spec,
+                ),
                 name=f"repro-runtime-{i}",
                 daemon=True,
             )

@@ -38,6 +38,7 @@ serial run.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -45,6 +46,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from .. import faults
 from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config, ResidueKernel
 from ..core.accumulation import accumulate_residue_products, reconstruct_crt
@@ -55,6 +57,7 @@ from ..result import PhaseTimes
 from ..engines.int8 import Int8MatrixEngine
 from .plan import ExecutionPlan, modulus_chunk_ranges, resolve_executor, resolve_parallelism
 from .process import (
+    _TASK_HANDLERS,
     ProcessPool,
     WorkerError,
     WorkerTaskError,
@@ -64,6 +67,8 @@ from .process import (
 from .shm import SharedArray
 
 __all__ = ["Scheduler", "execute_plan"]
+
+_LOG = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -87,10 +92,24 @@ class Scheduler:
 
     A scheduler may be shared across many GEMMs (this is how the batched API
     amortises pool start-up); use it as a context manager or call
-    :meth:`close` to shut the pool down.  A worker failure does not poison
-    the scheduler: task-level errors leave the pool running, and a dead
-    worker process tears the pool down for a lazy restart on the next
-    dispatch — in both cases with the completed tasks' ledgers merged.
+    :meth:`close` to shut the pool down.  Worker failures do not poison the
+    scheduler — they are *survived*, with every recovery recorded in the
+    op-ledger's ``fault_events`` histogram (never silently):
+
+    * a task raising inside a worker is retried up to ``max_task_retries``
+      times (``task_retry``) before :class:`WorkerTaskError` surfaces;
+    * a worker *process* dying tears the pool down (``pool_failure``), and
+      the whole dispatch wave — whose un-absorbed counters died with it —
+      is re-executed on a rebuilt pool (``wave_retry``).  Wave re-execution
+      is safe by construction: every task writes an idempotent disjoint
+      slice of shared output, and the aborted wave's counters are
+      discarded, so the retried ledger equals the fault-free one;
+    * after more than ``max_pool_rebuilds`` pool failures the scheduler
+      *degrades*: it stops using processes and runs the remaining tasks
+      inline on the parent engine (``degraded_to_thread``), preserving
+      bit-identity at thread-path speed.  The degradation is recorded in
+      the ledger, reported by :meth:`health`, and visible on
+      :attr:`Result.degraded <repro.result.Result.degraded>`.
     """
 
     def __init__(
@@ -98,10 +117,17 @@ class Scheduler:
         parallelism: Optional[int] = None,
         engine: Optional[MatrixEngine] = None,
         executor: str = "thread",
+        max_pool_rebuilds: int = 2,
+        max_task_retries: int = 1,
     ) -> None:
         self.engine = engine if engine is not None else Int8MatrixEngine()
         self.workers = resolve_parallelism(parallelism)
         self.executor = resolve_executor(executor, self.workers)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        self.max_task_retries = int(max_task_retries)
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self._pool_failures = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPool] = None
         self._local = threading.local()
@@ -146,8 +172,23 @@ class Scheduler:
 
     @property
     def uses_processes(self) -> bool:
-        """True when parallel tasks run on worker *processes*."""
-        return self.executor == "process" and self.workers > 1
+        """True when parallel tasks run on worker *processes*.
+
+        A scheduler that degraded after repeated pool failures reports
+        False: from that point on it routes everything through the
+        thread/serial path, which is bit-identical by construction.
+        """
+        return self.executor == "process" and self.workers > 1 and not self.degraded
+
+    def health(self) -> Dict[str, Any]:
+        """Operational snapshot: executor, degradation state, pool failures."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "pool_failures": self._pool_failures,
+        }
 
     # -- engine management ---------------------------------------------------
     def _worker_engine(self) -> MatrixEngine:
@@ -197,7 +238,18 @@ class Scheduler:
         if self._closed:
             raise RuntimeError("scheduler has been closed")
         if self._process_pool is None:
-            self._process_pool = ProcessPool(self.workers, self.engine)
+            plan = faults.active_plan()
+            fault_spec = None if plan is None else (plan.spec(), plan.seed)
+            try:
+                self._process_pool = ProcessPool(
+                    self.workers, self.engine, fault_spec=fault_spec
+                )
+            except (faults.InjectedFault, OSError) as exc:
+                # Pool construction failing (fork EAGAIN, pid exhaustion, or
+                # the ``pool.spawn`` injection site) is a pool failure like
+                # any other: surface it as WorkerError so the dispatch loop
+                # applies the same bounded rebuild-or-degrade policy.
+                raise WorkerError(f"failed to start process pool: {exc}") from exc
         return self._process_pool
 
     def _teardown_process_pool(self, hard: bool = False) -> None:
@@ -209,35 +261,108 @@ class Scheduler:
             else:
                 pool.close()
 
+    def _degrade(self, reason: str) -> None:
+        """Permanently stop using worker processes; record it everywhere."""
+        self.degraded = True
+        self.degraded_reason = reason
+        self.engine.counter.record_fault_event("degraded_to_thread")
+        _LOG.warning(
+            "scheduler degraded executor=process -> thread after %d pool "
+            "failure(s): %s",
+            self._pool_failures,
+            reason,
+        )
+
+    def _run_tasks_inline(
+        self, tasks: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> List[Any]:
+        """Degraded path: run process-task payloads on the parent engine.
+
+        The handlers operate on the same shared-memory / mmap descriptors
+        the workers would have attached, and the parent engine records the
+        identical op totals the absorbed worker deltas would have
+        contributed — so mid-plan degradation changes neither the value nor
+        the work counters of the run.
+        """
+        return [_TASK_HANDLERS[kind](self.engine, payload) for kind, payload in tasks]
+
     def run_process_tasks(self, tasks: Sequence[Tuple[str, Dict[str, Any]]]) -> List[Any]:
-        """Dispatch one wave of tasks to the worker processes.
+        """Dispatch one wave of tasks to the worker processes, resiliently.
 
         Absorbs every returned :class:`~repro.engines.base.OpCounter` delta
         into the primary engine — for failed tasks too, so partial work
-        stays on the ledger — then raises :class:`WorkerTaskError` if any
-        task failed (pool kept alive) or :class:`WorkerError` if a worker
-        process died (pool torn down; the next dispatch starts a fresh one).
+        stays on the ledger.  Failed tasks are retried (``task_retry`` in
+        the ledger) before :class:`WorkerTaskError` surfaces; a dead worker
+        process triggers a bounded pool rebuild + wave re-execution
+        (``pool_failure`` / ``wave_retry``), degrading to inline execution
+        (``degraded_to_thread``) once ``max_pool_rebuilds`` is exceeded.
         """
-        pool = self._ensure_process_pool()
-        try:
-            results = pool.run(tasks)
-        except WorkerError:
-            self._teardown_process_pool(hard=True)
-            raise
-        values: List[Any] = []
+        task_list = list(tasks)
+        if self.degraded:
+            return self._run_tasks_inline(task_list)
+        return self._run_wave(task_list, self.max_task_retries)
+
+    def _run_wave(
+        self, tasks: List[Tuple[str, Dict[str, Any]]], retries_left: int
+    ) -> List[Any]:
+        while True:
+            try:
+                pool = self._ensure_process_pool()
+                results = pool.run(tasks)
+                break
+            except WorkerError as exc:
+                # The aborted wave's counters died un-absorbed with the
+                # pool, so re-executing every task keeps the ledger's work
+                # totals exactly equal to a fault-free run; the recovery
+                # itself is what fault_events records.
+                self._teardown_process_pool(hard=True)
+                self._pool_failures += 1
+                self.engine.counter.record_fault_event("pool_failure")
+                if self._pool_failures > self.max_pool_rebuilds:
+                    self._degrade(str(exc))
+                    return self._run_tasks_inline(tasks)
+                self.engine.counter.record_fault_event("wave_retry")
+                _LOG.warning(
+                    "rebuilding process pool (failure %d/%d) and re-running "
+                    "a %d-task wave: %s",
+                    self._pool_failures,
+                    self.max_pool_rebuilds,
+                    len(tasks),
+                    exc,
+                )
+        values: List[Any] = [None] * len(tasks)
+        failed: List[int] = []
         failures: List[str] = []
-        for ok, value, counter in results:
+        for index, (ok, value, counter) in enumerate(results):
             if counter is not None:
                 self.engine.counter.absorb(counter)
             if ok:
-                values.append(value)
+                values[index] = value
             else:
+                failed.append(index)
                 failures.append(str(value))
-        if failures:
-            raise WorkerTaskError(
-                f"{len(failures)} runtime worker task(s) failed; first "
-                f"traceback:\n{failures[0]}"
+        if failed:
+            if retries_left <= 0:
+                raise WorkerTaskError(
+                    f"{len(failures)} runtime worker task(s) failed; first "
+                    f"traceback:\n{failures[0]}"
+                )
+            # Task writes are idempotent disjoint-slice assignments, so
+            # re-running just the failed subset cannot corrupt the output;
+            # the failed attempts' partial counters were absorbed above, so
+            # the retry is additional *accounted* work.
+            self.engine.counter.record_fault_event("task_retry", len(failed))
+            _LOG.warning(
+                "retrying %d failed runtime task(s) (%d retr%s left); first "
+                "traceback:\n%s",
+                len(failed),
+                retries_left,
+                "y" if retries_left == 1 else "ies",
+                failures[0],
             )
+            retried = self._run_wave([tasks[i] for i in failed], retries_left - 1)
+            for index, value in zip(failed, retried, strict=True):
+                values[index] = value
         return values
 
     # -- shared-memory registry ----------------------------------------------
@@ -282,6 +407,20 @@ class Scheduler:
             handle.close()
 
     # -- residue conversion ---------------------------------------------------
+    def convert_residues_inline(
+        self,
+        x: np.ndarray,
+        scale: Optional[np.ndarray],
+        side: str,
+        table: CRTConstantTable,
+        config: Ozaki2Config,
+    ) -> np.ndarray:
+        """The serial conversion pipeline (also the shm-failure fallback)."""
+        x_prime = x if scale is None else truncate_scaled(x, scale, side)
+        return residue_slices(
+            x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
+        )
+
     def convert_residues(
         self,
         x: np.ndarray,
@@ -303,12 +442,23 @@ class Scheduler:
         stragglers).
         """
         if not self.uses_processes or x.ndim != 2 or x.shape[0] < 2:
-            x_prime = x if scale is None else truncate_scaled(x, scale, side)
-            return residue_slices(
-                x_prime, table, config.residue_kernel, single_pass=config.fused_kernels
-            )
-        source = SharedArray.copy_from(np.ascontiguousarray(x, dtype=np.float64))
-        out = SharedArray.create((table.num_moduli,) + x.shape, np.int8)
+            return self.convert_residues_inline(x, scale, side, table, config)
+        try:
+            source = SharedArray.copy_from(np.ascontiguousarray(x, dtype=np.float64))
+        except (MemoryError, faults.InjectedFault) as exc:
+            # Shared memory exhausted (or the ``shm.alloc`` site fired):
+            # fall back to the inline conversion, which needs no segments
+            # and is bit-identical by construction.
+            self.engine.counter.record_fault_event("shm_fallback")
+            _LOG.warning("shared-memory conversion fell back inline: %s", exc)
+            return self.convert_residues_inline(x, scale, side, table, config)
+        try:
+            out = SharedArray.create((table.num_moduli,) + x.shape, np.int8)
+        except (MemoryError, faults.InjectedFault) as exc:
+            self.engine.counter.record_fault_event("shm_fallback")
+            _LOG.warning("shared-memory conversion fell back inline: %s", exc)
+            source.close()
+            return self.convert_residues_inline(x, scale, side, table, config)
         try:
             spec = table_spec(table)
             tasks = []
@@ -408,9 +558,22 @@ def execute_plan(
         )
 
     if scheduler.uses_processes:
-        return execute_plan_process(
-            scheduler, plan, a_slices, b_slices, table, config, times, trusted
-        )
+        try:
+            return execute_plan_process(
+                scheduler, plan, a_slices, b_slices, table, config, times, trusted
+            )
+        except (MemoryError, faults.InjectedFault) as exc:
+            # Shared-memory allocation failed in the parent (or the
+            # ``shm.alloc`` site fired) before/between dispatch waves: the
+            # plan has not produced any output yet this tile, so fall
+            # through to the thread path — bit-identical by construction —
+            # rather than failing the whole GEMM.  Recorded, never silent.
+            scheduler.engine.counter.record_fault_event("shm_fallback")
+            _LOG.warning(
+                "process-backend plan execution fell back to the thread "
+                "path: %s",
+                exc,
+            )
 
     blocked = plan.num_k_blocks > 1
     fused = config.fused_kernels

@@ -35,6 +35,7 @@ from typing import Dict, Iterator, Tuple
 import numpy as np
 
 from ..analysis.lockorder import named_lock
+from ..faults import raise_if as _fault_raise_if
 
 __all__ = ["SharedArray", "ShmDescriptor", "attach_view", "live_segment_names"]
 
@@ -97,7 +98,14 @@ class SharedArray:
 
     @classmethod
     def create(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
-        """Allocate a zero-initialised segment sized for ``shape``/``dtype``."""
+        """Allocate a zero-initialised segment sized for ``shape``/``dtype``.
+
+        The ``shm.alloc`` injection site fires here — before the kernel is
+        asked for a segment — so chaos runs exercise the same recovery the
+        runtime performs when ``/dev/shm`` is genuinely exhausted
+        (:class:`MemoryError`/:class:`OSError` from ``SharedMemory``).
+        """
+        _fault_raise_if("shm.alloc")
         dt = np.dtype(dtype)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
         # Explicit names keep descriptors readable in tracebacks/registries.

@@ -33,6 +33,7 @@ strips — which is how operands too large for RAM enter the pipeline.
 
 from __future__ import annotations
 
+import logging
 import os
 import shutil
 import tempfile
@@ -41,6 +42,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import faults
 from ..config import ComputeMode, Ozaki2Config
 from ..core.conversion import residue_slices, truncate_scaled
 from ..core.operand import ResidueOperand
@@ -55,6 +57,8 @@ from ..crt.constants import build_constant_table
 from ..errors import ConfigurationError
 
 __all__ = ["TileSource"]
+
+_LOG = logging.getLogger(__name__)
 
 #: Default strip budget: float64 elements read per strip (~32 MiB).  Small
 #: enough that strip workspace never rivals the budgeted tile workspace,
@@ -216,27 +220,55 @@ class TileSource:
         staged = np.lib.format.open_memmap(
             path, mode="w+", dtype=np.int8, shape=(config.num_moduli, rows, cols)
         )
+        def stage_strip(lo: int, hi: int) -> None:
+            """Stage one strip, absorbing one write fault per strip.
+
+            Strip conversion is a pure elementwise function of the source
+            and the (already fixed) scale, and each strip owns a disjoint
+            slab of the stack — rewriting it is idempotent.  One transient
+            write failure (fault site ``tile.stage``, or a real
+            :class:`OSError` from the filesystem) is therefore retried in
+            place; a second consecutive failure on the *same* strip is a
+            persistent storage problem and propagates.
+            """
+            for attempt in (0, 1):
+                try:
+                    faults.raise_if("tile.stage")
+                    if side == "A":
+                        strip = truncate_scaled(x[lo:hi], scale[lo:hi], side="left")
+                        staged[:, lo:hi, :] = residue_slices(
+                            strip,
+                            table,
+                            config.residue_kernel,
+                            single_pass=config.fused_kernels,
+                        )
+                    else:
+                        strip = truncate_scaled(
+                            x[:, lo:hi], scale[lo:hi], side="right"
+                        )
+                        staged[:, :, lo:hi] = residue_slices(
+                            strip,
+                            table,
+                            config.residue_kernel,
+                            single_pass=config.fused_kernels,
+                        )
+                    return
+                except (faults.InjectedFault, OSError) as exc:
+                    if attempt:
+                        raise
+                    _LOG.warning(
+                        "stage_retry: re-staging %s strip [%d:%d) after a "
+                        "write fault: %s",
+                        side,
+                        lo,
+                        hi,
+                        exc,
+                    )
+
         try:
-            if side == "A":
-                for r0 in range(0, rows, width):
-                    r1 = min(rows, r0 + width)
-                    strip = truncate_scaled(x[r0:r1], scale[r0:r1], side="left")
-                    staged[:, r0:r1, :] = residue_slices(
-                        strip,
-                        table,
-                        config.residue_kernel,
-                        single_pass=config.fused_kernels,
-                    )
-            else:
-                for c0 in range(0, cols, width):
-                    c1 = min(cols, c0 + width)
-                    strip = truncate_scaled(x[:, c0:c1], scale[c0:c1], side="right")
-                    staged[:, :, c0:c1] = residue_slices(
-                        strip,
-                        table,
-                        config.residue_kernel,
-                        single_pass=config.fused_kernels,
-                    )
+            total = rows if side == "A" else cols
+            for lo in range(0, total, width):
+                stage_strip(lo, min(total, lo + width))
             staged.flush()
         finally:
             del staged  # release the writable map before the read-only open

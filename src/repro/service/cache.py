@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..analysis.lockorder import named_lock
 from ..config import Ozaki2Config
 from ..core.operand import PreparedOperand, matrix_fingerprint, prepare_a, prepare_b
@@ -143,6 +144,11 @@ class OperandCache:
         Counts a hit or a miss; callers that convert on a miss should insert
         the result with :meth:`put` (which does *not* recount).
         """
+        # Fault site ``cache.evict_storm``: a whole-cache eviction right
+        # before the lookup — the worst-case cold burst the negotiation
+        # protocol must renegotiate through (clear() takes the lock itself).
+        if faults.should_fire("cache.evict_storm"):
+            self.clear()
         with self._lock:
             operand = self._entries.get(key)
             if operand is not None:
@@ -191,6 +197,8 @@ class OperandCache:
         Concurrent misses on the same key wait for the first conversion
         instead of duplicating it.
         """
+        if faults.should_fire("cache.evict_storm"):
+            self.clear()
         key = cache_key(side, matrix_fingerprint(x), config)
         while True:
             with self._lock:

@@ -16,6 +16,20 @@ request with the full bytes.  The negotiation is invisible to the caller
 and never changes results: a warm fingerprint hit is served from the very
 operand a cold upload would have produced.
 
+Resilience
+----------
+Every request runs under a retry loop with capped exponential backoff and
+seeded jitter: transport faults (dropped connections, server restarts,
+reaped keep-alive sockets) reconnect and resend; ``503`` load-shed
+responses honour the server's ``Retry-After`` hint before retrying; when
+the retries are exhausted the *last* transport error is re-raised
+unchanged, so callers (and start-up polling loops) still see the plain
+``OSError``/``ConnectionError`` they would get without the loop.  An
+optional **deadline** (client default or per-call) is propagated to the
+server in the frame header as the remaining budget — the server sheds the
+request with ``504`` once it expires, and the client refuses to begin a
+backoff sleep it cannot finish in time.
+
 >>> from repro.service import ServiceClient
 >>> client = ServiceClient(port=7723)                        # doctest: +SKIP
 >>> r = client.gemm(a, b)                                    # doctest: +SKIP
@@ -26,8 +40,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
+import time
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
@@ -35,7 +51,17 @@ import numpy as np
 from ..analysis.lockorder import named_lock
 from ..errors import ReproError, ValidationError
 from ..result import Result
-from .protocol import ERROR_OPERAND_MISSING, decode_frame, encode_frame
+from .protocol import (
+    ERROR_DEADLINE,
+    ERROR_OPERAND_MISSING,
+    decode_frame,
+    encode_frame,
+)
+
+#: Transport-level failures the retry loop reconnects through.  Everything
+#: here means "the bytes never made a well-formed HTTP round trip" — the
+#: request is safe to resend (the service's operations are idempotent).
+_TRANSPORT_ERRORS = (http.client.HTTPException, ConnectionError, OSError)
 
 __all__ = ["ServiceClient", "RemoteResult", "ServiceError"]
 
@@ -91,6 +117,19 @@ class ServiceClient:
     use_fingerprints:
         Turn the operand negotiation off to always upload bytes (the
         cold-path comparator the throughput benchmark measures against).
+    max_retries:
+        Transport/load-shed retries *after* the first attempt of each
+        request.  ``0`` restores fail-fast behaviour.
+    backoff_base / backoff_cap:
+        Exponential backoff schedule in seconds: attempt ``i`` sleeps
+        ``min(cap, base · 2^i)`` scaled by a jitter factor in ``[0.5, 1)``.
+    retry_seed:
+        Seed of the jitter RNG — retries are as deterministic as the rest
+        of the library.
+    deadline:
+        Default per-request deadline in seconds (``None`` = none).  The
+        remaining budget is sent to the server with every attempt; each
+        ``gemm``/``gemv``/``solve``/``prepare`` call can override it.
     """
 
     def __init__(
@@ -99,11 +138,21 @@ class ServiceClient:
         port: int = 7723,
         timeout: float = 120.0,
         use_fingerprints: bool = True,
+        max_retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+        deadline: Optional[float] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self.use_fingerprints = bool(use_fingerprints)
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base = max(0.0, float(backoff_base))
+        self.backoff_cap = max(0.0, float(backoff_cap))
+        self.deadline = None if deadline is None else float(deadline)
+        self._retry_rng = random.Random(int(retry_seed))
         self._known: Set[Tuple[str, str]] = set()
         self._fingerprints: Dict[int, str] = {}
         self._lock = named_lock("service.client._lock")
@@ -138,26 +187,75 @@ class ServiceClient:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _roundtrip(self, path: str, body: bytes) -> bytes:
-        conn = self._connection()
-        try:
-            conn.request(
-                "POST", path, body=body,
-                headers={"Content-Type": "application/octet-stream"},
+    # -- retry machinery -----------------------------------------------------
+    def _backoff_seconds(self, attempt: int) -> float:
+        """Capped exponential backoff with seeded jitter in ``[0.5, 1)``."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        with self._lock:
+            factor = 0.5 + 0.5 * self._retry_rng.random()
+        return base * factor
+
+    def _sleep_before_retry(
+        self,
+        attempt: int,
+        deadline_at: Optional[float],
+        delay: Optional[float] = None,
+    ) -> None:
+        """Back off before retry ``attempt + 1`` — unless the deadline forbids it.
+
+        ``delay`` overrides the exponential schedule (the server's
+        ``Retry-After`` hint).  A sleep that would outlive the request
+        deadline is refused: the deadline error surfaces immediately
+        instead of after a doomed wait.
+        """
+        seconds = self._backoff_seconds(attempt) if delay is None else max(0.0, delay)
+        if deadline_at is not None and time.monotonic() + seconds >= deadline_at:
+            raise ServiceError(
+                ERROR_DEADLINE,
+                f"deadline expires during the {seconds:.3f}s retry backoff",
             )
-            response = conn.getresponse()
-            return response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            # Keep-alive connections die when the server restarts or the
-            # OS reaps an idle socket; one reconnect covers that.
-            self.close()
-            conn = self._connection()
-            conn.request(
-                "POST", path, body=body,
-                headers={"Content-Type": "application/octet-stream"},
-            )
-            response = conn.getresponse()
-            return response.read()
+        if seconds > 0.0:
+            time.sleep(seconds)
+
+    def _roundtrip(
+        self, path: str, body: bytes, deadline_at: Optional[float] = None
+    ) -> bytes:
+        """POST one frame, retrying transport faults and 503 load sheds.
+
+        Keep-alive connections die when the server restarts or the OS
+        reaps an idle socket; each transport failure reconnects and
+        resends after a capped, jittered backoff.  ``503`` answers sleep
+        the server's ``Retry-After`` hint instead.  On exhaustion the last
+        transport error is re-raised *unchanged* (callers polling for
+        server start-up depend on the plain ``OSError``); an exhausted
+        load shed returns the ``overloaded`` error frame for the caller's
+        decode path to raise as :class:`ServiceError`.
+        """
+        for attempt in range(self.max_retries + 1):
+            try:
+                conn = self._connection()
+                conn.request(
+                    "POST", path, body=body,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = conn.getresponse()
+                payload = response.read()
+            except _TRANSPORT_ERRORS:
+                self.close()
+                if attempt >= self.max_retries:
+                    raise
+                self._sleep_before_retry(attempt, deadline_at)
+                continue
+            if response.status == 503 and attempt < self.max_retries:
+                hint = response.getheader("Retry-After")
+                try:
+                    delay = None if hint is None else float(hint)
+                except ValueError:
+                    delay = None
+                self._sleep_before_retry(attempt, deadline_at, delay)
+                continue
+            return payload
+        raise AssertionError("unreachable: retry loop neither returned nor raised")
 
     # -- operand negotiation -------------------------------------------------
     def _fingerprint(self, array: np.ndarray) -> str:
@@ -227,25 +325,45 @@ class ServiceClient:
             with self._lock:
                 self._known.discard((side, fingerprint))
 
+    def _deadline_at(self, deadline: Optional[float]) -> Optional[float]:
+        """Absolute monotonic deadline for one request (call overrides client)."""
+        budget = self.deadline if deadline is None else float(deadline)
+        if budget is None:
+            return None
+        return time.monotonic() + budget
+
+    @staticmethod
+    def _stamp_deadline(header: Dict, deadline_at: Optional[float]) -> None:
+        """Attach the *remaining* budget (clock-skew safe, relative ms)."""
+        if deadline_at is not None:
+            header["deadline_ms"] = max(
+                0.0, (deadline_at - time.monotonic()) * 1e3
+            )
+
     def _call(
         self,
         path: str,
         header: Dict,
         operands: Dict[str, Tuple[str, np.ndarray]],
         extra_arrays: Optional[Dict[str, np.ndarray]] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[Dict, Dict[str, np.ndarray]]:
         """One negotiated request: fingerprint first, inline retry on miss."""
         sides = {name: side for name, (side, _) in operands.items()}
         raw = {name: array for name, (_, array) in operands.items()}
+        deadline_at = self._deadline_at(deadline)
         for attempt in (0, 1):
             request_header = {key: val for key, val in header.items()}
+            self._stamp_deadline(request_header, deadline_at)
             arrays: Dict[str, np.ndarray] = {}
             for name, (side, array) in operands.items():
                 self._encode_operand(
                     name, side, array, request_header, arrays, force_inline=attempt > 0
                 )
             arrays.update(extra_arrays or {})
-            response = self._roundtrip(path, encode_frame(request_header, arrays))
+            response = self._roundtrip(
+                path, encode_frame(request_header, arrays), deadline_at
+            )
             resp_header, resp_arrays = decode_frame(response)
             if resp_header.get("ok"):
                 self._learn(resp_header, sides)
@@ -262,19 +380,30 @@ class ServiceClient:
 
     # -- public surface ------------------------------------------------------
     def gemm(
-        self, a: np.ndarray, b: np.ndarray, config: Optional[Dict] = None
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        config: Optional[Dict] = None,
+        deadline: Optional[float] = None,
     ) -> RemoteResult:
         """Emulated ``A @ B`` on the server; returns value + metadata."""
         header: Dict = {"op": "gemm"}
         if config:
             header["config"] = dict(config)
         resp, arrays = self._call(
-            "/v1/gemm", header, {"a": ("A", np.asarray(a)), "b": ("B", np.asarray(b))}
+            "/v1/gemm",
+            header,
+            {"a": ("A", np.asarray(a)), "b": ("B", np.asarray(b))},
+            deadline=deadline,
         )
         return RemoteResult(arrays["value"], resp.get("result", {}))
 
     def gemv(
-        self, a: np.ndarray, x: np.ndarray, config: Optional[Dict] = None
+        self,
+        a: np.ndarray,
+        x: np.ndarray,
+        config: Optional[Dict] = None,
+        deadline: Optional[float] = None,
     ) -> RemoteResult:
         """Emulated ``A @ x`` on the server (residue-GEMV fast path)."""
         header: Dict = {"op": "gemv"}
@@ -285,6 +414,7 @@ class ServiceClient:
             header,
             {"a": ("A", np.asarray(a))},
             extra_arrays={"x": np.ascontiguousarray(x, dtype=np.float64)},
+            deadline=deadline,
         )
         return RemoteResult(arrays["value"], resp.get("result", {}))
 
@@ -294,6 +424,7 @@ class ServiceClient:
         b: np.ndarray,
         method: str = "cg",
         config: Optional[Dict] = None,
+        deadline: Optional[float] = None,
         **options: object,
     ) -> RemoteResult:
         """Iteratively solve ``A x = b`` on the server."""
@@ -307,18 +438,27 @@ class ServiceClient:
             header,
             {"a": ("A", np.asarray(a))},
             extra_arrays={"b": np.ascontiguousarray(b, dtype=np.float64).ravel()},
+            deadline=deadline,
         )
         return RemoteResult(arrays["value"], resp.get("result", {}))
 
     def prepare(
-        self, x: np.ndarray, side: str = "A", config: Optional[Dict] = None
+        self,
+        x: np.ndarray,
+        side: str = "A",
+        config: Optional[Dict] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, object]:
         """Warm the server's operand cache; returns the fingerprint ack."""
         header: Dict = {"op": "prepare", "side": side}
         if config:
             header["config"] = dict(config)
+        deadline_at = self._deadline_at(deadline)
+        self._stamp_deadline(header, deadline_at)
         array = np.ascontiguousarray(x, dtype=np.float64)
-        response = self._roundtrip("/v1/prepare", encode_frame(header, {"x": array}))
+        response = self._roundtrip(
+            "/v1/prepare", encode_frame(header, {"x": array}), deadline_at
+        )
         resp_header, _ = decode_frame(response)
         if not resp_header.get("ok"):
             error = resp_header.get("error") or {}

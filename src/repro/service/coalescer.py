@@ -27,6 +27,7 @@ into one well-formed batch.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -42,6 +43,8 @@ if TYPE_CHECKING:  # session imports service.cache; keep the cycle type-only
     from ..session import Session
 
 __all__ = ["RequestCoalescer"]
+
+_LOG = logging.getLogger(__name__)
 
 
 class _Item:
@@ -102,13 +105,33 @@ class RequestCoalescer:
         self._queue.put(_Item(a, b, config, future))
         return future
 
-    def close(self) -> None:
-        """Stop the drain worker (pending requests still complete)."""
+    def backlog(self) -> int:
+        """Requests currently queued (the server's load-shedding signal)."""
+        return self._queue.qsize()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the drain worker (pending requests still complete).
+
+        A drain worker that fails to stop within ``timeout`` — wedged in a
+        batch, or deadlocked — is *surfaced*, not ignored: the failure is
+        logged and raised as :class:`RuntimeError`, so a hung shutdown can
+        never masquerade as a clean one.
+        """
         if self._closed:
             return
         self._closed = True
         self._queue.put(None)
-        self._worker.join(timeout=10.0)
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():
+            _LOG.error(
+                "coalescer drain worker %r failed to stop within %.1fs",
+                self._worker.name,
+                timeout,
+            )
+            raise RuntimeError(
+                f"coalescer drain worker {self._worker.name!r} failed to "
+                f"stop within {timeout:.1f}s"
+            )
 
     # -- drain worker --------------------------------------------------------
     def _collect(self) -> List[_Item]:
@@ -119,12 +142,12 @@ class RequestCoalescer:
         batch = [first]
         deadline = time.monotonic() + self.window_seconds
         while len(batch) < self.max_batch:
-            remaining = deadline - time.monotonic()
+            # Clamp to a non-negative timeout: an expired window must do a
+            # zero-timeout (non-blocking) poll, never ``timeout=None`` — a
+            # None timeout blocks forever when the queue stays empty.
+            remaining = max(0.0, deadline - time.monotonic())
             try:
-                item = self._queue.get(
-                    timeout=remaining if remaining > 0 else None,
-                    block=remaining > 0,
-                )
+                item = self._queue.get(timeout=remaining)
             except queue.Empty:
                 break
             if item is None:

@@ -33,8 +33,11 @@ the client to go fingerprint-only next time.
 
 Error responses are headers with ``"ok": false`` and an ``"error"`` object
 carrying a machine-readable ``code`` (:data:`ERROR_OPERAND_MISSING`,
-:data:`ERROR_BAD_REQUEST`, :data:`ERROR_INTERNAL`) and a human-readable
-``message``.
+:data:`ERROR_BAD_REQUEST`, :data:`ERROR_INTERNAL`,
+:data:`ERROR_OVERLOADED`, :data:`ERROR_DEADLINE`) and a human-readable
+``message``.  Load-shed responses (:data:`ERROR_OVERLOADED`) additionally
+carry ``retry_after_seconds`` — the server's backoff hint, mirrored in the
+HTTP ``Retry-After`` header — which the client's retry loop honours.
 """
 
 from __future__ import annotations
@@ -53,6 +56,8 @@ __all__ = [
     "ERROR_OPERAND_MISSING",
     "ERROR_BAD_REQUEST",
     "ERROR_INTERNAL",
+    "ERROR_OVERLOADED",
+    "ERROR_DEADLINE",
     "encode_frame",
     "decode_frame",
     "error_frame",
@@ -70,6 +75,12 @@ ERROR_OPERAND_MISSING = "operand-missing"
 ERROR_BAD_REQUEST = "bad-request"
 #: The computation itself raised.
 ERROR_INTERNAL = "internal"
+#: The server shed the request: its coalescer backlog exceeds the
+#: ``--max-queue`` budget.  Sent with HTTP 503 + ``Retry-After``.
+ERROR_OVERLOADED = "overloaded"
+#: The request's propagated deadline expired before the result was ready.
+#: Sent with HTTP 504; retrying cannot help, the client surfaces it.
+ERROR_DEADLINE = "deadline-exceeded"
 
 _HEADER_LEN = struct.Struct(">I")
 
@@ -148,6 +159,15 @@ def decode_frame(data: bytes) -> Tuple[Dict, Dict[str, np.ndarray]]:
     return header, arrays
 
 
-def error_frame(code: str, message: str) -> bytes:
-    """Build the standard error response frame."""
-    return encode_frame({"ok": False, "error": {"code": code, "message": message}})
+def error_frame(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> bytes:
+    """Build the standard error response frame.
+
+    ``retry_after`` (seconds) is attached for load-shed responses so
+    frame-level consumers see the same backoff hint as the HTTP header.
+    """
+    error: Dict[str, object] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after_seconds"] = float(retry_after)
+    return encode_frame({"ok": False, "error": error})

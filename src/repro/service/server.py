@@ -31,14 +31,16 @@ a cold miss by construction.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
+from concurrent.futures import TimeoutError as FuturesTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import __version__
+from .. import __version__, faults
 from ..analysis.lockorder import named_lock
 from ..config import ComputeMode, Ozaki2Config
 from ..core.operand import ResidueOperand
@@ -49,8 +51,10 @@ from .cache import DEFAULT_CAPACITY_BYTES, cache_key
 from .coalescer import RequestCoalescer
 from .protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
     ERROR_INTERNAL,
     ERROR_OPERAND_MISSING,
+    ERROR_OVERLOADED,
     PROTOCOL_VERSION,
     decode_frame,
     encode_frame,
@@ -58,6 +62,8 @@ from .protocol import (
 )
 
 __all__ = ["ReproServer"]
+
+_LOG = logging.getLogger(__name__)
 
 #: Largest accepted request body (1 GiB — a 8192x8192 fp64 pair with room).
 _MAX_BODY_BYTES = 1 << 30
@@ -112,6 +118,15 @@ class ReproServer:
         references then always answer ``operand-missing``).
     coalesce_window_seconds / max_batch:
         The :class:`~repro.service.coalescer.RequestCoalescer` knobs.
+    max_queue:
+        Load-shedding budget: when the coalescer backlog reaches this many
+        queued GEMMs, further ``/v1/gemm`` requests are shed with HTTP 503,
+        a ``Retry-After`` header and an :data:`~repro.service.protocol.
+        ERROR_OVERLOADED` frame instead of growing the queue without bound.
+        ``0`` (default) disables shedding.  CLI: ``repro serve
+        --max-queue``.
+    retry_after_seconds:
+        The backoff hint attached to shed responses (default 0.25 s).
     """
 
     def __init__(
@@ -122,7 +137,11 @@ class ReproServer:
         cache_bytes: int = DEFAULT_CAPACITY_BYTES,
         coalesce_window_seconds: float = 0.002,
         max_batch: int = 16,
+        max_queue: int = 0,
+        retry_after_seconds: float = 0.25,
     ) -> None:
+        self.max_queue = max(0, int(max_queue))
+        self.retry_after_seconds = max(0.0, float(retry_after_seconds))
         self.session = Session(config=config, cache_bytes=cache_bytes)
         self.coalescer = RequestCoalescer(
             self.session, max_batch=max_batch, window_seconds=coalesce_window_seconds
@@ -160,17 +179,37 @@ class ReproServer:
         """Serve on the calling thread (the CLI's blocking mode)."""
         self._httpd.serve_forever(poll_interval=0.2)
 
-    def close(self) -> None:
-        """Stop accepting, drain the coalescer, shut the session down."""
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain the coalescer, shut the session down.
+
+        Threads that fail to stop within ``timeout`` are detected, logged
+        and surfaced as a :class:`RuntimeError` *after* the remaining
+        teardown has run — a hung shutdown must never look like a clean
+        one, and must not strand the session's shared-memory segments
+        either.
+        """
         if self._closed:
             return
         self._closed = True
         self._httpd.shutdown()
         self._httpd.server_close()
+        hung: List[str] = []
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
-        self.coalescer.close()
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                hung.append(f"server thread {self._thread.name!r}")
+        try:
+            self.coalescer.close(timeout=timeout)
+        except RuntimeError as exc:
+            hung.append(str(exc))
         self.session.close()
+        if hung:
+            _LOG.error(
+                "server shutdown incomplete; still running: %s", "; ".join(hung)
+            )
+            raise RuntimeError(
+                f"server shutdown incomplete; still running: {'; '.join(hung)}"
+            )
 
     def __enter__(self) -> "ReproServer":
         return self
@@ -193,6 +232,8 @@ class ReproServer:
                 "server_uptime_seconds": time.perf_counter() - self._started,
                 "endpoint_requests": per_endpoint,
                 "coalescer": self.coalescer.stats(),
+                "max_queue": self.max_queue,
+                "backlog": self.coalescer.backlog(),
                 "version": __version__,
                 "protocol": PROTOCOL_VERSION,
             }
@@ -243,28 +284,78 @@ class ReproServer:
         return array
 
     # -- endpoint handlers ---------------------------------------------------
-    def handle_request(self, path: str, body: bytes) -> bytes:
-        """Dispatch one POST body; returns the response frame (never raises)."""
+    def handle_request(
+        self, path: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Dispatch one POST body; never raises.
+
+        Returns ``(http_status, response_frame, extra_headers)``.  The
+        pre-existing protocol errors stay on HTTP 200 (clients dispatch on
+        the frame's error code); the resilience layer adds genuinely
+        HTTP-level conditions: 503 + ``Retry-After`` when the coalescer
+        backlog exceeds ``max_queue``, 504 when the request's propagated
+        ``deadline_ms`` expires before the result is ready.
+        """
         try:
             header, arrays = decode_frame(body)
         except ValidationError as exc:
-            return error_frame(ERROR_BAD_REQUEST, str(exc))
+            return 200, error_frame(ERROR_BAD_REQUEST, str(exc)), {}
+        deadline_at: Optional[float] = None
+        if header.get("deadline_ms") is not None:
+            try:
+                deadline_at = time.monotonic() + float(header["deadline_ms"]) / 1e3
+            except (TypeError, ValueError):
+                return (
+                    200,
+                    error_frame(
+                        ERROR_BAD_REQUEST,
+                        f"bad deadline_ms {header['deadline_ms']!r}",
+                    ),
+                    {},
+                )
         try:
             if path == "/v1/gemm":
-                return self._handle_gemm(header, arrays)
+                if self.max_queue > 0 and self.coalescer.backlog() >= self.max_queue:
+                    self._count("shed")
+                    retry_after = self.retry_after_seconds
+                    return (
+                        503,
+                        error_frame(
+                            ERROR_OVERLOADED,
+                            f"coalescer backlog >= max_queue={self.max_queue}; "
+                            "retry after backoff",
+                            retry_after=retry_after,
+                        ),
+                        {"Retry-After": f"{retry_after:.3f}"},
+                    )
+                return 200, self._handle_gemm(header, arrays, deadline_at), {}
+            self._check_deadline(deadline_at)
             if path == "/v1/gemv":
-                return self._handle_gemv(header, arrays)
+                return 200, self._handle_gemv(header, arrays), {}
             if path == "/v1/solve":
-                return self._handle_solve(header, arrays)
+                return 200, self._handle_solve(header, arrays), {}
             if path == "/v1/prepare":
-                return self._handle_prepare(header, arrays)
-            return error_frame(ERROR_BAD_REQUEST, f"unknown endpoint {path!r}")
+                return 200, self._handle_prepare(header, arrays), {}
+            return 200, error_frame(ERROR_BAD_REQUEST, f"unknown endpoint {path!r}"), {}
+        except (TimeoutError, FuturesTimeout):
+            self._count("deadline")
+            return (
+                504,
+                error_frame(ERROR_DEADLINE, "request deadline expired"),
+                {},
+            )
         except _OperandMissing as exc:
-            return error_frame(ERROR_OPERAND_MISSING, str(exc))
+            return 200, error_frame(ERROR_OPERAND_MISSING, str(exc)), {}
         except (ValidationError, ReproError) as exc:
-            return error_frame(ERROR_BAD_REQUEST, str(exc))
+            return 200, error_frame(ERROR_BAD_REQUEST, str(exc)), {}
         except Exception as exc:  # the server must answer, never raise
-            return error_frame(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+            return 200, error_frame(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"), {}
+
+    @staticmethod
+    def _check_deadline(deadline_at: Optional[float]) -> None:
+        """Raise :class:`TimeoutError` when a propagated deadline expired."""
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise TimeoutError("request deadline expired before execution")
 
     def _request_config(self, header: Dict) -> Ozaki2Config:
         return _apply_config_overrides(self.session.config, header.get("config") or {})
@@ -283,13 +374,26 @@ class ReproServer:
             }
         return meta
 
-    def _handle_gemm(self, header: Dict, arrays: Dict[str, np.ndarray]) -> bytes:
+    def _handle_gemm(
+        self,
+        header: Dict,
+        arrays: Dict[str, np.ndarray],
+        deadline_at: Optional[float] = None,
+    ) -> bytes:
         self._count("gemm")
+        self._check_deadline(deadline_at)
         config = self._request_config(header)
         learned: Dict[str, str] = {}
         a = self._resolve_operand("a", "A", header, arrays, config, learned)
         b = self._resolve_operand("b", "B", header, arrays, config, learned)
-        result = self.coalescer.submit(a, b, config).result()
+        future = self.coalescer.submit(a, b, config)
+        if deadline_at is None:
+            result = future.result()
+        else:
+            # Block only for the propagated budget; an expired wait maps to
+            # the 504 deadline response (the batch still completes server-
+            # side — its work is simply no longer claimable by this caller).
+            result = future.result(timeout=max(0.0, deadline_at - time.monotonic()))
         return encode_frame(
             {"ok": True, "learned": learned, "result": self._result_meta(result)},
             {"value": result.value},
@@ -383,10 +487,18 @@ def _make_handler(server: ReproServer) -> "type[BaseHTTPRequestHandler]":
         def log_message(self, fmt: str, *args: object) -> None:
             pass
 
-        def _send(self, status: int, body: bytes, content_type: str) -> None:
+        def _send(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            extra_headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for key, value in (extra_headers or {}).items():
+                self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -418,7 +530,16 @@ def _make_handler(server: ReproServer) -> "type[BaseHTTPRequestHandler]":
                 )
                 return
             body = self.rfile.read(length)
-            response = server.handle_request(self.path, body)
-            self._send(200, response, "application/octet-stream")
+            status, response, extra_headers = server.handle_request(self.path, body)
+            if faults.should_fire("service.drop_frame"):
+                # Chaos: the response is computed but never written — the
+                # client sees the connection die mid-exchange, exactly like
+                # a crashed/partitioned server, and must reconnect + retry.
+                self.close_connection = True
+                return
+            # Chaos: a stalled response frame (slow disk, GC pause, packet
+            # loss recovery) — exercises the client's timeout/retry budget.
+            faults.sleep_if("service.slow_frame")
+            self._send(status, response, "application/octet-stream", extra_headers)
 
     return Handler

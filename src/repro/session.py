@@ -98,6 +98,7 @@ class Session:
             parallelism=self.config.parallelism,
             engine=self._engine,
             executor=self.config.executor,
+            max_pool_rebuilds=self.config.max_pool_rebuilds,
         )
         self._cache = OperandCache(cache_bytes, ledger=self._engine.counter)
         self._started = time.perf_counter()
@@ -288,13 +289,19 @@ class Session:
         return self._engine
 
     def stats(self) -> Dict[str, object]:
-        """Snapshot for dashboards: uptime, requests, cache, ledger."""
+        """Snapshot for dashboards: uptime, requests, cache, ledger, runtime.
+
+        The ``"runtime"`` entry is the scheduler's health document —
+        executor, worker count, pool-failure tally and (never silent)
+        degradation state.
+        """
         return {
             "uptime_seconds": time.perf_counter() - self._started,
             "requests": self._requests,
             "method": self.config.method_name,
             "cache": self._cache.stats(),
             "ledger": self._engine.counter.as_dict(),
+            "runtime": self._scheduler.health(),
         }
 
     def reset_ledger(self) -> None:

@@ -1,0 +1,26 @@
+"""Bad: fault-path exceptions absorbed without ledger re-recording (RPR040)."""
+
+from repro.faults import InjectedFault
+from repro.runtime.process import WorkerError, WorkerTaskError
+
+
+def swallow(task):
+    try:
+        task()
+    except InjectedFault:
+        pass
+
+
+def log_only(pool, tasks, log):
+    try:
+        return pool.run(tasks)
+    except (WorkerError, OSError) as exc:
+        log.warning("pool died: %s", exc)
+        return []
+
+
+def default_result(run):
+    try:
+        return run()
+    except WorkerTaskError:
+        return None

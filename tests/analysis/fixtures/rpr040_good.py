@@ -1,0 +1,34 @@
+"""Good: every absorbed fault reaches the ledger, or is re-raised (RPR040)."""
+
+from repro.faults import InjectedFault
+from repro.runtime.process import WorkerError
+
+
+def recorded(engine, task):
+    try:
+        task()
+    except InjectedFault:
+        engine.counter.record_fault_event("task_retry")
+
+
+def absorbed(engine, pool, tasks):
+    try:
+        return pool.run(tasks)
+    except WorkerError as exc:
+        for delta in exc.partial_counters:
+            engine.counter.absorb(delta)
+        return []
+
+
+def translated(pool, workers):
+    try:
+        return pool.spawn(workers)
+    except (InjectedFault, OSError) as exc:
+        raise WorkerError(f"failed to start pool: {exc}") from exc
+
+
+def unrelated(parser, text):
+    try:
+        return parser(text)
+    except ValueError:
+        return None

@@ -41,6 +41,7 @@ BAD_CASES = [
     ("rpr030_bad.py", "RPR030", 2),  # module-global and class attribute
     ("rpr031_bad.py", "RPR031", 1),
     ("rpr032_bad.py", "RPR032", 1),
+    ("rpr040_bad.py", "RPR040", 3),  # pass, log-only, default-result handlers
 ]
 
 GOOD_FIXTURES = [
@@ -52,6 +53,7 @@ GOOD_FIXTURES = [
     "rpr020_good.py",
     "rpr030_good.py",
     "rpr03x_good.py",
+    "rpr040_good.py",
 ]
 
 

@@ -88,5 +88,6 @@ class TestOpCounter:
             "cache_bytes_inserted",
             "cache_bytes_evicted",
             "emulated_calls",
+            "fault_events",
         }
         assert d["flops"] == 2 * d["mac_ops"]

@@ -26,7 +26,7 @@ from repro.core.operand import prepare_a, prepare_b
 from repro.errors import ConfigurationError
 from repro.runtime import TileSource, live_segment_names
 from repro.runtime.plan import resolve_executor
-from repro.runtime.process import WorkerError, WorkerTaskError
+from repro.runtime.process import WorkerTaskError
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.shm import SharedArray, attach_view
 from repro.workloads.generators import phi_matrix
@@ -135,21 +135,62 @@ def test_worker_task_error_leaves_scheduler_usable():
     assert live_segment_names() == ()
 
 
-def test_dead_workers_raise_and_the_pool_is_rebuilt():
+def test_dead_workers_are_survived_by_a_rebuilt_pool():
+    """Worker death mid-dispatch is recovered transparently, on the ledger.
+
+    The lost wave's counters die un-absorbed with the pool, and the whole
+    wave re-executes on a rebuilt pool — so the result *and* the ledger's
+    work counters stay identical to the serial run, with the recovery
+    recorded only in ``fault_events``.
+    """
     a = phi_matrix(36, 30, phi=0.5, seed=3)
     b = phi_matrix(30, 26, phi=0.5, seed=4)
     config = Ozaki2Config(num_moduli=15, parallelism=2, executor="process")
-    serial = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+    serial = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15), return_details=True)
     with Scheduler(parallelism=2, executor="process") as sched:
         pool = sched._ensure_process_pool()
         for proc in pool._procs:
             proc.terminate()
             proc.join()
-        with pytest.raises(WorkerError):
-            sched.run_process_tasks([("no-such-task", {})])
-        # The next use rebuilds the pool lazily.
-        again = ozaki2_gemm(a, b, config=config, scheduler=sched)
-    np.testing.assert_array_equal(again, serial)
+        again = ozaki2_gemm(a, b, config=config, scheduler=sched, return_details=True)
+        health = sched.health()
+    np.testing.assert_array_equal(again.c, serial.c)
+    assert again.fault_events["pool_failure"] == 1
+    assert again.fault_events["wave_retry"] == 1
+    assert not again.degraded and not health["degraded"]
+    work = {
+        k: v
+        for k, v in again.ledger.as_dict().items()
+        if k != "fault_events"
+    }
+    serial_work = {
+        k: v
+        for k, v in serial.ledger.as_dict().items()
+        if k != "fault_events"
+    }
+    assert work == serial_work
+    assert live_segment_names() == ()
+
+
+def test_repeated_pool_failures_degrade_to_thread_path_recorded():
+    """More pool failures than ``max_pool_rebuilds`` ⇒ recorded degradation."""
+    a = phi_matrix(36, 30, phi=0.5, seed=3)
+    b = phi_matrix(30, 26, phi=0.5, seed=4)
+    config = Ozaki2Config(
+        num_moduli=15, parallelism=2, executor="process", max_pool_rebuilds=0
+    )
+    serial = ozaki2_gemm(a, b, config=Ozaki2Config(num_moduli=15))
+    with Scheduler(parallelism=2, executor="process", max_pool_rebuilds=0) as sched:
+        pool = sched._ensure_process_pool()
+        for proc in pool._procs:
+            proc.terminate()
+            proc.join()
+        again = ozaki2_gemm(a, b, config=config, scheduler=sched, return_details=True)
+        assert sched.degraded and not sched.uses_processes
+        assert sched.health()["degraded_reason"]
+    np.testing.assert_array_equal(again.c, serial)
+    assert again.degraded
+    assert again.fault_events["degraded_to_thread"] == 1
     assert live_segment_names() == ()
 
 

@@ -1,0 +1,139 @@
+"""Service-layer chaos: injected wire faults against a real server.
+
+Each test boots a real :class:`~repro.service.ReproServer` and arms a
+seeded fault plan.  Because the server runs in-process (threads), the
+armed plan is shared with its handler threads, so the tests can assert on
+``plan.fired(...)`` directly.  The contract mirrors the runtime chaos
+suite: injected faults may add latency or round trips, but results stay
+bit-identical and failures surface typed, never silent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.config import Ozaki2Config
+from repro.core.gemm import ozaki2_gemm
+from repro.service import ReproServer, ServiceClient, ServiceError
+from repro.service.protocol import ERROR_DEADLINE, ERROR_OVERLOADED
+
+CFG = Ozaki2Config.for_dgemm(num_moduli=10)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture
+def server():
+    with ReproServer(config=CFG, port=0).start() as srv:
+        yield srv
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.standard_normal((24, 20)), rng.standard_normal((20, 16))
+
+
+def test_slow_frame_adds_latency_not_divergence(server, pair):
+    a, b = pair
+    reference = ozaki2_gemm(a, b, config=CFG)
+    with ServiceClient(port=server.port) as cli:
+        with faults.inject("service.slow_frame:delay=0.2,times=1", seed=1) as plan:
+            start = time.perf_counter()
+            result = cli.gemm(a, b)
+            elapsed = time.perf_counter() - start
+        assert plan.fired("service.slow_frame") == 1
+    assert elapsed >= 0.2
+    assert np.array_equal(result.value, reference)
+
+
+def test_dropped_response_frame_is_retried_transparently(server, pair):
+    a, b = pair
+    reference = ozaki2_gemm(a, b, config=CFG)
+    with ServiceClient(port=server.port, backoff_base=0.01) as cli:
+        with faults.inject("service.drop_frame:times=1", seed=1) as plan:
+            result = cli.gemm(a, b)
+        # The first response was computed, then dropped on the floor; the
+        # client reconnected and resent (the operations are idempotent).
+        assert plan.fired("service.drop_frame") == 1
+    assert np.array_equal(result.value, reference)
+
+
+def test_cache_evict_storm_forces_renegotiation(server, pair):
+    a, b = pair
+    reference = ozaki2_gemm(a, b, config=CFG)
+    with ServiceClient(port=server.port) as cli:
+        cold = cli.gemm(a, b)  # learns both fingerprints
+        with faults.inject("cache.evict_storm:times=1", seed=1) as plan:
+            # The warm request references fingerprints the storm just
+            # evicted: the server answers operand-missing, the client
+            # un-learns and resends the bytes inline — same answer.
+            warm = cli.gemm(a, b)
+        assert plan.fired("cache.evict_storm") == 1
+    assert np.array_equal(cold.value, reference)
+    assert np.array_equal(warm.value, reference)
+
+
+def test_load_shed_503_retries_after_the_hint(pair):
+    a, b = pair
+    reference = ozaki2_gemm(a, b, config=CFG)
+    with ReproServer(
+        config=CFG, port=0, max_queue=1, retry_after_seconds=0.01
+    ).start() as srv:
+        calls = {"n": 0}
+
+        def fake_backlog() -> int:
+            calls["n"] += 1
+            return 99 if calls["n"] == 1 else 0
+
+        srv.coalescer.backlog = fake_backlog  # type: ignore[method-assign]
+        with ServiceClient(port=srv.port, backoff_base=0.01) as cli:
+            result = cli.gemm(a, b)
+        assert calls["n"] >= 2  # shed once, admitted on retry
+        assert srv._requests.get("shed") == 1
+    assert np.array_equal(result.value, reference)
+
+
+def test_load_shed_exhaustion_surfaces_overloaded(pair):
+    a, b = pair
+    with ReproServer(
+        config=CFG, port=0, max_queue=1, retry_after_seconds=0.005
+    ).start() as srv:
+        srv.coalescer.backlog = lambda: 99  # type: ignore[method-assign]
+        with ServiceClient(port=srv.port, max_retries=1) as cli:
+            with pytest.raises(ServiceError) as excinfo:
+                cli.gemm(a, b)
+        assert excinfo.value.code == ERROR_OVERLOADED
+
+
+def test_expired_deadline_is_a_typed_504(server, pair):
+    a, b = pair
+    with ServiceClient(port=server.port) as cli:
+        with pytest.raises(ServiceError) as excinfo:
+            cli.gemm(a, b, deadline=1e-6)
+    assert excinfo.value.code == ERROR_DEADLINE
+
+
+def test_deadline_refuses_a_doomed_backoff_sleep(pair):
+    a, b = pair
+    # Permanently overloaded server advertising a 5s Retry-After: a client
+    # with a 0.2s budget must fail fast instead of sleeping into the wall.
+    with ReproServer(
+        config=CFG, port=0, max_queue=1, retry_after_seconds=5.0
+    ).start() as srv:
+        srv.coalescer.backlog = lambda: 99  # type: ignore[method-assign]
+        with ServiceClient(port=srv.port, max_retries=3) as cli:
+            start = time.perf_counter()
+            with pytest.raises(ServiceError) as excinfo:
+                cli.gemm(a, b, deadline=0.2)
+            elapsed = time.perf_counter() - start
+        assert excinfo.value.code == ERROR_DEADLINE
+        assert elapsed < 2.0

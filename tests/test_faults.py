@@ -1,0 +1,123 @@
+"""Unit tests of the seeded fault-injection plan machinery (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed (env arming consumed)."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def test_parse_round_trips_through_the_canonical_spec():
+    plan = FaultPlan.parse(
+        "service.slow_frame:delay=0.25,after=2; worker.crash:times=1", seed=3
+    )
+    again = FaultPlan.parse(plan.spec(), seed=plan.seed)
+    assert again.spec() == plan.spec()
+    assert "service.slow_frame" in plan.spec() and "worker.crash" in plan.spec()
+
+
+def test_times_bounds_total_fires():
+    plan = FaultPlan.parse("worker.task_error:times=2")
+    fires = [plan.should_fire("worker.task_error") for _ in range(5)]
+    assert fires == [True, True, False, False, False]
+    assert plan.hits("worker.task_error") == 5
+    assert plan.fired("worker.task_error") == 2
+
+
+def test_after_skips_leading_hits():
+    plan = FaultPlan.parse("shm.alloc:after=2,times=1")
+    fires = [plan.should_fire("shm.alloc") for _ in range(5)]
+    assert fires == [False, False, True, False, False]
+
+
+def test_rate_decisions_are_seed_deterministic():
+    def sequence(seed):
+        plan = FaultPlan.parse("tile.read:rate=0.5", seed=seed)
+        return [plan.should_fire("tile.read") for _ in range(64)]
+
+    assert sequence(1) == sequence(1)
+    assert sequence(1) != sequence(2)  # astronomically unlikely to collide
+    assert any(sequence(1)) and not all(sequence(1))
+
+
+def test_unarmed_sites_never_fire_and_cost_no_counters():
+    plan = FaultPlan.parse("worker.crash:times=1")
+    assert not plan.should_fire("shm.alloc")
+    assert plan.hits("shm.alloc") == 0
+    assert plan.report() == {"worker.crash": {"hits": 0, "fired": 0}}
+
+
+def test_validation_rejects_bad_specs():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse("no.such.site:times=1")
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse("")  # arms nothing
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse("worker.crash:times=1;worker.crash:times=2")  # duplicate
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse("worker.crash:bogus=1")
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse("worker.crash:times")  # not key=value
+    with pytest.raises(ConfigurationError):
+        FaultSpec("worker.crash", rate=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultSpec("worker.crash", times=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec("worker.crash", after=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec("service.slow_frame", delay=-0.5)
+
+
+def test_inject_context_arms_and_disarms():
+    assert faults.active_plan() is None
+    with faults.inject("worker.task_error:times=1", seed=9) as plan:
+        assert faults.active_plan() is plan
+        with pytest.raises(InjectedFault):
+            faults.raise_if("worker.task_error")
+        faults.raise_if("worker.task_error")  # times=1 exhausted: no raise
+    assert faults.active_plan() is None
+    faults.raise_if("worker.task_error")  # disarmed: never raises
+
+
+def test_env_arming_is_read_once_and_consumed_by_uninstall(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "cache.evict_storm:times=1")
+    monkeypatch.setenv("REPRO_FAULTS_SEED", "11")
+    plan = FaultPlan.from_env()
+    assert plan is not None and plan.seed == 11
+    # active_plan consults the env lazily, once.
+    faults._ENV_LOADED = False  # simulate a fresh process
+    armed = faults.active_plan()
+    assert armed is not None and armed.spec() == "cache.evict_storm:times=1"
+    # uninstall() consumes the env: the same variables do not re-arm.
+    faults.uninstall()
+    assert faults.active_plan() is None
+
+    monkeypatch.setenv("REPRO_FAULTS_SEED", "not-a-number")
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_env()
+
+
+def test_sleep_if_returns_armed_delay(monkeypatch):
+    slept = []
+    monkeypatch.setattr(faults.time, "sleep", slept.append)
+    with faults.inject("service.slow_frame:delay=0.125,times=1"):
+        assert faults.sleep_if("service.slow_frame") == 0.125
+        assert faults.sleep_if("service.slow_frame") == 0.0  # exhausted
+    assert slept == [0.125]
+
+
+def test_injected_fault_is_not_a_repro_error():
+    from repro.errors import ReproError
+
+    assert not issubclass(InjectedFault, ReproError)
+    assert issubclass(InjectedFault, RuntimeError)
